@@ -1,0 +1,334 @@
+// Benchmarks regenerating the paper's evaluation artifacts with the testing
+// harness — one benchmark per figure plus the DESIGN.md ablations. The
+// per-update benchmarks (Figure 5/6/7) report ns/op directly comparable
+// across algorithms; the sweep benchmarks (Figures 2–4) run a scaled error
+// sweep and report the final error ratios via b.ReportMetric.
+//
+// Run everything with: go test -bench=. -benchmem
+package rhhh_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rhhh/internal/baseline/ancestry"
+	"rhhh/internal/baseline/mst"
+	"rhhh/internal/core"
+	"rhhh/internal/experiments"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/netgen"
+	"rhhh/internal/trace"
+	"rhhh/internal/vswitch"
+)
+
+// prebuiltKeys materializes workload keys once per benchmark binary.
+func prebuiltKeys1D(n int) []uint32 {
+	gen := trace.NewSynthetic(trace.Profile("sanjose14"))
+	keys := make([]uint32, n)
+	for i := range keys {
+		p, _ := gen.Next()
+		keys[i] = p.Key1()
+	}
+	return keys
+}
+
+func prebuiltKeys2D(n int) []uint64 {
+	gen := trace.NewSynthetic(trace.Profile("chicago16"))
+	keys := make([]uint64, n)
+	for i := range keys {
+		p, _ := gen.Next()
+		keys[i] = p.Key2()
+	}
+	return keys
+}
+
+// benchUpdates drives update over the key ring.
+func benchUpdates[K comparable](b *testing.B, keys []K, update func(K)) {
+	b.Helper()
+	b.ResetTimer()
+	mask := len(keys) - 1
+	for i := 0; i < b.N; i++ {
+		update(keys[i&mask])
+	}
+}
+
+// BenchmarkFig5UpdateSpeed is Figure 5 in testing.B form: per-update cost of
+// every algorithm on the three hierarchies (ε=0.001 — the paper's setting).
+func BenchmarkFig5UpdateSpeed(b *testing.B) {
+	const eps, delta = 0.001, 0.001
+	keys1 := prebuiltKeys1D(1 << 16)
+	keys2 := prebuiltKeys2D(1 << 16)
+
+	type dcase struct {
+		name string
+		run  func(b *testing.B)
+	}
+	run1D := func(dom *hierarchy.Domain[uint32]) []dcase {
+		h := dom.Size()
+		return []dcase{
+			{"RHHH", func(b *testing.B) {
+				benchUpdates(b, keys1, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: h, Seed: 1}).Update)
+			}},
+			{"10-RHHH", func(b *testing.B) {
+				benchUpdates(b, keys1, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: 10 * h, Seed: 1}).Update)
+			}},
+			{"MST", func(b *testing.B) { benchUpdates(b, keys1, mst.New(dom, eps).Update) }},
+			{"FullAncestry", func(b *testing.B) { benchUpdates(b, keys1, ancestry.New(dom, eps, ancestry.Full).Update) }},
+			{"PartialAncestry", func(b *testing.B) { benchUpdates(b, keys1, ancestry.New(dom, eps, ancestry.Partial).Update) }},
+		}
+	}
+	b.Run("1D-Bytes-H5", func(b *testing.B) {
+		for _, c := range run1D(hierarchy.NewIPv4OneDim(hierarchy.Bytes)) {
+			b.Run(c.name, c.run)
+		}
+	})
+	b.Run("1D-Bits-H33", func(b *testing.B) {
+		for _, c := range run1D(hierarchy.NewIPv4OneDim(hierarchy.Bits)) {
+			b.Run(c.name, c.run)
+		}
+	})
+	b.Run("2D-Bytes-H25", func(b *testing.B) {
+		dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+		h := dom.Size()
+		cases := []dcase{
+			{"RHHH", func(b *testing.B) {
+				benchUpdates(b, keys2, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: h, Seed: 1}).Update)
+			}},
+			{"10-RHHH", func(b *testing.B) {
+				benchUpdates(b, keys2, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: 10 * h, Seed: 1}).Update)
+			}},
+			{"MST", func(b *testing.B) { benchUpdates(b, keys2, mst.New(dom, eps).Update) }},
+			{"FullAncestry", func(b *testing.B) { benchUpdates(b, keys2, ancestry.New(dom, eps, ancestry.Full).Update) }},
+			{"PartialAncestry", func(b *testing.B) { benchUpdates(b, keys2, ancestry.New(dom, eps, ancestry.Partial).Update) }},
+		}
+		for _, c := range cases {
+			b.Run(c.name, c.run)
+		}
+	})
+}
+
+// sweepBench runs a scaled error sweep once per iteration and reports the
+// final RHHH metric.
+func sweepBench(b *testing.B, metric func(experiments.SweepConfig) float64) {
+	cfg := experiments.SweepConfig{
+		Epsilon: 0.02, Delta: 0.05, Theta: 0.1,
+		Checkpoints: []uint64{400_000},
+		Profiles:    []string{"sanjose14"},
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		last = metric(cfg)
+	}
+	b.ReportMetric(last, "error-ratio")
+	b.ReportMetric(0, "ns/op") // the ratio, not the time, is the artifact
+}
+
+// BenchmarkFig2AccuracyError regenerates the Figure 2 end point.
+func BenchmarkFig2AccuracyError(b *testing.B) {
+	sweepBench(b, func(cfg experiments.SweepConfig) float64 {
+		tabs := experiments.Fig2Accuracy(cfg)
+		return lastFloat(b, tabs[0].Rows[len(tabs[0].Rows)-1][2])
+	})
+}
+
+// BenchmarkFig3CoverageError regenerates the Figure 3 end point.
+func BenchmarkFig3CoverageError(b *testing.B) {
+	sweepBench(b, func(cfg experiments.SweepConfig) float64 {
+		tabs := experiments.Fig3Coverage(cfg)
+		return lastFloat(b, tabs[0].Rows[len(tabs[0].Rows)-1][2])
+	})
+}
+
+// BenchmarkFig4FalsePositives regenerates a Figure 4 end point (2D bytes).
+func BenchmarkFig4FalsePositives(b *testing.B) {
+	cfg := experiments.SweepConfig{
+		Epsilon: 0.02, Delta: 0.05, Theta: 0.1,
+		Checkpoints: []uint64{200_000},
+		Profiles:    []string{"sanjose14"},
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		tabs := experiments.Fig4FalsePositives(cfg)
+		t := tabs[len(tabs)-1]
+		last = lastFloat(b, t.Rows[len(t.Rows)-1][2])
+	}
+	b.ReportMetric(last, "fpr")
+}
+
+// BenchmarkFig6Dataplane measures per-packet datapath cost with each hook —
+// the Figure 6 bars as ns/op.
+func BenchmarkFig6Dataplane(b *testing.B) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	h := dom.Size()
+	gen := trace.NewSynthetic(trace.Profile("chicago16"))
+	packets := netgen.Prebuild(gen, 1<<16)
+	mask := len(packets) - 1
+
+	mkDP := func(hook vswitch.Hook) *vswitch.Datapath {
+		var ft vswitch.FlowTable
+		ft.Add(vswitch.Rule{Match: vswitch.Match{}, Action: vswitch.Action{OutPort: 1}})
+		return vswitch.NewDatapath(&ft, vswitch.NewEMC(8192, 1), hook)
+	}
+	b.Run("OVS-unmodified", func(b *testing.B) {
+		dp := mkDP(vswitch.NopHook{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dp.Process(packets[i&mask])
+		}
+	})
+	b.Run("10-RHHH", func(b *testing.B) {
+		eng := core.New(dom, core.Config{Epsilon: 0.001, Delta: 0.001, V: 10 * h, Seed: 1})
+		dp := mkDP(vswitch.HookFunc(func(p trace.Packet) { eng.Update(p.Key2()) }))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dp.Process(packets[i&mask])
+		}
+	})
+	b.Run("RHHH", func(b *testing.B) {
+		eng := core.New(dom, core.Config{Epsilon: 0.001, Delta: 0.001, V: h, Seed: 1})
+		dp := mkDP(vswitch.HookFunc(func(p trace.Packet) { eng.Update(p.Key2()) }))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dp.Process(packets[i&mask])
+		}
+	})
+	b.Run("PartialAncestry", func(b *testing.B) {
+		alg := ancestry.New(dom, 0.001, ancestry.Partial)
+		dp := mkDP(vswitch.HookFunc(func(p trace.Packet) { alg.Update(p.Key2()) }))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dp.Process(packets[i&mask])
+		}
+	})
+	b.Run("MST", func(b *testing.B) {
+		alg := mst.New(dom, 0.001)
+		dp := mkDP(vswitch.HookFunc(func(p trace.Packet) { alg.Update(p.Key2()) }))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dp.Process(packets[i&mask])
+		}
+	})
+}
+
+// BenchmarkFig7DataplaneV sweeps V: per-packet datapath cost with the RHHH
+// hook at V = H, 2H, 5H, 10H.
+func BenchmarkFig7DataplaneV(b *testing.B) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	h := dom.Size()
+	gen := trace.NewSynthetic(trace.Profile("chicago16"))
+	packets := netgen.Prebuild(gen, 1<<16)
+	mask := len(packets) - 1
+	for _, m := range []int{1, 2, 5, 10} {
+		b.Run(vName(m), func(b *testing.B) {
+			eng := core.New(dom, core.Config{Epsilon: 0.001, Delta: 0.001, V: m * h, Seed: 1})
+			var ft vswitch.FlowTable
+			ft.Add(vswitch.Rule{Match: vswitch.Match{}, Action: vswitch.Action{OutPort: 1}})
+			dp := vswitch.NewDatapath(&ft, vswitch.NewEMC(8192, 1),
+				vswitch.HookFunc(func(p trace.Packet) { eng.Update(p.Key2()) }))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dp.Process(packets[i&mask])
+			}
+		})
+	}
+}
+
+// BenchmarkFig8DistributedV sweeps V for the distributed deployment: the
+// switch-side cost (draw + batch + in-process send).
+func BenchmarkFig8DistributedV(b *testing.B) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	h := dom.Size()
+	gen := trace.NewSynthetic(trace.Profile("chicago16"))
+	packets := netgen.Prebuild(gen, 1<<16)
+	mask := len(packets) - 1
+	for _, m := range []int{1, 2, 5, 10} {
+		b.Run(vName(m), func(b *testing.B) {
+			col := vswitch.NewCollector(dom, 0.001, 0.001, m*h)
+			tr := vswitch.NewInProcTransport(col, 1024)
+			defer tr.Close()
+			hook := vswitch.NewSamplerHook(dom, m*h, 1, tr, 0)
+			var ft vswitch.FlowTable
+			ft.Add(vswitch.Rule{Match: vswitch.Match{}, Action: vswitch.Action{OutPort: 1}})
+			dp := vswitch.NewDatapath(&ft, vswitch.NewEMC(8192, 1), hook)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dp.Process(packets[i&mask])
+			}
+		})
+	}
+}
+
+func vName(m int) string {
+	switch m {
+	case 1:
+		return "V=H"
+	default:
+		return "V=" + string(rune('0'+m)) + "H"
+	}
+}
+
+// BenchmarkAblationMultiUpdate measures the r-updates variant's per-packet
+// cost (Corollary 6.8: convergence ÷ r at cost × r).
+func BenchmarkAblationMultiUpdate(b *testing.B) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	keys := prebuiltKeys2D(1 << 16)
+	for _, r := range []int{1, 2, 4} {
+		b.Run("r="+string(rune('0'+r)), func(b *testing.B) {
+			eng := core.New(dom, core.Config{Epsilon: 0.001, Delta: 0.001, R: r, Seed: 1})
+			benchUpdates(b, keys, eng.Update)
+		})
+	}
+}
+
+// BenchmarkAblationBackends compares the HH backends inside the engine.
+func BenchmarkAblationBackends(b *testing.B) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	keys := prebuiltKeys2D(1 << 16)
+	b.Run("SpaceSaving", func(b *testing.B) {
+		benchUpdates(b, keys, core.New(dom, core.Config{Epsilon: 0.001, Delta: 0.001, Seed: 1}).Update)
+	})
+	b.Run("Heap", func(b *testing.B) {
+		benchUpdates(b, keys, core.New(dom, core.Config{Epsilon: 0.001, Delta: 0.001, Seed: 1, Backend: core.HeapBackend}).Update)
+	})
+}
+
+// BenchmarkAblationStrawman contrasts RHHH with the sampled-MST strawman at
+// equal sampling rates: similar amortized cost, very different worst case
+// (run with -benchtime and compare max latencies via the hhhbench
+// worstcase ablation).
+func BenchmarkAblationStrawman(b *testing.B) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	h := dom.Size()
+	keys := prebuiltKeys2D(1 << 16)
+	b.Run("10-RHHH", func(b *testing.B) {
+		benchUpdates(b, keys, core.New(dom, core.Config{Epsilon: 0.001, Delta: 0.001, V: 10 * h, Seed: 1}).Update)
+	})
+	b.Run("SampledMST", func(b *testing.B) {
+		benchUpdates(b, keys, mst.NewSampled(dom, 0.001, 0.001, 10*h, 1).Update)
+	})
+}
+
+// BenchmarkOutput measures the Output (query) cost after a realistic fill —
+// queries are rare in deployment but must stay interactive.
+func BenchmarkOutput(b *testing.B) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	eng := core.New(dom, core.Config{Epsilon: 0.001, Delta: 0.001, Seed: 1})
+	keys := prebuiltKeys2D(1 << 16)
+	for i := 0; i < 2_000_000; i++ {
+		eng.Update(keys[i&(len(keys)-1)])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.Output(0.01)
+	}
+}
+
+// lastFloat parses a table cell (helper for the sweep benchmarks).
+func lastFloat(b *testing.B, cell string) float64 {
+	b.Helper()
+	var v float64
+	if _, err := fmt.Sscan(cell, &v); err != nil {
+		b.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}

@@ -1,0 +1,146 @@
+// Command hhh runs a hierarchical heavy hitters algorithm over a pcap file
+// or a synthetic trace and prints the HHH set.
+//
+// Examples:
+//
+//	hhh -pcap capture.pcap -dims 2 -theta 0.01
+//	hhh -profile chicago16 -n 5000000 -dims 1 -gran bits -algo mst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"sort"
+
+	"rhhh"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/trace"
+)
+
+func main() {
+	var (
+		pcapPath = flag.String("pcap", "", "pcap file to replay (classic format)")
+		profile  = flag.String("profile", "chicago16", "synthetic profile when no pcap is given: "+fmt.Sprint(trace.ProfileNames()))
+		n        = flag.Uint64("n", 1_000_000, "packets to process from the synthetic source")
+		dims     = flag.Int("dims", 2, "hierarchy dimensions: 1 (source) or 2 (source x destination)")
+		gran     = flag.String("gran", "bytes", "granularity: bytes|nibbles|bits")
+		v6       = flag.Bool("ipv6", false, "use 128-bit hierarchies")
+		algo     = flag.String("algo", "rhhh", "algorithm: rhhh|10-rhhh|mst|full|partial")
+		epsilon  = flag.Float64("epsilon", 0.001, "estimation error ε")
+		delta    = flag.Float64("delta", 0.001, "failure probability δ")
+		theta    = flag.Float64("theta", 0.01, "HHH threshold θ")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		weighted = flag.Bool("bytes", false, "weight packets by byte count instead of counting packets")
+	)
+	flag.Parse()
+
+	cfg := rhhh.Config{
+		Dims: *dims, IPv6: *v6,
+		Epsilon: *epsilon, Delta: *delta, Seed: *seed,
+	}
+	switch *gran {
+	case "bytes":
+		cfg.Granularity = rhhh.Byte
+	case "nibbles":
+		cfg.Granularity = rhhh.Nibble
+	case "bits":
+		cfg.Granularity = rhhh.Bit
+	default:
+		fatalf("unknown granularity %q", *gran)
+	}
+	switch *algo {
+	case "rhhh":
+		cfg.Algorithm = rhhh.RHHH
+	case "10-rhhh":
+		cfg.Algorithm = rhhh.RHHH
+		// V is set after we know H; mark with a sentinel multiplier.
+	case "mst":
+		cfg.Algorithm = rhhh.MST
+	case "full":
+		cfg.Algorithm = rhhh.FullAncestry
+	case "partial":
+		cfg.Algorithm = rhhh.PartialAncestry
+	default:
+		fatalf("unknown algorithm %q", *algo)
+	}
+	if *algo == "10-rhhh" {
+		// Build a probe monitor to learn H, then rebuild with V=10H.
+		probe, err := rhhh.New(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.V = 10 * probe.H()
+	}
+	mon, err := rhhh.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var src trace.Source
+	if *pcapPath != "" {
+		f, err := os.Open(*pcapPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r, err := trace.NewPcapReader(f)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		src = r
+	} else {
+		src = &trace.Limit{Src: trace.NewSynthetic(trace.Profile(*profile)), N: *n}
+	}
+
+	var count uint64
+	for {
+		p, ok := src.Next()
+		if !ok {
+			break
+		}
+		srcA, dstA := p.SrcIP, p.DstIP
+		if p.V6 != *v6 {
+			continue // family mismatch with the configured hierarchy
+		}
+		saddr := toNetip(srcA, *v6)
+		daddr := toNetip(dstA, *v6)
+		if *weighted {
+			mon.UpdateWeighted(saddr, daddr, uint64(max(p.Length, 1)))
+		} else {
+			mon.Update(saddr, daddr)
+		}
+		count++
+	}
+
+	fmt.Printf("algorithm=%s H=%d V=%d packets=%d N=%d psi=%.3g converged=%v\n",
+		mon.Algorithm(), mon.H(), mon.V(), count, mon.N(), mon.Psi(), mon.Converged())
+	hits := mon.HeavyHitters(*theta)
+	sort.Slice(hits, func(i, j int) bool { return hits[i].Upper > hits[j].Upper })
+	fmt.Printf("hierarchical heavy hitters (theta=%g, threshold=%.0f):\n",
+		*theta, *theta*float64(mon.N()))
+	for _, h := range hits {
+		share := h.Upper / float64(mon.N()) * 100
+		fmt.Printf("  %-44s f in [%12.0f, %12.0f]  (<= %5.2f%%)  level %d\n",
+			h.Text, h.Lower, h.Upper, share, h.Level)
+	}
+	if len(hits) == 0 {
+		fmt.Println("  (none above threshold)")
+	}
+}
+
+// toNetip converts the internal 128-bit address form back to netip. IPv4
+// addresses live in the top 32 bits (see hierarchy.AddrFromIPv4).
+func toNetip(a hierarchy.Addr, v6 bool) netip.Addr {
+	b := a.Bytes16()
+	if v6 {
+		return netip.AddrFrom16(b)
+	}
+	return netip.AddrFrom4([4]byte{b[0], b[1], b[2], b[3]})
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hhh: "+format+"\n", args...)
+	os.Exit(2)
+}

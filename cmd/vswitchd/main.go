@@ -1,0 +1,126 @@
+// Command vswitchd runs the simulated virtual switch with a chosen HHH
+// integration and reports throughput and the measured heavy hitters — an
+// interactive version of the Figure 6–8 experiments.
+//
+// Examples:
+//
+//	vswitchd -mode dataplane -v 10 -duration 3s
+//	vswitchd -mode distributed -udp -theta 0.05
+//	vswitchd -mode off          # unmodified-switch baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"rhhh/internal/core"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/netgen"
+	"rhhh/internal/trace"
+	"rhhh/internal/vswitch"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "dataplane", "integration: off|dataplane|distributed")
+		vMult    = flag.Int("v", 1, "V as a multiple of H (1 = RHHH, 10 = 10-RHHH)")
+		epsilon  = flag.Float64("epsilon", 0.001, "estimation error ε")
+		delta    = flag.Float64("delta", 0.001, "failure probability δ")
+		theta    = flag.Float64("theta", 0.02, "HHH threshold for the final report")
+		duration = flag.Duration("duration", 2*time.Second, "how long to drive traffic")
+		profile  = flag.String("profile", "chicago16", "traffic profile")
+		udp      = flag.Bool("udp", false, "distributed mode: use loopback UDP instead of in-process transport")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	h := dom.Size()
+	v := *vMult * h
+
+	// Workload: the chosen profile plus a DDoS aggregate so the final
+	// report has something interesting to show.
+	cfg := trace.Profile(*profile)
+	cfg.Aggregates = []trace.Aggregate{{
+		Fraction: 0.15,
+		Dst:      hierarchy.AddrFromIPv4(0xCB007100), // 203.0.113.0/24
+		DstBits:  24,
+		Spread:   1 << 15,
+	}}
+	packets := netgen.Prebuild(trace.NewSynthetic(cfg), 1<<18)
+
+	var hook vswitch.Hook = vswitch.NopHook{}
+	var report func()
+	switch *mode {
+	case "off":
+		report = func() { fmt.Println("no measurement configured (-mode off)") }
+	case "dataplane":
+		eng := core.New(dom, core.Config{Epsilon: *epsilon, Delta: *delta, V: v, Seed: *seed})
+		hook = vswitch.HookFunc(func(p trace.Packet) { eng.Update(p.Key2()) })
+		report = func() { printHHH(dom, eng.Output(*theta), eng.Weight(), *theta) }
+	case "distributed":
+		col := vswitch.NewCollector(dom, *epsilon, *delta, v)
+		var tr vswitch.Transport
+		if *udp {
+			srv, err := vswitch.ListenUDP("127.0.0.1:0", col)
+			if err != nil {
+				fatalf("udp listen: %v", err)
+			}
+			defer srv.Close()
+			utr, err := vswitch.DialUDP(srv.Addr())
+			if err != nil {
+				fatalf("udp dial: %v", err)
+			}
+			defer utr.Close()
+			tr = utr
+			fmt.Fprintf(os.Stderr, "collector listening on %s\n", srv.Addr())
+		} else {
+			itr := vswitch.NewInProcTransport(col, 1024)
+			defer itr.Close()
+			tr = itr
+		}
+		sh := vswitch.NewSamplerHook(dom, v, *seed, tr, 0)
+		hook = sh
+		report = func() {
+			if err := sh.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "vswitchd: transport error: %v\n", err)
+			}
+			// Give an async transport a moment to drain.
+			time.Sleep(50 * time.Millisecond)
+			fmt.Printf("collector: packets=%d samples=%d\n", col.Packets(), col.Updates())
+			printHHH(dom, col.Output(*theta), col.Packets(), *theta)
+		}
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+
+	var ft vswitch.FlowTable
+	ft.Add(vswitch.Rule{Priority: 0, Match: vswitch.Match{}, Action: vswitch.Action{OutPort: 1}})
+	dp := vswitch.NewDatapath(&ft, vswitch.NewEMC(8192, *seed), hook)
+
+	res := netgen.RunFor(packets, *duration, func(p trace.Packet) { dp.Process(p) })
+	st := dp.Stats()
+	fmt.Printf("mode=%s V=%d (H=%d) duration=%v\n", *mode, v, h, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.2f Mpps (%d packets; emc hits %.1f%%)\n",
+		res.Mpps(), st.Received, 100*float64(st.EMCHits)/float64(st.Received))
+	report()
+}
+
+func printHHH(dom *hierarchy.Domain[uint64], out []core.Result[uint64], n uint64, theta float64) {
+	sort.Slice(out, func(i, j int) bool { return out[i].Upper > out[j].Upper })
+	fmt.Printf("hierarchical heavy hitters (theta=%g, N=%d):\n", theta, n)
+	for _, p := range out {
+		fmt.Printf("  %-44s f in [%12.0f, %12.0f]\n", dom.Format(p.Key, p.Node), p.Lower, p.Upper)
+	}
+	if len(out) == 0 {
+		fmt.Println("  (none)")
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vswitchd: "+format+"\n", args...)
+	os.Exit(2)
+}

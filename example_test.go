@@ -1,0 +1,48 @@
+package rhhh_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"rhhh"
+)
+
+// ExampleMonitor demonstrates the core workflow: create a monitor, feed
+// packets, query heavy hitters. The deterministic MST algorithm is used so
+// the output is stable; swap Algorithm for rhhh.RHHH (the default) in
+// production.
+func ExampleMonitor() {
+	m := rhhh.MustNew(rhhh.Config{
+		Dims:      1,
+		Epsilon:   0.01,
+		Algorithm: rhhh.MST,
+	})
+
+	// 60 packets from one /24 (spread over hosts), 40 from random sources.
+	for i := 0; i < 60; i++ {
+		m.Update(netip.AddrFrom4([4]byte{203, 0, 113, byte(i)}), netip.Addr{})
+	}
+	for i := 0; i < 40; i++ {
+		m.Update(netip.AddrFrom4([4]byte{byte(7 * i), byte(11 * i), byte(13 * i), byte(17 * i)}), netip.Addr{})
+	}
+
+	// Only the /24 passes θ = 50%: the remaining 40 packets are spread too
+	// thin for any other prefix (including *) to add θ·N uncovered traffic.
+	for _, hh := range m.HeavyHitters(0.5) {
+		fmt.Printf("%s covers at least %.0f packets\n", hh.Text, hh.Lower)
+	}
+	// Output:
+	// 203.0.113.* covers at least 60 packets
+}
+
+// ExamplePsi shows sizing a measurement interval: with the paper's
+// parameters (ε = δ = 0.001) and the 2D byte hierarchy (H = 25), RHHH needs
+// about 10⁸ packets to converge — §4.1's "about 100 million packets".
+func ExamplePsi() {
+	psi := rhhh.Psi(0.001, 0.001, 25)
+	fmt.Printf("RHHH:    ψ ≈ %.0fM packets\n", psi/1e6)
+	fmt.Printf("10-RHHH: ψ ≈ %.0fM packets\n", rhhh.Psi(0.001, 0.001, 250)/1e6)
+	// Output:
+	// RHHH:    ψ ≈ 90M packets
+	// 10-RHHH: ψ ≈ 897M packets
+}

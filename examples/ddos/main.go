@@ -1,0 +1,95 @@
+// DDoS detection: the paper's motivating scenario (§1). Each attacking
+// device sends too little traffic to be a heavy hitter on its own, so plain
+// heavy-hitter detection sees nothing; the *aggregate* — thousands of
+// sources converging on one destination network — is a hierarchical heavy
+// hitter. This example runs a baseline period, then an attack period, and
+// alerts on destination prefixes whose share jumped.
+//
+// Run with: go run ./examples/ddos
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"rhhh"
+)
+
+const (
+	theta       = 0.03 // alert threshold: 3% of traffic for one prefix
+	baselineN   = 1_500_000
+	attackN     = 1_500_000
+	attackShare = 25 // percent of traffic that is attack during the attack
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	randAddr := func() netip.Addr {
+		return netip.AddrFrom4([4]byte{
+			byte(rng.Intn(256)), byte(rng.Intn(256)),
+			byte(rng.Intn(256)), byte(rng.Intn(256)),
+		})
+	}
+	victimNet := netip.MustParsePrefix("203.0.113.0/24")
+
+	// Background: web-server-like traffic — many clients to a handful of
+	// popular services, plus noise.
+	services := make([]netip.Addr, 8)
+	for i := range services {
+		services[i] = netip.AddrFrom4([4]byte{198, 51, 100, byte(i)})
+	}
+	background := func() (src, dst netip.Addr) {
+		if rng.Intn(10) < 3 {
+			return randAddr(), services[rng.Intn(len(services))]
+		}
+		return randAddr(), randAddr()
+	}
+	// Attack: botnet members (random sources) flood random hosts inside
+	// the victim /24. No single source or flow is heavy.
+	attack := func() (src, dst netip.Addr) {
+		b := victimNet.Addr().As4()
+		b[3] = byte(rng.Intn(256))
+		return randAddr(), netip.AddrFrom4(b)
+	}
+
+	monitor := func(label string, n int, attackPct int) map[string]float64 {
+		mon := rhhh.MustNew(rhhh.Config{
+			Dims: 2, Granularity: rhhh.Byte,
+			Epsilon: 0.01, Delta: 0.01, Seed: 1,
+		})
+		for i := 0; i < n; i++ {
+			var src, dst netip.Addr
+			if rng.Intn(100) < attackPct {
+				src, dst = attack()
+			} else {
+				src, dst = background()
+			}
+			mon.Update(src, dst)
+		}
+		shares := map[string]float64{}
+		fmt.Printf("%s (%d packets, converged=%v):\n", label, n, mon.Converged())
+		for _, hh := range mon.HeavyHitters(theta) {
+			share := hh.Upper / float64(mon.N())
+			shares[hh.Text] = share
+			fmt.Printf("  %-40s ≈ %4.1f%%\n", hh.Text, share*100)
+		}
+		fmt.Println()
+		return shares
+	}
+
+	before := monitor("baseline period", baselineN, 0)
+	during := monitor("attack period", attackN, attackShare)
+
+	fmt.Println("alerts (prefixes whose share jumped by ≥ θ):")
+	alerted := false
+	for prefix, share := range during {
+		if share-before[prefix] >= theta {
+			fmt.Printf("  ⚠ %s: %4.1f%% → %4.1f%%\n", prefix, before[prefix]*100, share*100)
+			alerted = true
+		}
+	}
+	if !alerted {
+		fmt.Println("  (none)")
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: feed a synthetic packet stream to an RHHH monitor and print
+// the hierarchical heavy hitters.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"rhhh"
+)
+
+func main() {
+	// A two-dimensional byte-granularity monitor (source × destination,
+	// H = 25 — the paper's headline configuration).
+	mon := rhhh.MustNew(rhhh.Config{
+		Dims:        2,
+		Granularity: rhhh.Byte,
+		Epsilon:     0.01, // estimation error: ±1% of the stream
+		Delta:       0.01, // failure probability of the guarantees
+		Seed:        42,
+	})
+
+	// Synthesize traffic: 20% of packets go from random sources to hosts
+	// inside 203.0.113.0/24 (a DDoS-shaped aggregate: no single flow is
+	// heavy, the *destination prefix* is), 10% is one elephant flow, and
+	// the rest is uniform background noise.
+	rng := rand.New(rand.NewSource(7))
+	randAddr := func() netip.Addr {
+		return netip.AddrFrom4([4]byte{
+			byte(rng.Intn(256)), byte(rng.Intn(256)),
+			byte(rng.Intn(256)), byte(rng.Intn(256)),
+		})
+	}
+	elephantSrc := netip.MustParseAddr("192.0.2.10")
+	elephantDst := netip.MustParseAddr("198.51.100.20")
+
+	// RHHH needs ψ packets before its probabilistic guarantees hold —
+	// process a bit more than that.
+	n := int(mon.Psi()) + 200_000
+	fmt.Printf("H=%d V=%d ψ=%.0f — processing %d packets\n", mon.H(), mon.V(), mon.Psi(), n)
+
+	for i := 0; i < n; i++ {
+		switch {
+		case rng.Intn(10) < 2: // 20%: DDoS onto 203.0.113.0/24
+			victim := netip.AddrFrom4([4]byte{203, 0, 113, byte(rng.Intn(256))})
+			mon.Update(randAddr(), victim)
+		case rng.Intn(10) < 1: // ~8%: the elephant flow
+			mon.Update(elephantSrc, elephantDst)
+		default:
+			mon.Update(randAddr(), randAddr())
+		}
+	}
+
+	fmt.Printf("converged: %v\n\n", mon.Converged())
+	fmt.Println("hierarchical heavy hitters above θ = 5%:")
+	for _, hh := range mon.HeavyHitters(0.05) {
+		share := hh.Upper / float64(mon.N()) * 100
+		fmt.Printf("  %-40s ≈ %4.1f%% of traffic (level %d)\n", hh.Text, share, hh.Level)
+	}
+}

@@ -1,0 +1,247 @@
+package ancestry_test
+
+import (
+	"testing"
+
+	"rhhh/internal/baseline/ancestry"
+	"rhhh/internal/exact"
+	"rhhh/internal/fastrand"
+	"rhhh/internal/hierarchy"
+)
+
+func ip4(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+func gen1D(r *fastrand.Source) uint32 {
+	switch r.Uint64n(10) {
+	case 0, 1, 2: // heavy host
+		return ip4(10, 1, 1, 1)
+	case 3, 4: // heavy /24 spread over hosts
+		return ip4(30, 3, 3, byte(r.Uint64n(256)))
+	default:
+		return uint32(r.Uint64())
+	}
+}
+
+func gen2D(r *fastrand.Source) uint64 {
+	switch r.Uint64n(10) {
+	case 0, 1, 2:
+		return hierarchy.Pack2D(ip4(10, 1, 1, 1), ip4(20, 2, 2, 2))
+	case 3, 4:
+		return hierarchy.Pack2D(ip4(30, 3, 3, byte(r.Uint64n(256))), uint32(r.Uint64()))
+	default:
+		return hierarchy.Pack2D(uint32(r.Uint64()), uint32(r.Uint64()))
+	}
+}
+
+func variants() []ancestry.Variant {
+	return []ancestry.Variant{ancestry.Full, ancestry.Partial}
+}
+
+func TestFindsPlantedAggregates1D(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	for _, v := range variants() {
+		t.Run(v.String(), func(t *testing.T) {
+			alg := ancestry.New(dom, 0.01, v)
+			r := fastrand.New(1)
+			const n = 50000
+			for i := 0; i < n; i++ {
+				alg.Update(gen1D(r))
+			}
+			out := alg.Output(0.1)
+			foundHost, found24 := false, false
+			n24, _ := dom.NodeByBits(24, 0)
+			for _, p := range out {
+				if p.Node == dom.FullNode() && p.Key == ip4(10, 1, 1, 1) {
+					foundHost = true
+				}
+				if p.Node == n24 && p.Key == ip4(30, 3, 3, 0) {
+					found24 = true
+				}
+			}
+			if !foundHost {
+				t.Error("30% host missing")
+			}
+			if !found24 {
+				t.Error("20% /24 aggregate missing")
+			}
+		})
+	}
+}
+
+func TestCoverage1D(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	for _, v := range variants() {
+		t.Run(v.String(), func(t *testing.T) {
+			alg := ancestry.New(dom, 0.005, v)
+			oracle := exact.New(dom)
+			r := fastrand.New(2)
+			const n = 60000
+			for i := 0; i < n; i++ {
+				k := gen1D(r)
+				alg.Update(k)
+				oracle.Add(k)
+			}
+			out := alg.Output(0.1)
+			prefs := make([]exact.PrefixRef[uint32], len(out))
+			for i, p := range out {
+				prefs[i] = exact.PrefixRef[uint32]{Key: p.Key, Node: p.Node}
+			}
+			if viol, _ := oracle.CoverageViolations(prefs, 0.1); viol != 0 {
+				t.Fatalf("%d coverage violations", viol)
+			}
+		})
+	}
+}
+
+func TestCoverage2D(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	for _, v := range variants() {
+		t.Run(v.String(), func(t *testing.T) {
+			alg := ancestry.New(dom, 0.005, v)
+			oracle := exact.New(dom)
+			r := fastrand.New(3)
+			const n = 40000
+			for i := 0; i < n; i++ {
+				k := gen2D(r)
+				alg.Update(k)
+				oracle.Add(k)
+			}
+			out := alg.Output(0.1)
+			prefs := make([]exact.PrefixRef[uint64], len(out))
+			for i, p := range out {
+				prefs[i] = exact.PrefixRef[uint64]{Key: p.Key, Node: p.Node}
+			}
+			if viol, _ := oracle.CoverageViolations(prefs, 0.1); viol != 0 {
+				t.Fatalf("%d coverage violations", viol)
+			}
+		})
+	}
+}
+
+func TestEstimatesBracketTruth(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	for _, v := range variants() {
+		t.Run(v.String(), func(t *testing.T) {
+			alg := ancestry.New(dom, 0.01, v)
+			oracle := exact.New(dom)
+			r := fastrand.New(4)
+			const n = 30000
+			for i := 0; i < n; i++ {
+				k := gen1D(r)
+				alg.Update(k)
+				oracle.Add(k)
+			}
+			for _, p := range alg.Output(0.1) {
+				f := float64(oracle.Frequency(p.Key, p.Node))
+				if p.Lower > f {
+					t.Fatalf("%s: lower %v above true %v",
+						dom.Format(p.Key, p.Node), p.Lower, f)
+				}
+				// Upper bound may miss at most ~εN (Lossy Counting slack).
+				if p.Upper+0.02*n < f {
+					t.Fatalf("%s: upper %v far below true %v",
+						dom.Format(p.Key, p.Node), p.Upper, f)
+				}
+			}
+		})
+	}
+}
+
+func TestSpaceBounded(t *testing.T) {
+	// The trie must stay near O(H/ε), not grow with the stream.
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	for _, v := range variants() {
+		t.Run(v.String(), func(t *testing.T) {
+			alg := ancestry.New(dom, 0.01, v)
+			r := fastrand.New(5)
+			for i := 0; i < 200000; i++ {
+				alg.Update(uint32(r.Uint64())) // worst case: all distinct
+			}
+			limit := 4 * dom.Size() * 100 // generous constant over H/ε
+			if alg.Size() > limit {
+				t.Fatalf("trie size %d exceeds %d", alg.Size(), limit)
+			}
+		})
+	}
+}
+
+func TestFullTrieLargerThanPartial(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	full := ancestry.New(dom, 0.01, ancestry.Full)
+	part := ancestry.New(dom, 0.01, ancestry.Partial)
+	r1, r2 := fastrand.New(6), fastrand.New(6)
+	for i := 0; i < 20000; i++ {
+		full.Update(gen2D(r1))
+		part.Update(gen2D(r2))
+	}
+	if full.Size() <= part.Size() {
+		t.Fatalf("full ancestry trie (%d) should exceed partial (%d)",
+			full.Size(), part.Size())
+	}
+}
+
+func TestWeightConserved(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	alg := ancestry.New(dom, 0.05, ancestry.Partial)
+	r := fastrand.New(7)
+	var total uint64
+	for i := 0; i < 10000; i++ {
+		w := 1 + r.Uint64n(4)
+		alg.UpdateWeighted(uint32(r.Uint64()), w) // spread: only * aggregates
+		total += w
+	}
+	if alg.N() != total {
+		t.Fatalf("N = %d, want %d", alg.N(), total)
+	}
+	// The root's accumulated estimate covers the whole stream: with the
+	// split roll-up no count is ever lost, so the root upper bound ≥ N.
+	out := alg.Output(0.99)
+	foundRoot := false
+	for _, p := range out {
+		if p.Node == dom.RootNode() {
+			foundRoot = true
+			if p.Upper < float64(total) {
+				t.Fatalf("root upper %v < N %d: counts were lost", p.Upper, total)
+			}
+		}
+	}
+	if !foundRoot {
+		t.Fatal("root missing from θ=0.99 output")
+	}
+}
+
+func TestReset(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	alg := ancestry.New(dom, 0.1, ancestry.Full)
+	for i := 0; i < 1000; i++ {
+		alg.Update(ip4(1, 1, 1, 1))
+	}
+	alg.Reset()
+	if alg.N() != 0 {
+		t.Fatal("Reset left weight")
+	}
+	if out := alg.Output(0.5); len(out) != 0 {
+		t.Fatalf("non-empty output after reset")
+	}
+}
+
+func TestPanicsOnBadArguments(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	cases := []func(){
+		func() { ancestry.New(dom, 0, ancestry.Full) },
+		func() { ancestry.New(dom, 1, ancestry.Partial) },
+		func() { ancestry.New(dom, 0.1, ancestry.Full).Output(0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,210 @@
+package mst_test
+
+import (
+	"testing"
+
+	"rhhh/internal/baseline/mst"
+	"rhhh/internal/exact"
+	"rhhh/internal/fastrand"
+	"rhhh/internal/hierarchy"
+)
+
+func ip4(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+func gen2D(r *fastrand.Source) uint64 {
+	switch r.Uint64n(10) {
+	case 0, 1, 2:
+		return hierarchy.Pack2D(ip4(10, 1, 1, 1), ip4(20, 2, 2, 2))
+	case 3, 4:
+		return hierarchy.Pack2D(ip4(30, 3, 3, byte(r.Uint64n(256))), uint32(r.Uint64()))
+	case 5, 6:
+		return hierarchy.Pack2D(uint32(r.Uint64()), ip4(40, 4, byte(r.Uint64n(256)), byte(r.Uint64n(256))))
+	default:
+		return hierarchy.Pack2D(uint32(r.Uint64()), uint32(r.Uint64()))
+	}
+}
+
+func TestMSTCoverageAndAccuracy(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	alg := mst.New(dom, 0.005)
+	oracle := exact.New(dom)
+	r := fastrand.New(1)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		k := gen2D(r)
+		alg.Update(k)
+		oracle.Add(k)
+	}
+	if alg.N() != n {
+		t.Fatalf("N = %d", alg.N())
+	}
+	out := alg.Output(0.1)
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+	prefs := make([]exact.PrefixRef[uint64], len(out))
+	for i, p := range out {
+		prefs[i] = exact.PrefixRef[uint64]{Key: p.Key, Node: p.Node}
+	}
+	if v, _ := oracle.CoverageViolations(prefs, 0.1); v != 0 {
+		t.Fatalf("MST must satisfy coverage deterministically, got %d violations", v)
+	}
+	for _, p := range out {
+		f := float64(oracle.Frequency(p.Key, p.Node))
+		if p.Upper < f || p.Upper-f > 0.005*n {
+			t.Fatalf("accuracy violated for %s: est %v true %v",
+				dom.Format(p.Key, p.Node), p.Upper, f)
+		}
+	}
+}
+
+func TestMSTFindsAllPlantedAggregates(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	alg := mst.New(dom, 0.01)
+	r := fastrand.New(2)
+	for i := 0; i < 30000; i++ {
+		alg.Update(gen2D(r))
+	}
+	out := alg.Output(0.1)
+	find := func(srcBits, dstBits int, key uint64) bool {
+		node, _ := dom.NodeByBits(srcBits, dstBits)
+		for _, p := range out {
+			if p.Node == node && p.Key == dom.Mask(key, node) {
+				return true
+			}
+		}
+		return false
+	}
+	if !find(32, 32, hierarchy.Pack2D(ip4(10, 1, 1, 1), ip4(20, 2, 2, 2))) {
+		t.Error("heavy flow missing")
+	}
+	if !find(24, 0, hierarchy.Pack2D(ip4(30, 3, 3, 0), 0)) {
+		t.Error("source /24 missing")
+	}
+	if !find(0, 16, hierarchy.Pack2D(0, ip4(40, 4, 0, 0))) {
+		t.Error("destination /16 missing")
+	}
+}
+
+func TestMSTWeighted(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	alg := mst.New(dom, 0.01)
+	r := fastrand.New(3)
+	var total uint64
+	for i := 0; i < 20000; i++ {
+		w := 1 + r.Uint64n(9)
+		total += w
+		if r.Uint64n(4) == 0 {
+			alg.UpdateWeighted(ip4(1, 1, 1, 1), w)
+		} else {
+			alg.UpdateWeighted(uint32(r.Uint64()), w)
+		}
+	}
+	if alg.N() != total {
+		t.Fatalf("N = %d, want %d", alg.N(), total)
+	}
+	out := alg.Output(0.2)
+	found := false
+	for _, p := range out {
+		if p.Node == dom.FullNode() && p.Key == ip4(1, 1, 1, 1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("25%-weight flow missing from weighted MST output")
+	}
+}
+
+func TestMSTReset(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	alg := mst.New(dom, 0.1)
+	for i := 0; i < 100; i++ {
+		alg.Update(ip4(1, 1, 1, 1))
+	}
+	alg.Reset()
+	if alg.N() != 0 {
+		t.Fatal("Reset left weight")
+	}
+	if out := alg.Output(0.5); len(out) != 0 {
+		t.Fatalf("non-empty output after reset: %v", out)
+	}
+}
+
+func TestSampledMSTConvergesLikeRHHH(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	h := dom.Size()
+	alg := mst.NewSampled(dom, 0.02, 0.05, h, 4) // V = H: sample w.p. 1
+	r := fastrand.New(5)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		alg.Update(gen2D(r))
+	}
+	if alg.N() != n {
+		t.Fatalf("N = %d", alg.N())
+	}
+	out := alg.Output(0.1)
+	node, _ := dom.NodeByBits(32, 32)
+	flow := hierarchy.Pack2D(ip4(10, 1, 1, 1), ip4(20, 2, 2, 2))
+	found := false
+	for _, p := range out {
+		if p.Node == node && p.Key == flow {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("SampledMST (V=H) missed the 30% flow")
+	}
+}
+
+func TestSampledMSTSubsamples(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	h := dom.Size()
+	alg := mst.NewSampled(dom, 0.02, 0.05, 10*h, 6)
+	r := fastrand.New(7)
+	const n = 500000
+	for i := 0; i < n; i++ {
+		var k uint32
+		if r.Uint64n(2) == 0 {
+			k = ip4(3, 3, 3, 3)
+		} else {
+			k = uint32(r.Uint64())
+		}
+		alg.Update(k)
+	}
+	out := alg.Output(0.25)
+	found := false
+	for _, p := range out {
+		if p.Node == dom.FullNode() && p.Key == ip4(3, 3, 3, 3) {
+			found = true
+			// The scaled estimate should be near the true 50%.
+			if p.Upper < 0.35*n || p.Upper > 0.7*n {
+				t.Errorf("scaled estimate %v for a 50%% flow of %d", p.Upper, n)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("subsampled MST missed the 50% flow")
+	}
+}
+
+func TestPanicsOnBadArguments(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	cases := []func(){
+		func() { mst.New(dom, 0) },
+		func() { mst.New(dom, 1) },
+		func() { mst.NewSampled(dom, 0.1, 0.1, 2, 0) }, // V < H
+		func() { mst.New(dom, 0.1).Output(0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

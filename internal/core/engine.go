@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rhhh/internal/fastrand"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/stats"
+)
+
+// Backend selects the per-lattice-node heavy hitters algorithm.
+type Backend int
+
+// Available backends. SpaceSavingBackend is the paper's choice and the
+// default; HeapBackend trades O(1) for O(log c) but handles weighted streams
+// without bucket walks; CountMinBackend requires a key hash and exists for
+// the sketch ablation (use NewWithInstances + CountMinInstances).
+const (
+	SpaceSavingBackend Backend = iota
+	HeapBackend
+)
+
+// Config parameterizes an RHHH engine.
+//
+// Following the authors' configuration (§6.1's worked example and their
+// released implementation), the per-instance error and the sampling error
+// are both set to Epsilon (εa = εs = ε), and the Space Saving instances are
+// provisioned with ⌈(1+εs)/εa⌉ counters to absorb over-sampling. The formal
+// guarantee of Theorem 6.17 then holds for total error εa+εs and total
+// confidence δa+2δs with δa = δs = Delta/3.
+type Config struct {
+	// Epsilon is the target estimation error ε (e.g. 0.001). Must be in
+	// (0, 1).
+	Epsilon float64
+	// Delta is the target failure probability δ (e.g. 0.001). Must be in
+	// (0, 1).
+	Delta float64
+	// V is the paper's performance parameter: each packet draws a uniform
+	// number in [0, V) and updates a lattice node only when the draw is
+	// below H. V=H updates one node per packet; V=10H ("10-RHHH") updates
+	// one node for 10% of packets. 0 means V=H. Must be ≥ H otherwise.
+	V int
+	// R is the number of independent update draws per packet
+	// (Corollary 6.8); the engine then converges R times faster. 0 means 1.
+	R int
+	// Seed seeds the update-path RNG; runs with equal seeds and inputs are
+	// bit-identical.
+	Seed uint64
+	// Backend selects the HH algorithm (default SpaceSavingBackend).
+	Backend Backend
+}
+
+// Engine is an RHHH instance over lattice domain K. Not safe for concurrent
+// use; shard by flow and merge results, or lock externally.
+type Engine[K comparable] struct {
+	dom  *hierarchy.Domain[K]
+	inst []Instance[K]
+	rng  *fastrand.Source
+
+	v, h    uint64
+	r       int
+	packets uint64 // number of Update/UpdateWeighted calls
+	weight  uint64 // total stream weight (equals packets on unitary streams)
+
+	epsilon, delta float64
+	z              float64 // Z(1−δ), for the output correction
+	psi            float64
+}
+
+// New builds an RHHH engine over dom with cfg. It panics on invalid
+// configuration (this is a constructor-time programming error, not a runtime
+// condition).
+func New[K comparable](dom *hierarchy.Domain[K], cfg Config) *Engine[K] {
+	counters := ssCounters(cfg.Epsilon)
+	var inst []Instance[K]
+	switch cfg.Backend {
+	case SpaceSavingBackend:
+		inst = SpaceSavingInstances(dom, counters)
+	case HeapBackend:
+		inst = HeapInstances(dom, counters)
+	default:
+		panic(fmt.Sprintf("core: unknown backend %d", cfg.Backend))
+	}
+	return NewWithInstances(dom, cfg, inst)
+}
+
+// NewWithInstances builds an engine using caller-provided per-node
+// instances (len must equal dom.Size()); use this for the Count-Min backend
+// or custom HH algorithms.
+func NewWithInstances[K comparable](dom *hierarchy.Domain[K], cfg Config, inst []Instance[K]) *Engine[K] {
+	if !(cfg.Epsilon > 0 && cfg.Epsilon < 1) {
+		panic("core: Epsilon must be in (0, 1)")
+	}
+	if !(cfg.Delta > 0 && cfg.Delta < 1) {
+		panic("core: Delta must be in (0, 1)")
+	}
+	h := dom.Size()
+	v := cfg.V
+	if v == 0 {
+		v = h
+	}
+	if v < h {
+		panic(fmt.Sprintf("core: V=%d must be at least H=%d", v, h))
+	}
+	r := cfg.R
+	if r == 0 {
+		r = 1
+	}
+	if r < 0 {
+		panic("core: R must be positive")
+	}
+	if len(inst) != dom.Size() {
+		panic("core: need one instance per lattice node")
+	}
+	deltaS := cfg.Delta / 3
+	e := &Engine[K]{
+		dom:     dom,
+		inst:    inst,
+		rng:     fastrand.New(cfg.Seed),
+		v:       uint64(v),
+		h:       uint64(h),
+		r:       r,
+		epsilon: cfg.Epsilon,
+		delta:   cfg.Delta,
+		z:       stats.Z(cfg.Delta),
+		psi:     stats.Z(deltaS/2) * float64(v) / (cfg.Epsilon * cfg.Epsilon) / float64(r),
+	}
+	return e
+}
+
+// CountersFor is the Space Saving provisioning rule from §6.1: ⌈(1+εs)/εa⌉
+// counters per lattice node with εa = εs = ε ("Space Saving requires 1,000
+// counters for εa = 0.001; if we set εs = 0.001, we now require 1001
+// counters"). Total space is H·CountersFor(ε) entries (Theorem 6.19).
+func CountersFor(epsilon float64) int {
+	if !(epsilon > 0 && epsilon < 1) {
+		panic("core: Epsilon must be in (0, 1)")
+	}
+	return int(math.Ceil((1 + epsilon) / epsilon))
+}
+
+// ssCounters keeps the old internal name for the constructor.
+func ssCounters(epsilon float64) int { return CountersFor(epsilon) }
+
+// Domain returns the engine's lattice domain.
+func (e *Engine[K]) Domain() *hierarchy.Domain[K] { return e.dom }
+
+// N returns the number of packets processed.
+func (e *Engine[K]) N() uint64 { return e.packets }
+
+// Weight returns the total stream weight processed (equals N on unitary
+// streams).
+func (e *Engine[K]) Weight() uint64 { return e.weight }
+
+// V returns the performance parameter in effect.
+func (e *Engine[K]) V() int { return int(e.v) }
+
+// H returns the hierarchy size.
+func (e *Engine[K]) H() int { return int(e.h) }
+
+// Psi returns ψ, the minimum stream length after which the probabilistic
+// guarantees of Theorem 6.17 hold (divided by r per Corollary 6.8).
+func (e *Engine[K]) Psi() float64 { return e.psi }
+
+// Converged reports whether N has passed ψ.
+func (e *Engine[K]) Converged() bool { return float64(e.packets) >= e.psi }
+
+// Update processes one packet: draw d uniform in [0, V); if d < H, update
+// lattice node d's instance with the packet's masked key (Algorithm 1 lines
+// 1–7). O(1) worst case — at most r constant-time instance updates.
+func (e *Engine[K]) Update(k K) {
+	e.packets++
+	e.weight++
+	for i := 0; i < e.r; i++ {
+		if d := e.rng.Uint64n(e.v); d < e.h {
+			node := int(d)
+			e.inst[node].Increment(e.dom.Mask(k, node))
+		}
+	}
+}
+
+// UpdateWeighted processes one packet carrying weight w (e.g. byte counts).
+// The sampled node receives the full weight, keeping the estimator
+// unbiased; this is the natural weighted extension of Algorithm 1 (the
+// paper analyzes unitary streams only — variance grows with the weight
+// spread, so ψ is a lower bound on convergence here).
+func (e *Engine[K]) UpdateWeighted(k K, w uint64) {
+	e.packets++
+	e.weight += w
+	for i := 0; i < e.r; i++ {
+		if d := e.rng.Uint64n(e.v); d < e.h {
+			node := int(d)
+			e.inst[node].IncrementBy(e.dom.Mask(k, node), w)
+		}
+	}
+}
+
+// Output returns the HHH set for threshold θ (Algorithm 1 lines 8–21): every
+// prefix whose conservative conditioned-frequency estimate reaches θ·N.
+// Frequencies in the results are scaled to stream units.
+func (e *Engine[K]) Output(theta float64) []Result[K] {
+	if !(theta > 0 && theta <= 1) {
+		panic("core: theta must be in (0, 1]")
+	}
+	n := float64(e.weight)
+	if n == 0 {
+		return nil
+	}
+	scale := float64(e.v) / float64(e.r)
+	corr := 2 * e.z * math.Sqrt(n*float64(e.v)/float64(e.r))
+	return Extract(e.dom, e.inst, n, scale, corr, theta)
+}
+
+// EstimateFrequency returns (f̂p−, f̂p+) for an arbitrary prefix given by
+// its node and masked key, in stream units.
+func (e *Engine[K]) EstimateFrequency(key K, node int) (lower, upper float64) {
+	up, lo := e.inst[node].Bounds(key)
+	scale := float64(e.v) / float64(e.r)
+	return float64(lo) * scale, float64(up) * scale
+}
+
+// Reset clears all state, keeping the configuration. The RNG is not
+// reseeded; use a fresh engine for bit-identical reruns.
+func (e *Engine[K]) Reset() {
+	for _, in := range e.inst {
+		in.Reset()
+	}
+	e.packets = 0
+	e.weight = 0
+}

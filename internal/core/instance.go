@@ -1,0 +1,105 @@
+// Package core implements Randomized Hierarchical Heavy Hitters (RHHH),
+// the paper's contribution: Algorithm 1 (constant-time Update and the
+// Output procedure), the calcPred conditioned-frequency estimators for one
+// and two dimensions (Algorithms 2 and 3), the 2·Z(1−δ)·√(N·V) sampling
+// correction, the r-independent-updates extension (Corollary 6.8), and the
+// convergence bound ψ = Z(1−δs/2)·V·εs⁻² (Theorem 6.17).
+//
+// The engine is generic over the lattice key type K and uses one heavy
+// hitters Instance per lattice node, exactly as the paper structures it
+// ("we use a matrix of H independent HH algorithms"). The deterministic MST
+// baseline reuses this package's Extract output machinery with no sampling.
+package core
+
+import (
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/sketch"
+	"rhhh/internal/spacesaving"
+)
+
+// Instance is the per-lattice-node heavy hitters algorithm. Any algorithm
+// satisfying the paper's Definition 4 ((ε,δ)-Frequency Estimation) together
+// with candidate enumeration (Definition 5) fits; adapters for Space Saving
+// (stream-summary and heap) and Count-Min are provided.
+type Instance[K comparable] interface {
+	// Increment records one update of key k.
+	Increment(k K)
+	// IncrementBy records a weighted update.
+	IncrementBy(k K, w uint64)
+	// Bounds returns upper and lower bounds on the number of updates of k,
+	// in raw update units (the engine applies the V/r scaling).
+	Bounds(k K) (upper, lower uint64)
+	// Candidates visits every monitored key with its bounds.
+	Candidates(fn func(k K, upper, lower uint64))
+	// Updates returns the number of updates this instance has absorbed.
+	Updates() uint64
+	// Reset clears the instance.
+	Reset()
+}
+
+// ssInstance adapts spacesaving.Summary to Instance.
+type ssInstance[K comparable] struct{ s *spacesaving.Summary[K] }
+
+func (a ssInstance[K]) Increment(k K)               { a.s.Increment(k) }
+func (a ssInstance[K]) IncrementBy(k K, w uint64)   { a.s.IncrementBy(k, w) }
+func (a ssInstance[K]) Bounds(k K) (uint64, uint64) { return a.s.Bounds(k) }
+func (a ssInstance[K]) Updates() uint64             { return a.s.N() }
+func (a ssInstance[K]) Reset()                      { a.s.Reset() }
+func (a ssInstance[K]) Candidates(fn func(K, uint64, uint64)) {
+	a.s.ForEach(func(k K, count, err uint64) { fn(k, count, count-err) })
+}
+
+// heapInstance adapts spacesaving.Heap to Instance.
+type heapInstance[K comparable] struct{ h *spacesaving.Heap[K] }
+
+func (a heapInstance[K]) Increment(k K)               { a.h.Increment(k) }
+func (a heapInstance[K]) IncrementBy(k K, w uint64)   { a.h.IncrementBy(k, w) }
+func (a heapInstance[K]) Bounds(k K) (uint64, uint64) { return a.h.Bounds(k) }
+func (a heapInstance[K]) Updates() uint64             { return a.h.N() }
+func (a heapInstance[K]) Reset()                      { a.h.Reset() }
+func (a heapInstance[K]) Candidates(fn func(K, uint64, uint64)) {
+	a.h.ForEach(func(k K, count, err uint64) { fn(k, count, count-err) })
+}
+
+// cmInstance adapts sketch.CountMin to Instance.
+type cmInstance[K comparable] struct{ c *sketch.CountMin[K] }
+
+func (a cmInstance[K]) Increment(k K)               { a.c.Increment(k) }
+func (a cmInstance[K]) IncrementBy(k K, w uint64)   { a.c.IncrementBy(k, w) }
+func (a cmInstance[K]) Bounds(k K) (uint64, uint64) { return a.c.Bounds(k) }
+func (a cmInstance[K]) Updates() uint64             { return a.c.N() }
+func (a cmInstance[K]) Reset()                      { a.c.Reset() }
+func (a cmInstance[K]) Candidates(fn func(K, uint64, uint64)) {
+	a.c.ForEach(func(k K, count, err uint64) { fn(k, count, count-err) })
+}
+
+// SpaceSavingInstances builds one stream-summary Space Saving instance per
+// lattice node, each with the given number of counters.
+func SpaceSavingInstances[K comparable](dom *hierarchy.Domain[K], counters int) []Instance[K] {
+	out := make([]Instance[K], dom.Size())
+	for i := range out {
+		out[i] = ssInstance[K]{spacesaving.New[K](counters)}
+	}
+	return out
+}
+
+// HeapInstances builds one heap-backed Space Saving instance per lattice
+// node (O(log c) updates, efficient weighted increments).
+func HeapInstances[K comparable](dom *hierarchy.Domain[K], counters int) []Instance[K] {
+	out := make([]Instance[K], dom.Size())
+	for i := range out {
+		out[i] = heapInstance[K]{spacesaving.NewHeap[K](counters)}
+	}
+	return out
+}
+
+// CountMinInstances builds one Count-Min + heavy-hitter-list instance per
+// lattice node, sized for an (ε, δ) frequency-estimation guarantee. hash
+// fingerprints keys (see sketch.Hash64 for integer keys).
+func CountMinInstances[K comparable](dom *hierarchy.Domain[K], epsilon, delta float64, hash func(K) uint64) []Instance[K] {
+	out := make([]Instance[K], dom.Size())
+	for i := range out {
+		out[i] = cmInstance[K]{sketch.NewForEpsilon[K](epsilon, delta, hash)}
+	}
+	return out
+}

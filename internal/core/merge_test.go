@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"testing"
+
+	"rhhh/internal/core"
+	"rhhh/internal/fastrand"
+	"rhhh/internal/hierarchy"
+)
+
+func TestMergeOutputFindsUnionHeavyHitters(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	cfg := core.Config{Epsilon: 0.02, Delta: 0.05}
+	const shards = 4
+	engines := make([]*core.Engine[uint64], shards)
+	for i := range engines {
+		c := cfg
+		c.Seed = uint64(i + 1)
+		engines[i] = core.New(dom, c)
+	}
+	// Feed the union stream round-robin (flow-hash sharding in practice).
+	r := fastrand.New(9)
+	n := int(engines[0].Psi()) + 200000
+	for i := 0; i < n; i++ {
+		engines[i%shards].Update(gen2D(r))
+	}
+	out := core.MergeOutput(0.1, engines...)
+	find := func(srcBits, dstBits int, key uint64) bool {
+		node, _ := dom.NodeByBits(srcBits, dstBits)
+		for _, p := range out {
+			if p.Node == node && p.Key == dom.Mask(key, node) {
+				return true
+			}
+		}
+		return false
+	}
+	if !find(32, 32, hierarchy.Pack2D(ip4(10, 1, 1, 1), ip4(20, 2, 2, 2))) {
+		t.Error("merged output missed the heavy flow")
+	}
+	if !find(24, 0, hierarchy.Pack2D(ip4(30, 3, 3, 0), 0)) {
+		t.Error("merged output missed the source /24")
+	}
+	if !find(0, 16, hierarchy.Pack2D(0, ip4(40, 4, 0, 0))) {
+		t.Error("merged output missed the destination /16")
+	}
+	// The merged estimate of the heavy flow is near the true 30% share.
+	node, _ := dom.NodeByBits(32, 32)
+	for _, p := range out {
+		if p.Node == node && p.Key == hierarchy.Pack2D(ip4(10, 1, 1, 1), ip4(20, 2, 2, 2)) {
+			if p.Upper < 0.2*float64(n) || p.Upper > 0.42*float64(n) {
+				t.Errorf("merged estimate %v for a 30%% flow of %d", p.Upper, n)
+			}
+		}
+	}
+}
+
+func TestMergeOutputSingleEngineEqualsOutput(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	eng := core.New(dom, core.Config{Epsilon: 0.02, Delta: 0.05, Seed: 2})
+	r := fastrand.New(3)
+	for i := 0; i < 100000; i++ {
+		eng.Update(uint32(r.Uint64n(1 << 12)))
+	}
+	a := eng.Output(0.1)
+	b := core.MergeOutput(0.1, eng)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
+func TestMergeOutputValidation(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	e1 := core.New(dom, core.Config{Epsilon: 0.1, Delta: 0.1})
+	e2 := core.New(dom, core.Config{Epsilon: 0.1, Delta: 0.1, V: 50})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched V accepted")
+		}
+	}()
+	core.MergeOutput(0.5, e1, e2)
+}
+
+func TestMergeOutputEmpty(t *testing.T) {
+	if out := core.MergeOutput[uint32](0.5); out != nil {
+		t.Fatal("no engines should give nil")
+	}
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	e1 := core.New(dom, core.Config{Epsilon: 0.1, Delta: 0.1, Seed: 1})
+	e2 := core.New(dom, core.Config{Epsilon: 0.1, Delta: 0.1, Seed: 2})
+	if out := core.MergeOutput(0.5, e1, e2); out != nil {
+		t.Fatal("empty engines should give nil")
+	}
+}

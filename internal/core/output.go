@@ -1,0 +1,173 @@
+package core
+
+import "rhhh/internal/hierarchy"
+
+// Result is one HHH prefix produced by the Output procedure, with its
+// frequency bounds (Algorithm 1 line 16 prints (p, f̂p−, f̂p+)) and the
+// conservative conditioned-frequency estimate that admitted it.
+type Result[K comparable] struct {
+	// Key is the masked prefix value; Node the lattice node it lives at.
+	Key  K
+	Node int
+	// Upper and Lower bound the prefix frequency: f̂p+ and f̂p−, already
+	// scaled to stream units (counts × V/r for RHHH, raw counts for MST).
+	Upper, Lower float64
+	// Cond is the Ĉp|P estimate (including the sampling correction) that
+	// was compared against θN.
+	Cond float64
+}
+
+// Extract runs the paper's Output procedure (Algorithm 1 lines 8–21) over
+// per-node instances:
+//
+//	for level ℓ from most specific to most general, for each candidate p at ℓ:
+//	    Ĉp|P = f̂p+ + calcPred(p, P) + correction
+//	    if Ĉp|P ≥ θ·n: P ← P ∪ {p}
+//
+// scale converts instance counts to stream units (V/r for RHHH, 1 for MST);
+// correction is the sampling slack (2·Z(1−δ)·√(N·V/r) for RHHH, 0 for
+// deterministic algorithms); n is the total stream weight.
+//
+// calcPred subtracts the lower-bound frequencies of p's closest HHH
+// descendants G(p|P) (Algorithm 2); in two dimensions it adds back the upper
+// bounds of pairwise greatest lower bounds to avoid double counting
+// (Algorithm 3).
+func Extract[K comparable](dom *hierarchy.Domain[K], inst []Instance[K], n, scale, correction, theta float64) []Result[K] {
+	if len(inst) != dom.Size() {
+		panic("core: instance count does not match lattice size")
+	}
+	var results []Result[K]
+	// byGen[v] indexes admitted prefixes by their generalization at node v:
+	// gSet(p at v) is then a single map lookup instead of a scan over P,
+	// keeping Output near-linear in the number of candidates even while the
+	// pre-convergence output is large. inP holds per-node membership for the
+	// maximality filter.
+	byGen := make([]map[K][]int, dom.Size())
+	inP := make([]map[K]bool, dom.Size())
+	for i := range byGen {
+		byGen[i] = make(map[K][]int)
+		inP[i] = make(map[K]bool)
+	}
+	threshold := theta * n
+
+	for _, level := range dom.NodesByLevel() {
+		for _, node := range level {
+			inst[node].Candidates(func(k K, up, lo uint64) {
+				fUp := float64(up) * scale
+				fLo := float64(lo) * scale
+				cond := fUp + calcPred(dom, inst, byGen, inP, results, k, node, scale) + correction
+				if cond >= threshold {
+					idx := len(results)
+					results = append(results, Result[K]{
+						Key: k, Node: node,
+						Upper: fUp, Lower: fLo,
+						Cond: cond,
+					})
+					inP[node][k] = true
+					for v := 0; v < dom.Size(); v++ {
+						if v != node && dom.NodeGeneralizes(v, node) {
+							gk := dom.Mask(k, v)
+							byGen[v][gk] = append(byGen[v][gk], idx)
+						}
+					}
+				}
+			})
+		}
+	}
+	return results
+}
+
+// calcPred implements Algorithms 2 and 3: the adjustment added to f̂p+ to
+// form the conditioned-frequency estimate.
+func calcPred[K comparable](
+	dom *hierarchy.Domain[K],
+	inst []Instance[K],
+	byGen []map[K][]int,
+	inP []map[K]bool,
+	results []Result[K],
+	pKey K, pNode int,
+	scale float64,
+) float64 {
+	g := gSet(dom, byGen, inP, results, pKey, pNode)
+	if len(g) == 0 {
+		return 0
+	}
+	r := 0.0
+	for _, idx := range g {
+		r -= results[idx].Lower
+	}
+	if dom.Dims() == 1 {
+		return r
+	}
+	// Two dimensions: add back the pairwise overlaps (inclusion-exclusion),
+	// skipping a glb that is itself inside a third element of G(p|P)
+	// (Algorithm 3 line 8); missing glbs count as zero (Definition 12).
+	for i := 0; i < len(g); i++ {
+		hi := results[g[i]]
+		for j := i + 1; j < len(g); j++ {
+			hj := results[g[j]]
+			qKey, qNode, ok := dom.GLB(hi.Key, hi.Node, hj.Key, hj.Node)
+			if !ok {
+				continue
+			}
+			dominated := false
+			for t := 0; t < len(g); t++ {
+				if t == i || t == j {
+					continue
+				}
+				h3 := results[g[t]]
+				if dom.Generalizes(h3.Key, h3.Node, qKey, qNode) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+			qUp, _ := inst[qNode].Bounds(qKey)
+			r += float64(qUp) * scale
+		}
+	}
+	return r
+}
+
+// gSet computes G(p|P) (Definition 2): the prefixes in P that p properly
+// generalizes, keeping only the maximal ones (no other element of P strictly
+// between them and p). Returned as indices into results.
+func gSet[K comparable](
+	dom *hierarchy.Domain[K],
+	byGen []map[K][]int,
+	inP []map[K]bool,
+	results []Result[K],
+	pKey K, pNode int,
+) []int {
+	desc := byGen[pNode][pKey]
+	if len(desc) <= 1 {
+		return desc
+	}
+	// Keep only maximal elements: h is dominated when some strictly closer
+	// generalization of h (still strictly below p) is already in P. Testing
+	// each intermediate lattice node with a membership lookup makes this
+	// O(|desc|·H) instead of O(|desc|²).
+	out := make([]int, 0, len(desc))
+	for _, hIdx := range desc {
+		h := results[hIdx]
+		dominated := false
+		for w := 0; w < len(inP); w++ {
+			if w == pNode || w == h.Node {
+				continue
+			}
+			if !dom.NodeGeneralizes(pNode, w) || !dom.NodeGeneralizes(w, h.Node) {
+				continue
+			}
+			if inP[w][dom.Mask(h.Key, w)] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, hIdx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+// Package exact computes ground truth for evaluation: exact prefix
+// frequencies (Definition 3), the exact hierarchical heavy hitter set built
+// level by level from conditioned frequencies (Definition 8), and exact
+// conditioned frequencies Cq|P with respect to an arbitrary prefix set
+// (Definition 6) for coverage checking.
+//
+// It is an offline oracle over a recorded stream — linear space in the
+// number of distinct fully specified items — and exists so the harness can
+// measure the accuracy, coverage and false-positive ratios of Figures 2–4.
+package exact
+
+import "rhhh/internal/hierarchy"
+
+// PrefixRef identifies a prefix: a masked key at a lattice node.
+type PrefixRef[K comparable] struct {
+	Key  K
+	Node int
+}
+
+// Result is one exact HHH prefix with its frequency and the conditioned
+// frequency that admitted it.
+type Result[K comparable] struct {
+	Key  K
+	Node int
+	// Freq is the exact prefix frequency fp.
+	Freq uint64
+	// Cond is the exact conditioned frequency Cp|HHH(level-1) at admission.
+	Cond uint64
+}
+
+// Stream records exact counts of fully specified items.
+type Stream[K comparable] struct {
+	dom    *hierarchy.Domain[K]
+	counts map[K]uint64
+	n      uint64
+	freqs  []map[K]uint64 // per-node prefix frequencies, built lazily
+}
+
+// New returns an empty exact-counting oracle over dom.
+func New[K comparable](dom *hierarchy.Domain[K]) *Stream[K] {
+	return &Stream[K]{dom: dom, counts: make(map[K]uint64)}
+}
+
+// Add records one occurrence of fully specified item k.
+func (s *Stream[K]) Add(k K) { s.AddWeighted(k, 1) }
+
+// AddWeighted records weight w of item k.
+func (s *Stream[K]) AddWeighted(k K, w uint64) {
+	s.counts[s.dom.Mask(k, s.dom.FullNode())] += w
+	s.n += w
+	s.freqs = nil // invalidate cache
+}
+
+// N returns the total recorded weight.
+func (s *Stream[K]) N() uint64 { return s.n }
+
+// Distinct returns the number of distinct fully specified items.
+func (s *Stream[K]) Distinct() int { return len(s.counts) }
+
+// Frequencies returns the exact frequency map of every prefix at lattice
+// node i (Definition 3: fp = Σ over generalized items). The result is cached
+// until the next Add; the caller must not modify it.
+func (s *Stream[K]) Frequencies(node int) map[K]uint64 {
+	if s.freqs == nil {
+		s.freqs = make([]map[K]uint64, s.dom.Size())
+	}
+	if s.freqs[node] == nil {
+		m := make(map[K]uint64)
+		for k, c := range s.counts {
+			m[s.dom.Mask(k, node)] += c
+		}
+		s.freqs[node] = m
+	}
+	return s.freqs[node]
+}
+
+// Frequency returns the exact frequency of one prefix.
+func (s *Stream[K]) Frequency(key K, node int) uint64 {
+	return s.Frequencies(node)[key]
+}
+
+// HHH computes the exact hierarchical heavy hitter set for threshold θ,
+// following Definition 8: start from fully specified items with fe ≥ θN,
+// then ascend level by level admitting prefixes whose conditioned frequency
+// with respect to the previous levels' set reaches θN.
+func (s *Stream[K]) HHH(theta float64) []Result[K] {
+	if !(theta > 0 && theta <= 1) {
+		panic("exact: theta must be in (0, 1]")
+	}
+	threshold := theta * float64(s.n)
+	var out []Result[K]
+	pByNode := make([]map[K]bool, s.dom.Size())
+	for i := range pByNode {
+		pByNode[i] = make(map[K]bool)
+	}
+	covered := make(map[K]bool, len(s.counts))
+
+	for _, level := range s.dom.NodesByLevel() {
+		// Conditioned frequencies at this level, against HHH(level-1):
+		// sum the uncovered items under each prefix. Acceptance is tracked
+		// per (node, key) — distinct nodes at one level can mask different
+		// items to equal key values.
+		accepted := make(map[int]map[K]bool)
+		for _, node := range level {
+			acc := make(map[K]uint64)
+			for k, c := range s.counts {
+				if !covered[k] {
+					acc[s.dom.Mask(k, node)] += c
+				}
+			}
+			for key, cond := range acc {
+				if float64(cond) >= threshold {
+					if accepted[node] == nil {
+						accepted[node] = make(map[K]bool)
+					}
+					accepted[node][key] = true
+					out = append(out, Result[K]{
+						Key: key, Node: node,
+						Freq: s.Frequency(key, node),
+						Cond: cond,
+					})
+					pByNode[node][key] = true
+				}
+			}
+		}
+		// Definition 8 conditions each level on the previous level's set,
+		// so coverage updates only after the whole level is processed.
+		if len(accepted) > 0 {
+			for k := range s.counts {
+				if covered[k] {
+					continue
+				}
+				for node, keys := range accepted {
+					if keys[s.dom.Mask(k, node)] {
+						covered[k] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// coveredSet marks every fully specified item generalized by some member of
+// P (the H_P of Definition 6).
+func (s *Stream[K]) coveredSet(P []PrefixRef[K]) map[K]bool {
+	pByNode := make([]map[K]bool, s.dom.Size())
+	var activeNodes []int
+	for _, p := range P {
+		if pByNode[p.Node] == nil {
+			pByNode[p.Node] = make(map[K]bool)
+			activeNodes = append(activeNodes, p.Node)
+		}
+		pByNode[p.Node][p.Key] = true
+	}
+	covered := make(map[K]bool, len(s.counts))
+	for k := range s.counts {
+		for _, node := range activeNodes {
+			if pByNode[node][s.dom.Mask(k, node)] {
+				covered[k] = true
+				break
+			}
+		}
+	}
+	return covered
+}
+
+// CondFrequency returns the exact conditioned frequency Cq|P
+// (Definition 6): the traffic q would add on top of the set P.
+func (s *Stream[K]) CondFrequency(q PrefixRef[K], P []PrefixRef[K]) uint64 {
+	covered := s.coveredSet(P)
+	var sum uint64
+	for k, c := range s.counts {
+		if !covered[k] && s.dom.Mask(k, q.Node) == q.Key {
+			sum += c
+		}
+	}
+	return sum
+}
+
+// CoverageViolations evaluates the coverage property of Definition 9 for an
+// algorithm's output P: it scans every prefix q with traffic, and counts
+// those with q ∉ P yet Cq|P ≥ θN (the Figure 3 metric). It returns the
+// number of violations and the number of prefixes evaluated.
+func (s *Stream[K]) CoverageViolations(P []PrefixRef[K], theta float64) (violations, evaluated int) {
+	threshold := theta * float64(s.n)
+	pByNode := make([]map[K]bool, s.dom.Size())
+	for i := range pByNode {
+		pByNode[i] = make(map[K]bool)
+	}
+	for _, p := range P {
+		pByNode[p.Node][p.Key] = true
+	}
+	covered := s.coveredSet(P)
+	for node := 0; node < s.dom.Size(); node++ {
+		acc := make(map[K]uint64)
+		for k, c := range s.counts {
+			if !covered[k] {
+				acc[s.dom.Mask(k, node)] += c
+			}
+		}
+		// Every prefix with any traffic at this node is evaluated; the
+		// uncovered sum is its conditioned frequency.
+		freqs := s.Frequencies(node)
+		for key := range freqs {
+			if pByNode[node][key] {
+				continue
+			}
+			evaluated++
+			if float64(acc[key]) >= threshold {
+				violations++
+			}
+		}
+	}
+	return violations, evaluated
+}
+
+// Contains reports whether the given prefix is in the result set rs.
+func Contains[K comparable](rs []Result[K], key K, node int) bool {
+	for _, r := range rs {
+		if r.Node == node && r.Key == key {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,186 @@
+package exact
+
+import (
+	"testing"
+
+	"rhhh/internal/fastrand"
+	"rhhh/internal/hierarchy"
+)
+
+func ip4(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// paperStream builds the §3.1 worked example: with θN = 100, prefix 101.* has
+// frequency 108 and 101.102.* has 102; the conditioned frequency of 101.* is
+// only 6, so 101.102.* is an HHH and 101.* is not.
+func paperStream(dom *hierarchy.Domain[uint32]) *Stream[uint32] {
+	s := New(dom)
+	// 102 packets under 101.102.*, spread so no /24 or item reaches 100.
+	for i := 0; i < 51; i++ {
+		s.Add(ip4(101, 102, 1, byte(i)))
+		s.Add(ip4(101, 102, 2, byte(i)))
+	}
+	// 6 packets under 101.* outside 101.102.*.
+	for i := 0; i < 6; i++ {
+		s.Add(ip4(101, 50, 1, 1))
+	}
+	// 892 filler packets spread across nine /8s, none reaching 100.
+	for i := 0; i < 892; i++ {
+		s.Add(ip4(byte(200+i%9), byte(i%251), byte(i/251), 1))
+	}
+	return s
+}
+
+func TestPaperExample(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	s := paperStream(dom)
+	if s.N() != 1000 {
+		t.Fatalf("N = %d, want 1000", s.N())
+	}
+
+	n16, _ := dom.NodeByBits(16, 0)
+	n8, _ := dom.NodeByBits(8, 0)
+	if f := s.Frequency(ip4(101, 102, 0, 0), n16); f != 102 {
+		t.Fatalf("f(101.102.*) = %d, want 102", f)
+	}
+	if f := s.Frequency(ip4(101, 0, 0, 0), n8); f != 108 {
+		t.Fatalf("f(101.*) = %d, want 108", f)
+	}
+
+	hhh := s.HHH(0.1) // θN = 100
+	if !Contains(hhh, ip4(101, 102, 0, 0), n16) {
+		t.Error("101.102.* should be an exact HHH")
+	}
+	if Contains(hhh, ip4(101, 0, 0, 0), n8) {
+		t.Error("101.* should NOT be an exact HHH (conditioned frequency 6)")
+	}
+	for _, r := range hhh {
+		if r.Node == n16 && r.Key == ip4(101, 102, 0, 0) && r.Cond != 102 {
+			t.Errorf("Cond(101.102.*) = %d, want 102", r.Cond)
+		}
+	}
+
+	// Exact conditioned frequency from Definition 6, the paper's numbers.
+	p2 := PrefixRef[uint32]{Key: ip4(101, 102, 0, 0), Node: n16}
+	p1 := PrefixRef[uint32]{Key: ip4(101, 0, 0, 0), Node: n8}
+	if c := s.CondFrequency(p1, []PrefixRef[uint32]{p2}); c != 6 {
+		t.Errorf("C(101.*|{101.102.*}) = %d, want 6", c)
+	}
+	if c := s.CondFrequency(p2, nil); c != 102 {
+		t.Errorf("C(101.102.*|∅) = %d, want 102", c)
+	}
+}
+
+func TestHHHLevelZeroItems(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	s := New(dom)
+	for i := 0; i < 500; i++ {
+		s.Add(ip4(9, 9, 9, 9))
+	}
+	for i := 0; i < 500; i++ {
+		s.Add(ip4(byte(i%250), byte(i%13), 1, 1))
+	}
+	hhh := s.HHH(0.3)
+	if !Contains(hhh, ip4(9, 9, 9, 9), dom.FullNode()) {
+		t.Fatal("heavy fully specified item missing from exact HHH")
+	}
+	// Its ancestors' conditioned frequencies exclude it: none should pass.
+	n24, _ := dom.NodeByBits(24, 0)
+	if Contains(hhh, ip4(9, 9, 9, 0), n24) {
+		t.Error("9.9.9.* admitted although its traffic is covered by 9.9.9.9")
+	}
+}
+
+func TestExactHHHSatisfiesCoverage(t *testing.T) {
+	// The exact HHH set must have zero coverage violations: for q ∉ P,
+	// Cq|P ≤ Cq|HHH(level-1) < θN.
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	s := New(dom)
+	r := fastrand.New(7)
+	for i := 0; i < 20000; i++ {
+		src := ip4(byte(r.Uint64n(4)), byte(r.Uint64n(4)), byte(r.Uint64n(2)), byte(r.Uint64n(50)))
+		dst := ip4(byte(10+r.Uint64n(3)), byte(r.Uint64n(3)), 1, byte(r.Uint64n(20)))
+		s.Add(hierarchy.Pack2D(src, dst))
+	}
+	P := s.HHH(0.05)
+	refs := make([]PrefixRef[uint64], len(P))
+	for i, p := range P {
+		refs[i] = PrefixRef[uint64]{Key: p.Key, Node: p.Node}
+	}
+	v, evaluated := s.CoverageViolations(refs, 0.05)
+	if v != 0 {
+		t.Fatalf("exact HHH set has %d coverage violations (evaluated %d)", v, evaluated)
+	}
+	if evaluated == 0 {
+		t.Fatal("no prefixes evaluated")
+	}
+}
+
+func TestFrequenciesSumToN(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	s := New(dom)
+	r := fastrand.New(8)
+	for i := 0; i < 5000; i++ {
+		s.Add(uint32(r.Uint64n(1 << 20)))
+	}
+	for node := 0; node < dom.Size(); node++ {
+		var sum uint64
+		for _, f := range s.Frequencies(node) {
+			sum += f
+		}
+		if sum != s.N() {
+			t.Fatalf("node %d frequencies sum to %d, want %d", node, sum, s.N())
+		}
+	}
+}
+
+func TestAddWeighted(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	s := New(dom)
+	s.AddWeighted(ip4(1, 2, 3, 4), 10)
+	s.Add(ip4(1, 2, 3, 4))
+	if s.N() != 11 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if f := s.Frequency(ip4(1, 2, 3, 4), dom.FullNode()); f != 11 {
+		t.Fatalf("f = %d", f)
+	}
+	if s.Distinct() != 1 {
+		t.Fatalf("distinct = %d", s.Distinct())
+	}
+}
+
+func TestRootAlwaysHHHWhenUncovered(t *testing.T) {
+	// If nothing else covers traffic, the fully general prefix aggregates
+	// all of it and must appear in the exact set.
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	s := New(dom)
+	r := fastrand.New(9)
+	for i := 0; i < 10000; i++ {
+		s.Add(uint32(r.Uint64())) // uniform: nothing concentrated
+	}
+	hhh := s.HHH(0.2)
+	var zero uint32
+	if !Contains(hhh, zero, dom.RootNode()) {
+		t.Fatal("* should be an HHH of uniform traffic")
+	}
+	if len(hhh) != 1 {
+		t.Fatalf("uniform traffic should yield only *, got %d prefixes", len(hhh))
+	}
+}
+
+func TestCondFrequencyCoveredByDescendants(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	s := New(dom)
+	for i := 0; i < 100; i++ {
+		s.Add(ip4(5, 5, 5, byte(i)))
+	}
+	n24, _ := dom.NodeByBits(24, 0)
+	n16, _ := dom.NodeByBits(16, 0)
+	P := []PrefixRef[uint32]{{Key: ip4(5, 5, 5, 0), Node: n24}}
+	// All of 5.5.* traffic is covered by 5.5.5.* ∈ P.
+	if c := s.CondFrequency(PrefixRef[uint32]{Key: ip4(5, 5, 0, 0), Node: n16}, P); c != 0 {
+		t.Fatalf("covered conditioned frequency = %d, want 0", c)
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"math"
+
+	"rhhh/internal/core"
+	"rhhh/internal/exact"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/stats"
+	"rhhh/internal/trace"
+)
+
+// AblationConvergence validates the sampling-error analysis of §6.1
+// empirically: Corollary 6.4 predicts the sampling error after N packets is
+// εs(N) = Z(1−δs/2)·√(V/N), reaching the configured εs exactly at N = ψ.
+// For each checkpoint the driver reports the predicted bound next to the
+// measured estimation error of the planted heavy aggregates (whose exact
+// frequencies the oracle knows), for V = H and V = 10H. The measured error
+// must track the √(V/N) decay and sit below the bound (which holds for each
+// prefix with probability 1−δs).
+func AblationConvergence(cfg SweepConfig) []Table {
+	cfg = cfg.withDefaults()
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	h := dom.Size()
+	deltaS := cfg.Delta / 3
+	z := stats.Z(deltaS / 2)
+
+	// The planted aggregates from withAggregates, as (node, masked key).
+	type probe struct {
+		name string
+		key  uint64
+		node int
+	}
+	full := dom.FullNode()
+	n240, _ := dom.NodeByBits(24, 0)
+	n016, _ := dom.NodeByBits(0, 16)
+	flowKey := hierarchy.Pack2D(0x0A010101, 0x14020202) // 10.1.1.1 → 20.2.2.2
+	probes := []probe{
+		{"flow", dom.Mask(flowKey, full), full},
+		{"src/24", dom.Mask(hierarchy.Pack2D(0x1E030300, 0), n240), n240},
+		{"dst/16", dom.Mask(hierarchy.Pack2D(0, 0x28040000), n016), n016},
+	}
+
+	t := Table{
+		Title: "Ablation: measured sampling error vs Corollary 6.4's εs(N) = Z·sqrt(V/N)",
+		Headers: []string{"packets", "predicted V=H", "measured V=H",
+			"predicted V=10H", "measured V=10H"},
+	}
+
+	e1 := core.New(dom, core.Config{Epsilon: cfg.Epsilon, Delta: cfg.Delta, V: h, Seed: cfg.Seed})
+	e10 := core.New(dom, core.Config{Epsilon: cfg.Epsilon, Delta: cfg.Delta, V: 10 * h, Seed: cfg.Seed + 1})
+	gen := trace.NewSynthetic(withAggregates(trace.Profile(cfg.Profiles[0])))
+	oracle := exact.New(dom)
+
+	measured := func(eng *core.Engine[uint64], n uint64) float64 {
+		worst := 0.0
+		for _, p := range probes {
+			_, up := eng.EstimateFrequency(p.key, p.node)
+			f := float64(oracle.Frequency(p.key, p.node))
+			if e := math.Abs(up-f) / float64(n); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+
+	var n uint64
+	ci := 0
+	for ci < len(cfg.Checkpoints) {
+		p, _ := gen.Next()
+		k := p.Key2()
+		oracle.Add(k)
+		e1.Update(k)
+		e10.Update(k)
+		n++
+		if n != cfg.Checkpoints[ci] {
+			continue
+		}
+		ci++
+		t.Add(fmt64(n),
+			z*math.Sqrt(float64(h)/float64(n)), measured(e1, n),
+			z*math.Sqrt(float64(10*h)/float64(n)), measured(e10, n))
+	}
+	return []Table{t}
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickSweep keeps experiment tests fast: tiny checkpoints, one profile.
+func quickSweep() SweepConfig {
+	return SweepConfig{
+		Epsilon:     0.02,
+		Delta:       0.05,
+		Theta:       0.1,
+		Checkpoints: []uint64{20_000, 80_000},
+		Profiles:    []string{"sanjose14"},
+	}
+}
+
+func quickSpeed() SpeedConfig {
+	return SpeedConfig{
+		Epsilons: []float64{0.01, 0.1},
+		Packets:  30_000,
+		Profiles: []string{"sanjose14"},
+	}
+}
+
+func quickOVS() OVSConfig {
+	return OVSConfig{
+		Epsilon:      0.01,
+		Delta:        0.01,
+		Duration:     50 * time.Millisecond,
+		Packets:      1 << 14,
+		VMultipliers: []int{1, 10},
+	}
+}
+
+func parse(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig2AccuracyDecreases(t *testing.T) {
+	tabs := Fig2Accuracy(quickSweep())
+	if len(tabs) != 1 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Error ratios are in [0,1] and must not explode as N grows; column 2
+	// is RHHH.
+	first := parse(t, tab.Rows[0][2])
+	last := parse(t, tab.Rows[len(tab.Rows)-1][2])
+	if first < 0 || first > 1 || last < 0 || last > 1 {
+		t.Fatalf("error ratios out of range: %v, %v", first, last)
+	}
+	if last > first+0.2 {
+		t.Fatalf("accuracy error grew along the stream: %v → %v", first, last)
+	}
+}
+
+func TestFig3CoverageBounded(t *testing.T) {
+	tabs := Fig3Coverage(quickSweep())
+	for _, tab := range tabs {
+		for _, row := range tab.Rows {
+			for _, cell := range row[2:] {
+				if v := parse(t, cell); v < 0 || v > 0.2 {
+					t.Fatalf("coverage error %v out of expected band", v)
+				}
+			}
+		}
+	}
+}
+
+func TestFig4HasAllAlgorithmsAndHierarchies(t *testing.T) {
+	cfg := quickSweep()
+	cfg.Checkpoints = []uint64{20_000}
+	tabs := Fig4FalsePositives(cfg)
+	if len(tabs) != 3 { // 3 hierarchies × 1 profile
+		t.Fatalf("%d tables, want 3", len(tabs))
+	}
+	for _, tab := range tabs {
+		for _, alg := range []string{"RHHH", "10-RHHH", "MST", "Full", "Partial"} {
+			found := false
+			for _, h := range tab.Headers {
+				if h == alg {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("table %q missing column %s", tab.Title, alg)
+			}
+		}
+	}
+}
+
+func TestFig5RankingMatchesPaper(t *testing.T) {
+	tabs := Fig5Speed(quickSpeed())
+	if len(tabs) != 3 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	// On the bit hierarchy (H=33), RHHH must beat MST at every ε, and
+	// 10-RHHH must beat RHHH (the paper's central performance claim).
+	var bits Table
+	for _, tab := range tabs {
+		if strings.Contains(tab.Title, "1D Bits") {
+			bits = tab
+		}
+	}
+	if bits.Title == "" {
+		t.Fatal("no 1D Bits table")
+	}
+	for _, row := range bits.Rows[:len(bits.Rows)-1] { // last row is the speedup summary
+		rhhh := parse(t, row[1])
+		tenRhhh := parse(t, row[2])
+		mst := parse(t, row[3])
+		if rhhh <= mst {
+			t.Errorf("ε=%s: RHHH (%v Mpps) not faster than MST (%v Mpps)", row[0], rhhh, mst)
+		}
+		if tenRhhh <= rhhh {
+			t.Errorf("ε=%s: 10-RHHH (%v) not faster than RHHH (%v)", row[0], tenRhhh, rhhh)
+		}
+	}
+}
+
+func TestFig6OrderingMatchesPaper(t *testing.T) {
+	tabs := Fig6Dataplane(quickOVS())
+	tab := tabs[0]
+	mpps := map[string]float64{}
+	for _, row := range tab.Rows {
+		mpps[row[0]] = parse(t, row[1])
+	}
+	if mpps["OVS (unmodified)"] < mpps["MST"] {
+		t.Errorf("unmodified switch slower than MST-instrumented: %v", mpps)
+	}
+	if mpps["10-RHHH (V=10H)"] < mpps["MST"] {
+		t.Errorf("10-RHHH slower than MST in the dataplane: %v", mpps)
+	}
+	if mpps["RHHH (V=H)"] < mpps["MST"] {
+		t.Errorf("RHHH slower than MST in the dataplane: %v", mpps)
+	}
+}
+
+func TestFig7ThroughputGrowsWithV(t *testing.T) {
+	tabs := Fig7DataplaneV(quickOVS())
+	rows := tabs[0].Rows
+	lo := parse(t, rows[0][2])
+	hi := parse(t, rows[len(rows)-1][2])
+	if hi < lo {
+		t.Fatalf("throughput did not grow with V: V=H %v Mpps, V=10H %v Mpps", lo, hi)
+	}
+}
+
+func TestFig8DistributedRuns(t *testing.T) {
+	tabs := Fig8DistributedV(quickOVS())
+	rows := tabs[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if v := parse(t, row[2]); v <= 0 {
+			t.Fatalf("non-positive throughput %v", v)
+		}
+		if s := parse(t, row[3]); s <= 0 {
+			t.Fatalf("collector received no samples")
+		}
+	}
+	// V=10H forwards ~10× fewer samples than V=H.
+	s1 := parse(t, rows[0][3])
+	s10 := parse(t, rows[1][3])
+	if s10 >= s1 {
+		t.Fatalf("sampling did not shrink with V: %v vs %v", s1, s10)
+	}
+}
+
+func TestAblationMultiUpdate(t *testing.T) {
+	tabs := AblationMultiUpdate(quickSweep())
+	if len(tabs) != 1 || len(tabs[0].Rows) == 0 {
+		t.Fatal("no output")
+	}
+	for _, h := range []string{"RHHH(r=1)", "RHHH(r=2)", "RHHH(r=4)"} {
+		found := false
+		for _, col := range tabs[0].Headers {
+			if col == h {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing column %s", h)
+		}
+	}
+}
+
+func TestAblationBackends(t *testing.T) {
+	tabs := AblationBackends(quickSpeed())
+	for _, row := range tabs[0].Rows {
+		for _, cell := range row[1:] {
+			if v := parse(t, cell); v <= 0 {
+				t.Fatalf("non-positive throughput: %v", row)
+			}
+		}
+	}
+}
+
+func TestAblationWorstCase(t *testing.T) {
+	cfg := quickSpeed()
+	cfg.Packets = 20_000
+	tabs := AblationWorstCase(cfg)
+	rows := tabs[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The strawman's max latency must exceed RHHH's: that is the whole
+	// point of the O(1) worst-case design.
+	rhhhMax := parse(t, rows[0][3])
+	strawMax := parse(t, rows[1][3])
+	if strawMax <= rhhhMax/2 {
+		t.Fatalf("strawman worst case (%v ns) unexpectedly below RHHH's (%v ns)", strawMax, rhhhMax)
+	}
+}
+
+func TestAblationRecall(t *testing.T) {
+	cfg := quickSweep()
+	tabs := AblationRecall(cfg)
+	if len(tabs[0].Rows) != 5 {
+		t.Fatalf("%d rows, want 5 algorithms", len(tabs[0].Rows))
+	}
+	for _, row := range tabs[0].Rows {
+		if v := parse(t, row[2]); v < 0 || v > 1 {
+			t.Fatalf("recall %v out of range", v)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Title: "T", Headers: []string{"a", "bb"}}
+	tab.Add("x", 1.5)
+	tab.Add("yy", 2)
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "1.5") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	buf.Reset()
+	tab.CSV(&buf)
+	if !strings.HasPrefix(buf.String(), "a,bb\n") {
+		t.Fatalf("bad csv:\n%s", buf.String())
+	}
+}
+
+func TestAblationSpace(t *testing.T) {
+	cfg := quickSpeed()
+	tabs := AblationSpace(cfg)
+	rows := tabs[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Space grows as ε shrinks, for both the analytic and measured columns.
+	if parse(t, rows[0][1]) <= parse(t, rows[1][1]) {
+		t.Fatalf("SS entries did not grow with 1/ε: %v vs %v", rows[0][1], rows[1][1])
+	}
+	if parse(t, rows[0][2]) <= parse(t, rows[1][2]) {
+		t.Fatalf("full-ancestry trie did not grow with 1/ε")
+	}
+}
+
+func TestAblationWeighted(t *testing.T) {
+	cfg := quickSweep()
+	tabs := AblationWeighted(cfg)
+	rows := tabs[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if r := parse(t, row[1]); r < 0.5 {
+			t.Fatalf("%s recall %v too low on byte-volume HHH", row[0], r)
+		}
+	}
+}
+
+func TestAblationConvergence(t *testing.T) {
+	cfg := quickSweep()
+	cfg.Checkpoints = []uint64{50_000, 200_000, 800_000}
+	tabs := AblationConvergence(cfg)
+	rows := tabs[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The measured error must decay along the stream and respect the
+	// Corollary 6.4 bound at the final checkpoint (allowing the εa term on
+	// top of the sampling bound).
+	for col := 1; col <= 3; col += 2 {
+		predFirst, measFirst := parse(t, rows[0][col]), parse(t, rows[0][col+1])
+		predLast, measLast := parse(t, rows[2][col]), parse(t, rows[2][col+1])
+		if predLast >= predFirst {
+			t.Fatalf("predicted bound did not decay: %v → %v", predFirst, predLast)
+		}
+		if measLast > measFirst+0.01 {
+			t.Fatalf("measured error grew: %v → %v", measFirst, measLast)
+		}
+		if measLast > predLast+cfg.Epsilon {
+			t.Fatalf("measured %v exceeds bound %v + εa", measLast, predLast)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"rhhh/internal/baseline/ancestry"
+	"rhhh/internal/baseline/mst"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/trace"
+)
+
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'g', 4, 64) }
+
+func fmt64(n uint64) string { return strconv.FormatUint(n, 10) }
+
+// baselineRunners wraps the deterministic algorithms in the sweep interface.
+func baselineRunners[K comparable](cfg SweepConfig, dom *hierarchy.Domain[K]) []runner[K] {
+	m := mst.New(dom, cfg.Epsilon)
+	fa := ancestry.New(dom, cfg.Epsilon, ancestry.Full)
+	pa := ancestry.New(dom, cfg.Epsilon, ancestry.Partial)
+	return []runner[K]{
+		{name: "MST", update: m.Update, output: m.Output},
+		{name: "Full", update: fa.Update, output: fa.Output},
+		{name: "Partial", update: pa.Update, output: pa.Output},
+	}
+}
+
+// Fig4FalsePositives regenerates Figure 4: the false-positive ratio over
+// stream length, for all five algorithms, on the three hierarchies the paper
+// plots (1D bytes, 1D bits, 2D bytes) and two trace profiles.
+func Fig4FalsePositives(cfg SweepConfig) []Table {
+	cfg = cfg.withDefaults()
+	cfg.IncludeBaselines = true
+	if len(cfg.Profiles) > 2 {
+		// The paper's Figure 4 uses two traces (San Jose 14, Chicago 16).
+		cfg.Profiles = []string{"sanjose14", "chicago16"}
+	}
+	var tables []Table
+
+	// 1D hierarchies (uint32 keys).
+	for _, g := range []struct {
+		name string
+		gran hierarchy.Granularity
+	}{{"1D Bytes", hierarchy.Bytes}, {"1D Bits", hierarchy.Bits}} {
+		dom := hierarchy.NewIPv4OneDim(g.gran)
+		pts := runSweep(cfg, dom, func(string) []runner[uint32] {
+			return buildRunners(cfg, dom, cfg.Seed)
+		}, trace.Packet.Key1)
+		tables = append(tables, pivot(pts,
+			fmt.Sprintf("Figure 4: false positive ratio (%s, H=%d)", g.name, dom.Size()),
+			func(p sweepPoint) float64 { return p.FPR })...)
+	}
+
+	// 2D bytes (uint64 keys).
+	dom2 := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	pts := runSweep(cfg, dom2, func(string) []runner[uint64] {
+		return buildRunners(cfg, dom2, cfg.Seed)
+	}, trace.Packet.Key2)
+	tables = append(tables, pivot(pts,
+		fmt.Sprintf("Figure 4: false positive ratio (2D Bytes, H=%d)", dom2.Size()),
+		func(p sweepPoint) float64 { return p.FPR })...)
+	return tables
+}

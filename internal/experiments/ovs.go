@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rhhh/internal/baseline/ancestry"
+	"rhhh/internal/baseline/mst"
+	"rhhh/internal/core"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/netgen"
+	"rhhh/internal/trace"
+	"rhhh/internal/vswitch"
+)
+
+// OVSConfig parameterizes the virtual-switch experiments (Figures 6–8).
+type OVSConfig struct {
+	// Epsilon and Delta mirror the Figure 6 caption (ε=0.001, δ=0.001).
+	Epsilon, Delta float64
+	// Duration per measured configuration (default 1s).
+	Duration time.Duration
+	// Packets prebuilt for the generator loop (default 262144).
+	Packets int
+	// Profile is the replayed workload (default chicago16, as in Figure 6).
+	Profile string
+	// VMultipliers is the V/H sweep of Figures 7–8 (default 1..10).
+	VMultipliers []int
+	// UseUDP runs Figure 8 over real loopback UDP instead of the
+	// in-process transport.
+	UseUDP bool
+	Seed   uint64
+}
+
+func (c OVSConfig) withDefaults() OVSConfig {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.001
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.001
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	if c.Packets == 0 {
+		c.Packets = 1 << 18
+	}
+	if c.Profile == "" {
+		c.Profile = "chicago16"
+	}
+	if len(c.VMultipliers) == 0 {
+		c.VMultipliers = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x0755
+	}
+	return c
+}
+
+// buildDatapath assembles the simulated switch pipeline: a default-forward
+// rule plus a handful of realistic ACL-style rules so the classifier does
+// real work, and an OVS-sized EMC.
+func buildDatapath(seed uint64, hook vswitch.Hook) *vswitch.Datapath {
+	var ft vswitch.FlowTable
+	ft.Add(vswitch.Rule{Priority: 0, Match: vswitch.Match{}, Action: vswitch.Action{OutPort: 1}})
+	ft.Add(vswitch.Rule{
+		Priority: 10,
+		Match: vswitch.Match{
+			SrcPrefix: addr4(192, 0, 2, 0), SrcBits: 24,
+		},
+		Action: vswitch.Action{Drop: true}, // bogon filter
+	})
+	ft.Add(vswitch.Rule{
+		Priority: 5,
+		Match:    vswitch.Match{DstPort: 22, MatchDstPort: true, Proto: trace.ProtoTCP, MatchProto: true},
+		Action:   vswitch.Action{OutPort: 2}, // management traffic steering
+	})
+	return vswitch.NewDatapath(&ft, vswitch.NewEMC(8192, seed), hook)
+}
+
+// prebuild materializes the workload once per experiment.
+func prebuild(cfg OVSConfig) []trace.Packet {
+	gen := trace.NewSynthetic(trace.Profile(cfg.Profile))
+	return netgen.Prebuild(gen, cfg.Packets)
+}
+
+// measureHook runs the datapath with the given hook at max rate and returns
+// achieved Mpps.
+func measureHook(cfg OVSConfig, packets []trace.Packet, hook vswitch.Hook) float64 {
+	dp := buildDatapath(cfg.Seed, hook)
+	res := netgen.RunFor(packets, cfg.Duration, func(p trace.Packet) { dp.Process(p) })
+	return res.Mpps()
+}
+
+// Fig6Dataplane regenerates Figure 6: dataplane throughput of the
+// unmodified switch vs switches with each measurement algorithm in the
+// packet path (2D bytes hierarchy).
+func Fig6Dataplane(cfg OVSConfig) []Table {
+	cfg = cfg.withDefaults()
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	h := dom.Size()
+	packets := prebuild(cfg)
+
+	t := Table{
+		Title: fmt.Sprintf("Figure 6: dataplane throughput (ε=%g, δ=%g, 2D bytes, %s)",
+			cfg.Epsilon, cfg.Delta, cfg.Profile),
+		Headers: []string{"configuration", "Mpps"},
+	}
+
+	t.Add("OVS (unmodified)", measureHook(cfg, packets, vswitch.NopHook{}))
+
+	e10 := core.New(dom, core.Config{Epsilon: cfg.Epsilon, Delta: cfg.Delta, V: 10 * h, Seed: cfg.Seed})
+	t.Add("10-RHHH (V=10H)", measureHook(cfg, packets, vswitch.HookFunc(func(p trace.Packet) {
+		e10.Update(p.Key2())
+	})))
+
+	e1 := core.New(dom, core.Config{Epsilon: cfg.Epsilon, Delta: cfg.Delta, V: h, Seed: cfg.Seed})
+	t.Add("RHHH (V=H)", measureHook(cfg, packets, vswitch.HookFunc(func(p trace.Packet) {
+		e1.Update(p.Key2())
+	})))
+
+	pa := ancestry.New(dom, cfg.Epsilon, ancestry.Partial)
+	t.Add("Partial Ancestry", measureHook(cfg, packets, vswitch.HookFunc(func(p trace.Packet) {
+		pa.Update(p.Key2())
+	})))
+
+	ms := mst.New(dom, cfg.Epsilon)
+	t.Add("MST", measureHook(cfg, packets, vswitch.HookFunc(func(p trace.Packet) {
+		ms.Update(p.Key2())
+	})))
+
+	return []Table{t}
+}
+
+// Fig7DataplaneV regenerates Figure 7: dataplane throughput as V grows from
+// H to 10H.
+func Fig7DataplaneV(cfg OVSConfig) []Table {
+	cfg = cfg.withDefaults()
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	h := dom.Size()
+	packets := prebuild(cfg)
+
+	t := Table{
+		Title:   "Figure 7: dataplane throughput vs V (2D bytes, H=25)",
+		Headers: []string{"V", "V/H", "Mpps"},
+	}
+	for _, m := range cfg.VMultipliers {
+		v := m * h
+		eng := core.New(dom, core.Config{Epsilon: cfg.Epsilon, Delta: cfg.Delta, V: v, Seed: cfg.Seed})
+		mpps := measureHook(cfg, packets, vswitch.HookFunc(func(p trace.Packet) {
+			eng.Update(p.Key2())
+		}))
+		t.Add(v, m, mpps)
+	}
+	return []Table{t}
+}
+
+// Fig8DistributedV regenerates Figure 8: throughput of the distributed
+// deployment (switch samples, collector measures) as V grows.
+func Fig8DistributedV(cfg OVSConfig) []Table {
+	cfg = cfg.withDefaults()
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	h := dom.Size()
+	packets := prebuild(cfg)
+
+	transport := "in-process"
+	if cfg.UseUDP {
+		transport = "UDP loopback"
+	}
+	t := Table{
+		Title:   "Figure 8: distributed implementation throughput vs V (" + transport + ")",
+		Headers: []string{"V", "V/H", "Mpps", "samples"},
+	}
+	for _, m := range cfg.VMultipliers {
+		v := m * h
+		col := vswitch.NewCollector(dom, cfg.Epsilon, cfg.Delta, v)
+		var tr vswitch.Transport
+		var closeAll func()
+		if cfg.UseUDP {
+			srv, err := vswitch.ListenUDP("127.0.0.1:0", col)
+			if err != nil {
+				t.Add(v, m, "udp-unavailable", 0)
+				continue
+			}
+			utr, err := vswitch.DialUDP(srv.Addr())
+			if err != nil {
+				srv.Close()
+				t.Add(v, m, "udp-unavailable", 0)
+				continue
+			}
+			tr = utr
+			closeAll = func() { utr.Close(); srv.Close() }
+		} else {
+			itr := vswitch.NewInProcTransport(col, 1024)
+			tr = itr
+			closeAll = func() { itr.Close() }
+		}
+		hook := vswitch.NewSamplerHook(dom, v, cfg.Seed, tr, 0)
+		mpps := measureHook(cfg, packets, hook)
+		hook.Flush()
+		closeAll()
+		t.Add(v, m, mpps, fmt64(col.Updates()))
+	}
+	return []Table{t}
+}

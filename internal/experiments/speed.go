@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rhhh/internal/baseline/ancestry"
+	"rhhh/internal/baseline/mst"
+	"rhhh/internal/core"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/stats"
+	"rhhh/internal/trace"
+)
+
+// SpeedConfig parameterizes the Figure 5 update-speed comparison.
+type SpeedConfig struct {
+	// Epsilons to sweep (default {1e-4, 1e-3, 1e-2, 1e-1}, a subset of the
+	// paper's x axis).
+	Epsilons []float64
+	// Packets per measurement (default 500k; the paper uses 250M — scale
+	// up with -packets for closer numbers, the ranking is stable).
+	Packets int
+	// Profiles to replay (default the paper's San Jose 14 and Chicago 16).
+	Profiles []string
+	// Runs per data point for the Student-t confidence interval (default
+	// 1: no CI column; the paper uses 5).
+	Runs int
+	// Delta for the RHHH variants (default 0.001, as in the paper).
+	Delta float64
+	Seed  uint64
+}
+
+func (c SpeedConfig) withDefaults() SpeedConfig {
+	if len(c.Epsilons) == 0 {
+		c.Epsilons = []float64{1e-4, 1e-3, 1e-2, 1e-1}
+	}
+	if c.Packets == 0 {
+		c.Packets = 500_000
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = []string{"sanjose14", "chicago16"}
+	}
+	if c.Runs == 0 {
+		c.Runs = 1
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.001
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xF1F5
+	}
+	return c
+}
+
+// speedAlg is one timed algorithm instance.
+type speedAlg[K comparable] struct {
+	name string
+	mk   func() func(K) // fresh instance per run; returns the update func
+}
+
+// timeUpdates measures million-updates-per-second over the prepared keys.
+func timeUpdates[K comparable](keys []K, update func(K)) float64 {
+	start := time.Now()
+	for _, k := range keys {
+		update(k)
+	}
+	el := time.Since(start)
+	return float64(len(keys)) / el.Seconds() / 1e6
+}
+
+// speedAlgs builds the Figure 5 algorithm set for a domain.
+func speedAlgs[K comparable](dom *hierarchy.Domain[K], eps, delta float64, seed uint64) []speedAlg[K] {
+	h := dom.Size()
+	return []speedAlg[K]{
+		{"RHHH", func() func(K) {
+			return core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: h, Seed: seed}).Update
+		}},
+		{"10-RHHH", func() func(K) {
+			return core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: 10 * h, Seed: seed}).Update
+		}},
+		{"MST", func() func(K) { return mst.New(dom, eps).Update }},
+		{"Full", func() func(K) { return ancestry.New(dom, eps, ancestry.Full).Update }},
+		{"Partial", func() func(K) { return ancestry.New(dom, eps, ancestry.Partial).Update }},
+	}
+}
+
+// runSpeedOne produces one table: Mpps by ε for every algorithm, on one
+// (domain, profile) pair, plus the speedup summary row the paper's §4.3
+// quotes ("up to ×62").
+func runSpeedOne[K comparable](cfg SpeedConfig, dom *hierarchy.Domain[K], title string, profile string, key func(trace.Packet) K) Table {
+	gen := trace.NewSynthetic(trace.Profile(profile))
+	keys := make([]K, cfg.Packets)
+	for i := range keys {
+		p, _ := gen.Next()
+		keys[i] = key(p)
+	}
+	headers := []string{"epsilon"}
+	algs := speedAlgs(dom, cfg.Epsilons[0], cfg.Delta, cfg.Seed)
+	for _, a := range algs {
+		headers = append(headers, a.name+" Mpps")
+		if cfg.Runs > 1 {
+			headers = append(headers, "±95%")
+		}
+	}
+	t := Table{Title: title + " — " + profile, Headers: headers}
+
+	bestSpeedup := map[string]float64{}
+	for _, eps := range cfg.Epsilons {
+		algs := speedAlgs(dom, eps, cfg.Delta, cfg.Seed)
+		row := []any{fmtF(eps)}
+		mpps := map[string]float64{}
+		for _, a := range algs {
+			var samples []float64
+			for r := 0; r < cfg.Runs; r++ {
+				samples = append(samples, timeUpdates(keys, a.mk()))
+			}
+			mean := samples[0]
+			if cfg.Runs > 1 {
+				var hw float64
+				mean, hw = stats.MeanCI(samples, 0.05)
+				row = append(row, mean, hw)
+			} else {
+				row = append(row, mean)
+			}
+			mpps[a.name] = mean
+		}
+		t.Add(row...)
+		// Speedup over the fastest deterministic baseline at this ε.
+		baselineBest := mpps["MST"]
+		for _, b := range []string{"Full", "Partial"} {
+			if mpps[b] > baselineBest {
+				baselineBest = mpps[b]
+			}
+		}
+		for _, a := range []string{"RHHH", "10-RHHH"} {
+			if s := mpps[a] / baselineBest; s > bestSpeedup[a] {
+				bestSpeedup[a] = s
+			}
+		}
+	}
+	t.Add("max speedup vs best baseline:",
+		fmt.Sprintf("RHHH ×%.1f", bestSpeedup["RHHH"]),
+		fmt.Sprintf("10-RHHH ×%.1f", bestSpeedup["10-RHHH"]))
+	return t
+}
+
+// Fig5Speed regenerates Figure 5: update speed for the three hierarchies and
+// two traces, across ε.
+func Fig5Speed(cfg SpeedConfig) []Table {
+	cfg = cfg.withDefaults()
+	var tables []Table
+	for _, profile := range cfg.Profiles {
+		d1 := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+		tables = append(tables, runSpeedOne(cfg, d1,
+			fmt.Sprintf("Figure 5: update speed (1D Bytes, H=%d)", d1.Size()),
+			profile, trace.Packet.Key1))
+		db := hierarchy.NewIPv4OneDim(hierarchy.Bits)
+		tables = append(tables, runSpeedOne(cfg, db,
+			fmt.Sprintf("Figure 5: update speed (1D Bits, H=%d)", db.Size()),
+			profile, trace.Packet.Key1))
+		d2 := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+		tables = append(tables, runSpeedOne(cfg, d2,
+			fmt.Sprintf("Figure 5: update speed (2D Bytes, H=%d)", d2.Size()),
+			profile, trace.Packet.Key2))
+	}
+	return tables
+}

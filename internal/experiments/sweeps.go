@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"rhhh/internal/core"
+	"rhhh/internal/exact"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/metrics"
+	"rhhh/internal/trace"
+)
+
+// SweepConfig parameterizes the error-vs-stream-length experiments
+// (Figures 2, 3 and 4). The paper runs ε = 0.001, θ = 0.01 over 1-billion
+// packet CAIDA traces; the defaults here scale ε up and N down so the same
+// N/ψ trajectory fits a laptop run — pass the paper's values to reproduce it
+// at full size.
+type SweepConfig struct {
+	// Epsilon and Delta configure the algorithms (default 0.01 / 0.01).
+	Epsilon, Delta float64
+	// Theta is the HHH threshold (default 0.01; the paper's Figure 4 uses
+	// θ=1% with ε=0.1%, a 10:1 ratio preserved by the defaults 0.1%→1%...
+	// adjust as needed).
+	Theta float64
+	// Checkpoints are the stream lengths at which metrics are measured
+	// (default 8 points from 50k to 4M, log-spaced).
+	Checkpoints []uint64
+	// Profiles are the synthetic stand-ins for the CAIDA traces (default
+	// all four).
+	Profiles []string
+	// Seed offsets the engines' RNG from the trace seeds.
+	Seed uint64
+	// IncludeBaselines adds MST and the Ancestry algorithms (Figure 4
+	// compares against them; Figures 2–3 only plot RHHH variants).
+	IncludeBaselines bool
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.01
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.01
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.1
+	}
+	if len(c.Checkpoints) == 0 {
+		c.Checkpoints = []uint64{50_000, 125_000, 250_000, 500_000, 1_000_000, 2_000_000, 4_000_000}
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = trace.ProfileNames()
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xE0E0
+	}
+	return c
+}
+
+// sweepPoint is one (trace, algorithm, N) measurement.
+type sweepPoint struct {
+	Profile   string
+	Algorithm string
+	N         uint64
+	NOverPsi  float64
+	Accuracy  float64 // Figure 2: share of outputs off by more than εN
+	Coverage  float64 // Figure 3: share of prefixes with missed coverage
+	FPR       float64 // Figure 4: share of outputs not in the exact set
+	Recall    float64
+	Outputs   int
+}
+
+// runner pairs a named algorithm with its update/output functions.
+type runner[K comparable] struct {
+	name   string
+	update func(K)
+	output func(theta float64) []core.Result[K]
+	psi    float64
+}
+
+// runSweep streams each profile once, feeding every algorithm, and measures
+// all error metrics at each checkpoint.
+func runSweep[K comparable](cfg SweepConfig, dom *hierarchy.Domain[K], mkAlgs func(profile string) []runner[K], key func(trace.Packet) K) []sweepPoint {
+	var points []sweepPoint
+	for _, profile := range cfg.Profiles {
+		gen := trace.NewSynthetic(withAggregates(trace.Profile(profile)))
+		oracle := exact.New(dom)
+		algs := mkAlgs(profile)
+
+		var n uint64
+		ci := 0
+		for ci < len(cfg.Checkpoints) {
+			p, _ := gen.Next()
+			k := key(p)
+			oracle.Add(k)
+			for _, a := range algs {
+				a.update(k)
+			}
+			n++
+			if n != cfg.Checkpoints[ci] {
+				continue
+			}
+			ci++
+			exactSet := oracle.HHH(cfg.Theta)
+			for _, a := range algs {
+				out := a.output(cfg.Theta)
+				pt := sweepPoint{
+					Profile:   profile,
+					Algorithm: a.name,
+					N:         n,
+					Accuracy:  metrics.AccuracyErrorRatio(out, oracle, 2*cfg.Epsilon),
+					Coverage:  metrics.CoverageErrorRatio(out, oracle, cfg.Theta),
+					FPR:       metrics.FalsePositiveRatio(out, exactSet),
+					Recall:    metrics.Recall(out, exactSet),
+					Outputs:   len(out),
+				}
+				if a.psi > 0 {
+					pt.NOverPsi = float64(n) / a.psi
+				}
+				points = append(points, pt)
+			}
+		}
+	}
+	return points
+}
+
+// withAggregates plants a stable set of hierarchical heavy hitters in a
+// profile so that accuracy/coverage/FPR are measured against non-trivial
+// exact sets at several lattice levels.
+func withAggregates(cfg trace.Config) trace.Config {
+	cfg.Aggregates = []trace.Aggregate{
+		// A heavy flow (fully specified HHH).
+		{Fraction: 0.06, Src: addr4(10, 1, 1, 1), SrcBits: 32, Dst: addr4(20, 2, 2, 2), DstBits: 32, Spread: 1},
+		// A source /24 sweeping destinations (scan-like).
+		{Fraction: 0.05, Src: addr4(30, 3, 3, 0), SrcBits: 24, Spread: 1 << 14},
+		// A DDoS aggregate: many sources onto a destination /16.
+		{Fraction: 0.05, Dst: addr4(40, 4, 0, 0), DstBits: 16, Spread: 1 << 16},
+	}
+	return cfg
+}
+
+func addr4(a, b, c, d byte) hierarchy.Addr {
+	return hierarchy.AddrFromIPv4(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// buildRunners assembles the algorithm set for a sweep.
+func buildRunners[K comparable](cfg SweepConfig, dom *hierarchy.Domain[K], seed uint64) []runner[K] {
+	h := dom.Size()
+	e1 := core.New(dom, core.Config{Epsilon: cfg.Epsilon, Delta: cfg.Delta, V: h, Seed: seed})
+	e10 := core.New(dom, core.Config{Epsilon: cfg.Epsilon, Delta: cfg.Delta, V: 10 * h, Seed: seed + 1})
+	rs := []runner[K]{
+		{name: "RHHH", update: e1.Update, output: e1.Output, psi: e1.Psi()},
+		{name: "10-RHHH", update: e10.Update, output: e10.Output, psi: e10.Psi()},
+	}
+	if cfg.IncludeBaselines {
+		rs = append(rs, baselineRunners(cfg, dom)...)
+	}
+	return rs
+}
+
+// Fig2Accuracy regenerates Figure 2: accuracy error ratio as the stream
+// progresses, 2D-bytes hierarchy, one sub-table per trace profile.
+func Fig2Accuracy(cfg SweepConfig) []Table {
+	cfg = cfg.withDefaults()
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	pts := runSweep(cfg, dom, func(string) []runner[uint64] {
+		return buildRunners(cfg, dom, cfg.Seed)
+	}, trace.Packet.Key2)
+	return pivot(pts, "Figure 2: accuracy error ratio (2D bytes, ε="+fmtF(cfg.Epsilon)+")",
+		func(p sweepPoint) float64 { return p.Accuracy })
+}
+
+// Fig3Coverage regenerates Figure 3: the share of prefixes whose coverage
+// the output misses (false negatives), as the stream progresses.
+func Fig3Coverage(cfg SweepConfig) []Table {
+	cfg = cfg.withDefaults()
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	pts := runSweep(cfg, dom, func(string) []runner[uint64] {
+		return buildRunners(cfg, dom, cfg.Seed)
+	}, trace.Packet.Key2)
+	return pivot(pts, "Figure 3: coverage error ratio (2D bytes, θ="+fmtF(cfg.Theta)+")",
+		func(p sweepPoint) float64 { return p.Coverage })
+}
+
+// pivot renders one table per profile: rows = checkpoints, one column per
+// algorithm, plus the N/ψ column for the RHHH series.
+func pivot(pts []sweepPoint, title string, metric func(sweepPoint) float64) []Table {
+	byProfile := map[string][]sweepPoint{}
+	var profiles []string
+	for _, p := range pts {
+		if _, ok := byProfile[p.Profile]; !ok {
+			profiles = append(profiles, p.Profile)
+		}
+		byProfile[p.Profile] = append(byProfile[p.Profile], p)
+	}
+	var tables []Table
+	for _, profile := range profiles {
+		sub := byProfile[profile]
+		var algs []string
+		seen := map[string]bool{}
+		for _, p := range sub {
+			if !seen[p.Algorithm] {
+				seen[p.Algorithm] = true
+				algs = append(algs, p.Algorithm)
+			}
+		}
+		t := Table{
+			Title:   title + " — " + profile,
+			Headers: append([]string{"packets", "N/psi(RHHH)"}, algs...),
+		}
+		byN := map[uint64]map[string]sweepPoint{}
+		var ns []uint64
+		for _, p := range sub {
+			if _, ok := byN[p.N]; !ok {
+				byN[p.N] = map[string]sweepPoint{}
+				ns = append(ns, p.N)
+			}
+			byN[p.N][p.Algorithm] = p
+		}
+		for _, n := range ns {
+			// The N/ψ column tracks the first series that has a ψ (the
+			// plain-RHHH one when present).
+			nPsi := 0.0
+			for _, a := range algs {
+				if p := byN[n][a]; p.NOverPsi > 0 {
+					nPsi = p.NOverPsi
+					break
+				}
+			}
+			row := []any{fmt64(n), nPsi}
+			for _, a := range algs {
+				row = append(row, metric(byN[n][a]))
+			}
+			t.Add(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

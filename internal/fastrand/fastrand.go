@@ -1,0 +1,74 @@
+// Package fastrand provides a small, fast, deterministic pseudo-random
+// number generator for the RHHH update path.
+//
+// The RHHH update procedure (Algorithm 1 of the paper) draws one uniform
+// integer in [0, V) per packet. At tens of millions of packets per second the
+// generator itself must cost a handful of nanoseconds and must not allocate
+// or take locks. math/rand's global functions take a lock and math/rand/v2 is
+// fine but we also need stable cross-version determinism for reproducible
+// experiments, so we implement splitmix64 (Steele, Lea, Vigna) with Lemire's
+// nearly-divisionless bounded reduction.
+//
+// The zero value is a valid generator seeded with 0; use New for an
+// explicitly seeded one. Source is not safe for concurrent use; give each
+// goroutine its own.
+package fastrand
+
+import "math/bits"
+
+// Source is a splitmix64 pseudo-random generator.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Distinct seeds give independent
+// looking streams; splitmix64 is a bijection on its state so every seed is
+// usable, including 0.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Seed resets the generator to the given seed.
+func (s *Source) Seed(seed uint64) { s.state = seed }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform pseudo-random value in [0, n) using Lemire's
+// multiply-shift rejection method. n must be > 0; n == 0 panics.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("fastrand: Uint64n with n == 0")
+	}
+	// Fast path: multiply-high gives an unbiased sample except in a narrow
+	// rejection band of size (2^64 mod n), which we resample.
+	v := s.Uint64()
+	hi, lo := bits.Mul64(v, n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = bits.Mul64(v, n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform pseudo-random int in [0, n). n must be > 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("fastrand: Intn with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform pseudo-random float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}

@@ -1,0 +1,163 @@
+package fastrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/1000 times", same)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	s := New(7)
+	first := s.Uint64()
+	s.Uint64()
+	s.Seed(7)
+	if got := s.Uint64(); got != first {
+		t.Fatalf("after reseed got %d, want %d", got, first)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	if s.Uint64() == s.Uint64() {
+		t.Fatal("zero-value Source produced identical consecutive values")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(3)
+	for _, n := range []uint64{1, 2, 3, 5, 7, 100, 1 << 32, math.MaxUint64} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nOne(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 100; i++ {
+		if v := s.Uint64n(1); v != 0 {
+			t.Fatalf("Uint64n(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestUint64nZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(-1) did not panic")
+		}
+	}()
+	New(1).Intn(-1)
+}
+
+// TestUint64nUniform checks that the bounded draw is close to uniform over a
+// small modulus: a chi-squared statistic over 10 buckets with 100k draws.
+func TestUint64nUniform(t *testing.T) {
+	s := New(12345)
+	const buckets = 10
+	const draws = 100000
+	var count [buckets]int
+	for i := 0; i < draws; i++ {
+		count[s.Uint64n(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range count {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; 99.9th percentile is ~27.9.
+	if chi2 > 27.9 {
+		t.Fatalf("chi-squared %.2f too large, distribution not uniform: %v", chi2, count)
+	}
+}
+
+// TestIntnMatchesUint64n: Intn must agree with Uint64n draws given the same
+// state, property-checked over random seeds and bounds.
+func TestIntnMatchesUint64n(t *testing.T) {
+	f := func(seed uint64, n uint32) bool {
+		bound := int(n%1000) + 1
+		a := New(seed)
+		b := New(seed)
+		return a.Intn(bound) == int(b.Uint64n(uint64(bound)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(123)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %.4f far from 0.5", mean)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64n(25)
+	}
+	_ = sink
+}

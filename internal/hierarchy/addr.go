@@ -1,0 +1,129 @@
+// Package hierarchy implements the hierarchical prefix domains of the paper:
+// one- and two-dimensional IP prefix lattices at bit, nibble, or byte
+// granularity, over 32-bit (IPv4) or 128-bit (IPv6) addresses.
+//
+// A lattice node is a prefix *pattern* — how many leading bits are kept in
+// each dimension (e.g. "source /24, destination /16"). A prefix is a pattern
+// plus concrete masked bits (e.g. 181.7.20.*). The paper's H is the number of
+// lattice nodes: 5 for 1D IPv4 bytes, 33 for 1D IPv4 bits, 25 for 2D IPv4
+// bytes (Table 1), 17 for 1D IPv6 bytes, and so on.
+//
+// The package provides the generalization partial order (Definition 1),
+// G(p|P) support sets (Definition 2), hierarchy levels (Definition 7), and
+// greatest lower bounds (Definition 12) that both RHHH and the deterministic
+// baselines are built on.
+package hierarchy
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Addr is a 128-bit address in big-endian order: Hi holds the first 8 bytes,
+// Lo the last 8. IPv4 addresses occupy the top 32 bits of Hi so that prefix
+// masking is uniform across families.
+type Addr struct {
+	Hi, Lo uint64
+}
+
+// AddrFromIPv4 places a 32-bit IPv4 address in the top bits of an Addr.
+func AddrFromIPv4(v uint32) Addr {
+	return Addr{Hi: uint64(v) << 32}
+}
+
+// IPv4 returns the top 32 bits of the address as an IPv4 address value.
+func (a Addr) IPv4() uint32 { return uint32(a.Hi >> 32) }
+
+// AddrFrom16 builds an Addr from 16 big-endian bytes.
+func AddrFrom16(b [16]byte) Addr {
+	var a Addr
+	for i := 0; i < 8; i++ {
+		a.Hi = a.Hi<<8 | uint64(b[i])
+		a.Lo = a.Lo<<8 | uint64(b[i+8])
+	}
+	return a
+}
+
+// Bytes16 returns the address as 16 big-endian bytes.
+func (a Addr) Bytes16() [16]byte {
+	var b [16]byte
+	hi, lo := a.Hi, a.Lo
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(hi)
+		b[i+8] = byte(lo)
+		hi >>= 8
+		lo >>= 8
+	}
+	return b
+}
+
+// Mask zeroes all but the leading bits of the address. bits must be in
+// [0, 128]; values outside are clamped.
+func (a Addr) Mask(bits int) Addr {
+	switch {
+	case bits <= 0:
+		return Addr{}
+	case bits >= 128:
+		return a
+	case bits <= 64:
+		return Addr{Hi: a.Hi & (^uint64(0) << (64 - bits))}
+	default:
+		return Addr{Hi: a.Hi, Lo: a.Lo & (^uint64(0) << (128 - bits))}
+	}
+}
+
+// String formats the address as an IPv6 address literal.
+func (a Addr) String() string {
+	return netip.AddrFrom16(a.Bytes16()).String()
+}
+
+// AddrPair is a (source, destination) address pair: the key type for
+// two-dimensional 128-bit domains.
+type AddrPair struct {
+	Src, Dst Addr
+}
+
+// mask32 returns a 32-bit mask keeping the leading bits.
+func mask32(bits int) uint32 {
+	if bits <= 0 {
+		return 0
+	}
+	if bits >= 32 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << (32 - bits)
+}
+
+// formatPrefix32 renders a masked IPv4 prefix. Byte-aligned prefixes use the
+// paper's star form (181.7.*); others use CIDR (181.7.20.0/22). A zero-length
+// prefix renders as "*".
+func formatPrefix32(v uint32, bits int) string {
+	if bits <= 0 {
+		return "*"
+	}
+	b := [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+	if bits%8 == 0 {
+		n := bits / 8
+		s := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				s += "."
+			}
+			s += fmt.Sprintf("%d", b[i])
+		}
+		if n < 4 {
+			s += ".*"
+		}
+		return s
+	}
+	return fmt.Sprintf("%s/%d", netip.AddrFrom4(b), bits)
+}
+
+// formatPrefix128 renders a masked 128-bit prefix in CIDR form, or "*" for a
+// zero-length prefix.
+func formatPrefix128(a Addr, bits int) string {
+	if bits <= 0 {
+		return "*"
+	}
+	return fmt.Sprintf("%s/%d", a, bits)
+}

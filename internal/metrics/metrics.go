@@ -1,0 +1,87 @@
+// Package metrics computes the evaluation-section quantities of the paper:
+// the accuracy error ratio of Figure 2, the coverage error percentage of
+// Figure 3, and the false positive ratio of Figure 4, given an algorithm's
+// output and the exact oracle.
+package metrics
+
+import (
+	"math"
+
+	"rhhh/internal/core"
+	"rhhh/internal/exact"
+)
+
+// Refs converts algorithm results into oracle prefix references.
+func Refs[K comparable](rs []core.Result[K]) []exact.PrefixRef[K] {
+	out := make([]exact.PrefixRef[K], len(rs))
+	for i, p := range rs {
+		out[i] = exact.PrefixRef[K]{Key: p.Key, Node: p.Node}
+	}
+	return out
+}
+
+// AccuracyErrorRatio returns the fraction of output prefixes whose frequency
+// estimate deviates from the true frequency by more than ε·N — the Figure 2
+// metric ("HHH candidates whose frequency estimation error is larger than
+// εN"). The upper-bound estimate f̂+ is used as the point estimate, matching
+// the Space Saving convention.
+func AccuracyErrorRatio[K comparable](out []core.Result[K], oracle *exact.Stream[K], epsilon float64) float64 {
+	if len(out) == 0 {
+		return 0
+	}
+	bound := epsilon * float64(oracle.N())
+	bad := 0
+	for _, p := range out {
+		f := float64(oracle.Frequency(p.Key, p.Node))
+		if math.Abs(p.Upper-f) > bound {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(out))
+}
+
+// CoverageErrorRatio returns the fraction of evaluated prefixes q ∉ P with
+// Cq|P ≥ θ·N — the Figure 3 metric (false negatives of the coverage
+// property).
+func CoverageErrorRatio[K comparable](out []core.Result[K], oracle *exact.Stream[K], theta float64) float64 {
+	violations, evaluated := oracle.CoverageViolations(Refs(out), theta)
+	if evaluated == 0 {
+		return 0
+	}
+	return float64(violations) / float64(evaluated)
+}
+
+// FalsePositiveRatio returns |P \ HHH_exact| / |P| — the Figure 4 metric:
+// the share of returned prefixes that are not exact hierarchical heavy
+// hitters.
+func FalsePositiveRatio[K comparable](out []core.Result[K], exactSet []exact.Result[K]) float64 {
+	if len(out) == 0 {
+		return 0
+	}
+	fp := 0
+	for _, p := range out {
+		if !exact.Contains(exactSet, p.Key, p.Node) {
+			fp++
+		}
+	}
+	return float64(fp) / float64(len(out))
+}
+
+// Recall returns |P ∩ HHH_exact| / |HHH_exact|: the share of exact HHHs the
+// algorithm reported (the paper argues RHHH delivers "similar accuracy and
+// recall" to the deterministic baselines).
+func Recall[K comparable](out []core.Result[K], exactSet []exact.Result[K]) float64 {
+	if len(exactSet) == 0 {
+		return 1
+	}
+	found := 0
+	for _, e := range exactSet {
+		for _, p := range out {
+			if p.Node == e.Node && p.Key == e.Key {
+				found++
+				break
+			}
+		}
+	}
+	return float64(found) / float64(len(exactSet))
+}

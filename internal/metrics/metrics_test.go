@@ -1,0 +1,108 @@
+package metrics_test
+
+import (
+	"testing"
+
+	"rhhh/internal/baseline/mst"
+	"rhhh/internal/core"
+	"rhhh/internal/exact"
+	"rhhh/internal/fastrand"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/metrics"
+)
+
+func ip4(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+func buildStream(n int, seed uint64) (*exact.Stream[uint32], []uint32) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	oracle := exact.New(dom)
+	r := fastrand.New(seed)
+	keys := make([]uint32, n)
+	for i := range keys {
+		var k uint32
+		switch r.Uint64n(10) {
+		case 0, 1, 2:
+			k = ip4(10, 1, 1, 1)
+		case 3, 4:
+			k = ip4(30, 3, 3, byte(r.Uint64n(256)))
+		default:
+			k = uint32(r.Uint64())
+		}
+		keys[i] = k
+		oracle.Add(k)
+	}
+	return oracle, keys
+}
+
+func TestMetricsOnDeterministicBaseline(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	oracle, keys := buildStream(30000, 1)
+	alg := mst.New(dom, 0.005)
+	for _, k := range keys {
+		alg.Update(k)
+	}
+	out := alg.Output(0.1)
+
+	if r := metrics.AccuracyErrorRatio(out, oracle, 0.005); r != 0 {
+		t.Errorf("MST accuracy error ratio = %v, want 0", r)
+	}
+	if r := metrics.CoverageErrorRatio(out, oracle, 0.1); r != 0 {
+		t.Errorf("MST coverage error ratio = %v, want 0", r)
+	}
+	ex := oracle.HHH(0.1)
+	if r := metrics.Recall(out, ex); r != 1 {
+		t.Errorf("MST recall = %v, want 1", r)
+	}
+	// FPR is allowed to be positive (approximate HHH admits supersets) but
+	// must be bounded well below 1 on this strongly structured stream.
+	if r := metrics.FalsePositiveRatio(out, ex); r > 0.8 {
+		t.Errorf("MST FPR = %v suspiciously high", r)
+	}
+}
+
+func TestFalsePositiveRatioCorners(t *testing.T) {
+	var empty []core.Result[uint32]
+	if r := metrics.FalsePositiveRatio(empty, nil); r != 0 {
+		t.Errorf("empty output FPR = %v", r)
+	}
+	out := []core.Result[uint32]{{Key: 1, Node: 0}}
+	if r := metrics.FalsePositiveRatio(out, nil); r != 1 {
+		t.Errorf("all-false output FPR = %v, want 1", r)
+	}
+	ex := []exact.Result[uint32]{{Key: 1, Node: 0}}
+	if r := metrics.FalsePositiveRatio(out, ex); r != 0 {
+		t.Errorf("all-true output FPR = %v, want 0", r)
+	}
+}
+
+func TestRecallCorners(t *testing.T) {
+	if r := metrics.Recall[uint32](nil, nil); r != 1 {
+		t.Errorf("recall with empty exact set = %v, want 1", r)
+	}
+	ex := []exact.Result[uint32]{{Key: 1, Node: 0}, {Key: 2, Node: 0}}
+	out := []core.Result[uint32]{{Key: 1, Node: 0}}
+	if r := metrics.Recall(out, ex); r != 0.5 {
+		t.Errorf("recall = %v, want 0.5", r)
+	}
+}
+
+func TestAccuracyErrorCountsDeviations(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	oracle := exact.New(dom)
+	for i := 0; i < 1000; i++ {
+		oracle.Add(ip4(1, 1, 1, 1))
+	}
+	// A fabricated result claiming double the true frequency.
+	out := []core.Result[uint32]{{
+		Key: ip4(1, 1, 1, 1), Node: dom.FullNode(), Upper: 2000, Lower: 900,
+	}}
+	if r := metrics.AccuracyErrorRatio(out, oracle, 0.01); r != 1 {
+		t.Errorf("ratio = %v, want 1 (estimate off by 1000 > 10)", r)
+	}
+	out[0].Upper = 1005
+	if r := metrics.AccuracyErrorRatio(out, oracle, 0.01); r != 0 {
+		t.Errorf("ratio = %v, want 0 (estimate within εN)", r)
+	}
+}

@@ -1,0 +1,287 @@
+// Package sketch implements a conservative-update Count-Min sketch with an
+// attached heavy-hitters list. The paper (Definition 4/5 and §3.1) notes that
+// sketches such as Count-Min can replace Space Saving as the per-level
+// algorithm provided "each sketch should also maintain a list of heavy hitter
+// items" — this package is that combination, used as a pluggable RHHH
+// backend and in ablation benchmarks.
+package sketch
+
+// CountMin is a Count-Min sketch plus a bounded top-k list of tracked keys.
+// Not safe for concurrent use.
+//
+// The caller supplies a 64-bit fingerprint function for the key type; row
+// hashes are derived by mixing the fingerprint with per-row seeds, so one
+// good hash suffices (Kirsch–Mitzenmacher style double hashing).
+type CountMin[K comparable] struct {
+	width  int
+	depth  int
+	rows   [][]uint64
+	seeds  []uint64
+	hash   func(K) uint64
+	n      uint64
+	topCap int
+	top    *topList[K]
+}
+
+// mix finalizes a 64-bit value (splitmix64 finalizer).
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 is a ready-made fingerprint for integer-like keys.
+func Hash64(k uint64) uint64 { return mix(k ^ 0x9e3779b97f4a7c15) }
+
+// New returns a Count-Min sketch with the given width (counters per row),
+// depth (rows) and top-list capacity; hash fingerprints keys. width, depth
+// and topCapacity must be at least 1.
+func New[K comparable](width, depth, topCapacity int, hash func(K) uint64) *CountMin[K] {
+	if width < 1 || depth < 1 || topCapacity < 1 {
+		panic("sketch: width, depth and topCapacity must be >= 1")
+	}
+	if depth > 16 {
+		panic("sketch: depth must be <= 16")
+	}
+	cm := &CountMin[K]{
+		width:  width,
+		depth:  depth,
+		rows:   make([][]uint64, depth),
+		seeds:  make([]uint64, depth),
+		hash:   hash,
+		topCap: topCapacity,
+		top:    newTopList[K](topCapacity),
+	}
+	for i := range cm.rows {
+		cm.rows[i] = make([]uint64, width)
+		cm.seeds[i] = mix(uint64(i+1) * 0x9e3779b97f4a7c15)
+	}
+	return cm
+}
+
+// NewForEpsilon sizes the sketch for an (ε, δ)-Frequency Estimation
+// guarantee: width = ⌈e/ε⌉, depth = ⌈ln(1/δ)⌉, top list of ⌈1/ε⌉ keys.
+func NewForEpsilon[K comparable](epsilon, delta float64, hash func(K) uint64) *CountMin[K] {
+	if !(epsilon > 0 && epsilon < 1) || !(delta > 0 && delta < 1) {
+		panic("sketch: epsilon and delta must be in (0,1)")
+	}
+	width := int(2.718281828459045/epsilon) + 1
+	depth := 1
+	for p := delta; p < 1; p *= 2.718281828459045 {
+		depth++
+		if depth > 16 {
+			break
+		}
+	}
+	topCap := int(1/epsilon) + 1
+	return New[K](width, depth, topCap, hash)
+}
+
+// N returns the total weight processed.
+func (cm *CountMin[K]) N() uint64 { return cm.n }
+
+// Len returns the number of keys on the heavy-hitters list.
+func (cm *CountMin[K]) Len() int { return cm.top.len() }
+
+// Capacity returns the top-list capacity.
+func (cm *CountMin[K]) Capacity() int { return cm.topCap }
+
+// ErrBound returns the additive overestimation bound εN implied by the
+// sketch width (ε = e/width).
+func (cm *CountMin[K]) ErrBound() uint64 {
+	return uint64(2.718281828459045 / float64(cm.width) * float64(cm.n))
+}
+
+// Increment adds one occurrence of key k.
+func (cm *CountMin[K]) Increment(k K) { cm.IncrementBy(k, 1) }
+
+// IncrementBy adds weight w of key k using conservative update: only the
+// rows currently holding the minimum are advanced, which tightens estimates
+// without violating the overestimate-only property.
+func (cm *CountMin[K]) IncrementBy(k K, w uint64) {
+	if w == 0 {
+		return
+	}
+	cm.n += w
+	fp := cm.hash(k)
+	est := ^uint64(0)
+	var idx [16]int
+	for i := 0; i < cm.depth; i++ {
+		j := int(mix(fp^cm.seeds[i]) % uint64(cm.width))
+		idx[i] = j
+		if v := cm.rows[i][j]; v < est {
+			est = v
+		}
+	}
+	target := est + w
+	for i := 0; i < cm.depth; i++ {
+		if cm.rows[i][idx[i]] < target {
+			cm.rows[i][idx[i]] = target
+		}
+	}
+	cm.top.offer(k, target)
+}
+
+// Estimate returns the Count-Min estimate of k's frequency (an upper bound
+// on the true count, within εN of it with probability 1−δ).
+func (cm *CountMin[K]) Estimate(k K) uint64 {
+	fp := cm.hash(k)
+	est := ^uint64(0)
+	for i := 0; i < cm.depth; i++ {
+		j := int(mix(fp^cm.seeds[i]) % uint64(cm.width))
+		if v := cm.rows[i][j]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Query reports the estimate, its additive error bound, and whether k is on
+// the heavy-hitters list (mirrors the Space Saving Query shape).
+func (cm *CountMin[K]) Query(k K) (count, err uint64, ok bool) {
+	est := cm.Estimate(k)
+	e := cm.ErrBound()
+	if e > est {
+		e = est
+	}
+	return est, e, cm.top.contains(k)
+}
+
+// Bounds returns upper and lower bounds on the true frequency of k.
+func (cm *CountMin[K]) Bounds(k K) (upper, lower uint64) {
+	est := cm.Estimate(k)
+	e := cm.ErrBound()
+	if e > est {
+		return est, 0
+	}
+	return est, est - e
+}
+
+// ForEach visits the tracked heavy-hitter keys with their current estimate
+// and error bound (order unspecified).
+func (cm *CountMin[K]) ForEach(fn func(k K, count, err uint64)) {
+	e := cm.ErrBound()
+	cm.top.forEach(func(k K, est uint64) {
+		err := e
+		if err > est {
+			err = est
+		}
+		fn(k, est, err)
+	})
+}
+
+// Reset clears all state.
+func (cm *CountMin[K]) Reset() {
+	for i := range cm.rows {
+		for j := range cm.rows[i] {
+			cm.rows[i][j] = 0
+		}
+	}
+	cm.n = 0
+	cm.top = newTopList[K](cm.topCap)
+}
+
+// MinCount mirrors the Space Saving accessor: the smallest estimate on the
+// heavy-hitters list once it is full (an unlisted key may have any estimate
+// up to that), 0 while it has spare room.
+func (cm *CountMin[K]) MinCount() uint64 {
+	if cm.top.len() < cm.topCap {
+		return 0
+	}
+	return cm.top.min()
+}
+
+// topList is a small min-heap of the highest-estimate keys.
+type topList[K comparable] struct {
+	cap     int
+	pos     map[K]int
+	entries []topEntry[K]
+}
+
+type topEntry[K comparable] struct {
+	key K
+	est uint64
+}
+
+func newTopList[K comparable](capacity int) *topList[K] {
+	return &topList[K]{cap: capacity, pos: make(map[K]int, capacity)}
+}
+
+func (t *topList[K]) len() int { return len(t.entries) }
+
+func (t *topList[K]) contains(k K) bool {
+	_, ok := t.pos[k]
+	return ok
+}
+
+func (t *topList[K]) min() uint64 {
+	if len(t.entries) == 0 {
+		return 0
+	}
+	return t.entries[0].est
+}
+
+func (t *topList[K]) forEach(fn func(K, uint64)) {
+	for _, e := range t.entries {
+		fn(e.key, e.est)
+	}
+}
+
+// offer records that k's estimate is now est, inserting or evicting the
+// current minimum as needed.
+func (t *topList[K]) offer(k K, est uint64) {
+	if i, ok := t.pos[k]; ok {
+		t.entries[i].est = est
+		t.siftDown(i)
+		return
+	}
+	if len(t.entries) < t.cap {
+		t.entries = append(t.entries, topEntry[K]{k, est})
+		t.pos[k] = len(t.entries) - 1
+		t.siftUp(len(t.entries) - 1)
+		return
+	}
+	if est <= t.entries[0].est {
+		return
+	}
+	delete(t.pos, t.entries[0].key)
+	t.entries[0] = topEntry[K]{k, est}
+	t.pos[k] = 0
+	t.siftDown(0)
+}
+
+func (t *topList[K]) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.entries[p].est <= t.entries[i].est {
+			return
+		}
+		t.swap(p, i)
+		i = p
+	}
+}
+
+func (t *topList[K]) siftDown(i int) {
+	n := len(t.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && t.entries[l].est < t.entries[m].est {
+			m = l
+		}
+		if r < n && t.entries[r].est < t.entries[m].est {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.swap(m, i)
+		i = m
+	}
+}
+
+func (t *topList[K]) swap(i, j int) {
+	t.entries[i], t.entries[j] = t.entries[j], t.entries[i]
+	t.pos[t.entries[i].key] = i
+	t.pos[t.entries[j].key] = j
+}

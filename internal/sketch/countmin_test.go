@@ -1,0 +1,225 @@
+package sketch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rhhh/internal/fastrand"
+)
+
+func newCM(width, depth, top int) *CountMin[uint64] {
+	return New[uint64](width, depth, top, Hash64)
+}
+
+func TestEstimateNeverUnderestimates(t *testing.T) {
+	cm := newCM(64, 4, 16)
+	r := fastrand.New(1)
+	exact := map[uint64]uint64{}
+	for i := 0; i < 20000; i++ {
+		k := r.Uint64n(500)
+		cm.Increment(k)
+		exact[k]++
+	}
+	for k, f := range exact {
+		if est := cm.Estimate(k); est < f {
+			t.Fatalf("key %d: estimate %d < true %d", k, est, f)
+		}
+	}
+}
+
+func TestExactWhenNoCollisions(t *testing.T) {
+	cm := newCM(4096, 4, 64)
+	for i := uint64(0); i < 10; i++ {
+		for j := uint64(0); j <= i; j++ {
+			cm.Increment(i)
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		if est := cm.Estimate(i); est != i+1 {
+			t.Fatalf("key %d: estimate %d, want %d (width large enough to avoid collisions)", i, est, i+1)
+		}
+	}
+}
+
+func TestErrorWithinBound(t *testing.T) {
+	// With width w, overestimation ≤ e/w·N with probability ≥ 1−e^-depth.
+	cm := newCM(200, 5, 32)
+	r := fastrand.New(2)
+	exact := map[uint64]uint64{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		k := r.Uint64n(2000)
+		cm.Increment(k)
+		exact[k]++
+	}
+	bound := cm.ErrBound()
+	bad := 0
+	for k, f := range exact {
+		if cm.Estimate(k) > f+bound {
+			bad++
+		}
+	}
+	if bad > len(exact)/100 {
+		t.Fatalf("%d/%d keys exceed the εN bound", bad, len(exact))
+	}
+}
+
+func TestTopListTracksHeavies(t *testing.T) {
+	cm := newCM(512, 4, 8)
+	r := fastrand.New(3)
+	for i := 0; i < 30000; i++ {
+		if r.Uint64n(2) == 0 {
+			cm.Increment(r.Uint64n(4)) // 4 heavy keys, ~50% of traffic
+		} else {
+			cm.Increment(1000 + r.Uint64n(100000))
+		}
+	}
+	for k := uint64(0); k < 4; k++ {
+		if _, _, ok := cm.Query(k); !ok {
+			t.Fatalf("heavy key %d missing from top list", k)
+		}
+	}
+}
+
+func TestForEachVisitsTrackedOnly(t *testing.T) {
+	cm := newCM(256, 4, 4)
+	for i := uint64(0); i < 100; i++ {
+		cm.Increment(i % 10)
+	}
+	seen := 0
+	cm.ForEach(func(k uint64, count, err uint64) {
+		seen++
+		if count == 0 {
+			t.Fatalf("tracked key %d has zero estimate", k)
+		}
+		if err > count {
+			t.Fatalf("err %d > count %d", err, count)
+		}
+	})
+	if seen == 0 || seen > 4 {
+		t.Fatalf("ForEach visited %d keys, want 1..4", seen)
+	}
+}
+
+func TestBoundsBracket(t *testing.T) {
+	cm := newCM(128, 4, 16)
+	r := fastrand.New(4)
+	exact := map[uint64]uint64{}
+	for i := 0; i < 20000; i++ {
+		k := r.Uint64n(300)
+		cm.Increment(k)
+		exact[k]++
+	}
+	violations := 0
+	for k, f := range exact {
+		up, lo := cm.Bounds(k)
+		if f > up {
+			t.Fatalf("upper bound violated for %d: %d > %d", k, f, up)
+		}
+		if f < lo {
+			violations++ // lower bound is probabilistic; must be rare
+		}
+	}
+	if violations > len(exact)/50 {
+		t.Fatalf("lower bound violated for %d/%d keys", violations, len(exact))
+	}
+}
+
+func TestWeightedMatchesRepeated(t *testing.T) {
+	a := newCM(256, 4, 16)
+	b := newCM(256, 4, 16)
+	r := fastrand.New(5)
+	for i := 0; i < 500; i++ {
+		k := r.Uint64n(50)
+		w := 1 + r.Uint64n(7)
+		a.IncrementBy(k, w)
+		for j := uint64(0); j < w; j++ {
+			b.Increment(k)
+		}
+	}
+	if a.N() != b.N() {
+		t.Fatalf("N mismatch %d vs %d", a.N(), b.N())
+	}
+	for k := uint64(0); k < 50; k++ {
+		// Conservative update can differ slightly between the two orders,
+		// but both remain overestimates of the same stream; they agree here
+		// because each key hits the same cells.
+		ea, eb := a.Estimate(k), b.Estimate(k)
+		if ea != eb {
+			t.Fatalf("key %d: weighted %d vs repeated %d", k, ea, eb)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	cm := newCM(64, 3, 8)
+	for i := uint64(0); i < 1000; i++ {
+		cm.Increment(i % 7)
+	}
+	cm.Reset()
+	if cm.N() != 0 || cm.Len() != 0 || cm.MinCount() != 0 {
+		t.Fatal("Reset left state")
+	}
+	if cm.Estimate(3) != 0 {
+		t.Fatal("estimates nonzero after Reset")
+	}
+}
+
+func TestNewForEpsilon(t *testing.T) {
+	cm := NewForEpsilon[uint64](0.01, 0.01, Hash64)
+	if cm.width < 100 {
+		t.Fatalf("width %d too small for ε=0.01", cm.width)
+	}
+	if cm.depth < 2 {
+		t.Fatalf("depth %d too small for δ=0.01", cm.depth)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	cases := []func(){
+		func() { New[uint64](0, 1, 1, Hash64) },
+		func() { New[uint64](1, 0, 1, Hash64) },
+		func() { New[uint64](1, 1, 0, Hash64) },
+		func() { New[uint64](1, 17, 1, Hash64) },
+		func() { NewForEpsilon[uint64](0, 0.1, Hash64) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestMonotoneN property: N equals the sum of all weights offered.
+func TestMonotoneN(t *testing.T) {
+	f := func(ws []uint8) bool {
+		cm := newCM(32, 2, 4)
+		var want uint64
+		for i, w := range ws {
+			cm.IncrementBy(uint64(i%16), uint64(w))
+			want += uint64(w)
+		}
+		return cm.N() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCountMinIncrement(b *testing.B) {
+	cm := NewForEpsilon[uint64](0.001, 0.001, Hash64)
+	r := fastrand.New(1)
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = r.Uint64n(1 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Increment(keys[i&4095])
+	}
+}

@@ -1,0 +1,147 @@
+package spacesaving
+
+// Heap is a min-heap-backed Space Saving instance. Updates are O(log c)
+// where c is the capacity, for unit and weighted increments alike. It
+// provides the same estimation guarantees as Summary; the paper notes the
+// O(H·log(1/ε)) update time of MST on weighted inputs comes from exactly
+// this kind of structure. Summary is preferred on unitary streams (O(1));
+// Heap is the backend for weighted streams and the ablation benchmarks.
+type Heap[K comparable] struct {
+	capacity int
+	pos      map[K]int // key → index in heap
+	entries  []heapEntry[K]
+	n        uint64
+}
+
+type heapEntry[K comparable] struct {
+	key   K
+	count uint64
+	err   uint64
+}
+
+// NewHeap returns a heap-backed Space Saving instance with the given number
+// of counters. capacity must be at least 1.
+func NewHeap[K comparable](capacity int) *Heap[K] {
+	if capacity < 1 {
+		panic("spacesaving: capacity must be >= 1")
+	}
+	return &Heap[K]{
+		capacity: capacity,
+		pos:      make(map[K]int, capacity),
+		entries:  make([]heapEntry[K], 0, capacity),
+	}
+}
+
+// Capacity returns the number of counters the instance was built with.
+func (h *Heap[K]) Capacity() int { return h.capacity }
+
+// N returns the total weight processed so far.
+func (h *Heap[K]) N() uint64 { return h.n }
+
+// Len returns the number of currently monitored keys.
+func (h *Heap[K]) Len() int { return len(h.entries) }
+
+// MinCount returns the smallest tracked count, or 0 while below capacity.
+func (h *Heap[K]) MinCount() uint64 {
+	if len(h.entries) < h.capacity || len(h.entries) == 0 {
+		return 0
+	}
+	return h.entries[0].count
+}
+
+// Increment adds one occurrence of key k.
+func (h *Heap[K]) Increment(k K) { h.IncrementBy(k, 1) }
+
+// IncrementBy adds weight w of key k in O(log capacity).
+func (h *Heap[K]) IncrementBy(k K, w uint64) {
+	if w == 0 {
+		return
+	}
+	h.n += w
+	if i, ok := h.pos[k]; ok {
+		h.entries[i].count += w
+		h.siftDown(i)
+		return
+	}
+	if len(h.entries) < h.capacity {
+		h.entries = append(h.entries, heapEntry[K]{key: k, count: w})
+		h.pos[k] = len(h.entries) - 1
+		h.siftUp(len(h.entries) - 1)
+		return
+	}
+	// Evict the minimum.
+	minCount := h.entries[0].count
+	delete(h.pos, h.entries[0].key)
+	h.entries[0] = heapEntry[K]{key: k, count: minCount + w, err: minCount}
+	h.pos[k] = 0
+	h.siftDown(0)
+}
+
+// Query returns the counter value, its maximum overestimation error, and
+// whether k is currently monitored.
+func (h *Heap[K]) Query(k K) (count, err uint64, ok bool) {
+	i, ok := h.pos[k]
+	if !ok {
+		return 0, 0, false
+	}
+	return h.entries[i].count, h.entries[i].err, true
+}
+
+// Bounds returns upper and lower frequency bounds for k, matching
+// Summary.Bounds semantics.
+func (h *Heap[K]) Bounds(k K) (upper, lower uint64) {
+	if i, ok := h.pos[k]; ok {
+		return h.entries[i].count, h.entries[i].count - h.entries[i].err
+	}
+	return h.MinCount(), 0
+}
+
+// ForEach calls fn for every monitored key (order unspecified).
+func (h *Heap[K]) ForEach(fn func(k K, count, err uint64)) {
+	for _, e := range h.entries {
+		fn(e.key, e.count, e.err)
+	}
+}
+
+// Reset clears all state.
+func (h *Heap[K]) Reset() {
+	h.pos = make(map[K]int, h.capacity)
+	h.entries = h.entries[:0]
+	h.n = 0
+}
+
+func (h *Heap[K]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.entries[parent].count <= h.entries[i].count {
+			return
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *Heap[K]) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.entries[l].count < h.entries[smallest].count {
+			smallest = l
+		}
+		if r < n && h.entries[r].count < h.entries[smallest].count {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(smallest, i)
+		i = smallest
+	}
+}
+
+func (h *Heap[K]) swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.pos[h.entries[i].key] = i
+	h.pos[h.entries[j].key] = j
+}

@@ -1,0 +1,70 @@
+package spacesaving
+
+import "sort"
+
+// Merge combines two Space Saving summaries over disjoint sub-streams into
+// one summary over their union, in the style of mergeable summaries
+// (Agarwal et al., PODS 2012). For every key the merged upper bound is the
+// sum of the two upper bounds (using MinCount for a summary that does not
+// monitor the key) and the merged lower bound is the sum of the lower
+// bounds, so the Definition 4 contract is preserved:
+//
+//	fa(k)+fb(k) ≤ upper(k),   lower(k) ≤ fa(k)+fb(k),
+//	upper(k)−lower(k) ≤ εa·Na + εb·Nb.
+//
+// Only the `capacity` keys with the largest upper bounds are retained; a
+// dropped key's frequency is bounded by the merged MinCount, exactly as in
+// a freshly built summary. Merging therefore supports the multi-queue
+// deployment: shard a stream across cores, one summary each, and merge at
+// query time.
+func Merge[K comparable](a, b *Summary[K], capacity int) *Summary[K] {
+	if capacity < 1 {
+		panic("spacesaving: capacity must be >= 1")
+	}
+	type pair struct {
+		key          K
+		upper, lower uint64
+	}
+	union := make(map[K]pair, a.Len()+b.Len())
+	collect := func(from, other *Summary[K]) {
+		from.ForEach(func(k K, count, err uint64) {
+			if _, seen := union[k]; seen {
+				return
+			}
+			oUp, oLo := other.Bounds(k)
+			union[k] = pair{key: k, upper: count + oUp, lower: count - err + oLo}
+		})
+	}
+	collect(a, b)
+	collect(b, a)
+
+	pairs := make([]pair, 0, len(union))
+	for _, p := range union {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].upper > pairs[j].upper })
+	if len(pairs) > capacity {
+		pairs = pairs[:capacity]
+	}
+	// Rebuild a well-formed summary: insert counters in ascending count
+	// order so the bucket list is constructed in one pass.
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].upper < pairs[j].upper })
+	out := New[K](capacity)
+	out.n = a.n + b.n
+	var tail *bucket[K]
+	for _, p := range pairs {
+		c := &counter[K]{key: p.key, err: p.upper - p.lower}
+		out.items[p.key] = c
+		if tail == nil || tail.count != p.upper {
+			nb := &bucket[K]{count: p.upper, prev: tail}
+			if tail != nil {
+				tail.next = nb
+			} else {
+				out.min = nb
+			}
+			tail = nb
+		}
+		out.pushCounter(tail, c)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package spacesaving
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rhhh/internal/fastrand"
+)
+
+func TestMergeExactWhenUnderCapacity(t *testing.T) {
+	a := New[uint64](16)
+	b := New[uint64](16)
+	for i := 0; i < 5; i++ {
+		a.Increment(1)
+		b.Increment(1)
+		b.Increment(2)
+	}
+	m := Merge(a, b, 16)
+	if m.N() != a.N()+b.N() {
+		t.Fatalf("N = %d", m.N())
+	}
+	if c, err, ok := m.Query(1); !ok || c != 10 || err != 0 {
+		t.Fatalf("Query(1) = (%d,%d,%v), want (10,0,true)", c, err, ok)
+	}
+	if c, err, ok := m.Query(2); !ok || c != 5 || err != 0 {
+		t.Fatalf("Query(2) = (%d,%d,%v)", c, err, ok)
+	}
+}
+
+func TestMergeKeepsTopByUpper(t *testing.T) {
+	a := New[uint64](8)
+	b := New[uint64](8)
+	for k := uint64(0); k < 8; k++ {
+		for i := uint64(0); i <= k; i++ {
+			a.Increment(k)
+			b.Increment(k)
+		}
+	}
+	m := Merge(a, b, 3)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for _, k := range []uint64{5, 6, 7} {
+		if _, _, ok := m.Query(k); !ok {
+			t.Fatalf("heavy key %d dropped by merge", k)
+		}
+	}
+}
+
+// TestMergeBoundsBracketTruth: on random skewed streams split in two, the
+// merged bounds must bracket the combined exact counts for every monitored
+// key, and the merged structure must stay internally consistent.
+func TestMergeBoundsBracketTruth(t *testing.T) {
+	r := fastrand.New(11)
+	for trial := 0; trial < 20; trial++ {
+		a := New[uint64](32)
+		b := New[uint64](32)
+		exact := map[uint64]uint64{}
+		for i := 0; i < 20000; i++ {
+			k := r.Uint64n(1 + r.Uint64n(300))
+			exact[k]++
+			if i%2 == 0 {
+				a.Increment(k)
+			} else {
+				b.Increment(k)
+			}
+		}
+		m := Merge(a, b, 32)
+		if m.N() != 20000 {
+			t.Fatalf("N = %d", m.N())
+		}
+		m.ForEach(func(k uint64, count, err uint64) {
+			f := exact[k]
+			if f > count {
+				t.Fatalf("trial %d key %d: upper %d < true %d", trial, k, count, f)
+			}
+			if f < count-err {
+				t.Fatalf("trial %d key %d: lower %d > true %d", trial, k, count-err, f)
+			}
+		})
+		// Unmonitored keys are bounded by the merged MinCount.
+		for k, f := range exact {
+			if _, _, ok := m.Query(k); !ok && f > a.MinCount()+b.MinCount() {
+				t.Fatalf("trial %d: dropped key %d with f=%d above merged min %d",
+					trial, k, f, a.MinCount()+b.MinCount())
+			}
+		}
+		// Merged summary remains usable: more increments keep invariants.
+		m.Increment(99999)
+		if c, _, ok := m.Query(99999); ok && c == 0 {
+			t.Fatal("merged summary broken after further increments")
+		}
+	}
+}
+
+// TestMergeStructureOrdered: the rebuilt bucket list must be strictly
+// ascending so ForEach's descending iteration stays correct.
+func TestMergeStructureOrdered(t *testing.T) {
+	f := func(keysA, keysB []uint8) bool {
+		a := New[uint64](16)
+		b := New[uint64](16)
+		for _, k := range keysA {
+			a.Increment(uint64(k % 32))
+		}
+		for _, k := range keysB {
+			b.Increment(uint64(k % 32))
+		}
+		m := Merge(a, b, 16)
+		prev := ^uint64(0)
+		ok := true
+		m.ForEach(func(_ uint64, count, err uint64) {
+			if count > prev || err > count {
+				ok = false
+			}
+			prev = count
+		})
+		var sum uint64
+		m.ForEach(func(_ uint64, count, _ uint64) { sum += count })
+		// Σ counts can exceed N only through merge-induced overcounts,
+		// which are bounded by the two min counts per key.
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a := New[uint64](4)
+	b := New[uint64](4)
+	m := Merge(a, b, 4)
+	if m.N() != 0 || m.Len() != 0 {
+		t.Fatal("merge of empties not empty")
+	}
+	a.Increment(1)
+	m = Merge(a, b, 4)
+	if c, _, ok := m.Query(1); !ok || c != 1 {
+		t.Fatal("merge with one empty side lost the key")
+	}
+}
+
+func TestMergePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Merge(New[uint64](4), New[uint64](4), 0)
+}

@@ -1,0 +1,276 @@
+// Package spacesaving implements the Space Saving algorithm of Metwally,
+// Agrawal and El Abbadi (ICDT 2005), the per-lattice-node heavy-hitters
+// building block the paper uses ("we use Space Saving because it is believed
+// to have an empirical edge over other algorithms").
+//
+// Summary is the Stream-Summary variant with O(1) worst-case updates — the
+// property Theorem 6.18 relies on for RHHH's O(1) update complexity. Heap is
+// a min-heap variant with O(log n) updates that also supports weighted
+// increments efficiently; it exists for the weighted-input extension and as
+// an ablation baseline.
+//
+// Guarantees (for capacity c after N unit updates):
+//
+//   - every monitored key satisfies count−error ≤ f ≤ count;
+//   - every key with f > N/c is monitored;
+//   - an unmonitored key has f ≤ MinCount() ≤ N/c.
+//
+// These are exactly the (ε,0)-Frequency Estimation requirements of
+// Definition 4 with c = ⌈1/ε⌉ counters.
+package spacesaving
+
+// counter tracks one monitored key. Counters with equal counts hang off a
+// shared bucket; the count itself lives on the bucket (the Stream-Summary
+// trick that makes increments O(1)).
+type counter[K comparable] struct {
+	key        K
+	err        uint64
+	bkt        *bucket[K]
+	prev, next *counter[K] // siblings in the same bucket, doubly linked
+}
+
+// bucket groups counters with the same count. Buckets form a doubly linked
+// list ordered by count ascending.
+type bucket[K comparable] struct {
+	count      uint64
+	head       *counter[K]
+	prev, next *bucket[K]
+}
+
+// Summary is a Stream-Summary Space Saving instance. It is not safe for
+// concurrent use; RHHH gives each lattice node its own instance.
+type Summary[K comparable] struct {
+	capacity int
+	items    map[K]*counter[K]
+	min      *bucket[K] // bucket with the smallest count, or nil when empty
+	n        uint64     // total weight of all increments
+	freeBkt  *bucket[K] // free list, avoids steady-state allocation
+}
+
+// New returns a Space Saving instance with the given number of counters.
+// capacity must be at least 1.
+func New[K comparable](capacity int) *Summary[K] {
+	if capacity < 1 {
+		panic("spacesaving: capacity must be >= 1")
+	}
+	return &Summary[K]{
+		capacity: capacity,
+		items:    make(map[K]*counter[K], capacity),
+	}
+}
+
+// Capacity returns the number of counters the instance was built with.
+func (s *Summary[K]) Capacity() int { return s.capacity }
+
+// N returns the total weight processed so far.
+func (s *Summary[K]) N() uint64 { return s.n }
+
+// Len returns the number of currently monitored keys.
+func (s *Summary[K]) Len() int { return len(s.items) }
+
+// MinCount returns the smallest tracked count, or 0 while the table has
+// spare capacity (an unseen key then provably has frequency 0).
+func (s *Summary[K]) MinCount() uint64 {
+	if len(s.items) < s.capacity || s.min == nil {
+		return 0
+	}
+	return s.min.count
+}
+
+// Increment adds one occurrence of key k. O(1) worst case.
+func (s *Summary[K]) Increment(k K) {
+	s.n++
+	if c, ok := s.items[k]; ok {
+		s.bump(c, c.bkt.count+1)
+		return
+	}
+	if len(s.items) < s.capacity {
+		c := &counter[K]{key: k}
+		s.items[k] = c
+		s.attach(c, 1)
+		return
+	}
+	// Evict a counter from the minimum bucket (any one; we take the head).
+	c := s.min.head
+	delete(s.items, c.key)
+	minCount := s.min.count
+	c.key = k
+	c.err = minCount
+	s.items[k] = c
+	s.bump(c, minCount+1)
+}
+
+// IncrementBy adds weight w of key k. For monitored keys the counter may
+// skip past several buckets; the walk is bounded by the number of distinct
+// counts, so this is O(min(capacity, w)) worst case — use Heap when weighted
+// updates dominate.
+func (s *Summary[K]) IncrementBy(k K, w uint64) {
+	if w == 0 {
+		return
+	}
+	s.n += w
+	if c, ok := s.items[k]; ok {
+		s.bump(c, c.bkt.count+w)
+		return
+	}
+	if len(s.items) < s.capacity {
+		c := &counter[K]{key: k}
+		s.items[k] = c
+		s.attach(c, w)
+		return
+	}
+	c := s.min.head
+	delete(s.items, c.key)
+	minCount := s.min.count
+	c.key = k
+	c.err = minCount
+	s.items[k] = c
+	s.bump(c, minCount+w)
+}
+
+// Query returns the counter value, its maximum overestimation error, and
+// whether k is currently monitored.
+func (s *Summary[K]) Query(k K) (count, err uint64, ok bool) {
+	c, ok := s.items[k]
+	if !ok {
+		return 0, 0, false
+	}
+	return c.bkt.count, c.err, true
+}
+
+// Bounds returns an upper and a lower bound on the true frequency of k:
+// (count, count−error) for monitored keys, (MinCount, 0) otherwise.
+func (s *Summary[K]) Bounds(k K) (upper, lower uint64) {
+	if c, ok := s.items[k]; ok {
+		return c.bkt.count, c.bkt.count - c.err
+	}
+	return s.MinCount(), 0
+}
+
+// ForEach calls fn for every monitored key with its count and error, in
+// descending count order.
+func (s *Summary[K]) ForEach(fn func(k K, count, err uint64)) {
+	// Find the maximum bucket by walking from min; buckets are few compared
+	// to counters only in skewed streams, so instead walk from min to end
+	// collecting in reverse via recursion-free two-pass.
+	if s.min == nil {
+		return
+	}
+	last := s.min
+	for last.next != nil {
+		last = last.next
+	}
+	for b := last; b != nil; b = b.prev {
+		for c := b.head; c != nil; c = c.next {
+			fn(c.key, b.count, c.err)
+		}
+	}
+}
+
+// Reset clears all state.
+func (s *Summary[K]) Reset() {
+	s.items = make(map[K]*counter[K], s.capacity)
+	s.min = nil
+	s.n = 0
+	s.freeBkt = nil
+}
+
+// attach inserts a brand-new counter with the given count into the bucket
+// list (used only while below capacity, so count is small; the target bucket
+// is at or near the front).
+func (s *Summary[K]) attach(c *counter[K], count uint64) {
+	b := s.min
+	var prev *bucket[K]
+	for b != nil && b.count < count {
+		prev = b
+		b = b.next
+	}
+	if b == nil || b.count != count {
+		b = s.newBucket(count, prev, b)
+	}
+	s.pushCounter(b, c)
+}
+
+// bump moves counter c (currently in some bucket) to count newCount,
+// creating/removing buckets as needed. newCount must exceed c's count.
+func (s *Summary[K]) bump(c *counter[K], newCount uint64) {
+	old := c.bkt
+	s.removeCounter(c)
+	// Walk forward to the insertion point. For unit increments this is at
+	// most one step, preserving O(1).
+	b := old
+	var prev *bucket[K]
+	for b != nil && b.count < newCount {
+		prev = b
+		b = b.next
+	}
+	if b == nil || b.count != newCount {
+		b = s.newBucket(newCount, prev, b)
+	}
+	s.pushCounter(b, c)
+	if old.head == nil {
+		s.removeBucket(old)
+	}
+}
+
+// pushCounter puts c at the head of bucket b.
+func (s *Summary[K]) pushCounter(b *bucket[K], c *counter[K]) {
+	c.bkt = b
+	c.prev = nil
+	c.next = b.head
+	if b.head != nil {
+		b.head.prev = c
+	}
+	b.head = c
+}
+
+// removeCounter unlinks c from its bucket (without removing an emptied
+// bucket; callers handle that so bump can reuse the position).
+func (s *Summary[K]) removeCounter(c *counter[K]) {
+	if c.prev != nil {
+		c.prev.next = c.next
+	} else {
+		c.bkt.head = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	}
+	c.prev, c.next = nil, nil
+}
+
+// newBucket inserts a bucket with the given count between prev and next.
+func (s *Summary[K]) newBucket(count uint64, prev, next *bucket[K]) *bucket[K] {
+	b := s.freeBkt
+	if b != nil {
+		s.freeBkt = b.next
+		*b = bucket[K]{count: count}
+	} else {
+		b = &bucket[K]{count: count}
+	}
+	b.prev = prev
+	b.next = next
+	if prev != nil {
+		prev.next = b
+	} else {
+		s.min = b
+	}
+	if next != nil {
+		next.prev = b
+	}
+	return b
+}
+
+// removeBucket unlinks an empty bucket and recycles it.
+func (s *Summary[K]) removeBucket(b *bucket[K]) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.min = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+	b.prev = nil
+	b.next = s.freeBkt
+	s.freeBkt = b
+}

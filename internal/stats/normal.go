@@ -1,0 +1,103 @@
+// Package stats implements the statistical machinery the paper relies on:
+// standard-normal quantiles Z(α) for the sampling-error correction
+// (Algorithm 1 line 13 and ψ of Theorem 6.17), approximate Poisson confidence
+// limits (Schwertman–Martinez [40]), and two-sided Student-t confidence
+// intervals used by the evaluation section ("we ran each data point 5 times
+// and used two-sided Student's t-test to determine 95% confidence
+// intervals").
+//
+// Everything is plain float64 math on top of the standard library; no
+// external numerics packages are used.
+package stats
+
+import "math"
+
+// NormalCDF returns Φ(x), the cumulative distribution function of the
+// standard normal distribution.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p in (0, 1): the z value such that a
+// standard normal variable is below it with probability p. It uses Peter
+// Acklam's rational approximation refined with one Halley step against
+// math.Erfc, which is accurate to close to full double precision.
+//
+// NormalQuantile panics if p is outside (0, 1); the callers in this module
+// always derive p from a δ in (0, 1).
+func NormalQuantile(p float64) float64 {
+	if !(p > 0 && p < 1) {
+		panic("stats: NormalQuantile requires 0 < p < 1")
+	}
+
+	// Coefficients for Acklam's approximation.
+	var (
+		a = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+			-2.759285104469687e+02, 1.383577518672690e+02,
+			-3.066479806614716e+01, 2.506628277459239e+00}
+		b = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+			-1.556989798598866e+02, 6.680131188771972e+01,
+			-1.328068155288572e+01}
+		c = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+			-2.400758277161838e+00, -2.549732539343734e+00,
+			4.374664141464968e+00, 2.938163982698783e+00}
+		d = [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+			2.445134137142996e+00, 3.754408661907416e+00}
+	)
+	const pLow = 0.02425
+
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+
+	// One Halley refinement step: e = Φ(x) − p, u = e·√(2π)·exp(x²/2).
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// Z returns Z(1−δ) = Φ⁻¹(1−δ), the z value used throughout the paper's
+// analysis (e.g. the 2·Z(1−δ)·√(N·V) conditioned-frequency correction).
+// δ must be in (0, 1).
+func Z(delta float64) float64 {
+	return NormalQuantile(1 - delta)
+}
+
+// PoissonCI returns approximate (1−δ) two-sided confidence limits for the
+// mean of a Poisson variable observed as x events, following the
+// Wilson–Hilferty style approximation recommended by Schwertman and Martinez
+// [40], which the paper cites for its Poisson confidence intervals
+// (Lemma 6.2's normal approximation is the large-mean limit of this).
+func PoissonCI(x float64, delta float64) (lo, hi float64) {
+	if x < 0 {
+		panic("stats: PoissonCI requires x >= 0")
+	}
+	z := NormalQuantile(1 - delta/2)
+	if x == 0 {
+		lo = 0
+	} else {
+		t := 1 - 1/(9*x) - z/(3*math.Sqrt(x))
+		lo = x * t * t * t
+		if lo < 0 {
+			lo = 0
+		}
+	}
+	x1 := x + 1
+	t := 1 - 1/(9*x1) + z/(3*math.Sqrt(x1))
+	hi = x1 * t * t * t
+	return lo, hi
+}

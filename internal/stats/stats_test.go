@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.99, 2.3263478740408408},
+		{0.999, 3.090232306167813},
+		{0.9999, 3.719016485455709},
+		{0.025, -1.959963984540054},
+		{0.001, -3.090232306167813},
+		{0.1586552539314571, -1.0}, // Φ(-1)
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if !almostEqual(got, c.want, 1e-8) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 0.998) + 0.001 // (0.001, 0.999)
+		x := NormalQuantile(p)
+		return almostEqual(NormalCDF(x), p, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalQuantilePanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestZ(t *testing.T) {
+	// Z(δ) = Φ⁻¹(1−δ); for δ=0.001 this is the paper's typical setting.
+	if got := Z(0.001); !almostEqual(got, 3.090232306167813, 1e-8) {
+		t.Errorf("Z(0.001) = %v", got)
+	}
+	if got := Z(0.5); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("Z(0.5) = %v, want 0", got)
+	}
+}
+
+func TestNormalCDFSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		x = math.Mod(x, 10)
+		return almostEqual(NormalCDF(x)+NormalCDF(-x), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonCICoversObservation(t *testing.T) {
+	for _, x := range []float64{0, 1, 5, 10, 100, 1e6} {
+		lo, hi := PoissonCI(x, 0.05)
+		if lo > x || hi < x {
+			t.Errorf("PoissonCI(%v) = [%v, %v] does not cover x", x, lo, hi)
+		}
+		if lo < 0 {
+			t.Errorf("PoissonCI(%v) lower limit negative: %v", x, lo)
+		}
+	}
+}
+
+func TestPoissonCIZero(t *testing.T) {
+	lo, hi := PoissonCI(0, 0.05)
+	if lo != 0 {
+		t.Errorf("lower limit for x=0 should be 0, got %v", lo)
+	}
+	// Exact upper limit for x=0 at 97.5% is -ln(0.025) ≈ 3.689; the
+	// approximation should be within ~5%.
+	if !almostEqual(hi, 3.689, 0.2) {
+		t.Errorf("upper limit for x=0: got %v, want ≈3.689", hi)
+	}
+}
+
+func TestPoissonCILargeMeanMatchesNormal(t *testing.T) {
+	// For large x the Poisson CI approaches x ± z·√x (Lemma 6.2).
+	x := 1e6
+	lo, hi := PoissonCI(x, 0.05)
+	z := NormalQuantile(0.975)
+	wantLo, wantHi := x-z*math.Sqrt(x), x+z*math.Sqrt(x)
+	if !almostEqual(lo, wantLo, 5) || !almostEqual(hi, wantHi, 5) {
+		t.Errorf("large-mean CI [%v,%v], want ≈[%v,%v]", lo, hi, wantLo, wantHi)
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 5, 0.5},
+		{1, 1, 0.75},                  // Cauchy: arctan(1)/π + 0.5
+		{2.776445105198054, 4, 0.975}, // classic t-table value
+		{-2.776445105198054, 4, 0.025},
+		{1.6448536269514722, 1e7, 0.95}, // huge df ≈ normal
+	}
+	for _, c := range cases {
+		got := StudentTCDF(c.t, c.df)
+		if !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("StudentTCDF(%v, %v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileKnownValues(t *testing.T) {
+	// Values from standard t tables.
+	cases := []struct {
+		p, df, want float64
+	}{
+		{0.975, 4, 2.776445105198054}, // the paper's 5-run 95% CI multiplier
+		{0.975, 1, 12.706204736432095},
+		{0.95, 9, 1.8331129326536335},
+		{0.5, 7, 0},
+		{0.025, 4, -2.776445105198054},
+	}
+	for _, c := range cases {
+		got := StudentTQuantile(c.p, c.df)
+		if !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("StudentTQuantile(%v, %v) = %v, want %v", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileInvertsCDF(t *testing.T) {
+	f := func(rawP float64, rawDF uint8) bool {
+		p := math.Mod(math.Abs(rawP), 0.98) + 0.01
+		df := float64(rawDF%30) + 1
+		x := StudentTQuantile(p, df)
+		return almostEqual(StudentTCDF(x, df), p, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Sample (unbiased) variance of this classic dataset is 32/7.
+	if !almostEqual(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Error("single observation: mean 3, variance 0 expected")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(xs)-1)
+		return almostEqual(w.Mean(), mean, 1e-6*(1+math.Abs(mean))) &&
+			almostEqual(w.Variance(), naiveVar, 1e-6*(1+naiveVar))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{10, 11, 9, 10.5, 9.5}
+	mean, hw := MeanCI(xs, 0.05)
+	if !almostEqual(mean, 10, 1e-12) {
+		t.Errorf("mean = %v", mean)
+	}
+	if hw <= 0 {
+		t.Errorf("half width = %v, want > 0", hw)
+	}
+	// Hand-computed: s² = 0.625, t(0.975, 4) = 2.7764 → hw ≈ 0.98150.
+	if !almostEqual(hw, 0.9815, 1e-3) {
+		t.Errorf("half width = %v, want ≈0.9815", hw)
+	}
+}
+
+func TestMeanCIPanicsOnShortInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MeanCI with one sample did not panic")
+		}
+	}()
+	MeanCI([]float64{1}, 0.05)
+}

@@ -1,0 +1,148 @@
+package stats
+
+import "math"
+
+// regIncBeta returns the regularized incomplete beta function I_x(a, b),
+// computed with the continued-fraction expansion (Lentz's method), the
+// standard approach from Numerical Recipes. Accurate to ~1e-12 for the
+// arguments used here (a, b ≥ 0.5).
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a + math.Log(1-x)*b + lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// StudentTCDF returns P(T ≤ t) for a Student-t variable with df degrees of
+// freedom (df > 0).
+func StudentTCDF(t float64, df float64) float64 {
+	if df <= 0 {
+		panic("stats: StudentTCDF requires df > 0")
+	}
+	if t == 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	p := 0.5 * regIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// StudentTQuantile returns the t value such that P(T ≤ t) = p for a
+// Student-t distribution with df degrees of freedom, via monotone bisection
+// on StudentTCDF (robust, and quantiles are only computed once per
+// experiment, never per packet).
+func StudentTQuantile(p float64, df float64) float64 {
+	if !(p > 0 && p < 1) {
+		panic("stats: StudentTQuantile requires 0 < p < 1")
+	}
+	if df <= 0 {
+		panic("stats: StudentTQuantile requires df > 0")
+	}
+	if p == 0.5 {
+		return 0
+	}
+	if p < 0.5 {
+		return -StudentTQuantile(1-p, df)
+	}
+	// Bracket: start from the normal quantile and expand upward.
+	lo, hi := 0.0, math.Max(2, 2*NormalQuantile(p))
+	for StudentTCDF(hi, df) < p {
+		hi *= 2
+		if hi > 1e9 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MeanCI returns the sample mean of xs and the half-width of its two-sided
+// (1−alpha) Student-t confidence interval, the procedure the paper's
+// evaluation uses across its 5 runs per data point. len(xs) must be ≥ 2.
+func MeanCI(xs []float64, alpha float64) (mean, halfWidth float64) {
+	n := len(xs)
+	if n < 2 {
+		panic("stats: MeanCI requires at least two samples")
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	t := StudentTQuantile(1-alpha/2, float64(n-1))
+	return w.Mean(), t * math.Sqrt(w.Variance()/float64(n))
+}

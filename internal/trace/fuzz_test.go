@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"rhhh/internal/hierarchy"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the link-layer decoder: it must
+// never panic and never return a packet with inconsistent fields.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: valid IPv4/TCP, IPv6/UDP, VLAN-tagged, and truncations.
+	p4 := Packet{SrcIP: hierarchy.AddrFromIPv4(0x0a000001), DstIP: hierarchy.AddrFromIPv4(0xc0a80001), Proto: ProtoTCP, SrcPort: 80, DstPort: 443, Length: 64, TsNanos: 1}
+	f.Add(EncodeFrame(p4))
+	p6 := Packet{V6: true, Proto: ProtoUDP, SrcPort: 53, DstPort: 53, Length: 80, TsNanos: 1}
+	f.Add(EncodeFrame(p6))
+	f.Add(EncodeFrame(p4)[:20])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pkt, err := DecodeFrame(LinkEthernet, b, 1, len(b))
+		if err != nil {
+			return
+		}
+		if pkt.Proto == ProtoTCP || pkt.Proto == ProtoUDP {
+			return // ports may or may not be present; nothing to check
+		}
+		if pkt.SrcPort != 0 || pkt.DstPort != 0 {
+			t.Fatalf("non-transport packet has ports: %+v", pkt)
+		}
+	})
+}
+
+// FuzzPcapReader feeds arbitrary bytes to the pcap reader: it must never
+// panic, never allocate absurd buffers, and always terminate.
+func FuzzPcapReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewPcapWriter(&buf, LinkEthernet)
+	gen := NewSynthetic(Config{Seed: 1})
+	for i := 0; i < 3; i++ {
+		p, _ := gen.Next()
+		_ = w.WritePacket(p)
+	}
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:30])
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := NewPcapReader(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			if _, _, _, err := r.ReadRaw(); err != nil {
+				if err != io.EOF && err == nil {
+					t.Fatal("nil error with failure")
+				}
+				return
+			}
+		}
+	})
+}

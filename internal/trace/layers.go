@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rhhh/internal/hierarchy"
+)
+
+// Link types (pcap "network" field) supported by the decoder.
+const (
+	LinkEthernet = 1
+	LinkRawIP    = 101
+)
+
+// EtherTypes the decoder understands.
+const (
+	etherTypeIPv4 = 0x0800
+	etherTypeIPv6 = 0x86dd
+	etherTypeVLAN = 0x8100
+	etherTypeQinQ = 0x88a8
+)
+
+// Decode errors. Truncated or non-IP frames are reported, not panicked on:
+// real captures contain ARP, LLDP and snap-length-truncated frames, and a
+// replay loop should be able to skip them.
+var (
+	ErrTruncated   = errors.New("trace: truncated packet")
+	ErrNotIP       = errors.New("trace: not an IP packet")
+	ErrUnknownLink = errors.New("trace: unknown link type")
+)
+
+// DecodeFrame parses a link-layer frame into a Packet. Transport ports are
+// filled for TCP/UDP when the bytes are present; a frame cut short by the
+// capture snap length still decodes if the IP header is complete.
+func DecodeFrame(linkType int, b []byte, tsNanos int64, origLen int) (Packet, error) {
+	switch linkType {
+	case LinkEthernet:
+		return decodeEthernet(b, tsNanos, origLen)
+	case LinkRawIP:
+		return decodeIP(b, tsNanos, origLen)
+	default:
+		return Packet{}, fmt.Errorf("%w: %d", ErrUnknownLink, linkType)
+	}
+}
+
+func decodeEthernet(b []byte, tsNanos int64, origLen int) (Packet, error) {
+	if len(b) < 14 {
+		return Packet{}, ErrTruncated
+	}
+	etherType := binary.BigEndian.Uint16(b[12:14])
+	payload := b[14:]
+	// Unwrap up to two VLAN tags (802.1Q / QinQ).
+	for i := 0; i < 2 && (etherType == etherTypeVLAN || etherType == etherTypeQinQ); i++ {
+		if len(payload) < 4 {
+			return Packet{}, ErrTruncated
+		}
+		etherType = binary.BigEndian.Uint16(payload[2:4])
+		payload = payload[4:]
+	}
+	switch etherType {
+	case etherTypeIPv4, etherTypeIPv6:
+		return decodeIP(payload, tsNanos, origLen)
+	default:
+		return Packet{}, fmt.Errorf("%w: ethertype %#04x", ErrNotIP, etherType)
+	}
+}
+
+func decodeIP(b []byte, tsNanos int64, origLen int) (Packet, error) {
+	if len(b) < 1 {
+		return Packet{}, ErrTruncated
+	}
+	switch b[0] >> 4 {
+	case 4:
+		return decodeIPv4(b, tsNanos, origLen)
+	case 6:
+		return decodeIPv6(b, tsNanos, origLen)
+	default:
+		return Packet{}, fmt.Errorf("%w: version %d", ErrNotIP, b[0]>>4)
+	}
+}
+
+func decodeIPv4(b []byte, tsNanos int64, origLen int) (Packet, error) {
+	if len(b) < 20 {
+		return Packet{}, ErrTruncated
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < 20 || len(b) < ihl {
+		return Packet{}, ErrTruncated
+	}
+	p := Packet{
+		TsNanos: tsNanos,
+		SrcIP:   hierarchy.AddrFromIPv4(binary.BigEndian.Uint32(b[12:16])),
+		DstIP:   hierarchy.AddrFromIPv4(binary.BigEndian.Uint32(b[16:20])),
+		Proto:   b[9],
+		Length:  origLen,
+	}
+	fillPorts(&p, b[ihl:])
+	return p, nil
+}
+
+func decodeIPv6(b []byte, tsNanos int64, origLen int) (Packet, error) {
+	if len(b) < 40 {
+		return Packet{}, ErrTruncated
+	}
+	var src, dst [16]byte
+	copy(src[:], b[8:24])
+	copy(dst[:], b[24:40])
+	p := Packet{
+		TsNanos: tsNanos,
+		SrcIP:   hierarchy.AddrFrom16(src),
+		DstIP:   hierarchy.AddrFrom16(dst),
+		V6:      true,
+		Proto:   b[6], // next header; extension headers are not chased
+		Length:  origLen,
+	}
+	fillPorts(&p, b[40:])
+	return p, nil
+}
+
+// fillPorts extracts transport ports when the first transport bytes are
+// present; silently leaves zeros otherwise (snap-length truncation).
+func fillPorts(p *Packet, transport []byte) {
+	switch p.Proto {
+	case ProtoTCP, ProtoUDP:
+		if len(transport) >= 4 {
+			p.SrcPort = binary.BigEndian.Uint16(transport[0:2])
+			p.DstPort = binary.BigEndian.Uint16(transport[2:4])
+		}
+	}
+}
+
+// EncodeFrame serializes a Packet back into an Ethernet frame with a
+// minimal, checksum-less IP and transport header — sufficient for the pcap
+// writer, the traffic generator and decode round-trip tests. The payload is
+// zero-padded to the packet's Length when Length exceeds the header sizes.
+func EncodeFrame(p Packet) []byte {
+	var ip []byte
+	transport := encodeTransport(p)
+	if p.V6 {
+		ip = make([]byte, 40+len(transport))
+		ip[0] = 6 << 4
+		binary.BigEndian.PutUint16(ip[4:6], uint16(len(transport)))
+		ip[6] = p.Proto
+		ip[7] = 64 // hop limit
+		src, dst := p.SrcIP.Bytes16(), p.DstIP.Bytes16()
+		copy(ip[8:24], src[:])
+		copy(ip[24:40], dst[:])
+		copy(ip[40:], transport)
+	} else {
+		ip = make([]byte, 20+len(transport))
+		ip[0] = 4<<4 | 5 // version 4, IHL 5
+		binary.BigEndian.PutUint16(ip[2:4], uint16(20+len(transport)))
+		ip[8] = 64 // TTL
+		ip[9] = p.Proto
+		binary.BigEndian.PutUint32(ip[12:16], p.SrcIP.IPv4())
+		binary.BigEndian.PutUint32(ip[16:20], p.DstIP.IPv4())
+		copy(ip[20:], transport)
+	}
+	frame := make([]byte, 14+len(ip))
+	// Locally administered dummy MACs.
+	copy(frame[0:6], []byte{0x02, 0, 0, 0, 0, 2})
+	copy(frame[6:12], []byte{0x02, 0, 0, 0, 0, 1})
+	if p.V6 {
+		binary.BigEndian.PutUint16(frame[12:14], etherTypeIPv6)
+	} else {
+		binary.BigEndian.PutUint16(frame[12:14], etherTypeIPv4)
+	}
+	copy(frame[14:], ip)
+	return frame
+}
+
+func encodeTransport(p Packet) []byte {
+	switch p.Proto {
+	case ProtoTCP:
+		b := make([]byte, 20)
+		binary.BigEndian.PutUint16(b[0:2], p.SrcPort)
+		binary.BigEndian.PutUint16(b[2:4], p.DstPort)
+		b[12] = 5 << 4 // data offset
+		return b
+	case ProtoUDP:
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint16(b[0:2], p.SrcPort)
+		binary.BigEndian.PutUint16(b[2:4], p.DstPort)
+		binary.BigEndian.PutUint16(b[4:6], 8)
+		return b
+	case ProtoICMP, ProtoICMPv6:
+		return make([]byte, 8)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,7 @@
+package trace
+
+import "rhhh/internal/fastrand"
+
+// newTestRand gives tests access to a seeded source without importing
+// fastrand in every test file.
+func newTestRand(seed uint64) *fastrand.Source { return fastrand.New(seed) }

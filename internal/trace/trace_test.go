@@ -1,0 +1,399 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rhhh/internal/hierarchy"
+)
+
+func ip4(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+func TestEncodeDecodeRoundTripIPv4(t *testing.T) {
+	p := Packet{
+		TsNanos: 123456789,
+		SrcIP:   hierarchy.AddrFromIPv4(ip4(10, 1, 2, 3)),
+		DstIP:   hierarchy.AddrFromIPv4(ip4(192, 168, 0, 1)),
+		SrcPort: 51234, DstPort: 443,
+		Proto:  ProtoTCP,
+		Length: 64,
+	}
+	frame := EncodeFrame(p)
+	got, err := DecodeFrame(LinkEthernet, frame, p.TsNanos, p.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestEncodeDecodeRoundTripIPv6(t *testing.T) {
+	p := Packet{
+		TsNanos: 42,
+		SrcIP:   hierarchy.AddrFrom16([16]byte{0x20, 0x01, 0x0d, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 2, 3}),
+		DstIP:   hierarchy.AddrFrom16([16]byte{0xfd, 0, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2}),
+		V6:      true,
+		SrcPort: 1024, DstPort: 53,
+		Proto:  ProtoUDP,
+		Length: 90,
+	}
+	frame := EncodeFrame(p)
+	got, err := DecodeFrame(LinkEthernet, frame, p.TsNanos, p.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestDecodeRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, tcp bool, v6 bool, hi1, lo1, hi2, lo2 uint64) bool {
+		p := Packet{TsNanos: 1, Length: 64}
+		if v6 {
+			p.V6 = true
+			p.SrcIP = hierarchy.Addr{Hi: hi1, Lo: lo1}
+			p.DstIP = hierarchy.Addr{Hi: hi2, Lo: lo2}
+		} else {
+			p.SrcIP = hierarchy.AddrFromIPv4(src)
+			p.DstIP = hierarchy.AddrFromIPv4(dst)
+		}
+		if tcp {
+			p.Proto = ProtoTCP
+		} else {
+			p.Proto = ProtoUDP
+		}
+		p.SrcPort, p.DstPort = sp, dp
+		got, err := DecodeFrame(LinkEthernet, EncodeFrame(p), 1, 64)
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeVLAN(t *testing.T) {
+	p := Packet{
+		SrcIP: hierarchy.AddrFromIPv4(ip4(1, 2, 3, 4)),
+		DstIP: hierarchy.AddrFromIPv4(ip4(5, 6, 7, 8)),
+		Proto: ProtoUDP, SrcPort: 1, DstPort: 2, Length: 64, TsNanos: 7,
+	}
+	frame := EncodeFrame(p)
+	// Splice in an 802.1Q tag.
+	tagged := make([]byte, 0, len(frame)+4)
+	tagged = append(tagged, frame[:12]...)
+	tagged = append(tagged, 0x81, 0x00, 0x00, 0x64) // TPID + VID 100
+	tagged = append(tagged, frame[12:]...)
+	got, err := DecodeFrame(LinkEthernet, tagged, 7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("VLAN decode mismatch: %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		make([]byte, 14),                     // ethertype 0 → not IP
+		append(make([]byte, 12), 0x08, 0x06), // ARP
+	}
+	for i, b := range cases {
+		if _, err := DecodeFrame(LinkEthernet, b, 0, 0); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := DecodeFrame(999, make([]byte, 64), 0, 0); err == nil {
+		t.Error("unknown link type should error")
+	}
+}
+
+func TestDecodeTruncatedTransportStillYieldsAddresses(t *testing.T) {
+	p := Packet{
+		SrcIP: hierarchy.AddrFromIPv4(ip4(9, 9, 9, 9)),
+		DstIP: hierarchy.AddrFromIPv4(ip4(8, 8, 8, 8)),
+		Proto: ProtoTCP, SrcPort: 80, DstPort: 81, Length: 1500, TsNanos: 1,
+	}
+	frame := EncodeFrame(p)
+	cut := frame[:14+20] // snap right after the IPv4 header
+	got, err := DecodeFrame(LinkEthernet, cut, 1, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcIP != p.SrcIP || got.DstIP != p.DstIP || got.Proto != ProtoTCP {
+		t.Fatalf("truncated decode lost addresses: %+v", got)
+	}
+	if got.SrcPort != 0 || got.DstPort != 0 {
+		t.Fatal("ports should be zero when truncated away")
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf, LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewSynthetic(Config{Seed: 1})
+	var want []Packet
+	for i := 0; i < 500; i++ {
+		p, _ := gen.Next()
+		want = append(want, p)
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewPcapReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkEthernet {
+		t.Fatalf("link type %d", r.LinkType())
+	}
+	for i, wp := range want {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d", i)
+		}
+		// Length is normalized up to the encoded frame size for tiny
+		// packets; compare the measurement-relevant fields.
+		if got.SrcIP != wp.SrcIP || got.DstIP != wp.DstIP ||
+			got.SrcPort != wp.SrcPort || got.DstPort != wp.DstPort ||
+			got.Proto != wp.Proto || got.TsNanos != wp.TsNanos {
+			t.Fatalf("packet %d mismatch:\n got %+v\nwant %+v", i, got, wp)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("expected end of stream")
+	}
+}
+
+func TestPcapRejectsGarbage(t *testing.T) {
+	if _, err := NewPcapReader(bytes.NewReader([]byte("not a pcap file at all......"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a := NewSynthetic(Config{Seed: 7})
+	b := NewSynthetic(Config{Seed: 7})
+	for i := 0; i < 1000; i++ {
+		pa, _ := a.Next()
+		pb, _ := b.Next()
+		if pa != pb {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+	c := NewSynthetic(Config{Seed: 8})
+	same := 0
+	a = NewSynthetic(Config{Seed: 7})
+	for i := 0; i < 1000; i++ {
+		pa, _ := a.Next()
+		pc, _ := c.Next()
+		if pa.SrcIP == pc.SrcIP && pa.DstIP == pc.DstIP {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produced %d/1000 identical address pairs", same)
+	}
+}
+
+func TestSyntheticSkewAcrossLevels(t *testing.T) {
+	// The hierarchical model must concentrate traffic at every level:
+	// the busiest /8 should carry far more than 1/256 of packets, and the
+	// busiest /16 more than the busiest /8 would under uniformity.
+	gen := NewSynthetic(Config{Seed: 3})
+	const n = 50000
+	top8 := map[uint32]int{}
+	top16 := map[uint32]int{}
+	for i := 0; i < n; i++ {
+		p, _ := gen.Next()
+		s := p.Key1()
+		top8[s>>24]++
+		top16[s>>16]++
+	}
+	max8, max16 := 0, 0
+	for _, c := range top8 {
+		if c > max8 {
+			max8 = c
+		}
+	}
+	for _, c := range top16 {
+		if c > max16 {
+			max16 = c
+		}
+	}
+	if max8 < n/20 {
+		t.Errorf("busiest /8 carries %d/%d — model not skewed at level 1", max8, n)
+	}
+	if max16 < n/50 {
+		t.Errorf("busiest /16 carries %d/%d — model not skewed at level 2", max16, n)
+	}
+}
+
+func TestSyntheticFlowsRepeat(t *testing.T) {
+	// Zipf flow sizes mean the top flow must recur many times.
+	gen := NewSynthetic(Config{Seed: 4})
+	counts := map[FiveTuple]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p, _ := gen.Next()
+		counts[p.Flow()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 20 {
+		t.Errorf("top flow seen %d times in %d packets — flow model broken", max, n)
+	}
+}
+
+func TestPlantedAggregate(t *testing.T) {
+	victim := hierarchy.AddrFromIPv4(ip4(198, 51, 100, 0))
+	gen := NewSynthetic(Config{
+		Seed: 5,
+		Aggregates: []Aggregate{
+			{Fraction: 0.25, Dst: victim, DstBits: 24, Spread: 4096},
+		},
+	})
+	const n = 40000
+	hit := 0
+	distinctSrc := map[uint32]bool{}
+	for i := 0; i < n; i++ {
+		p, _ := gen.Next()
+		if p.DstIP.Mask(24) == victim.Mask(24) {
+			hit++
+			distinctSrc[p.Key1()] = true
+		}
+	}
+	if hit < n/5 || hit > 2*n/5 {
+		t.Errorf("aggregate hit %d/%d packets, want ≈25%%", hit, n)
+	}
+	if len(distinctSrc) < 1000 {
+		t.Errorf("DDoS aggregate has only %d distinct sources", len(distinctSrc))
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fractions > 1 accepted")
+		}
+	}()
+	NewSynthetic(Config{Aggregates: []Aggregate{{Fraction: 0.7}, {Fraction: 0.6}}})
+}
+
+func TestProfiles(t *testing.T) {
+	for _, name := range ProfileNames() {
+		cfg := Profile(name)
+		gen := NewSynthetic(cfg)
+		p, ok := gen.Next()
+		if !ok || (p.SrcIP == hierarchy.Addr{}) {
+			t.Errorf("profile %s produced empty packet", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown profile accepted")
+		}
+	}()
+	Profile("nonexistent")
+}
+
+func TestV6Generation(t *testing.T) {
+	gen := NewSynthetic(Config{Seed: 6, V6: true})
+	seen := map[hierarchy.Addr]bool{}
+	for i := 0; i < 1000; i++ {
+		p, _ := gen.Next()
+		if !p.V6 {
+			t.Fatal("expected IPv6 packets")
+		}
+		seen[p.SrcIP] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("only %d distinct v6 sources", len(seen))
+	}
+}
+
+func TestLimitSource(t *testing.T) {
+	gen := NewSynthetic(Config{Seed: 1})
+	lim := &Limit{Src: gen, N: 10}
+	count := 0
+	for {
+		_, ok := lim.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("limit yielded %d packets", count)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := &Slice{Packets: []Packet{{TsNanos: 1}, {TsNanos: 2}}}
+	p1, ok1 := s.Next()
+	p2, ok2 := s.Next()
+	_, ok3 := s.Next()
+	if !ok1 || !ok2 || ok3 || p1.TsNanos != 1 || p2.TsNanos != 2 {
+		t.Fatal("slice source misbehaved")
+	}
+	s.Reset()
+	if p, ok := s.Next(); !ok || p.TsNanos != 1 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestZipfSamplerRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		z := newZipfSampler(n, 1.0)
+		r := newTestRand(seed)
+		for i := 0; i < 50; i++ {
+			v := z.sample(r)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSamplerSkew(t *testing.T) {
+	z := newZipfSampler(1000, 1.0)
+	r := newTestRand(9)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.sample(r)]++
+	}
+	if counts[0] < counts[500]*5 {
+		t.Errorf("rank 0 (%d) not much heavier than rank 500 (%d)", counts[0], counts[500])
+	}
+}
+
+func BenchmarkSyntheticNext(b *testing.B) {
+	gen := NewSynthetic(Config{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next()
+	}
+}

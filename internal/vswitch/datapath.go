@@ -1,0 +1,165 @@
+package vswitch
+
+import (
+	"rhhh/internal/fastrand"
+	"rhhh/internal/trace"
+)
+
+// EMC is the exact-match cache in front of the classifier, mirroring the
+// OVS-DPDK EMC: a bounded map from five-tuple to action with random
+// replacement.
+type EMC struct {
+	m   map[trace.FiveTuple]Action
+	cap int
+	rng *fastrand.Source
+	// keys mirrors the map for O(1) random eviction.
+	keys []trace.FiveTuple
+	pos  map[trace.FiveTuple]int
+}
+
+// NewEMC returns a cache holding up to capacity flows (OVS defaults to 8192).
+func NewEMC(capacity int, seed uint64) *EMC {
+	if capacity < 1 {
+		panic("vswitch: EMC capacity must be >= 1")
+	}
+	return &EMC{
+		m:   make(map[trace.FiveTuple]Action, capacity),
+		cap: capacity,
+		rng: fastrand.New(seed),
+		pos: make(map[trace.FiveTuple]int, capacity),
+	}
+}
+
+// Lookup returns the cached action for the flow.
+func (c *EMC) Lookup(ft trace.FiveTuple) (Action, bool) {
+	a, ok := c.m[ft]
+	return a, ok
+}
+
+// Insert caches the action, evicting a random entry at capacity.
+func (c *EMC) Insert(ft trace.FiveTuple, a Action) {
+	if _, ok := c.m[ft]; ok {
+		c.m[ft] = a
+		return
+	}
+	if len(c.keys) >= c.cap {
+		i := int(c.rng.Uint64n(uint64(len(c.keys))))
+		victim := c.keys[i]
+		last := len(c.keys) - 1
+		c.keys[i] = c.keys[last]
+		c.pos[c.keys[i]] = i
+		c.keys = c.keys[:last]
+		delete(c.m, victim)
+		delete(c.pos, victim)
+	}
+	c.m[ft] = a
+	c.pos[ft] = len(c.keys)
+	c.keys = append(c.keys, ft)
+}
+
+// Len returns the number of cached flows.
+func (c *EMC) Len() int { return len(c.m) }
+
+// Hook is the measurement integration point: it sees every packet the
+// datapath processes (the paper's dataplane integration).
+type Hook interface {
+	OnPacket(p trace.Packet)
+}
+
+// HookFunc adapts a function to the Hook interface.
+type HookFunc func(p trace.Packet)
+
+// OnPacket calls f(p).
+func (f HookFunc) OnPacket(p trace.Packet) { f(p) }
+
+// NopHook is the unmodified-switch baseline (Figure 6's "OVS" bar).
+type NopHook struct{}
+
+// OnPacket does nothing.
+func (NopHook) OnPacket(trace.Packet) {}
+
+// Stats counts datapath events.
+type Stats struct {
+	Received  uint64
+	Forwarded uint64
+	Dropped   uint64
+	EMCHits   uint64
+	TableHits uint64
+	NoMatch   uint64
+}
+
+// Datapath is the packet pipeline: hook → EMC → flow table → action. It is
+// single-threaded by design, like one OVS PMD thread; run one Datapath per
+// core and shard ports across them for parallelism.
+type Datapath struct {
+	Table *FlowTable
+	Cache *EMC
+	hook  Hook
+	stats Stats
+	// DefaultAction applies when no rule matches (OVS would punt to the
+	// controller; we drop by default).
+	DefaultAction Action
+}
+
+// NewDatapath assembles a pipeline. hook may be nil for an unmodified
+// switch.
+func NewDatapath(table *FlowTable, cache *EMC, hook Hook) *Datapath {
+	if hook == nil {
+		hook = NopHook{}
+	}
+	return &Datapath{
+		Table:         table,
+		Cache:         cache,
+		hook:          hook,
+		DefaultAction: Action{Drop: true},
+	}
+}
+
+// SetHook swaps the measurement hook (e.g. between experiment runs).
+func (d *Datapath) SetHook(h Hook) {
+	if h == nil {
+		h = NopHook{}
+	}
+	d.hook = h
+}
+
+// Stats returns a copy of the counters.
+func (d *Datapath) Stats() Stats { return d.stats }
+
+// Process runs one packet through the pipeline and returns the action taken.
+func (d *Datapath) Process(p trace.Packet) Action {
+	d.stats.Received++
+	d.hook.OnPacket(p)
+	ft := p.Flow()
+	a, ok := d.Cache.Lookup(ft)
+	if ok {
+		d.stats.EMCHits++
+	} else {
+		a, ok = d.Table.Lookup(p)
+		if ok {
+			d.stats.TableHits++
+		} else {
+			d.stats.NoMatch++
+			a = d.DefaultAction
+		}
+		d.Cache.Insert(ft, a)
+	}
+	if a.Drop {
+		d.stats.Dropped++
+	} else {
+		d.stats.Forwarded++
+	}
+	return a
+}
+
+// ProcessBatch runs a batch through the pipeline (the DPDK-style unit of
+// work) and returns how many packets were forwarded.
+func (d *Datapath) ProcessBatch(batch []trace.Packet) int {
+	fwd := 0
+	for _, p := range batch {
+		if a := d.Process(p); !a.Drop {
+			fwd++
+		}
+	}
+	return fwd
+}

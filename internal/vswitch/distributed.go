@@ -1,0 +1,389 @@
+package vswitch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+
+	"rhhh/internal/core"
+	"rhhh/internal/fastrand"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/stats"
+	"rhhh/internal/trace"
+)
+
+// This file implements the paper's distributed deployment (§5.2, Figure 8):
+// "HHH measurement can be performed in a separate virtual machine. OVS
+// forwards the relevant traffic to the virtual machine. When RHHH operates
+// with V > H, we only forward the sampled packets and thus reduce
+// overheads."
+//
+// The switch side (SamplerHook) performs only the d < V draw and ships
+// (node, masked key) samples plus a running packet count; the collector side
+// owns the HH instances and answers Output queries. Two transports are
+// provided: an in-process channel (default for experiments) and real UDP
+// datagrams over the loopback, exercising the same wire format.
+
+// Sample is one sampled prefix update: the lattice node index and the masked
+// two-dimensional IPv4 key.
+type Sample struct {
+	Node uint8
+	Key  uint64
+}
+
+// Transport ships sample batches from the switch to the collector.
+type Transport interface {
+	// Send delivers a batch along with the sending switch's id and its
+	// cumulative packet count (the collector needs N for thresholds). The
+	// slice is only valid during the call.
+	Send(sender uint16, totalPackets uint64, batch []Sample) error
+	// Close flushes and releases the transport.
+	Close() error
+}
+
+// Wire format: magic 'R', version 2, uint16 sender id, uint64 total, uint16
+// count, then count × (uint8 node, uint64 key), big endian. One batch per
+// datagram. The sender id lets one collector aggregate several switches
+// (§5.2: "our distributed implementation is capable of analyzing data from
+// multiple network devices"): totals are tracked per sender and summed.
+const (
+	wireMagic   = 'R'
+	wireVersion = 2
+	wireHeader  = 2 + 2 + 8 + 2
+	wireSample  = 1 + 8
+	// MaxBatch keeps a batch within a standard-MTU UDP datagram.
+	MaxBatch = 128
+)
+
+// EncodeBatch serializes a batch into buf (reusing its storage when large
+// enough) and returns the encoded bytes.
+func EncodeBatch(buf []byte, sender uint16, total uint64, batch []Sample) []byte {
+	n := wireHeader + wireSample*len(batch)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	buf[0] = wireMagic
+	buf[1] = wireVersion
+	binary.BigEndian.PutUint16(buf[2:4], sender)
+	binary.BigEndian.PutUint64(buf[4:12], total)
+	binary.BigEndian.PutUint16(buf[12:14], uint16(len(batch)))
+	off := wireHeader
+	for _, s := range batch {
+		buf[off] = s.Node
+		binary.BigEndian.PutUint64(buf[off+1:off+9], s.Key)
+		off += wireSample
+	}
+	return buf
+}
+
+// DecodeBatch parses a datagram produced by EncodeBatch.
+func DecodeBatch(b []byte) (sender uint16, total uint64, batch []Sample, err error) {
+	if len(b) < wireHeader {
+		return 0, 0, nil, errors.New("vswitch: short batch")
+	}
+	if b[0] != wireMagic || b[1] != wireVersion {
+		return 0, 0, nil, errors.New("vswitch: bad batch magic/version")
+	}
+	sender = binary.BigEndian.Uint16(b[2:4])
+	total = binary.BigEndian.Uint64(b[4:12])
+	count := int(binary.BigEndian.Uint16(b[12:14]))
+	if len(b) < wireHeader+count*wireSample {
+		return 0, 0, nil, errors.New("vswitch: truncated batch")
+	}
+	batch = make([]Sample, count)
+	off := wireHeader
+	for i := range batch {
+		batch[i] = Sample{
+			Node: b[off],
+			Key:  binary.BigEndian.Uint64(b[off+1 : off+9]),
+		}
+		off += wireSample
+	}
+	return sender, total, batch, nil
+}
+
+// SamplerHook is the switch-side half of the distributed deployment: per
+// packet it performs only the uniform draw; sampled prefixes are batched to
+// the transport.
+type SamplerHook struct {
+	dom       *hierarchy.Domain[uint64]
+	rng       *fastrand.Source
+	tr        Transport
+	v, h      uint64
+	batch     []Sample
+	batchSize int
+	packets   uint64
+	sendErr   error
+	sender    uint16
+}
+
+// SetSender tags this hook's batches with a switch id, letting one collector
+// aggregate several switches. Defaults to 0.
+func (s *SamplerHook) SetSender(id uint16) { s.sender = id }
+
+// NewSamplerHook builds the switch-side sampler. v must be ≥ H; batchSize
+// ≤ MaxBatch (0 means MaxBatch).
+func NewSamplerHook(dom *hierarchy.Domain[uint64], v int, seed uint64, tr Transport, batchSize int) *SamplerHook {
+	h := dom.Size()
+	if v == 0 {
+		v = h
+	}
+	if v < h {
+		panic("vswitch: V must be at least H")
+	}
+	if batchSize <= 0 || batchSize > MaxBatch {
+		batchSize = MaxBatch
+	}
+	return &SamplerHook{
+		dom:       dom,
+		rng:       fastrand.New(seed),
+		tr:        tr,
+		v:         uint64(v),
+		h:         uint64(h),
+		batch:     make([]Sample, 0, batchSize),
+		batchSize: batchSize,
+	}
+}
+
+// OnPacket performs the RHHH draw and enqueues a sample when it hits.
+func (s *SamplerHook) OnPacket(p trace.Packet) {
+	s.packets++
+	if d := s.rng.Uint64n(s.v); d < s.h {
+		node := int(d)
+		s.batch = append(s.batch, Sample{
+			Node: uint8(node),
+			Key:  s.dom.Mask(p.Key2(), node),
+		})
+		if len(s.batch) >= s.batchSize {
+			s.flush()
+		}
+	}
+}
+
+func (s *SamplerHook) flush() {
+	if err := s.tr.Send(s.sender, s.packets, s.batch); err != nil && s.sendErr == nil {
+		s.sendErr = err
+	}
+	s.batch = s.batch[:0]
+}
+
+// Flush sends any buffered samples (and the final packet count) downstream.
+// It reports the first transport error encountered, if any.
+func (s *SamplerHook) Flush() error {
+	s.flush()
+	return s.sendErr
+}
+
+// Packets returns how many packets the hook has seen.
+func (s *SamplerHook) Packets() uint64 { return s.packets }
+
+// Collector is the measurement-VM side: it owns the per-node HH instances
+// and reconstructs the RHHH estimator from received samples. Safe for
+// concurrent Apply/Output.
+type Collector struct {
+	mu     sync.Mutex
+	dom    *hierarchy.Domain[uint64]
+	inst   []core.Instance[uint64]
+	v      int
+	z      float64
+	totals map[uint16]uint64 // per-sender latest packet counts
+}
+
+// NewCollector builds a collector matching the sampler's configuration
+// (same V; ε and δ as in the RHHH engine).
+func NewCollector(dom *hierarchy.Domain[uint64], epsilon, delta float64, v int) *Collector {
+	if v == 0 {
+		v = dom.Size()
+	}
+	if v < dom.Size() {
+		panic("vswitch: V must be at least H")
+	}
+	counters := int(math.Ceil((1 + epsilon) / epsilon))
+	return &Collector{
+		dom:    dom,
+		inst:   core.SpaceSavingInstances(dom, counters),
+		v:      v,
+		z:      stats.Z(delta),
+		totals: make(map[uint16]uint64),
+	}
+}
+
+// Apply folds one batch into the instances. Packet counts are cumulative
+// per sender; the collector keeps the latest per sender and sums them.
+func (c *Collector) Apply(sender uint16, total uint64, batch []Sample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if total > c.totals[sender] {
+		c.totals[sender] = total
+	}
+	for _, s := range batch {
+		if int(s.Node) < len(c.inst) {
+			c.inst[s.Node].Increment(s.Key)
+		}
+	}
+}
+
+// Packets returns the total packet count across all reporting switches.
+func (c *Collector) Packets() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, t := range c.totals {
+		n += t
+	}
+	return n
+}
+
+// Updates returns the total number of samples folded into the instances.
+func (c *Collector) Updates() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, in := range c.inst {
+		n += in.Updates()
+	}
+	return n
+}
+
+// Output answers the HHH query exactly as the co-located engine would.
+func (c *Collector) Output(theta float64) []core.Result[uint64] {
+	if !(theta > 0 && theta <= 1) {
+		panic("vswitch: theta must be in (0, 1]")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var nTotal uint64
+	for _, t := range c.totals {
+		nTotal += t
+	}
+	n := float64(nTotal)
+	if n == 0 {
+		return nil
+	}
+	corr := 2 * c.z * math.Sqrt(n*float64(c.v))
+	return core.Extract(c.dom, c.inst, n, float64(c.v), corr, theta)
+}
+
+// InProcTransport delivers batches to a Collector over a buffered channel
+// drained by a dedicated goroutine — the in-process stand-in for the
+// measurement VM.
+type InProcTransport struct {
+	ch   chan inProcMsg
+	done chan struct{}
+}
+
+type inProcMsg struct {
+	sender uint16
+	total  uint64
+	batch  []Sample
+}
+
+// NewInProcTransport starts the collector goroutine; depth is the channel
+// buffer (backpressure beyond it, like a full vhost queue).
+func NewInProcTransport(c *Collector, depth int) *InProcTransport {
+	if depth <= 0 {
+		depth = 256
+	}
+	t := &InProcTransport{
+		ch:   make(chan inProcMsg, depth),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(t.done)
+		for m := range t.ch {
+			c.Apply(m.sender, m.total, m.batch)
+		}
+	}()
+	return t
+}
+
+// Send copies the batch and enqueues it.
+func (t *InProcTransport) Send(sender uint16, total uint64, batch []Sample) error {
+	cp := make([]Sample, len(batch))
+	copy(cp, batch)
+	t.ch <- inProcMsg{sender: sender, total: total, batch: cp}
+	return nil
+}
+
+// Close drains outstanding batches and stops the goroutine.
+func (t *InProcTransport) Close() error {
+	close(t.ch)
+	<-t.done
+	return nil
+}
+
+// UDPCollectorServer receives sample datagrams on a UDP socket and applies
+// them to a Collector.
+type UDPCollectorServer struct {
+	conn *net.UDPConn
+	done chan struct{}
+}
+
+// ListenUDP starts a collector server on addr (e.g. "127.0.0.1:0").
+func ListenUDP(addr string, c *Collector) (*UDPCollectorServer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("vswitch: resolving %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("vswitch: listening on %q: %w", addr, err)
+	}
+	s := &UDPCollectorServer{conn: conn, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		buf := make([]byte, 64<<10)
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return // closed
+			}
+			if sender, total, batch, err := DecodeBatch(buf[:n]); err == nil {
+				c.Apply(sender, total, batch)
+			}
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *UDPCollectorServer) Addr() string { return s.conn.LocalAddr().String() }
+
+// Close stops the server.
+func (s *UDPCollectorServer) Close() error {
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+// UDPTransport sends batches as UDP datagrams.
+type UDPTransport struct {
+	conn net.Conn
+	buf  []byte
+}
+
+// DialUDP connects a transport to a collector server address.
+func DialUDP(addr string) (*UDPTransport, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("vswitch: dialing %q: %w", addr, err)
+	}
+	return &UDPTransport{conn: conn}, nil
+}
+
+// Send encodes and transmits one batch (batches must respect MaxBatch).
+func (t *UDPTransport) Send(sender uint16, total uint64, batch []Sample) error {
+	if len(batch) > MaxBatch {
+		return fmt.Errorf("vswitch: batch of %d exceeds MaxBatch", len(batch))
+	}
+	t.buf = EncodeBatch(t.buf, sender, total, batch)
+	_, err := t.conn.Write(t.buf)
+	return err
+}
+
+// Close closes the socket.
+func (t *UDPTransport) Close() error { return t.conn.Close() }

@@ -1,0 +1,106 @@
+package vswitch
+
+import (
+	"fmt"
+	"sync"
+
+	"rhhh/internal/trace"
+)
+
+// Switch wires a Datapath to ports: packets injected on an input port run
+// through the pipeline and forwarded packets are handed to the sink
+// registered on the action's output port. A single pump goroutine services
+// all ports, mirroring one OVS PMD thread.
+type Switch struct {
+	dp    *Datapath
+	rx    chan rxBatch
+	sinks map[int]func([]trace.Packet)
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	open  bool
+}
+
+type rxBatch struct {
+	port    int
+	packets []trace.Packet
+}
+
+// NewSwitch wraps a datapath. queueDepth is the rx ring size in batches.
+func NewSwitch(dp *Datapath, queueDepth int) *Switch {
+	if queueDepth <= 0 {
+		queueDepth = 512
+	}
+	return &Switch{
+		dp:    dp,
+		rx:    make(chan rxBatch, queueDepth),
+		sinks: make(map[int]func([]trace.Packet)),
+	}
+}
+
+// SetSink registers the consumer of packets forwarded to port. Must be
+// called before Start.
+func (s *Switch) SetSink(port int, sink func([]trace.Packet)) {
+	s.sinks[port] = sink
+}
+
+// Start launches the pump goroutine.
+func (s *Switch) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open {
+		return
+	}
+	s.open = true
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// Reused per-port output buffers, keyed by output port.
+		out := make(map[int][]trace.Packet)
+		for b := range s.rx {
+			for _, p := range b.packets {
+				if a := s.dp.Process(p); !a.Drop {
+					out[a.OutPort] = append(out[a.OutPort], p)
+				}
+			}
+			for port, pkts := range out {
+				if len(pkts) == 0 {
+					continue
+				}
+				if sink, ok := s.sinks[port]; ok {
+					sink(pkts)
+				}
+				out[port] = pkts[:0]
+			}
+		}
+	}()
+}
+
+// Inject offers a batch on an input port; it blocks when the rx ring is
+// full (ingress backpressure). The batch must not be reused until the
+// switch is stopped or the sink has observed it.
+func (s *Switch) Inject(port int, batch []trace.Packet) error {
+	s.mu.Lock()
+	open := s.open
+	s.mu.Unlock()
+	if !open {
+		return fmt.Errorf("vswitch: switch not started")
+	}
+	s.rx <- rxBatch{port: port, packets: batch}
+	return nil
+}
+
+// Stop drains the rx ring and stops the pump.
+func (s *Switch) Stop() {
+	s.mu.Lock()
+	if !s.open {
+		s.mu.Unlock()
+		return
+	}
+	s.open = false
+	s.mu.Unlock()
+	close(s.rx)
+	s.wg.Wait()
+}
+
+// Stats proxies the datapath counters (call after Stop for a stable view).
+func (s *Switch) Stats() Stats { return s.dp.Stats() }

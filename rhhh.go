@@ -1,0 +1,442 @@
+// Package rhhh implements Randomized Hierarchical Heavy Hitters (RHHH) from
+// "Constant Time Updates in Hierarchical Heavy Hitters" (Ben Basat, Einziger,
+// Friedman, Luizelli, Waisbard — SIGCOMM 2017), along with the deterministic
+// algorithms it was evaluated against.
+//
+// A hierarchical heavy hitter (HHH) is an IP prefix — such as 181.7.0.0/16,
+// or the source/destination pair (181.7.0.0/16 → 10.0.0.0/8) — responsible
+// for more than a θ fraction of traffic that is not already accounted for by
+// more specific heavy prefixes. RHHH finds approximate HHHs with O(1) worst
+// case work per packet: instead of updating every level of the prefix
+// hierarchy (H of them), each packet updates at most one randomly chosen
+// level.
+//
+// Basic use:
+//
+//	m, err := rhhh.New(rhhh.Config{
+//		Dims:        2,
+//		Granularity: rhhh.Byte,
+//		Epsilon:     0.001,
+//		Delta:       0.001,
+//	})
+//	...
+//	for each packet { m.Update(srcAddr, dstAddr) }
+//	for _, hh := range m.HeavyHitters(0.01) { fmt.Println(hh) }
+//
+// The probabilistic guarantees hold once N ≥ Psi() packets have been
+// processed (Theorem 6.17); Converged() reports that. Setting V to a
+// multiple of the hierarchy size trades convergence speed for per-packet
+// cost ("10-RHHH" in the paper is V = 10·H).
+package rhhh
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/netip"
+
+	"rhhh/internal/baseline/ancestry"
+	"rhhh/internal/baseline/mst"
+	"rhhh/internal/core"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/stats"
+)
+
+// Granularity is the prefix step of the hierarchy.
+type Granularity int
+
+// Byte gives the paper's byte-level hierarchies (H=5 for 1D IPv4); Nibble
+// and Bit refine them (H=33 for 1D IPv4 bits — where RHHH's O(1) update
+// shines).
+const (
+	Byte Granularity = iota
+	Nibble
+	Bit
+)
+
+func (g Granularity) hier() hierarchy.Granularity {
+	switch g {
+	case Byte:
+		return hierarchy.Bytes
+	case Nibble:
+		return hierarchy.Nibbles
+	case Bit:
+		return hierarchy.Bits
+	default:
+		panic(fmt.Sprintf("rhhh: unknown granularity %d", int(g)))
+	}
+}
+
+// Algorithm selects the measurement algorithm.
+type Algorithm int
+
+// RHHH is the paper's O(1) randomized algorithm (default). MST is the
+// deterministic O(H) baseline of Mitzenmacher–Steinke–Thaler; FullAncestry
+// and PartialAncestry are the trie baselines of Cormode et al. The baselines
+// exist for comparison and for deployments that cannot tolerate the
+// convergence period.
+const (
+	RHHH Algorithm = iota
+	MST
+	FullAncestry
+	PartialAncestry
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case RHHH:
+		return "RHHH"
+	case MST:
+		return "MST"
+	case FullAncestry:
+		return "full-ancestry"
+	case PartialAncestry:
+		return "partial-ancestry"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Config parameterizes a Monitor. Zero values get sensible defaults where a
+// default exists; Epsilon and Delta must be set explicitly (for RHHH) since
+// they determine memory and convergence.
+type Config struct {
+	// Dims is 1 (source hierarchy) or 2 (source × destination).
+	Dims int
+	// Granularity is the hierarchy step (default Byte).
+	Granularity Granularity
+	// IPv6 selects 128-bit hierarchies.
+	IPv6 bool
+	// Epsilon is the frequency estimation error bound ε ∈ (0,1); memory is
+	// proportional to H/ε.
+	Epsilon float64
+	// Delta is the failure probability δ ∈ (0,1) of the probabilistic
+	// guarantees (ignored by the deterministic algorithms).
+	Delta float64
+	// V is RHHH's performance parameter (0 → H; larger is faster but
+	// converges proportionally slower). Ignored by other algorithms.
+	V int
+	// R is the number of independent RHHH updates per packet
+	// (Corollary 6.8; 0 → 1).
+	R int
+	// Seed makes RHHH's randomized update path reproducible.
+	Seed uint64
+	// Algorithm selects the implementation (default RHHH).
+	Algorithm Algorithm
+}
+
+// HeavyHitter is one reported prefix.
+type HeavyHitter struct {
+	// Src is the source prefix; Dst is only valid when Dims == 2.
+	Src netip.Prefix
+	Dst netip.Prefix
+	// Text is the paper-style rendering, e.g. "181.7.*" or
+	// "(181.7.* -> 10.0.0.1)".
+	Text string
+	// Lower and Upper bound the prefix's frequency (f̂−, f̂+).
+	Lower, Upper float64
+	// Cond is the conservative conditioned-frequency estimate that
+	// admitted the prefix (Ĉp|P ≥ θ·N).
+	Cond float64
+	// Level is the generalization distance from fully specified addresses
+	// (0 = exact address/pair).
+	Level int
+}
+
+// String renders the heavy hitter in paper style with its bounds.
+func (h HeavyHitter) String() string {
+	return fmt.Sprintf("%s [%.0f, %.0f]", h.Text, h.Lower, h.Upper)
+}
+
+// Monitor finds hierarchical heavy hitters over a packet stream. It is not
+// safe for concurrent use; shard streams across Monitors or serialize
+// externally.
+type Monitor struct {
+	impl monImpl
+	cfg  Config
+}
+
+// monImpl abstracts over the four key types × four algorithms.
+type monImpl interface {
+	update(src, dst hierarchy.Addr, w uint64)
+	output(theta float64) []HeavyHitter
+	n() uint64
+	psi() float64
+	reset()
+	size() int
+	vParam() int
+}
+
+// New validates cfg and builds a Monitor.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Dims != 1 && cfg.Dims != 2 {
+		return nil, fmt.Errorf("rhhh: Dims must be 1 or 2, got %d", cfg.Dims)
+	}
+	if !(cfg.Epsilon > 0 && cfg.Epsilon < 1) {
+		return nil, errors.New("rhhh: Epsilon must be in (0, 1)")
+	}
+	if cfg.Algorithm == RHHH && !(cfg.Delta > 0 && cfg.Delta < 1) {
+		return nil, errors.New("rhhh: Delta must be in (0, 1) for RHHH")
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 0.01 // only used by RHHH; harmless default elsewhere
+	}
+	switch cfg.Granularity {
+	case Byte, Nibble, Bit:
+	default:
+		return nil, fmt.Errorf("rhhh: unknown granularity %d", int(cfg.Granularity))
+	}
+	switch cfg.Algorithm {
+	case RHHH, MST, FullAncestry, PartialAncestry:
+	default:
+		return nil, fmt.Errorf("rhhh: unknown algorithm %d", int(cfg.Algorithm))
+	}
+
+	var impl monImpl
+	var err error
+	switch {
+	case cfg.Dims == 1 && !cfg.IPv6:
+		dom := hierarchy.NewIPv4OneDim(cfg.Granularity.hier())
+		impl, err = build(cfg, dom,
+			func(src, _ hierarchy.Addr) uint32 { return src.IPv4() },
+			split1v4)
+	case cfg.Dims == 2 && !cfg.IPv6:
+		dom := hierarchy.NewIPv4TwoDim(cfg.Granularity.hier())
+		impl, err = build(cfg, dom,
+			func(src, dst hierarchy.Addr) uint64 {
+				return hierarchy.Pack2D(src.IPv4(), dst.IPv4())
+			},
+			split2v4)
+	case cfg.Dims == 1 && cfg.IPv6:
+		dom := hierarchy.NewIPv6OneDim(cfg.Granularity.hier())
+		impl, err = build(cfg, dom,
+			func(src, _ hierarchy.Addr) hierarchy.Addr { return src },
+			split1v6)
+	default:
+		dom := hierarchy.NewIPv6TwoDim(cfg.Granularity.hier())
+		impl, err = build(cfg, dom,
+			func(src, dst hierarchy.Addr) hierarchy.AddrPair {
+				return hierarchy.AddrPair{Src: src, Dst: dst}
+			},
+			split2v6)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{impl: impl, cfg: cfg}, nil
+}
+
+// MustNew is New, panicking on error — convenient in examples and tests.
+func MustNew(cfg Config) *Monitor {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Update records one packet. For Dims == 1 dst is ignored (pass the zero
+// netip.Addr). Addresses of the wrong family are a programming error and
+// panic.
+func (m *Monitor) Update(src, dst netip.Addr) {
+	m.impl.update(toAddr(src, m.cfg.IPv6), toAddr(dst, m.cfg.IPv6), 1)
+}
+
+// UpdateWeighted records one packet carrying weight w (e.g. its byte count).
+func (m *Monitor) UpdateWeighted(src, dst netip.Addr, w uint64) {
+	m.impl.update(toAddr(src, m.cfg.IPv6), toAddr(dst, m.cfg.IPv6), w)
+}
+
+// HeavyHitters returns the approximate HHH set for threshold θ ∈ (0, 1]:
+// every prefix whose conditioned frequency estimate reaches θ·N. The
+// guarantees of Definition 10 (accuracy within εN, coverage with
+// probability 1−δ) hold once Converged().
+func (m *Monitor) HeavyHitters(theta float64) []HeavyHitter {
+	if !(theta > 0 && theta <= 1) {
+		panic("rhhh: theta must be in (0, 1]")
+	}
+	return m.impl.output(theta)
+}
+
+// N returns the total stream weight processed.
+func (m *Monitor) N() uint64 { return m.impl.n() }
+
+// Psi returns the convergence bound ψ: the minimum number of packets before
+// the probabilistic guarantees hold (0 for deterministic algorithms).
+func (m *Monitor) Psi() float64 { return m.impl.psi() }
+
+// Converged reports whether N ≥ ψ.
+func (m *Monitor) Converged() bool { return float64(m.impl.n()) >= m.impl.psi() }
+
+// H returns the hierarchy size (number of lattice nodes).
+func (m *Monitor) H() int { return m.impl.size() }
+
+// V returns the performance parameter in effect (H for non-RHHH
+// algorithms).
+func (m *Monitor) V() int { return m.impl.vParam() }
+
+// Algorithm returns the configured algorithm.
+func (m *Monitor) Algorithm() Algorithm { return m.cfg.Algorithm }
+
+// Reset clears all measurement state, keeping the configuration.
+func (m *Monitor) Reset() { m.impl.reset() }
+
+// toAddr converts a netip.Addr to the internal 128-bit form, validating the
+// family. The zero Addr maps to the zero value (used for the ignored
+// dimension).
+func toAddr(a netip.Addr, v6 bool) hierarchy.Addr {
+	if a == (netip.Addr{}) {
+		return hierarchy.Addr{}
+	}
+	if v6 {
+		if a.Is4() {
+			panic("rhhh: IPv4 address given to an IPv6 monitor")
+		}
+		return hierarchy.AddrFrom16(a.As16())
+	}
+	if !a.Is4() && !a.Is4In6() {
+		panic("rhhh: IPv6 address given to an IPv4 monitor")
+	}
+	b := a.As4()
+	return hierarchy.AddrFromIPv4(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+}
+
+// algorithmIface is the common surface of the four implementations.
+type algorithmIface[K comparable] interface {
+	Update(K)
+	UpdateWeighted(K, uint64)
+	Output(float64) []core.Result[K]
+	Reset()
+}
+
+// impl ties a domain, a key extractor, a per-dimension splitter and an
+// algorithm together.
+type impl[K comparable] struct {
+	dom     *hierarchy.Domain[K]
+	key     func(src, dst hierarchy.Addr) K
+	split   func(k K, srcBits, dstBits int) (netip.Prefix, netip.Prefix)
+	alg     algorithmIface[K]
+	psiV    float64
+	packets uint64
+	vp      int
+}
+
+func build[K comparable](
+	cfg Config,
+	dom *hierarchy.Domain[K],
+	key func(src, dst hierarchy.Addr) K,
+	split func(k K, srcBits, dstBits int) (netip.Prefix, netip.Prefix),
+) (monImpl, error) {
+	im := &impl[K]{dom: dom, key: key, split: split, vp: dom.Size()}
+	switch cfg.Algorithm {
+	case RHHH:
+		v := cfg.V
+		if v == 0 {
+			v = dom.Size()
+		}
+		if v < dom.Size() {
+			return nil, fmt.Errorf("rhhh: V=%d below hierarchy size H=%d", cfg.V, dom.Size())
+		}
+		eng := core.New(dom, core.Config{
+			Epsilon: cfg.Epsilon, Delta: cfg.Delta,
+			V: v, R: cfg.R, Seed: cfg.Seed,
+		})
+		im.alg = eng
+		im.psiV = eng.Psi()
+		im.vp = v
+	case MST:
+		im.alg = mst.New(dom, cfg.Epsilon)
+	case FullAncestry:
+		im.alg = ancestry.New(dom, cfg.Epsilon, ancestry.Full)
+	case PartialAncestry:
+		im.alg = ancestry.New(dom, cfg.Epsilon, ancestry.Partial)
+	}
+	return im, nil
+}
+
+func (im *impl[K]) update(src, dst hierarchy.Addr, w uint64) {
+	im.packets++
+	k := im.key(src, dst)
+	if w == 1 {
+		im.alg.Update(k)
+	} else {
+		im.alg.UpdateWeighted(k, w)
+	}
+}
+
+func (im *impl[K]) output(theta float64) []HeavyHitter {
+	return im.convert(im.alg.Output(theta))
+}
+
+// convert renders engine results into the public HeavyHitter shape.
+func (im *impl[K]) convert(rs []core.Result[K]) []HeavyHitter {
+	out := make([]HeavyHitter, len(rs))
+	for i, r := range rs {
+		node := im.dom.Node(r.Node)
+		srcP, dstP := im.split(r.Key, node.SrcBits, node.DstBits)
+		out[i] = HeavyHitter{
+			Src:   srcP,
+			Dst:   dstP,
+			Text:  im.dom.Format(r.Key, r.Node),
+			Lower: r.Lower,
+			Upper: r.Upper,
+			Cond:  r.Cond,
+			Level: node.Level,
+		}
+	}
+	return out
+}
+
+func (im *impl[K]) n() uint64 {
+	if eng, ok := im.alg.(interface{ Weight() uint64 }); ok {
+		return eng.Weight()
+	}
+	if a, ok := im.alg.(interface{ N() uint64 }); ok {
+		return a.N()
+	}
+	return im.packets
+}
+
+func (im *impl[K]) psi() float64 { return im.psiV }
+func (im *impl[K]) reset()       { im.alg.Reset(); im.packets = 0 }
+func (im *impl[K]) size() int    { return im.dom.Size() }
+func (im *impl[K]) vParam() int  { return im.vp }
+
+// Per-key-type prefix splitters.
+
+func split1v4(k uint32, srcBits, _ int) (netip.Prefix, netip.Prefix) {
+	return v4Prefix(k, srcBits), netip.Prefix{}
+}
+
+func split2v4(k uint64, srcBits, dstBits int) (netip.Prefix, netip.Prefix) {
+	s, d := hierarchy.Unpack2D(k)
+	return v4Prefix(s, srcBits), v4Prefix(d, dstBits)
+}
+
+func split1v6(k hierarchy.Addr, srcBits, _ int) (netip.Prefix, netip.Prefix) {
+	return v6Prefix(k, srcBits), netip.Prefix{}
+}
+
+func split2v6(k hierarchy.AddrPair, srcBits, dstBits int) (netip.Prefix, netip.Prefix) {
+	return v6Prefix(k.Src, srcBits), v6Prefix(k.Dst, dstBits)
+}
+
+func v4Prefix(v uint32, bits int) netip.Prefix {
+	a := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	return netip.PrefixFrom(a, bits)
+}
+
+func v6Prefix(a hierarchy.Addr, bits int) netip.Prefix {
+	return netip.PrefixFrom(netip.AddrFrom16(a.Bytes16()), bits)
+}
+
+// Psi computes the paper's convergence bound ψ = Z(1−δs/2)·V·ε⁻² without
+// building a Monitor — useful for sizing measurement intervals (§6.3
+// discusses choosing V from the interval length). It uses the same δ split
+// as the engine (δa = δs = δ/3).
+func Psi(epsilon, delta float64, v int) float64 {
+	if !(epsilon > 0 && epsilon < 1) || !(delta > 0 && delta < 1) || v < 1 {
+		return math.NaN()
+	}
+	return stats.Z(delta/6) * float64(v) / (epsilon * epsilon)
+}

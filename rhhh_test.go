@@ -1,0 +1,245 @@
+package rhhh_test
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"rhhh"
+)
+
+func addr4(a, b, c, d byte) netip.Addr {
+	return netip.AddrFrom4([4]byte{a, b, c, d})
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []rhhh.Config{
+		{},                                        // no dims, no epsilon
+		{Dims: 3, Epsilon: 0.1, Delta: 0.1},       // dims
+		{Dims: 1, Epsilon: 0, Delta: 0.1},         // epsilon
+		{Dims: 1, Epsilon: 0.1, Delta: 0},         // delta (RHHH)
+		{Dims: 1, Epsilon: 0.1, Delta: 0.1, V: 2}, // V < H
+		{Dims: 1, Epsilon: 0.1, Delta: 0.1, Granularity: 99}, // granularity
+		{Dims: 1, Epsilon: 0.1, Delta: 0.1, Algorithm: 99},   // algorithm
+	}
+	for i, cfg := range bad {
+		if _, err := rhhh.New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	// Deterministic algorithms do not need Delta.
+	if _, err := rhhh.New(rhhh.Config{Dims: 1, Epsilon: 0.1, Algorithm: rhhh.MST}); err != nil {
+		t.Errorf("MST without delta rejected: %v", err)
+	}
+}
+
+func TestHierarchySizes(t *testing.T) {
+	cases := []struct {
+		cfg  rhhh.Config
+		want int
+	}{
+		{rhhh.Config{Dims: 1, Epsilon: 0.01, Delta: 0.01}, 5},
+		{rhhh.Config{Dims: 1, Granularity: rhhh.Bit, Epsilon: 0.01, Delta: 0.01}, 33},
+		{rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01}, 25},
+		{rhhh.Config{Dims: 1, IPv6: true, Epsilon: 0.01, Delta: 0.01}, 17},
+		{rhhh.Config{Dims: 2, IPv6: true, Epsilon: 0.01, Delta: 0.01}, 289},
+	}
+	for _, c := range cases {
+		m := rhhh.MustNew(c.cfg)
+		if m.H() != c.want {
+			t.Errorf("H = %d, want %d for %+v", m.H(), c.want, c.cfg)
+		}
+	}
+}
+
+func TestEndToEnd1D(t *testing.T) {
+	m := rhhh.MustNew(rhhh.Config{Dims: 1, Epsilon: 0.02, Delta: 0.05, Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	n := int(m.Psi()) + 100000
+	for i := 0; i < n; i++ {
+		var src netip.Addr
+		if rng.Intn(10) < 4 { // 40%: hosts inside 181.7.20.0/24
+			src = addr4(181, 7, 20, byte(rng.Intn(256)))
+		} else {
+			src = addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+		}
+		m.Update(src, netip.Addr{})
+	}
+	if !m.Converged() {
+		t.Fatal("not converged past ψ")
+	}
+	hits := m.HeavyHitters(0.2)
+	found := false
+	for _, h := range hits {
+		if h.Src == netip.PrefixFrom(addr4(181, 7, 20, 0), 24) {
+			found = true
+			if h.Text != "181.7.20.*" {
+				t.Errorf("text = %q", h.Text)
+			}
+			if h.Upper < 0.3*float64(n) || h.Lower > 0.5*float64(n) {
+				t.Errorf("bounds [%v, %v] for a 40%% aggregate of %d", h.Lower, h.Upper, n)
+			}
+			if h.Level != 1 {
+				t.Errorf("level = %d, want 1", h.Level)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("181.7.20.* missing from %v", hits)
+	}
+}
+
+func TestEndToEnd2DAllAlgorithms(t *testing.T) {
+	algs := []rhhh.Algorithm{rhhh.RHHH, rhhh.MST, rhhh.FullAncestry, rhhh.PartialAncestry}
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			m := rhhh.MustNew(rhhh.Config{
+				Dims: 2, Epsilon: 0.02, Delta: 0.05, Seed: 3, Algorithm: alg,
+			})
+			rng := rand.New(rand.NewSource(4))
+			n := 100000
+			if alg == rhhh.RHHH {
+				n = int(m.Psi()) + 100000
+			}
+			victim := addr4(198, 51, 100, 7)
+			for i := 0; i < n; i++ {
+				src := addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+				dst := src
+				if rng.Intn(10) < 3 { // 30%: DDoS onto one victim host
+					dst = victim
+				} else {
+					dst = addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+				}
+				m.Update(src, dst)
+			}
+			hits := m.HeavyHitters(0.2)
+			found := false
+			for _, h := range hits {
+				if h.Dst == netip.PrefixFrom(victim, 32) && h.Src.Bits() == 0 {
+					found = true
+					if !strings.Contains(h.Text, "198.51.100.7") {
+						t.Errorf("text = %q", h.Text)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("%s missed the (*, victim) aggregate; got %v", alg, hits)
+			}
+		})
+	}
+}
+
+func TestIPv6Monitor(t *testing.T) {
+	m := rhhh.MustNew(rhhh.Config{
+		Dims: 1, IPv6: true, Epsilon: 0.05, Delta: 0.05, Seed: 5,
+	})
+	rng := rand.New(rand.NewSource(6))
+	heavy := netip.MustParseAddr("2001:db8::")
+	n := int(m.Psi()) + 50000
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			// Hosts inside 2001:db8::/32.
+			b := heavy.As16()
+			for j := 4; j < 16; j++ {
+				b[j] = byte(rng.Intn(256))
+			}
+			m.Update(netip.AddrFrom16(b), netip.Addr{})
+		} else {
+			var b [16]byte
+			rng.Read(b[:])
+			b[0] = 0x30 // keep out of 2001::/16
+			m.Update(netip.AddrFrom16(b), netip.Addr{})
+		}
+	}
+	hits := m.HeavyHitters(0.3)
+	want := netip.PrefixFrom(heavy, 32)
+	found := false
+	for _, h := range hits {
+		if h.Src == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("2001:db8::/32 missing from %v", hits)
+	}
+}
+
+func TestWeightedUpdates(t *testing.T) {
+	m := rhhh.MustNew(rhhh.Config{Dims: 1, Epsilon: 0.05, Algorithm: rhhh.MST})
+	m.UpdateWeighted(addr4(1, 1, 1, 1), netip.Addr{}, 900)
+	m.UpdateWeighted(addr4(2, 2, 2, 2), netip.Addr{}, 100)
+	if m.N() != 1000 {
+		t.Fatalf("N = %d", m.N())
+	}
+	hits := m.HeavyHitters(0.5)
+	if len(hits) == 0 {
+		t.Fatal("no heavy hitters for a 90% flow")
+	}
+	found := false
+	for _, h := range hits {
+		if h.Src == netip.PrefixFrom(addr4(1, 1, 1, 1), 32) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("90%-weight address missing")
+	}
+}
+
+func TestResetAndReuse(t *testing.T) {
+	m := rhhh.MustNew(rhhh.Config{Dims: 1, Epsilon: 0.1, Delta: 0.1, Seed: 7})
+	for i := 0; i < 1000; i++ {
+		m.Update(addr4(9, 9, 9, 9), netip.Addr{})
+	}
+	m.Reset()
+	if m.N() != 0 {
+		t.Fatalf("N = %d after reset", m.N())
+	}
+	if hh := m.HeavyHitters(0.5); len(hh) != 0 {
+		t.Fatalf("stale output after reset: %v", hh)
+	}
+}
+
+func TestWrongFamilyPanics(t *testing.T) {
+	m := rhhh.MustNew(rhhh.Config{Dims: 1, Epsilon: 0.1, Delta: 0.1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IPv6 address accepted by IPv4 monitor")
+		}
+	}()
+	m.Update(netip.MustParseAddr("2001:db8::1"), netip.Addr{})
+}
+
+func TestBadThetaPanics(t *testing.T) {
+	m := rhhh.MustNew(rhhh.Config{Dims: 1, Epsilon: 0.1, Delta: 0.1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("theta 0 accepted")
+		}
+	}()
+	m.HeavyHitters(0)
+}
+
+func TestPsiHelper(t *testing.T) {
+	// ψ(ε=0.001, δ=0.001, V=25) ≈ 1e8 (§4.1's "about 100 million packets").
+	psi := rhhh.Psi(0.001, 0.001, 25)
+	if psi < 5e7 || psi > 2e8 {
+		t.Fatalf("Psi = %v, want ≈1e8", psi)
+	}
+	m := rhhh.MustNew(rhhh.Config{Dims: 2, Epsilon: 0.001, Delta: 0.001})
+	if got := m.Psi(); got != psi {
+		t.Fatalf("Monitor.Psi %v != Psi helper %v", got, psi)
+	}
+}
+
+func TestTenRHHHNaming(t *testing.T) {
+	// The paper's 10-RHHH is V = 10·H.
+	m := rhhh.MustNew(rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01, V: 250})
+	if m.V() != 250 || m.H() != 25 {
+		t.Fatalf("V=%d H=%d", m.V(), m.H())
+	}
+	if r := m.Psi() / rhhh.Psi(0.01, 0.01, 25); r < 9.99 || r > 10.01 {
+		t.Fatalf("10-RHHH ψ ratio = %v", r)
+	}
+}

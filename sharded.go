@@ -1,0 +1,129 @@
+package rhhh
+
+import (
+	"fmt"
+	"net/netip"
+
+	"rhhh/internal/core"
+	"rhhh/internal/hierarchy"
+)
+
+// Sharded spreads measurement across several independent RHHH monitors —
+// the multi-queue deployment: modern NICs hash flows onto receive queues,
+// and one shard per queue/core updates without locks. Queries merge the
+// shards' Space Saving state (see core.MergeOutput); the union keeps the
+// paper's guarantees with N equal to the combined stream length.
+//
+// Each shard is single-threaded: give every producing goroutine its own via
+// Shard(i). HeavyHitters may run concurrently with updates only if the
+// caller externally pauses the shards (merging reads their state).
+type Sharded struct {
+	cfg      Config
+	monitors []*Monitor
+}
+
+// NewSharded builds n independently seeded shards. Only Algorithm RHHH with
+// the default (Space Saving) backend supports merging.
+func NewSharded(cfg Config, n int) (*Sharded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rhhh: need at least one shard, got %d", n)
+	}
+	if cfg.Algorithm != RHHH {
+		return nil, fmt.Errorf("rhhh: sharding requires the RHHH algorithm, got %v", cfg.Algorithm)
+	}
+	s := &Sharded{cfg: cfg, monitors: make([]*Monitor, n)}
+	for i := range s.monitors {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		m, err := New(c)
+		if err != nil {
+			return nil, err
+		}
+		s.monitors[i] = m
+	}
+	return s, nil
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.monitors) }
+
+// Shard returns shard i's monitor; each goroutine must use its own shard.
+func (s *Sharded) Shard(i int) *Monitor { return s.monitors[i] }
+
+// N returns the combined stream weight across shards.
+func (s *Sharded) N() uint64 {
+	var n uint64
+	for _, m := range s.monitors {
+		n += m.N()
+	}
+	return n
+}
+
+// Psi returns the convergence bound for the combined stream (identical to a
+// single shard's: ψ depends on V and ε, not on how the stream is split).
+func (s *Sharded) Psi() float64 { return s.monitors[0].Psi() }
+
+// Converged reports whether the combined N has passed ψ.
+func (s *Sharded) Converged() bool { return float64(s.N()) >= s.Psi() }
+
+// HeavyHitters merges all shards and answers the HHH query over the union
+// stream. Do not call while shards are concurrently updating.
+func (s *Sharded) HeavyHitters(theta float64) []HeavyHitter {
+	if !(theta > 0 && theta <= 1) {
+		panic("rhhh: theta must be in (0, 1]")
+	}
+	// All shards share the same concrete impl type; dispatch on the first.
+	switch im := s.monitors[0].impl.(type) {
+	case *impl[uint32]:
+		return mergeShards(s, im, theta)
+	case *impl[uint64]:
+		return mergeShards(s, im, theta)
+	case *impl[hierarchy.Addr]:
+		return mergeShards(s, im, theta)
+	case *impl[hierarchy.AddrPair]:
+		return mergeShards(s, im, theta)
+	default:
+		panic("rhhh: unknown shard implementation")
+	}
+}
+
+func mergeShards[K comparable](s *Sharded, first *impl[K], theta float64) []HeavyHitter {
+	engines := make([]*core.Engine[K], len(s.monitors))
+	for i, m := range s.monitors {
+		im := m.impl.(*impl[K])
+		eng, ok := im.alg.(*core.Engine[K])
+		if !ok {
+			panic("rhhh: sharding requires the RHHH engine")
+		}
+		engines[i] = eng
+	}
+	return first.convert(core.MergeOutput(theta, engines...))
+}
+
+// Update is a convenience for single-goroutine use: it routes the packet to
+// a shard by address hash. Concurrent producers should call
+// Shard(i).Update directly instead.
+func (s *Sharded) Update(src, dst netip.Addr) {
+	h := hashAddrPair(src, dst)
+	s.monitors[h%uint64(len(s.monitors))].Update(src, dst)
+}
+
+func hashAddrPair(src, dst netip.Addr) uint64 {
+	mix := func(z uint64) uint64 {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	a := src.As16()
+	b := dst.As16()
+	var h uint64 = 0x9e3779b97f4a7c15
+	for i := 0; i < 16; i += 8 {
+		h = mix(h ^ beUint64(a[i:]) ^ mix(beUint64(b[i:])))
+	}
+	return h
+}
+
+func beUint64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}

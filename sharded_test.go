@@ -1,0 +1,143 @@
+package rhhh_test
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"rhhh"
+)
+
+func TestShardedConcurrentUpdatesFindAggregates(t *testing.T) {
+	const shards = 4
+	s, err := rhhh.NewSharded(rhhh.Config{
+		Dims: 2, Epsilon: 0.02, Delta: 0.05, Seed: 1,
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := int(s.Psi())/shards + 100000
+
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			m := s.Shard(shard)
+			rng := rand.New(rand.NewSource(int64(shard + 10)))
+			victim := addr4(203, 0, 113, 50)
+			for j := 0; j < perShard; j++ {
+				src := addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+				if rng.Intn(10) < 3 {
+					m.Update(src, victim)
+				} else {
+					m.Update(src, addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if !s.Converged() {
+		t.Fatalf("combined N=%d below ψ=%v", s.N(), s.Psi())
+	}
+	hits := s.HeavyHitters(0.2)
+	found := false
+	for _, h := range hits {
+		if h.Dst == netip.PrefixFrom(addr4(203, 0, 113, 50), 32) && h.Src.Bits() == 0 {
+			found = true
+			total := float64(s.N())
+			if h.Upper < 0.2*total || h.Upper > 0.45*total {
+				t.Errorf("merged estimate %v for a 30%% aggregate of %v", h.Upper, total)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("sharded monitor missed the (*, victim) aggregate: %v", hits)
+	}
+}
+
+func TestShardedHashRouting(t *testing.T) {
+	s, err := rhhh.NewSharded(rhhh.Config{Dims: 2, Epsilon: 0.05, Delta: 0.05, Seed: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const n = 30000
+	for i := 0; i < n; i++ {
+		s.Update(
+			addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))),
+			addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))),
+		)
+	}
+	if s.N() != n {
+		t.Fatalf("N = %d", s.N())
+	}
+	// The hash must spread load roughly evenly.
+	for i := 0; i < s.Shards(); i++ {
+		share := float64(s.Shard(i).N()) / n
+		if share < 0.2 || share > 0.5 {
+			t.Errorf("shard %d got %.1f%% of traffic", i, share*100)
+		}
+	}
+	// Same flow always routes to the same shard (flow affinity).
+	before := make([]uint64, s.Shards())
+	for i := range before {
+		before[i] = s.Shard(i).N()
+	}
+	src, dst := addr4(1, 2, 3, 4), addr4(5, 6, 7, 8)
+	for i := 0; i < 100; i++ {
+		s.Update(src, dst)
+	}
+	moved := 0
+	for i := range before {
+		if d := s.Shard(i).N() - before[i]; d > 0 {
+			moved++
+			if d != 100 {
+				t.Errorf("shard %d got %d of the flow's 100 packets", i, d)
+			}
+		}
+	}
+	if moved != 1 {
+		t.Errorf("flow spread across %d shards", moved)
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := rhhh.NewSharded(rhhh.Config{Dims: 1, Epsilon: 0.1, Delta: 0.1}, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := rhhh.NewSharded(rhhh.Config{Dims: 1, Epsilon: 0.1, Algorithm: rhhh.MST}, 2); err == nil {
+		t.Error("non-RHHH sharding accepted")
+	}
+	if _, err := rhhh.NewSharded(rhhh.Config{Dims: 7, Epsilon: 0.1, Delta: 0.1}, 2); err == nil {
+		t.Error("invalid inner config accepted")
+	}
+}
+
+func TestSharded1D(t *testing.T) {
+	s, err := rhhh.NewSharded(rhhh.Config{Dims: 1, Epsilon: 0.05, Delta: 0.05, Seed: 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	n := int(s.Psi()) + 50000
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			s.Shard(i%2).Update(addr4(9, 9, 9, byte(rng.Intn(256))), netip.Addr{})
+		} else {
+			s.Shard(i%2).Update(addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))), netip.Addr{})
+		}
+	}
+	hits := s.HeavyHitters(0.3)
+	found := false
+	for _, h := range hits {
+		if h.Src == netip.PrefixFrom(addr4(9, 9, 9, 0), 24) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("1D sharded monitor missed 9.9.9.*: %v", hits)
+	}
+}

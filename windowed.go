@@ -1,0 +1,105 @@
+package rhhh
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Windowed measures hierarchical heavy hitters over tumbling windows of a
+// fixed packet count — the epoch-based deployment §6.3 of the paper
+// alludes to ("when the minimal measurement interval is known in advance,
+// the parameter V can be set to satisfy correctness at the end of the
+// measurement"). Each window is a fresh monitor; when a window fills, its
+// HHH set is delivered to the callback and counting restarts.
+//
+// Choose WindowSize ≥ Psi(ε, δ, V) so every delivered result carries the
+// paper's guarantees; NewWindowed rejects configurations where the window
+// is smaller than ψ for the RHHH algorithm.
+type Windowed struct {
+	cfg     Config
+	size    uint64
+	theta   float64
+	onFlush func(WindowResult)
+	current *Monitor
+	index   uint64
+}
+
+// WindowResult is one completed window's output.
+type WindowResult struct {
+	// Index counts completed windows, starting at 0.
+	Index uint64
+	// N is the window's packet count (equal to the configured size).
+	N uint64
+	// HeavyHitters is the window's HHH set at the configured θ.
+	HeavyHitters []HeavyHitter
+}
+
+// NewWindowed builds a tumbling-window monitor delivering results for
+// threshold theta to onFlush every windowSize packets.
+func NewWindowed(cfg Config, windowSize uint64, theta float64, onFlush func(WindowResult)) (*Windowed, error) {
+	if windowSize == 0 {
+		return nil, errors.New("rhhh: window size must be positive")
+	}
+	if !(theta > 0 && theta <= 1) {
+		return nil, errors.New("rhhh: theta must be in (0, 1]")
+	}
+	if onFlush == nil {
+		return nil, errors.New("rhhh: onFlush callback required")
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if psi := m.Psi(); float64(windowSize) < psi {
+		return nil, fmt.Errorf(
+			"rhhh: window of %d packets is below ψ=%.0f; enlarge the window, the ε, or use R (Corollary 6.8)",
+			windowSize, psi)
+	}
+	return &Windowed{
+		cfg:     cfg,
+		size:    windowSize,
+		theta:   theta,
+		onFlush: onFlush,
+		current: m,
+	}, nil
+}
+
+// Update feeds one packet; when the window fills, the callback fires
+// synchronously and a fresh window begins.
+func (w *Windowed) Update(src, dst netip.Addr) {
+	w.current.Update(src, dst)
+	if w.current.N() >= w.size {
+		w.flush()
+	}
+}
+
+// Flush force-closes the current window (e.g. at shutdown), delivering its
+// partial result if it saw any traffic. Partial windows may not have
+// converged; WindowResult.N tells the consumer how much stream backed it.
+func (w *Windowed) Flush() {
+	if w.current.N() > 0 {
+		w.flush()
+	}
+}
+
+// WindowSize returns the configured window length in packets.
+func (w *Windowed) WindowSize() uint64 { return w.size }
+
+// Completed returns the number of windows delivered so far.
+func (w *Windowed) Completed() uint64 { return w.index }
+
+func (w *Windowed) flush() {
+	res := WindowResult{
+		Index:        w.index,
+		N:            w.current.N(),
+		HeavyHitters: w.current.HeavyHitters(w.theta),
+	}
+	w.index++
+	// Fresh monitor with a window-dependent seed: windows stay
+	// statistically independent but runs remain reproducible.
+	cfg := w.cfg
+	cfg.Seed = w.cfg.Seed + w.index*0x9e3779b97f4a7c15
+	w.current = MustNew(cfg)
+	w.onFlush(res)
+}

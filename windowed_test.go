@@ -1,0 +1,122 @@
+package rhhh_test
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"rhhh"
+)
+
+func TestWindowedDeliversPerWindowResults(t *testing.T) {
+	cfg := rhhh.Config{Dims: 1, Epsilon: 0.05, Delta: 0.05, Seed: 1}
+	window := uint64(rhhh.Psi(0.05, 0.05, 5)) + 20000
+
+	var results []rhhh.WindowResult
+	w, err := rhhh.NewWindowed(cfg, window, 0.3, func(r rhhh.WindowResult) {
+		results = append(results, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	heavyA := addr4(1, 1, 1, 0) // window 0's aggregate
+	heavyB := addr4(2, 2, 2, 0) // window 1's aggregate
+	feed := func(prefix netip.Addr, n uint64) {
+		b := prefix.As4()
+		for i := uint64(0); i < n; i++ {
+			if rng.Intn(2) == 0 {
+				b[3] = byte(rng.Intn(256))
+				w.Update(netip.AddrFrom4(b), netip.Addr{})
+			} else {
+				w.Update(addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))), netip.Addr{})
+			}
+		}
+	}
+	feed(heavyA, window)
+	feed(heavyB, window)
+
+	if len(results) != 2 {
+		t.Fatalf("%d windows delivered, want 2", len(results))
+	}
+	if w.Completed() != 2 {
+		t.Fatalf("Completed = %d", w.Completed())
+	}
+	contains := func(r rhhh.WindowResult, p netip.Prefix) bool {
+		for _, h := range r.HeavyHitters {
+			if h.Src == p {
+				return true
+			}
+		}
+		return false
+	}
+	if !contains(results[0], netip.PrefixFrom(heavyA, 24)) {
+		t.Errorf("window 0 missed 1.1.1.*: %v", results[0].HeavyHitters)
+	}
+	if contains(results[0], netip.PrefixFrom(heavyB, 24)) {
+		t.Error("window 0 leaked window 1's aggregate")
+	}
+	if !contains(results[1], netip.PrefixFrom(heavyB, 24)) {
+		t.Errorf("window 1 missed 2.2.2.*: %v", results[1].HeavyHitters)
+	}
+	if contains(results[1], netip.PrefixFrom(heavyA, 24)) {
+		t.Error("window 1 leaked window 0's aggregate (state not reset)")
+	}
+	for i, r := range results {
+		if r.Index != uint64(i) || r.N != window {
+			t.Errorf("window %d metadata: %+v", i, r)
+		}
+	}
+}
+
+func TestWindowedFlushPartial(t *testing.T) {
+	cfg := rhhh.Config{Dims: 1, Epsilon: 0.1, Algorithm: rhhh.MST}
+	fired := 0
+	w, err := rhhh.NewWindowed(cfg, 1000, 0.5, func(r rhhh.WindowResult) {
+		fired++
+		if r.N != 10 {
+			// partial window: N below size
+			// (first call has exactly the 10 fed packets)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		w.Update(addr4(9, 9, 9, 9), netip.Addr{})
+	}
+	w.Flush()
+	if fired != 1 {
+		t.Fatalf("Flush fired %d callbacks", fired)
+	}
+	w.Flush() // nothing pending: no callback
+	if fired != 1 {
+		t.Fatal("empty flush fired a callback")
+	}
+}
+
+func TestWindowedRejectsWindowBelowPsi(t *testing.T) {
+	cfg := rhhh.Config{Dims: 2, Epsilon: 0.001, Delta: 0.001}
+	_, err := rhhh.NewWindowed(cfg, 1000, 0.1, func(rhhh.WindowResult) {})
+	if err == nil {
+		t.Fatal("window far below ψ accepted")
+	}
+}
+
+func TestWindowedValidation(t *testing.T) {
+	ok := func(rhhh.WindowResult) {}
+	cfg := rhhh.Config{Dims: 1, Epsilon: 0.1, Algorithm: rhhh.MST}
+	if _, err := rhhh.NewWindowed(cfg, 0, 0.5, ok); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := rhhh.NewWindowed(cfg, 10, 0, ok); err == nil {
+		t.Error("zero theta accepted")
+	}
+	if _, err := rhhh.NewWindowed(cfg, 10, 0.5, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+	if _, err := rhhh.NewWindowed(rhhh.Config{}, 10, 0.5, ok); err == nil {
+		t.Error("invalid inner config accepted")
+	}
+}
