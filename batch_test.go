@@ -1,0 +1,142 @@
+package rhhh_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"rhhh"
+	"rhhh/internal/fastrand"
+)
+
+func randAddr4(r *fastrand.Source) netip.Addr {
+	v := uint32(r.Uint64())
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// TestMonitorUpdateBatchMatchesSequential: the public batched update must be
+// indistinguishable from per-packet updates for the same seed, at V = H and
+// V > H.
+func TestMonitorUpdateBatchMatchesSequential(t *testing.T) {
+	for _, vMult := range []int{0, 10} {
+		cfg := rhhh.Config{Dims: 2, Epsilon: 0.02, Delta: 0.05, Seed: 9}
+		probe := rhhh.MustNew(cfg)
+		cfg.V = vMult * probe.H()
+
+		const n = 60_000
+		r := fastrand.New(10)
+		srcs := make([]netip.Addr, n)
+		dsts := make([]netip.Addr, n)
+		for i := range srcs {
+			srcs[i] = randAddr4(r)
+			dsts[i] = randAddr4(r)
+		}
+
+		seq := rhhh.MustNew(cfg)
+		for i := range srcs {
+			seq.Update(srcs[i], dsts[i])
+		}
+		bat := rhhh.MustNew(cfg)
+		for i := 0; i < n; {
+			end := i + 1 + int(r.Uint64n(5000))
+			if end > n {
+				end = n
+			}
+			bat.UpdateBatch(srcs[i:end], dsts[i:end])
+			i = end
+		}
+
+		if seq.N() != bat.N() {
+			t.Fatalf("V=%d: N %d vs %d", cfg.V, seq.N(), bat.N())
+		}
+		a, b := seq.HeavyHitters(0.01), bat.HeavyHitters(0.01)
+		if len(a) != len(b) {
+			t.Fatalf("V=%d: result count %d vs %d", cfg.V, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("V=%d: result %d differs: %+v vs %+v", cfg.V, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestMonitorUpdateBatchOneDim: dsts == nil drives the 1D hierarchy.
+func TestMonitorUpdateBatchOneDim(t *testing.T) {
+	cfg := rhhh.Config{Dims: 1, Epsilon: 0.02, Delta: 0.05, Seed: 3}
+	m := rhhh.MustNew(cfg)
+	heavy := netip.AddrFrom4([4]byte{10, 1, 2, 3})
+	r := fastrand.New(4)
+	srcs := make([]netip.Addr, 50_000)
+	for i := range srcs {
+		if r.Uint64n(2) == 0 {
+			srcs[i] = heavy
+		} else {
+			srcs[i] = randAddr4(r)
+		}
+	}
+	m.UpdateBatch(srcs, nil)
+	if m.N() != uint64(len(srcs)) {
+		t.Fatalf("N = %d", m.N())
+	}
+	for _, h := range m.HeavyHitters(0.2) {
+		if h.Level == 0 && h.Src.Addr() == heavy {
+			return
+		}
+	}
+	t.Fatal("heavy source missing from batched 1D monitor")
+}
+
+// TestMonitorUpdateBatchLengthMismatchPanics guards the API contract.
+func TestMonitorUpdateBatchLengthMismatchPanics(t *testing.T) {
+	m := rhhh.MustNew(rhhh.Config{Dims: 2, Epsilon: 0.1, Delta: 0.1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	m.UpdateBatch(make([]netip.Addr, 3), make([]netip.Addr, 2))
+}
+
+// TestShardedUpdateBatchMatchesUpdate: batched sharded feeding must land
+// every packet on the same shard as per-packet feeding, with identical
+// merged results.
+func TestShardedUpdateBatchMatchesUpdate(t *testing.T) {
+	cfg := rhhh.Config{Dims: 2, Epsilon: 0.02, Delta: 0.05, Seed: 5}
+	const shards = 4
+	a, err := rhhh.NewSharded(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rhhh.NewSharded(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 40_000
+	r := fastrand.New(6)
+	srcs := make([]netip.Addr, n)
+	dsts := make([]netip.Addr, n)
+	for i := range srcs {
+		srcs[i] = randAddr4(r)
+		dsts[i] = randAddr4(r)
+	}
+	for i := range srcs {
+		a.Update(srcs[i], dsts[i])
+	}
+	for i := 0; i < n; i += 1000 {
+		b.UpdateBatch(srcs[i:i+1000], dsts[i:i+1000])
+	}
+
+	if a.N() != b.N() {
+		t.Fatalf("N %d vs %d", a.N(), b.N())
+	}
+	for i := 0; i < shards; i++ {
+		if an, bn := a.Shard(i).N(), b.Shard(i).N(); an != bn {
+			t.Fatalf("shard %d: N %d vs %d — batch routing diverged", i, an, bn)
+		}
+	}
+	ha, hb := a.HeavyHitters(0.01), b.HeavyHitters(0.01)
+	if len(ha) != len(hb) {
+		t.Fatalf("result count %d vs %d", len(ha), len(hb))
+	}
+}

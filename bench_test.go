@@ -52,6 +52,23 @@ func benchUpdates[K comparable](b *testing.B, keys []K, update func(K)) {
 	}
 }
 
+// benchUpdateBatches drives a batched update over the key ring in
+// DPDK-style bursts of 256 packets; ns/op remains per packet.
+func benchUpdateBatches[K comparable](b *testing.B, keys []K, updateBatch func([]K)) {
+	b.Helper()
+	const burst = 256
+	b.ResetTimer()
+	mask := len(keys) - 1 // keys length is a power of two ≥ burst
+	for i := 0; i < b.N; i += burst {
+		off := i & mask
+		end := off + burst
+		if end > len(keys) {
+			end = len(keys)
+		}
+		updateBatch(keys[off:end])
+	}
+}
+
 // BenchmarkFig5UpdateSpeed is Figure 5 in testing.B form: per-update cost of
 // every algorithm on the three hierarchies (ε=0.001 — the paper's setting).
 func BenchmarkFig5UpdateSpeed(b *testing.B) {
@@ -71,6 +88,9 @@ func BenchmarkFig5UpdateSpeed(b *testing.B) {
 			}},
 			{"10-RHHH", func(b *testing.B) {
 				benchUpdates(b, keys1, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: 10 * h, Seed: 1}).Update)
+			}},
+			{"10-RHHH-batch", func(b *testing.B) {
+				benchUpdateBatches(b, keys1, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: 10 * h, Seed: 1}).UpdateBatch)
 			}},
 			{"MST", func(b *testing.B) { benchUpdates(b, keys1, mst.New(dom, eps).Update) }},
 			{"FullAncestry", func(b *testing.B) { benchUpdates(b, keys1, ancestry.New(dom, eps, ancestry.Full).Update) }},
@@ -96,6 +116,9 @@ func BenchmarkFig5UpdateSpeed(b *testing.B) {
 			}},
 			{"10-RHHH", func(b *testing.B) {
 				benchUpdates(b, keys2, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: 10 * h, Seed: 1}).Update)
+			}},
+			{"10-RHHH-batch", func(b *testing.B) {
+				benchUpdateBatches(b, keys2, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: 10 * h, Seed: 1}).UpdateBatch)
 			}},
 			{"MST", func(b *testing.B) { benchUpdates(b, keys2, mst.New(dom, eps).Update) }},
 			{"FullAncestry", func(b *testing.B) { benchUpdates(b, keys2, ancestry.New(dom, eps, ancestry.Full).Update) }},
@@ -259,12 +282,10 @@ func BenchmarkFig8DistributedV(b *testing.B) {
 }
 
 func vName(m int) string {
-	switch m {
-	case 1:
+	if m == 1 {
 		return "V=H"
-	default:
-		return "V=" + string(rune('0'+m)) + "H"
 	}
+	return fmt.Sprintf("V=%dH", m)
 }
 
 // BenchmarkAblationMultiUpdate measures the r-updates variant's per-packet
@@ -273,7 +294,7 @@ func BenchmarkAblationMultiUpdate(b *testing.B) {
 	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
 	keys := prebuiltKeys2D(1 << 16)
 	for _, r := range []int{1, 2, 4} {
-		b.Run("r="+string(rune('0'+r)), func(b *testing.B) {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
 			eng := core.New(dom, core.Config{Epsilon: 0.001, Delta: 0.001, R: r, Seed: 1})
 			benchUpdates(b, keys, eng.Update)
 		})

@@ -59,7 +59,7 @@ func main() {
 		report = func() { fmt.Println("no measurement configured (-mode off)") }
 	case "dataplane":
 		eng := core.New(dom, core.Config{Epsilon: *epsilon, Delta: *delta, V: v, Seed: *seed})
-		hook = vswitch.HookFunc(func(p trace.Packet) { eng.Update(p.Key2()) })
+		hook = vswitch.NewEngineHook(eng)
 		report = func() { printHHH(dom, eng.Output(*theta), eng.Weight(), *theta) }
 	case "distributed":
 		col := vswitch.NewCollector(dom, *epsilon, *delta, v)

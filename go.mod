@@ -1,0 +1,3 @@
+module rhhh
+
+go 1.24

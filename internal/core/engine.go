@@ -6,6 +6,7 @@ import (
 
 	"rhhh/internal/fastrand"
 	"rhhh/internal/hierarchy"
+	"rhhh/internal/spacesaving"
 	"rhhh/internal/stats"
 )
 
@@ -56,12 +57,41 @@ type Config struct {
 type Engine[K comparable] struct {
 	dom  *hierarchy.Domain[K]
 	inst []Instance[K]
+	// ss mirrors inst with the concrete Space Saving summaries when every
+	// instance uses the stream-summary backend; the update path then calls
+	// Increment directly instead of through the Instance interface. Heap and
+	// Count-Min backends keep interface dispatch (ss == nil).
+	ss   []*spacesaving.Summary[K]
+	mask func(k K, node int) K // devirtualized dom.Masker()
 	rng  *fastrand.Source
 
 	v, h    uint64
 	r       int
 	packets uint64 // number of Update/UpdateWeighted calls
-	weight  uint64 // total stream weight (equals packets on unitary streams)
+	// extraW tracks stream weight beyond one unit per packet, so the unit
+	// Update path maintains a single counter; total weight is
+	// packets + extraW (extraW is negative when zero-weight packets occur).
+	extraW int64
+
+	// Geometric skip sampling (V > H, r == 1): each packet is sampled with
+	// probability H/V, so instead of drawing per packet we draw the gap to
+	// the next sampled packet once and compare against a watermark — the
+	// non-sampled path is a single compare, with no stores beyond the
+	// packet counter. nextSample is the value of packets at which the next
+	// sample fires; geo draws the gaps.
+	useSkip    bool
+	nextSample uint64
+	geo        *fastrand.GeometricSampler
+
+	// UpdateBatch scratch: a batch's sampled (node, masked key) pairs are
+	// collected and applied node-grouped at the end of the call, touching
+	// each node's counter store once per batch instead of once per sample.
+	// Update itself applies samples immediately — every single call stays
+	// O(1) worst case, the paper's headline property.
+	batchNode []int32 // node draw per sampled packet, in sample order
+	batchKey  []K     // masked key per sampled packet
+	grpKey    []K     // scratch: masked keys regrouped by node
+	grpOff    []int32 // scratch: per-node group boundaries
 
 	epsilon, delta float64
 	z              float64 // Z(1−δ), for the output correction
@@ -117,6 +147,7 @@ func NewWithInstances[K comparable](dom *hierarchy.Domain[K], cfg Config, inst [
 	e := &Engine[K]{
 		dom:     dom,
 		inst:    inst,
+		mask:    dom.Masker(),
 		rng:     fastrand.New(cfg.Seed),
 		v:       uint64(v),
 		h:       uint64(h),
@@ -126,6 +157,24 @@ func NewWithInstances[K comparable](dom *hierarchy.Domain[K], cfg Config, inst [
 		z:       stats.Z(cfg.Delta),
 		psi:     stats.Z(deltaS/2) * float64(v) / (cfg.Epsilon * cfg.Epsilon) / float64(r),
 	}
+	// Devirtualize the backend when every node runs the stream-summary
+	// Space Saving instance (the default and the paper's configuration).
+	ss := make([]*spacesaving.Summary[K], len(inst))
+	for i, in := range inst {
+		a, ok := in.(ssInstance[K])
+		if !ok {
+			ss = nil
+			break
+		}
+		ss[i] = a.s
+	}
+	e.ss = ss
+	if v > h && r == 1 {
+		e.useSkip = true
+		e.geo = fastrand.NewGeometricSampler(float64(h) / float64(v))
+		e.nextSample = 1 + e.geo.Next(e.rng)
+	}
+	e.grpOff = make([]int32, h+1)
 	return e
 }
 
@@ -151,7 +200,7 @@ func (e *Engine[K]) N() uint64 { return e.packets }
 
 // Weight returns the total stream weight processed (equals N on unitary
 // streams).
-func (e *Engine[K]) Weight() uint64 { return e.weight }
+func (e *Engine[K]) Weight() uint64 { return e.packets + uint64(e.extraW) }
 
 // V returns the performance parameter in effect.
 func (e *Engine[K]) V() int { return int(e.v) }
@@ -166,16 +215,49 @@ func (e *Engine[K]) Psi() float64 { return e.psi }
 // Converged reports whether N has passed ψ.
 func (e *Engine[K]) Converged() bool { return float64(e.packets) >= e.psi }
 
-// Update processes one packet: draw d uniform in [0, V); if d < H, update
-// lattice node d's instance with the packet's masked key (Algorithm 1 lines
-// 1–7). O(1) worst case — at most r constant-time instance updates.
+// Update processes one packet: with probability H/V, update one uniformly
+// drawn lattice node's instance with the packet's masked key (Algorithm 1
+// lines 1–7). O(1) worst case — at most r constant-time instance updates.
+//
+// When V > H (and r == 1) the Bernoulli decision is realized by geometric
+// skip sampling: the common non-sampled case is a compare-and-decrement
+// with no RNG draw at all. At V = H every packet updates a node and the
+// historical one-draw-per-packet path is kept, preserving bit-identical
+// results for a given seed.
 func (e *Engine[K]) Update(k K) {
 	e.packets++
-	e.weight++
+	if e.useSkip {
+		if e.packets < e.nextSample {
+			return
+		}
+		node := int(e.rng.Uint64n(e.h))
+		if e.ss != nil {
+			e.ss[node].Increment(e.mask(k, node))
+		} else {
+			e.inst[node].Increment(e.mask(k, node))
+		}
+		e.nextSample = e.packets + 1 + e.geo.Next(e.rng)
+		return
+	}
+	if e.r == 1 {
+		if d := e.rng.Uint64n(e.v); d < e.h {
+			node := int(d)
+			if e.ss != nil {
+				e.ss[node].Increment(e.mask(k, node))
+			} else {
+				e.inst[node].Increment(e.mask(k, node))
+			}
+		}
+		return
+	}
 	for i := 0; i < e.r; i++ {
 		if d := e.rng.Uint64n(e.v); d < e.h {
 			node := int(d)
-			e.inst[node].Increment(e.dom.Mask(k, node))
+			if e.ss != nil {
+				e.ss[node].Increment(e.mask(k, node))
+			} else {
+				e.inst[node].Increment(e.mask(k, node))
+			}
 		}
 	}
 }
@@ -184,15 +266,108 @@ func (e *Engine[K]) Update(k K) {
 // The sampled node receives the full weight, keeping the estimator
 // unbiased; this is the natural weighted extension of Algorithm 1 (the
 // paper analyzes unitary streams only — variance grows with the weight
-// spread, so ψ is a lower bound on convergence here).
+// spread, so ψ is a lower bound on convergence here). Sampling decisions
+// are per packet, so the skip sampler applies unchanged.
 func (e *Engine[K]) UpdateWeighted(k K, w uint64) {
 	e.packets++
-	e.weight += w
+	e.extraW += int64(w) - 1
+	if e.useSkip {
+		if e.packets < e.nextSample {
+			return
+		}
+		node := int(e.rng.Uint64n(e.h))
+		if e.ss != nil {
+			e.ss[node].IncrementBy(e.mask(k, node), w)
+		} else {
+			e.inst[node].IncrementBy(e.mask(k, node), w)
+		}
+		e.nextSample = e.packets + 1 + e.geo.Next(e.rng)
+		return
+	}
 	for i := 0; i < e.r; i++ {
 		if d := e.rng.Uint64n(e.v); d < e.h {
 			node := int(d)
-			e.inst[node].IncrementBy(e.dom.Mask(k, node), w)
+			if e.ss != nil {
+				e.ss[node].IncrementBy(e.mask(k, node), w)
+			} else {
+				e.inst[node].IncrementBy(e.mask(k, node), w)
+			}
 		}
+	}
+}
+
+// UpdateBatch processes a slice of packets in one call — semantically
+// identical to calling Update on each key in order (same RNG consumption,
+// same state). With V > H the skip sampler fast-forwards over runs of
+// non-sampled packets, and the batch's samples are applied node-grouped at
+// the end of the call so each node's counter store is touched in one
+// cache-friendly burst. Per-batch work is O(len(keys)) counter arithmetic
+// plus O(samples) instance updates.
+func (e *Engine[K]) UpdateBatch(keys []K) {
+	if !e.useSkip {
+		for _, k := range keys {
+			e.Update(k)
+		}
+		return
+	}
+	base := e.packets
+	e.packets += uint64(len(keys))
+	e.batchNode = e.batchNode[:0]
+	e.batchKey = e.batchKey[:0]
+	for e.nextSample <= e.packets {
+		k := keys[e.nextSample-base-1]
+		// Draw node then gap, exactly as the per-packet path would.
+		node := int32(e.rng.Uint64n(e.h))
+		e.batchNode = append(e.batchNode, node)
+		e.batchKey = append(e.batchKey, e.mask(k, int(node)))
+		e.nextSample += 1 + e.geo.Next(e.rng)
+	}
+	e.applyGrouped()
+}
+
+// applyGrouped applies the batch's sampled updates grouped by node with a
+// stable counting sort, preserving each node's update order.
+func (e *Engine[K]) applyGrouped() {
+	n := len(e.batchNode)
+	if n == 0 {
+		return
+	}
+	if cap(e.grpKey) < n {
+		e.grpKey = make([]K, n)
+	}
+	e.grpKey = e.grpKey[:n]
+	off := e.grpOff
+	for i := range off {
+		off[i] = 0
+	}
+	for _, nd := range e.batchNode {
+		off[nd+1]++
+	}
+	for nd := 0; nd < int(e.h); nd++ {
+		off[nd+1] += off[nd]
+	}
+	pos := off // off[nd] advances to off[nd+1] while scattering
+	for i, nd := range e.batchNode {
+		e.grpKey[pos[nd]] = e.batchKey[i]
+		pos[nd]++
+	}
+	// After the scatter pass pos[nd] == original off[nd+1], so each group
+	// ends where the next began.
+	start := int32(0)
+	for nd := 0; nd < int(e.h); nd++ {
+		end := pos[nd]
+		if end == start {
+			continue
+		}
+		if e.ss != nil {
+			e.ss[nd].IncrementBatch(e.grpKey[start:end])
+		} else {
+			in := e.inst[nd]
+			for j := start; j < end; j++ {
+				in.Increment(e.grpKey[j])
+			}
+		}
+		start = end
 	}
 }
 
@@ -203,7 +378,7 @@ func (e *Engine[K]) Output(theta float64) []Result[K] {
 	if !(theta > 0 && theta <= 1) {
 		panic("core: theta must be in (0, 1]")
 	}
-	n := float64(e.weight)
+	n := float64(e.Weight())
 	if n == 0 {
 		return nil
 	}
@@ -226,6 +401,9 @@ func (e *Engine[K]) Reset() {
 	for _, in := range e.inst {
 		in.Reset()
 	}
+	if e.useSkip {
+		e.nextSample -= e.packets // keep the in-flight gap across the reset
+	}
 	e.packets = 0
-	e.weight = 0
+	e.extraW = 0
 }

@@ -51,7 +51,7 @@ func MergeOutput[K comparable](theta float64, engines ...*Engine[K]) []Result[K]
 		merged[node] = ssInstance[K]{sum}
 	}
 	for _, e := range engines {
-		n += float64(e.weight)
+		n += float64(e.Weight())
 	}
 	if n == 0 {
 		return nil

@@ -14,7 +14,10 @@
 // goroutine its own.
 package fastrand
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a splitmix64 pseudo-random generator.
 type Source struct {
@@ -71,4 +74,82 @@ func (s *Source) Intn(n int) int {
 // Float64 returns a uniform pseudo-random float64 in [0, 1).
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// GeometricInvLogQ precomputes the constant Geometric needs for success
+// probability p ∈ (0, 1): 1/ln(1−p). Hoisting it out of the sampling loop
+// leaves Geometric with one uniform draw, one log, and one multiply.
+func GeometricInvLogQ(p float64) float64 {
+	if !(p > 0 && p < 1) {
+		panic("fastrand: geometric probability must be in (0, 1)")
+	}
+	return 1 / math.Log1p(-p)
+}
+
+// Geometric returns a sample of the geometric distribution counting the
+// failures before the first success of a Bernoulli(p) trial sequence, i.e.
+// P(G = g) = (1−p)^g · p for g = 0, 1, 2, …, via inverse-CDF transform
+// sampling: G = ⌊ln(U)/ln(1−p)⌋. invLogQ must be GeometricInvLogQ(p).
+//
+// RHHH uses this for skip sampling when V > H: instead of one uniform draw
+// per packet deciding whether the packet updates a node (probability H/V),
+// draw the gap to the next sampled packet once and count down — the
+// non-sampled path becomes a compare-and-decrement.
+func (s *Source) Geometric(invLogQ float64) uint64 {
+	// 1−U ∈ (0, 1] for U ∈ [0, 1), so the log never hits −∞; both factors
+	// are ≤ 0, making the product a non-negative gap.
+	u := s.Float64()
+	return uint64(math.Log1p(-u) * invLogQ)
+}
+
+// geomTableBits sizes the GeometricSampler quantile table: 1<<geomTableBits
+// uint16 entries (8 KiB at 12 bits). Only u-buckets straddling a CDF step
+// fall back to the exact log computation — a few percent of draws for the
+// H/V ratios RHHH uses.
+const geomTableBits = 12
+
+// geomSentinel marks a table bucket that must take the exact path.
+const geomSentinel = ^uint16(0)
+
+// GeometricSampler draws geometric gaps (failures before the first success
+// of Bernoulli(p) trials) via a quantile table: the top bits of one uniform
+// 64-bit draw index precomputed inverse-CDF values, replacing the log of
+// Geometric with a table load for the vast majority of draws. Buckets where
+// the inverse CDF is not constant — and gaps too large for the table — use
+// the exact formula on the same uniform, so the sampled distribution is
+// bit-identical to Geometric's for the same Source state.
+type GeometricSampler struct {
+	tbl     [1 << geomTableBits]uint16
+	invLogQ float64
+}
+
+// NewGeometricSampler builds a sampler for success probability p ∈ (0, 1).
+func NewGeometricSampler(p float64) *GeometricSampler {
+	g := &GeometricSampler{invLogQ: GeometricInvLogQ(p)}
+	exact := func(m uint64) uint64 { // m is a 53-bit uniform mantissa
+		u := float64(m) * (1.0 / (1 << 53))
+		return uint64(math.Log1p(-u) * g.invLogQ)
+	}
+	const mantissaPerBucket = uint64(1) << (53 - geomTableBits)
+	for i := range g.tbl {
+		lo := exact(uint64(i) * mantissaPerBucket)
+		hi := exact((uint64(i)+1)*mantissaPerBucket - 1)
+		if lo == hi && lo < uint64(geomSentinel) {
+			g.tbl[i] = uint16(lo)
+		} else {
+			g.tbl[i] = geomSentinel
+		}
+	}
+	return g
+}
+
+// Next returns the next gap, consuming exactly one Uint64 from src (the
+// same consumption as Geometric, with identical results).
+func (g *GeometricSampler) Next(src *Source) uint64 {
+	v := src.Uint64()
+	if t := g.tbl[v>>(64-geomTableBits)]; t != geomSentinel {
+		return uint64(t)
+	}
+	u := float64(v>>11) * (1.0 / (1 << 53))
+	return uint64(math.Log1p(-u) * g.invLogQ)
 }

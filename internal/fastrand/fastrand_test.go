@@ -144,6 +144,101 @@ func TestFloat64Mean(t *testing.T) {
 	}
 }
 
+// TestGeometricMatchesBernoulli: the skip-sampling gap distribution must
+// match the empirical gap distribution of explicit per-trial Bernoulli(p)
+// draws — mean and a chi-squared over the small-gap buckets.
+func TestGeometricMatchesBernoulli(t *testing.T) {
+	for _, p := range []float64{0.5, 0.1, 0.04} {
+		invLogQ := GeometricInvLogQ(p)
+		const samples = 200000
+		maxGap := int(8 / p)
+
+		gapsGeo := make([]int, maxGap+1)
+		s := New(7)
+		for i := 0; i < samples; i++ {
+			g := int(s.Geometric(invLogQ))
+			if g > maxGap {
+				g = maxGap
+			}
+			gapsGeo[g]++
+		}
+
+		gapsBern := make([]int, maxGap+1)
+		b := New(8)
+		for i := 0; i < samples; i++ {
+			g := 0
+			for b.Float64() >= p {
+				g++
+			}
+			if g > maxGap {
+				g = maxGap
+			}
+			gapsBern[g]++
+		}
+
+		// Two-sample chi-squared over buckets with enough mass. The 99.9th
+		// percentile for the df in play here is comfortably below 2·df+40.
+		chi2 := 0.0
+		df := 0
+		for g := 0; g <= maxGap; g++ {
+			a, c := float64(gapsGeo[g]), float64(gapsBern[g])
+			if a+c < 20 {
+				continue
+			}
+			d := a - c
+			chi2 += d * d / (a + c)
+			df++
+		}
+		if limit := 2*float64(df) + 40; chi2 > limit {
+			t.Fatalf("p=%v: chi-squared %.1f over %d buckets exceeds %.1f", p, chi2, df, limit)
+		}
+
+		// Mean gap must be near (1−p)/p.
+		var sum float64
+		s2 := New(9)
+		for i := 0; i < samples; i++ {
+			sum += float64(s2.Geometric(invLogQ))
+		}
+		mean := sum / samples
+		want := (1 - p) / p
+		if math.Abs(mean-want) > 0.05*want+0.01 {
+			t.Fatalf("p=%v: mean gap %.3f, want ≈%.3f", p, mean, want)
+		}
+	}
+}
+
+// TestGeometricSamplerMatchesGeometric: the quantile-table sampler must
+// reproduce Geometric bit-identically draw for draw — same RNG consumption,
+// same gaps — across a range of probabilities.
+func TestGeometricSamplerMatchesGeometric(t *testing.T) {
+	for _, p := range []float64{0.9, 0.5, 0.1, 0.04, 1e-3, 1e-6} {
+		g := NewGeometricSampler(p)
+		invLogQ := GeometricInvLogQ(p)
+		a := New(31)
+		b := New(31)
+		for i := 0; i < 200000; i++ {
+			x := g.Next(a)
+			y := b.Geometric(invLogQ)
+			if x != y {
+				t.Fatalf("p=%v draw %d: sampler %d != Geometric %d", p, i, x, y)
+			}
+		}
+	}
+}
+
+func TestGeometricInvLogQPanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GeometricInvLogQ(%v) did not panic", p)
+				}
+			}()
+			GeometricInvLogQ(p)
+		}()
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	s := New(1)
 	var sink uint64

@@ -35,6 +35,14 @@ type Domain[K comparable] struct {
 	mask   func(k K, srcBits, dstBits int) K
 	merge  func(src, dst K) K // take source dim of 1st arg, dest dim of 2nd
 	format func(k K, srcBits, dstBits int) string
+
+	// maskTable[i] is node i's projection mask applied to an all-ones key;
+	// masking is then a carrier-level AND. fastMask is the devirtualized
+	// equivalent of Mask: a single closure over the table with no Node
+	// struct load and no inner func-field dispatch. Both are populated by
+	// the concrete constructors (nil for carriers without them).
+	maskTable []K
+	fastMask  func(k K, node int) K
 }
 
 // Name returns a human-readable description such as "2D-IPv4-bytes (H=25)".
@@ -73,6 +81,32 @@ func (d *Domain[K]) NodeByBits(srcBits, dstBits int) (int, bool) {
 func (d *Domain[K]) Mask(k K, i int) K {
 	n := d.nodes[i]
 	return d.mask(k, n.SrcBits, n.DstBits)
+}
+
+// MaskTable returns the per-node projection masks for carriers where
+// masking is a plain bitwise AND of the key with table[node] — the uint32
+// and uint64 IPv4 carriers. Callers holding the concrete key type can then
+// mask inline (`k & table[node]`) with no function call at all. ok is false
+// for carriers without an integer AND (Addr, AddrPair); use Mask or Masker
+// there. The caller must not modify the returned slice.
+func (d *Domain[K]) MaskTable() (table []K, ok bool) {
+	switch any(d.maskTable).(type) {
+	case []uint32, []uint64:
+		return d.maskTable, d.maskTable != nil
+	default:
+		return nil, false
+	}
+}
+
+// Masker returns a devirtualized masking function equivalent to Mask: one
+// closure call over a precomputed per-node mask table, with no Node struct
+// load and no func-field dispatch. Every built-in carrier gets a fast
+// closure; an unknown carrier falls back to the generic Mask path.
+func (d *Domain[K]) Masker() func(k K, node int) K {
+	if d.fastMask != nil {
+		return d.fastMask
+	}
+	return d.Mask
 }
 
 // NodeGeneralizes reports whether node a's pattern generalizes node b's:

@@ -84,6 +84,12 @@ func newIPv4OneDim(step int) *Domain[uint32] {
 	}
 	d.nodes, d.byLevel, d.index, d.fullNode, d.rootNode = buildNodes(1, 32, step)
 	d.name = fmt.Sprintf("1D-IPv4-%s (H=%d)", Granularity(step), len(d.nodes))
+	tbl := make([]uint32, len(d.nodes))
+	for i, n := range d.nodes {
+		tbl[i] = mask32(n.SrcBits)
+	}
+	d.maskTable = tbl
+	d.fastMask = func(k uint32, node int) uint32 { return k & tbl[node] }
 	return d
 }
 
@@ -114,6 +120,12 @@ func newIPv4TwoDim(step int) *Domain[uint64] {
 	}
 	d.nodes, d.byLevel, d.index, d.fullNode, d.rootNode = buildNodes(2, 32, step)
 	d.name = fmt.Sprintf("2D-IPv4-%s (H=%d)", Granularity(step), len(d.nodes))
+	tbl := make([]uint64, len(d.nodes))
+	for i, n := range d.nodes {
+		tbl[i] = uint64(mask32(n.SrcBits))<<32 | uint64(mask32(n.DstBits))
+	}
+	d.maskTable = tbl
+	d.fastMask = func(k uint64, node int) uint64 { return k & tbl[node] }
 	return d
 }
 
@@ -140,6 +152,15 @@ func newIPv6OneDim(step int) *Domain[Addr] {
 	}
 	d.nodes, d.byLevel, d.index, d.fullNode, d.rootNode = buildNodes(1, 128, step)
 	d.name = fmt.Sprintf("1D-IPv6-%s (H=%d)", Granularity(step), len(d.nodes))
+	tbl := make([]Addr, len(d.nodes))
+	for i, n := range d.nodes {
+		tbl[i] = Addr{Hi: ^uint64(0), Lo: ^uint64(0)}.Mask(n.SrcBits)
+	}
+	d.maskTable = tbl
+	d.fastMask = func(k Addr, node int) Addr {
+		m := tbl[node]
+		return Addr{Hi: k.Hi & m.Hi, Lo: k.Lo & m.Lo}
+	}
 	return d
 }
 
@@ -167,5 +188,18 @@ func newIPv6TwoDim(step int) *Domain[AddrPair] {
 	}
 	d.nodes, d.byLevel, d.index, d.fullNode, d.rootNode = buildNodes(2, 128, step)
 	d.name = fmt.Sprintf("2D-IPv6-%s (H=%d)", Granularity(step), len(d.nodes))
+	ones := Addr{Hi: ^uint64(0), Lo: ^uint64(0)}
+	tbl := make([]AddrPair, len(d.nodes))
+	for i, n := range d.nodes {
+		tbl[i] = AddrPair{Src: ones.Mask(n.SrcBits), Dst: ones.Mask(n.DstBits)}
+	}
+	d.maskTable = tbl
+	d.fastMask = func(k AddrPair, node int) AddrPair {
+		m := tbl[node]
+		return AddrPair{
+			Src: Addr{Hi: k.Src.Hi & m.Src.Hi, Lo: k.Src.Lo & m.Src.Lo},
+			Dst: Addr{Hi: k.Dst.Hi & m.Dst.Hi, Lo: k.Dst.Lo & m.Dst.Lo},
+		}
+	}
 	return d
 }

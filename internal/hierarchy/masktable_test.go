@@ -1,0 +1,76 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"rhhh/internal/fastrand"
+)
+
+// TestMaskTableMatchesMask: the precomputed AND tables and the devirtualized
+// Masker must agree with the generic Mask path on every node for random keys,
+// across all carriers and granularities.
+func TestMaskTableMatchesMask(t *testing.T) {
+	r := fastrand.New(1)
+
+	check := func(t *testing.T, name string, f func() bool) {
+		t.Helper()
+		for i := 0; i < 1000; i++ {
+			if !f() {
+				t.Fatalf("%s: masker/table disagrees with Mask", name)
+			}
+		}
+	}
+
+	for _, g := range []Granularity{Bits, Nibbles, Bytes} {
+		d1 := NewIPv4OneDim(g)
+		tbl1, ok := d1.MaskTable()
+		if !ok || len(tbl1) != d1.Size() {
+			t.Fatalf("%s: missing mask table", d1.Name())
+		}
+		m1 := d1.Masker()
+		check(t, d1.Name(), func() bool {
+			k := uint32(r.Uint64())
+			node := int(r.Uint64n(uint64(d1.Size())))
+			want := d1.Mask(k, node)
+			return m1(k, node) == want && k&tbl1[node] == want
+		})
+
+		d2 := NewIPv4TwoDim(g)
+		tbl2, ok := d2.MaskTable()
+		if !ok || len(tbl2) != d2.Size() {
+			t.Fatalf("%s: missing mask table", d2.Name())
+		}
+		m2 := d2.Masker()
+		check(t, d2.Name(), func() bool {
+			k := r.Uint64()
+			node := int(r.Uint64n(uint64(d2.Size())))
+			want := d2.Mask(k, node)
+			return m2(k, node) == want && k&tbl2[node] == want
+		})
+
+		d6 := NewIPv6OneDim(g)
+		if _, ok := d6.MaskTable(); ok {
+			t.Fatalf("%s: Addr carrier should not report an integer mask table", d6.Name())
+		}
+		m6 := d6.Masker()
+		check(t, d6.Name(), func() bool {
+			k := Addr{Hi: r.Uint64(), Lo: r.Uint64()}
+			node := int(r.Uint64n(uint64(d6.Size())))
+			return m6(k, node) == d6.Mask(k, node)
+		})
+
+		d62 := NewIPv6TwoDim(g)
+		if _, ok := d62.MaskTable(); ok {
+			t.Fatalf("%s: AddrPair carrier should not report an integer mask table", d62.Name())
+		}
+		m62 := d62.Masker()
+		check(t, d62.Name(), func() bool {
+			k := AddrPair{
+				Src: Addr{Hi: r.Uint64(), Lo: r.Uint64()},
+				Dst: Addr{Hi: r.Uint64(), Lo: r.Uint64()},
+			}
+			node := int(r.Uint64n(uint64(d62.Size())))
+			return m62(k, node) == d62.Mask(k, node)
+		})
+	}
+}

@@ -51,18 +51,15 @@ func Merge[K comparable](a, b *Summary[K], capacity int) *Summary[K] {
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].upper < pairs[j].upper })
 	out := New[K](capacity)
 	out.n = a.n + b.n
-	var tail *bucket[K]
+	tail := nilIdx
 	for _, p := range pairs {
-		c := &counter[K]{key: p.key, err: p.upper - p.lower}
-		out.items[p.key] = c
-		if tail == nil || tail.count != p.upper {
-			nb := &bucket[K]{count: p.upper, prev: tail}
-			if tail != nil {
-				tail.next = nb
-			} else {
-				out.min = nb
-			}
-			tail = nb
+		c := int32(out.used)
+		out.used++
+		out.slots[c].key = p.key
+		out.slots[c].err = p.upper - p.lower
+		out.indexInsert(c, out.hash(p.key))
+		if tail == nilIdx || out.buckets[tail].count != p.upper {
+			tail = out.newBucket(p.upper, tail, nilIdx)
 		}
 		out.pushCounter(tail, c)
 	}

@@ -9,6 +9,13 @@
 // increments efficiently; it exists for the weighted-input extension and as
 // an ablation baseline.
 //
+// Summary stores all counters in one flat slab indexed by an open-addressed
+// hash table, and the Stream-Summary bucket list links counters and buckets
+// by slab index rather than by pointer. A steady-state update therefore
+// touches a handful of contiguous arrays instead of chasing map buckets and
+// heap-allocated nodes, and the structure performs zero allocations after
+// construction.
+//
 // Guarantees (for capacity c after N unit updates):
 //
 //   - every monitored key satisfies count−error ≤ f ≤ count;
@@ -19,32 +26,108 @@
 // Definition 4 with c = ⌈1/ε⌉ counters.
 package spacesaving
 
+import (
+	"hash/maphash"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// nilIdx is the shared sentinel for "no counter / no bucket" slab links.
+const nilIdx = int32(-1)
+
 // counter tracks one monitored key. Counters with equal counts hang off a
 // shared bucket; the count itself lives on the bucket (the Stream-Summary
-// trick that makes increments O(1)).
+// trick that makes increments O(1)). Links are slab indices. Sibling lists
+// are singly linked: head removal (the eviction case) touches no sibling,
+// and mid-list removal swaps the head's key into the vacated position
+// (detach), so no counter ever needs a back link.
 type counter[K comparable] struct {
-	key        K
-	err        uint64
-	bkt        *bucket[K]
-	prev, next *counter[K] // siblings in the same bucket, doubly linked
+	key    K
+	err    uint64
+	tabPos uint32 // lane position in the cuckoo index (stashPos if stashed)
+	bkt    int32
+	next   int32 // next sibling in the same bucket
 }
 
 // bucket groups counters with the same count. Buckets form a doubly linked
-// list ordered by count ascending.
-type bucket[K comparable] struct {
+// list ordered by count ascending; links are indices into the bucket slab.
+type bucket struct {
 	count      uint64
-	head       *counter[K]
-	prev, next *bucket[K]
+	head       int32
+	prev, next int32
 }
 
 // Summary is a Stream-Summary Space Saving instance. It is not safe for
 // concurrent use; RHHH gives each lattice node its own instance.
 type Summary[K comparable] struct {
 	capacity int
-	items    map[K]*counter[K]
-	min      *bucket[K] // bucket with the smallest count, or nil when empty
-	n        uint64     // total weight of all increments
-	freeBkt  *bucket[K] // free list, avoids steady-state allocation
+	slots    []counter[K] // flat counter slab; [0:used) are live
+	used     int
+	buckets  []bucket // bucket slab, recycled through freeBkt
+	min      int32    // bucket with the smallest count, or nilIdx when empty
+	freeBkt  int32    // free bucket list, avoids steady-state allocation
+	n        uint64   // total weight of all increments
+
+	// Bucketized cuckoo index: key → slab slot, two candidate buckets of
+	// four lanes each (in the style of cuckoo filters and Cuckoo Heavy
+	// Keeper's stores). fps holds one fingerprint byte per lane packed four
+	// to a word — a lookup SWAR-compares four lanes at once and a deletion
+	// is a single byte clear, with no probe chains to repair. refs holds
+	// the slab slot per lane. The alternate bucket is derived from the
+	// occupied bucket and the fingerprint alone, so displacements never
+	// rehash keys. stash absorbs the astronomically rare displacement
+	// overflow (the table runs at ~50% of a scheme that sustains >95%).
+	fps     []uint32 // 4 fingerprint bytes per bucket; 0 = free lane
+	refs    []int32  // 4 slot ids per bucket
+	bktMask uint32   // number of buckets − 1 (power of two)
+	stash   []int32  // overflowed slots, scanned only when non-empty
+	hash    func(k K) uint32
+
+	warmSink uint32 // defeats dead-load elimination of the warming pass
+}
+
+// fpOf derives a non-zero fingerprint byte from a key hash.
+func fpOf(h uint32) uint32 { return (h >> 24) | 1 }
+
+// altBucket returns the other candidate bucket for a fingerprint: an
+// xor-displacement keyed on the fingerprint byte (cuckoo-filter style), so
+// it is an involution computable without the key.
+func altBucket(b, fp, mask uint32) uint32 { return (b ^ (fp * 0x5bd1)) & mask }
+
+// swarMatch returns a mask with bit 8i+7 set when byte i of w equals the
+// (repeated) byte b.
+func swarMatch(w, b uint32) uint32 {
+	x := w ^ (b * 0x01010101)
+	return (x - 0x01010101) &^ x & 0x80808080
+}
+
+// swarZero returns a mask with bit 8i+7 set when byte i of w is zero.
+func swarZero(w uint32) uint32 {
+	return (w - 0x01010101) &^ w & 0x80808080
+}
+
+// hashFuncFor picks the key-hash function at construction time: integer
+// carriers (the IPv4 key types) get an inline splitmix64 finalizer, Addr and
+// AddrPair mix their words directly, and any other comparable type falls
+// back to hash/maphash. Each summary gets its own random seed.
+func hashFuncFor[K comparable]() func(k K) uint32 {
+	seed := rand.Uint64()
+	mix := func(z uint64) uint32 {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return uint32(z ^ (z >> 31))
+	}
+	var fn any
+	switch any(*new(K)).(type) {
+	case uint32:
+		fn = func(k uint32) uint32 { return mix(seed ^ uint64(k)) }
+	case uint64:
+		fn = func(k uint64) uint32 { return mix(seed ^ k) }
+	default:
+		ms := maphash.MakeSeed()
+		return func(k K) uint32 { return uint32(maphash.Comparable(ms, k)) }
+	}
+	return fn.(func(k K) uint32)
 }
 
 // New returns a Space Saving instance with the given number of counters.
@@ -53,10 +136,23 @@ func New[K comparable](capacity int) *Summary[K] {
 	if capacity < 1 {
 		panic("spacesaving: capacity must be >= 1")
 	}
-	return &Summary[K]{
-		capacity: capacity,
-		items:    make(map[K]*counter[K], capacity),
+	nBkt := uint32(2) // ≥ 2 buckets so the two candidates can differ
+	for nBkt*4 < uint32(2*capacity) {
+		nBkt <<= 1
 	}
+	s := &Summary[K]{
+		capacity: capacity,
+		slots:    make([]counter[K], capacity),
+		buckets:  make([]bucket, 0, capacity+1),
+		min:      nilIdx,
+		freeBkt:  nilIdx,
+		fps:      make([]uint32, nBkt),
+		refs:     make([]int32, nBkt*4),
+		bktMask:  nBkt - 1,
+		stash:    make([]int32, 0, 8),
+		hash:     hashFuncFor[K](),
+	}
+	return s
 }
 
 // Capacity returns the number of counters the instance was built with.
@@ -66,38 +162,176 @@ func (s *Summary[K]) Capacity() int { return s.capacity }
 func (s *Summary[K]) N() uint64 { return s.n }
 
 // Len returns the number of currently monitored keys.
-func (s *Summary[K]) Len() int { return len(s.items) }
+func (s *Summary[K]) Len() int { return s.used }
 
 // MinCount returns the smallest tracked count, or 0 while the table has
 // spare capacity (an unseen key then provably has frequency 0).
 func (s *Summary[K]) MinCount() uint64 {
-	if len(s.items) < s.capacity || s.min == nil {
+	if s.used < s.capacity || s.min == nilIdx {
 		return 0
 	}
-	return s.min.count
+	return s.buckets[s.min].count
+}
+
+// lookup returns the slab slot of k (whose hash is h), or nilIdx when
+// unmonitored. The two candidate buckets are independent loads, and each is
+// compared four lanes at a time; the counter slab is only loaded to confirm
+// a fingerprint match.
+func (s *Summary[K]) lookup(k K, h uint32) int32 {
+	fp := fpOf(h)
+	b := h & s.bktMask
+	for m := swarMatch(s.fps[b], fp); m != 0; m &= m - 1 {
+		lane := laneOf(m)
+		if v := s.refs[b*4+lane]; s.slots[v].key == k {
+			return v
+		}
+	}
+	b2 := altBucket(b, fp, s.bktMask)
+	for m := swarMatch(s.fps[b2], fp); m != 0; m &= m - 1 {
+		lane := laneOf(m)
+		if v := s.refs[b2*4+lane]; s.slots[v].key == k {
+			return v
+		}
+	}
+	if len(s.stash) != 0 {
+		for _, v := range s.stash {
+			if s.slots[v].key == k {
+				return v
+			}
+		}
+	}
+	return nilIdx
+}
+
+// laneOf maps a SWAR match bit to its lane index (bits 7/15/23/31 → 0..3).
+func laneOf(m uint32) uint32 {
+	return (uint32(bits.TrailingZeros32(m)) - 7) >> 3
+}
+
+// indexInsert records slot under hash h, remembering the lane position in
+// the slot so deletion is position-direct. The key must not be present.
+func (s *Summary[K]) indexInsert(slot int32, h uint32) {
+	fp := fpOf(h)
+	b := h & s.bktMask
+	if s.place(b, fp, slot) || s.place(altBucket(b, fp, s.bktMask), fp, slot) {
+		return
+	}
+	// Both candidates full: displace residents along their alternate
+	// buckets. Bounded walk; overflow lands in the stash (at ~50% load the
+	// walk virtually never exceeds a couple of hops).
+	curFP, cur := fp, slot
+	b = altBucket(b, fp, s.bktMask)
+	for kick := 0; kick < 64; kick++ {
+		// Rotate out lane 0 of the full bucket (the choice only affects
+		// index layout, never Space Saving semantics).
+		lane := uint32(kick) & 3
+		pos := b*4 + lane
+		oldFP := (s.fps[b] >> (lane * 8)) & 0xff
+		old := s.refs[pos]
+		s.fps[b] = s.fps[b]&^(0xff<<(lane*8)) | curFP<<(lane*8)
+		s.refs[pos] = cur
+		s.slots[cur].tabPos = pos
+		curFP, cur = oldFP, old
+		b = altBucket(b, curFP, s.bktMask)
+		if s.place(b, curFP, cur) {
+			return
+		}
+	}
+	s.slots[cur].tabPos = stashPos
+	s.stash = append(s.stash, cur)
+}
+
+// place puts slot into a free lane of bucket b, if any.
+func (s *Summary[K]) place(b, fp uint32, slot int32) bool {
+	z := swarZero(s.fps[b])
+	if z == 0 {
+		return false
+	}
+	lane := laneOf(z)
+	s.fps[b] |= fp << (lane * 8)
+	pos := b*4 + lane
+	s.refs[pos] = slot
+	s.slots[slot].tabPos = pos
+	return true
+}
+
+// stashPos marks a counter whose index entry lives in the stash.
+const stashPos = ^uint32(0)
+
+// indexDelete removes slot from the index: clear its fingerprint byte —
+// cuckoo probing has no chains to repair.
+func (s *Summary[K]) indexDelete(slot int32) {
+	pos := s.slots[slot].tabPos
+	if pos == stashPos {
+		for i, v := range s.stash {
+			if v == slot {
+				s.stash[i] = s.stash[len(s.stash)-1]
+				s.stash = s.stash[:len(s.stash)-1]
+				return
+			}
+		}
+		return
+	}
+	s.fps[pos/4] &^= 0xff << ((pos & 3) * 8)
 }
 
 // Increment adds one occurrence of key k. O(1) worst case.
 func (s *Summary[K]) Increment(k K) {
+	s.incrementH(k, s.hash(k))
+}
+
+// incrementH is Increment with the key hash already computed.
+func (s *Summary[K]) incrementH(k K, h uint32) {
 	s.n++
-	if c, ok := s.items[k]; ok {
-		s.bump(c, c.bkt.count+1)
+	if c := s.lookup(k, h); c != nilIdx {
+		s.bump(c, s.buckets[s.slots[c].bkt].count+1)
 		return
 	}
-	if len(s.items) < s.capacity {
-		c := &counter[K]{key: k}
-		s.items[k] = c
+	if s.used < s.capacity {
+		c := int32(s.used)
+		s.used++
+		s.slots[c].key = k
+		s.slots[c].err = 0
+		s.indexInsert(c, h)
 		s.attach(c, 1)
 		return
 	}
 	// Evict a counter from the minimum bucket (any one; we take the head).
-	c := s.min.head
-	delete(s.items, c.key)
-	minCount := s.min.count
-	c.key = k
-	c.err = minCount
-	s.items[k] = c
+	c := s.buckets[s.min].head
+	minCount := s.buckets[s.min].count
+	s.indexDelete(c)
+	s.slots[c].key = k
+	s.slots[c].err = minCount
+	s.indexInsert(c, h)
 	s.bump(c, minCount+1)
+}
+
+// IncrementBatch adds one occurrence of each key, in order — equivalent to
+// calling Increment per key. Keys are processed in chunks: a first pass
+// hashes the chunk and touches both candidate index buckets per key, so the
+// cache misses of up to 64 probes overlap instead of serializing through
+// the per-key update path; the second pass applies the updates with the
+// precomputed hashes.
+func (s *Summary[K]) IncrementBatch(keys []K) {
+	var hs [64]uint32
+	for len(keys) > 0 {
+		chunk := keys
+		if len(chunk) > len(hs) {
+			chunk = chunk[:len(hs)]
+		}
+		keys = keys[len(chunk):]
+		var warm uint32
+		for i, k := range chunk {
+			h := s.hash(k)
+			hs[i] = h
+			b := h & s.bktMask
+			warm += s.fps[b] + s.fps[altBucket(b, fpOf(h), s.bktMask)] + uint32(s.refs[b*4])
+		}
+		s.warmSink += warm
+		for i, k := range chunk {
+			s.incrementH(k, hs[i])
+		}
+	}
 }
 
 // IncrementBy adds weight w of key k. For monitored keys the counter may
@@ -109,40 +343,45 @@ func (s *Summary[K]) IncrementBy(k K, w uint64) {
 		return
 	}
 	s.n += w
-	if c, ok := s.items[k]; ok {
-		s.bump(c, c.bkt.count+w)
+	h := s.hash(k)
+	if c := s.lookup(k, h); c != nilIdx {
+		s.bump(c, s.buckets[s.slots[c].bkt].count+w)
 		return
 	}
-	if len(s.items) < s.capacity {
-		c := &counter[K]{key: k}
-		s.items[k] = c
+	if s.used < s.capacity {
+		c := int32(s.used)
+		s.used++
+		s.slots[c].key = k
+		s.slots[c].err = 0
+		s.indexInsert(c, h)
 		s.attach(c, w)
 		return
 	}
-	c := s.min.head
-	delete(s.items, c.key)
-	minCount := s.min.count
-	c.key = k
-	c.err = minCount
-	s.items[k] = c
+	c := s.buckets[s.min].head
+	minCount := s.buckets[s.min].count
+	s.indexDelete(c)
+	s.slots[c].key = k
+	s.slots[c].err = minCount
+	s.indexInsert(c, h)
 	s.bump(c, minCount+w)
 }
 
 // Query returns the counter value, its maximum overestimation error, and
 // whether k is currently monitored.
 func (s *Summary[K]) Query(k K) (count, err uint64, ok bool) {
-	c, ok := s.items[k]
-	if !ok {
+	c := s.lookup(k, s.hash(k))
+	if c == nilIdx {
 		return 0, 0, false
 	}
-	return c.bkt.count, c.err, true
+	return s.buckets[s.slots[c].bkt].count, s.slots[c].err, true
 }
 
 // Bounds returns an upper and a lower bound on the true frequency of k:
 // (count, count−error) for monitored keys, (MinCount, 0) otherwise.
 func (s *Summary[K]) Bounds(k K) (upper, lower uint64) {
-	if c, ok := s.items[k]; ok {
-		return c.bkt.count, c.bkt.count - c.err
+	if c := s.lookup(k, s.hash(k)); c != nilIdx {
+		count := s.buckets[s.slots[c].bkt].count
+		return count, count - s.slots[c].err
 	}
 	return s.MinCount(), 0
 }
@@ -150,127 +389,154 @@ func (s *Summary[K]) Bounds(k K) (upper, lower uint64) {
 // ForEach calls fn for every monitored key with its count and error, in
 // descending count order.
 func (s *Summary[K]) ForEach(fn func(k K, count, err uint64)) {
-	// Find the maximum bucket by walking from min; buckets are few compared
-	// to counters only in skewed streams, so instead walk from min to end
-	// collecting in reverse via recursion-free two-pass.
-	if s.min == nil {
+	if s.min == nilIdx {
 		return
 	}
 	last := s.min
-	for last.next != nil {
-		last = last.next
+	for s.buckets[last].next != nilIdx {
+		last = s.buckets[last].next
 	}
-	for b := last; b != nil; b = b.prev {
-		for c := b.head; c != nil; c = c.next {
-			fn(c.key, b.count, c.err)
+	for b := last; b != nilIdx; b = s.buckets[b].prev {
+		for c := s.buckets[b].head; c != nilIdx; c = s.slots[c].next {
+			fn(s.slots[c].key, s.buckets[b].count, s.slots[c].err)
 		}
 	}
 }
 
 // Reset clears all state.
 func (s *Summary[K]) Reset() {
-	s.items = make(map[K]*counter[K], s.capacity)
-	s.min = nil
+	s.used = 0
+	s.buckets = s.buckets[:0]
+	s.min = nilIdx
+	s.freeBkt = nilIdx
 	s.n = 0
-	s.freeBkt = nil
+	for i := range s.fps {
+		s.fps[i] = 0
+	}
+	s.stash = s.stash[:0]
 }
 
 // attach inserts a brand-new counter with the given count into the bucket
 // list (used only while below capacity, so count is small; the target bucket
 // is at or near the front).
-func (s *Summary[K]) attach(c *counter[K], count uint64) {
+func (s *Summary[K]) attach(c int32, count uint64) {
 	b := s.min
-	var prev *bucket[K]
-	for b != nil && b.count < count {
+	prev := nilIdx
+	for b != nilIdx && s.buckets[b].count < count {
 		prev = b
-		b = b.next
+		b = s.buckets[b].next
 	}
-	if b == nil || b.count != count {
+	if b == nilIdx || s.buckets[b].count != count {
 		b = s.newBucket(count, prev, b)
 	}
 	s.pushCounter(b, c)
 }
 
-// bump moves counter c (currently in some bucket) to count newCount,
-// creating/removing buckets as needed. newCount must exceed c's count.
-func (s *Summary[K]) bump(c *counter[K], newCount uint64) {
-	old := c.bkt
-	s.removeCounter(c)
+// bump moves counter c's key (currently in some bucket) to count newCount,
+// creating/removing buckets as needed. newCount must exceed c's count. The
+// key may settle in a different slab slot (see detach).
+func (s *Summary[K]) bump(c int32, newCount uint64) {
+	old := s.slots[c].bkt
+	carrier := s.detach(c)
 	// Walk forward to the insertion point. For unit increments this is at
 	// most one step, preserving O(1).
 	b := old
-	var prev *bucket[K]
-	for b != nil && b.count < newCount {
+	prev := nilIdx
+	for b != nilIdx && s.buckets[b].count < newCount {
 		prev = b
-		b = b.next
+		b = s.buckets[b].next
 	}
-	if b == nil || b.count != newCount {
+	if b == nilIdx || s.buckets[b].count != newCount {
 		b = s.newBucket(newCount, prev, b)
 	}
-	s.pushCounter(b, c)
-	if old.head == nil {
+	s.pushCounter(b, carrier)
+	if s.buckets[old].head == nilIdx {
 		s.removeBucket(old)
 	}
 }
 
-// pushCounter puts c at the head of bucket b.
-func (s *Summary[K]) pushCounter(b *bucket[K], c *counter[K]) {
-	c.bkt = b
-	c.prev = nil
-	c.next = b.head
-	if b.head != nil {
-		b.head.prev = c
-	}
-	b.head = c
+// pushCounter puts c at the head of bucket b. No sibling is touched.
+func (s *Summary[K]) pushCounter(b, c int32) {
+	s.slots[c].bkt = b
+	s.slots[c].next = s.buckets[b].head
+	s.buckets[b].head = c
 }
 
-// removeCounter unlinks c from its bucket (without removing an emptied
-// bucket; callers handle that so bump can reuse the position).
-func (s *Summary[K]) removeCounter(c *counter[K]) {
-	if c.prev != nil {
-		c.prev.next = c.next
-	} else {
-		c.bkt.head = c.next
+// detach removes counter c's key from its bucket (without removing an
+// emptied bucket; callers handle that so bump can reuse the position) and
+// returns the slab slot now carrying that key. When c heads its bucket —
+// always true for evictions — this is a pointer pop touching only c. A
+// mid-list c instead swaps contents with the bucket head: the head's key
+// settles into c's list position and the freed head slot carries the
+// detached key onward; the index entries of both keys are re-pointed.
+func (s *Summary[K]) detach(c int32) int32 {
+	b := s.slots[c].bkt
+	h := s.buckets[b].head
+	if h == c {
+		s.buckets[b].head = s.slots[c].next
+		return c
 	}
-	if c.next != nil {
-		c.next.prev = c.prev
-	}
-	c.prev, c.next = nil, nil
+	ck, cerr, cpos := s.slots[c].key, s.slots[c].err, s.slots[c].tabPos
+	s.slots[c].key = s.slots[h].key
+	s.slots[c].err = s.slots[h].err
+	s.slots[c].tabPos = s.slots[h].tabPos
+	s.setRef(s.slots[c].tabPos, h, c)
+	s.buckets[b].head = s.slots[h].next
+	s.slots[h].key = ck
+	s.slots[h].err = cerr
+	s.slots[h].tabPos = cpos
+	s.setRef(cpos, c, h)
+	return h
 }
 
-// newBucket inserts a bucket with the given count between prev and next.
-func (s *Summary[K]) newBucket(count uint64, prev, next *bucket[K]) *bucket[K] {
+// setRef re-points the index entry at pos from oldSlot to newSlot.
+func (s *Summary[K]) setRef(pos uint32, oldSlot, newSlot int32) {
+	if pos == stashPos {
+		for i, v := range s.stash {
+			if v == oldSlot {
+				s.stash[i] = newSlot
+				return
+			}
+		}
+		return
+	}
+	s.refs[pos] = newSlot
+}
+
+// newBucket inserts a bucket with the given count between prev and next,
+// recycling a freed slab entry when one exists.
+func (s *Summary[K]) newBucket(count uint64, prev, next int32) int32 {
 	b := s.freeBkt
-	if b != nil {
-		s.freeBkt = b.next
-		*b = bucket[K]{count: count}
+	if b != nilIdx {
+		s.freeBkt = s.buckets[b].next
 	} else {
-		b = &bucket[K]{count: count}
+		s.buckets = append(s.buckets, bucket{})
+		b = int32(len(s.buckets) - 1)
 	}
-	b.prev = prev
-	b.next = next
-	if prev != nil {
-		prev.next = b
+	s.buckets[b] = bucket{count: count, head: nilIdx, prev: prev, next: next}
+	if prev != nilIdx {
+		s.buckets[prev].next = b
 	} else {
 		s.min = b
 	}
-	if next != nil {
-		next.prev = b
+	if next != nilIdx {
+		s.buckets[next].prev = b
 	}
 	return b
 }
 
 // removeBucket unlinks an empty bucket and recycles it.
-func (s *Summary[K]) removeBucket(b *bucket[K]) {
-	if b.prev != nil {
-		b.prev.next = b.next
+func (s *Summary[K]) removeBucket(b int32) {
+	prev, next := s.buckets[b].prev, s.buckets[b].next
+	if prev != nilIdx {
+		s.buckets[prev].next = next
 	} else {
-		s.min = b.next
+		s.min = next
 	}
-	if b.next != nil {
-		b.next.prev = b.prev
+	if next != nilIdx {
+		s.buckets[next].prev = prev
 	}
-	b.prev = nil
-	b.next = s.freeBkt
+	s.buckets[b].prev = nilIdx
+	s.buckets[b].next = s.freeBkt
 	s.freeBkt = b
 }

@@ -1,6 +1,7 @@
 package vswitch
 
 import (
+	"rhhh/internal/core"
 	"rhhh/internal/fastrand"
 	"rhhh/internal/trace"
 )
@@ -72,6 +73,15 @@ type HookFunc func(p trace.Packet)
 // OnPacket calls f(p).
 func (f HookFunc) OnPacket(p trace.Packet) { f(p) }
 
+// BatchHook is an optional Hook extension: a hook that consumes a whole
+// batch at once. Datapath.ProcessBatch delivers one OnBatch call instead of
+// per-packet OnPacket calls, letting measurement amortize its work (RHHH's
+// batched update skips non-sampled packets in bulk).
+type BatchHook interface {
+	Hook
+	OnBatch(ps []trace.Packet)
+}
+
 // NopHook is the unmodified-switch baseline (Figure 6's "OVS" bar).
 type NopHook struct{}
 
@@ -95,6 +105,7 @@ type Datapath struct {
 	Table *FlowTable
 	Cache *EMC
 	hook  Hook
+	batch BatchHook // non-nil when hook also implements BatchHook
 	stats Stats
 	// DefaultAction applies when no rule matches (OVS would punt to the
 	// controller; we drop by default).
@@ -104,15 +115,13 @@ type Datapath struct {
 // NewDatapath assembles a pipeline. hook may be nil for an unmodified
 // switch.
 func NewDatapath(table *FlowTable, cache *EMC, hook Hook) *Datapath {
-	if hook == nil {
-		hook = NopHook{}
-	}
-	return &Datapath{
+	d := &Datapath{
 		Table:         table,
 		Cache:         cache,
-		hook:          hook,
 		DefaultAction: Action{Drop: true},
 	}
+	d.SetHook(hook)
+	return d
 }
 
 // SetHook swaps the measurement hook (e.g. between experiment runs).
@@ -121,6 +130,7 @@ func (d *Datapath) SetHook(h Hook) {
 		h = NopHook{}
 	}
 	d.hook = h
+	d.batch, _ = h.(BatchHook)
 }
 
 // Stats returns a copy of the counters.
@@ -130,6 +140,11 @@ func (d *Datapath) Stats() Stats { return d.stats }
 func (d *Datapath) Process(p trace.Packet) Action {
 	d.stats.Received++
 	d.hook.OnPacket(p)
+	return d.forward(p)
+}
+
+// forward runs the pipeline stages after the measurement hook.
+func (d *Datapath) forward(p trace.Packet) Action {
 	ft := p.Flow()
 	a, ok := d.Cache.Lookup(ft)
 	if ok {
@@ -153,13 +168,51 @@ func (d *Datapath) Process(p trace.Packet) Action {
 }
 
 // ProcessBatch runs a batch through the pipeline (the DPDK-style unit of
-// work) and returns how many packets were forwarded.
+// work) and returns how many packets were forwarded. A hook implementing
+// BatchHook sees the whole batch in one call before forwarding.
 func (d *Datapath) ProcessBatch(batch []trace.Packet) int {
 	fwd := 0
+	if d.batch != nil {
+		d.batch.OnBatch(batch)
+		for _, p := range batch {
+			d.stats.Received++
+			if a := d.forward(p); !a.Drop {
+				fwd++
+			}
+		}
+		return fwd
+	}
 	for _, p := range batch {
 		if a := d.Process(p); !a.Drop {
 			fwd++
 		}
 	}
 	return fwd
+}
+
+// EngineHook feeds the datapath's packets to a co-located RHHH engine over
+// the two-dimensional IPv4 domain — the paper's dataplane integration.
+// Under ProcessBatch it uses the engine's batched update, which skips runs
+// of non-sampled packets in bulk when V > H.
+type EngineHook struct {
+	eng *core.Engine[uint64]
+	buf []uint64
+}
+
+// NewEngineHook wraps an engine in a (batch-capable) datapath hook.
+func NewEngineHook(eng *core.Engine[uint64]) *EngineHook {
+	return &EngineHook{eng: eng, buf: make([]uint64, 0, 256)}
+}
+
+// OnPacket feeds one packet's 2D key to the engine.
+func (h *EngineHook) OnPacket(p trace.Packet) { h.eng.Update(p.Key2()) }
+
+// OnBatch feeds a whole batch through the engine's batched update path.
+func (h *EngineHook) OnBatch(ps []trace.Packet) {
+	buf := h.buf[:0]
+	for _, p := range ps {
+		buf = append(buf, p.Key2())
+	}
+	h.buf = buf
+	h.eng.UpdateBatch(buf)
 }

@@ -107,10 +107,13 @@ func DecodeBatch(b []byte) (sender uint16, total uint64, batch []Sample, err err
 }
 
 // SamplerHook is the switch-side half of the distributed deployment: per
-// packet it performs only the uniform draw; sampled prefixes are batched to
-// the transport.
+// packet it performs only the sampling decision; sampled prefixes are
+// batched to the transport. With V > H the decision runs on the geometric
+// skip sampler (the non-sampled path is one compare), and masking uses the
+// domain's precomputed AND table directly.
 type SamplerHook struct {
 	dom       *hierarchy.Domain[uint64]
+	maskTbl   []uint64
 	rng       *fastrand.Source
 	tr        Transport
 	v, h      uint64
@@ -119,6 +122,11 @@ type SamplerHook struct {
 	packets   uint64
 	sendErr   error
 	sender    uint16
+
+	// Geometric skip sampling (V > H): next sampling watermark on packets.
+	useSkip    bool
+	nextSample uint64
+	geo        *fastrand.GeometricSampler
 }
 
 // SetSender tags this hook's batches with a switch id, letting one collector
@@ -138,8 +146,13 @@ func NewSamplerHook(dom *hierarchy.Domain[uint64], v int, seed uint64, tr Transp
 	if batchSize <= 0 || batchSize > MaxBatch {
 		batchSize = MaxBatch
 	}
-	return &SamplerHook{
+	tbl, ok := dom.MaskTable()
+	if !ok {
+		panic("vswitch: domain lacks an integer mask table")
+	}
+	s := &SamplerHook{
 		dom:       dom,
+		maskTbl:   tbl,
 		rng:       fastrand.New(seed),
 		tr:        tr,
 		v:         uint64(v),
@@ -147,20 +160,59 @@ func NewSamplerHook(dom *hierarchy.Domain[uint64], v int, seed uint64, tr Transp
 		batch:     make([]Sample, 0, batchSize),
 		batchSize: batchSize,
 	}
+	if v > h {
+		s.useSkip = true
+		s.geo = fastrand.NewGeometricSampler(float64(h) / float64(v))
+		s.nextSample = 1 + s.geo.Next(s.rng)
+	}
+	return s
 }
 
-// OnPacket performs the RHHH draw and enqueues a sample when it hits.
+// OnPacket performs the RHHH sampling decision and enqueues a sample when
+// it hits.
 func (s *SamplerHook) OnPacket(p trace.Packet) {
 	s.packets++
+	if s.useSkip {
+		if s.packets < s.nextSample {
+			return
+		}
+		s.enqueue(p.Key2())
+		s.nextSample = s.packets + 1 + s.geo.Next(s.rng)
+		return
+	}
 	if d := s.rng.Uint64n(s.v); d < s.h {
-		node := int(d)
-		s.batch = append(s.batch, Sample{
-			Node: uint8(node),
-			Key:  s.dom.Mask(p.Key2(), node),
-		})
+		node := uint8(d)
+		s.batch = append(s.batch, Sample{Node: node, Key: p.Key2() & s.maskTbl[node]})
 		if len(s.batch) >= s.batchSize {
 			s.flush()
 		}
+	}
+}
+
+// OnBatch processes a batch of packets, fast-forwarding over non-sampled
+// runs when the skip sampler is active.
+func (s *SamplerHook) OnBatch(ps []trace.Packet) {
+	if !s.useSkip {
+		for _, p := range ps {
+			s.OnPacket(p)
+		}
+		return
+	}
+	base := s.packets
+	s.packets += uint64(len(ps))
+	for s.nextSample <= s.packets {
+		s.enqueue(ps[s.nextSample-base-1].Key2())
+		s.nextSample += 1 + s.geo.Next(s.rng)
+	}
+}
+
+// enqueue draws the node for a sampled packet key and buffers the masked
+// sample, flushing a full batch.
+func (s *SamplerHook) enqueue(key uint64) {
+	node := uint8(s.rng.Uint64n(s.h))
+	s.batch = append(s.batch, Sample{Node: node, Key: key & s.maskTbl[node]})
+	if len(s.batch) >= s.batchSize {
+		s.flush()
 	}
 }
 

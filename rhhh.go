@@ -159,6 +159,7 @@ type Monitor struct {
 // monImpl abstracts over the four key types × four algorithms.
 type monImpl interface {
 	update(src, dst hierarchy.Addr, w uint64)
+	updateBatch(srcs, dsts []netip.Addr)
 	output(theta float64) []HeavyHitter
 	n() uint64
 	psi() float64
@@ -247,6 +248,22 @@ func (m *Monitor) UpdateWeighted(src, dst netip.Addr, w uint64) {
 	m.impl.update(toAddr(src, m.cfg.IPv6), toAddr(dst, m.cfg.IPv6), w)
 }
 
+// UpdateBatch records a batch of packets in one call — the DPDK-style unit
+// of work. For Dims == 1 pass dsts == nil; otherwise dsts must be the same
+// length as srcs. Results are identical to updating each packet in order;
+// the RHHH engine amortizes per-call overhead and, when V > H, skips over
+// non-sampled packets in bulk.
+func (m *Monitor) UpdateBatch(srcs, dsts []netip.Addr) {
+	if dsts == nil {
+		if m.cfg.Dims == 2 {
+			panic("rhhh: UpdateBatch needs dsts on a two-dimensional monitor")
+		}
+	} else if len(dsts) != len(srcs) {
+		panic("rhhh: UpdateBatch srcs/dsts length mismatch")
+	}
+	m.impl.updateBatch(srcs, dsts)
+}
+
 // HeavyHitters returns the approximate HHH set for threshold θ ∈ (0, 1]:
 // every prefix whose conditioned frequency estimate reaches θ·N. The
 // guarantees of Definition 10 (accuracy within εN, coverage with
@@ -316,6 +333,9 @@ type impl[K comparable] struct {
 	key     func(src, dst hierarchy.Addr) K
 	split   func(k K, srcBits, dstBits int) (netip.Prefix, netip.Prefix)
 	alg     algorithmIface[K]
+	batch   func([]K) // alg's native batched update, when it has one
+	keyBuf  []K       // scratch for updateBatch conversions
+	v6      bool
 	psiV    float64
 	packets uint64
 	vp      int
@@ -327,7 +347,7 @@ func build[K comparable](
 	key func(src, dst hierarchy.Addr) K,
 	split func(k K, srcBits, dstBits int) (netip.Prefix, netip.Prefix),
 ) (monImpl, error) {
-	im := &impl[K]{dom: dom, key: key, split: split, vp: dom.Size()}
+	im := &impl[K]{dom: dom, key: key, split: split, vp: dom.Size(), v6: cfg.IPv6}
 	switch cfg.Algorithm {
 	case RHHH:
 		v := cfg.V
@@ -351,6 +371,9 @@ func build[K comparable](
 	case PartialAncestry:
 		im.alg = ancestry.New(dom, cfg.Epsilon, ancestry.Partial)
 	}
+	if ub, ok := im.alg.(interface{ UpdateBatch([]K) }); ok {
+		im.batch = ub.UpdateBatch
+	}
 	return im, nil
 }
 
@@ -361,6 +384,26 @@ func (im *impl[K]) update(src, dst hierarchy.Addr, w uint64) {
 		im.alg.Update(k)
 	} else {
 		im.alg.UpdateWeighted(k, w)
+	}
+}
+
+func (im *impl[K]) updateBatch(srcs, dsts []netip.Addr) {
+	buf := im.keyBuf[:0]
+	for i, src := range srcs {
+		var dst netip.Addr
+		if dsts != nil {
+			dst = dsts[i]
+		}
+		buf = append(buf, im.key(toAddr(src, im.v6), toAddr(dst, im.v6)))
+	}
+	im.keyBuf = buf
+	im.packets += uint64(len(buf))
+	if im.batch != nil {
+		im.batch(buf)
+		return
+	}
+	for _, k := range buf {
+		im.alg.Update(k)
 	}
 }
 

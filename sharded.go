@@ -20,6 +20,10 @@ import (
 type Sharded struct {
 	cfg      Config
 	monitors []*Monitor
+
+	// Per-shard scratch for UpdateBatch routing (single-goroutine use, like
+	// Update).
+	srcBuf, dstBuf [][]netip.Addr
 }
 
 // NewSharded builds n independently seeded shards. Only Algorithm RHHH with
@@ -106,6 +110,42 @@ func mergeShards[K comparable](s *Sharded, first *impl[K], theta float64) []Heav
 func (s *Sharded) Update(src, dst netip.Addr) {
 	h := hashAddrPair(src, dst)
 	s.monitors[h%uint64(len(s.monitors))].Update(src, dst)
+}
+
+// UpdateBatch routes a batch of packets to their shards and feeds each
+// shard its sub-batch in one call, preserving per-shard arrival order. For
+// one-dimensional monitors pass dsts == nil. Single-goroutine use, like
+// Update; concurrent producers should call Shard(i).UpdateBatch directly.
+func (s *Sharded) UpdateBatch(srcs, dsts []netip.Addr) {
+	if dsts == nil {
+		if s.cfg.Dims == 2 {
+			panic("rhhh: UpdateBatch needs dsts on a two-dimensional monitor")
+		}
+	} else if len(dsts) != len(srcs) {
+		panic("rhhh: UpdateBatch srcs/dsts length mismatch")
+	}
+	if s.srcBuf == nil {
+		s.srcBuf = make([][]netip.Addr, len(s.monitors))
+		s.dstBuf = make([][]netip.Addr, len(s.monitors))
+	}
+	for i := range s.srcBuf {
+		s.srcBuf[i] = s.srcBuf[i][:0]
+		s.dstBuf[i] = s.dstBuf[i][:0]
+	}
+	for i, src := range srcs {
+		var dst netip.Addr
+		if dsts != nil {
+			dst = dsts[i]
+		}
+		shard := hashAddrPair(src, dst) % uint64(len(s.monitors))
+		s.srcBuf[shard] = append(s.srcBuf[shard], src)
+		s.dstBuf[shard] = append(s.dstBuf[shard], dst)
+	}
+	for i, m := range s.monitors {
+		if len(s.srcBuf[i]) != 0 {
+			m.UpdateBatch(s.srcBuf[i], s.dstBuf[i])
+		}
+	}
 }
 
 func hashAddrPair(src, dst netip.Addr) uint64 {
