@@ -9,8 +9,10 @@ package rhhh_test
 
 import (
 	"fmt"
+	"net/netip"
 	"testing"
 
+	"rhhh"
 	"rhhh/internal/baseline/ancestry"
 	"rhhh/internal/baseline/mst"
 	"rhhh/internal/core"
@@ -342,6 +344,39 @@ func BenchmarkOutput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = eng.Output(0.01)
 	}
+}
+
+// BenchmarkShardedHeavyHitters measures the pause-free sharded query path:
+// per-shard snapshot capture, the reusable snapshot merge, and extraction.
+// allocs/op is the headline number the CI bench smoke records — compare
+// against BenchmarkMergeMapSort in internal/spacesaving, the per-node
+// map+sort rebuild this path replaced.
+func BenchmarkShardedHeavyHitters(b *testing.B) {
+	const shards = 4
+	s, err := rhhh.NewSharded(rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01, Seed: 1}, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := trace.NewSynthetic(trace.Profile("chicago16"))
+	srcs := make([]netip.Addr, 8192)
+	dsts := make([]netip.Addr, 8192)
+	for i := range srcs {
+		p, _ := gen.Next()
+		srcs[i] = v4addr(p.SrcIP.IPv4())
+		dsts[i] = v4addr(p.DstIP.IPv4())
+	}
+	for i := 0; i < 40; i++ { // ~330k packets across the shards
+		s.UpdateBatch(srcs, dsts)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.HeavyHitters(0.05)
+	}
+}
+
+func v4addr(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
 }
 
 // lastFloat parses a table cell (helper for the sweep benchmarks).

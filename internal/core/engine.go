@@ -395,6 +395,18 @@ func (e *Engine[K]) EstimateFrequency(key K, node int) (lower, upper float64) {
 	return float64(lo) * scale, float64(up) * scale
 }
 
+// Reseed resets the update-path RNG to seed and redraws any in-flight skip
+// gap. After Reset followed by Reseed(s), the engine's outputs are
+// bit-identical to a freshly constructed engine with Seed s — the epoch
+// deployments (Windowed) use this to keep windows statistically independent
+// and reproducible without reallocating the engine.
+func (e *Engine[K]) Reseed(seed uint64) {
+	e.rng.Seed(seed)
+	if e.useSkip {
+		e.nextSample = e.packets + 1 + e.geo.Next(e.rng)
+	}
+}
+
 // Reset clears all state, keeping the configuration. The RNG is not
 // reseeded; use a fresh engine for bit-identical reruns.
 func (e *Engine[K]) Reset() {

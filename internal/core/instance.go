@@ -76,9 +76,20 @@ func (a cmInstance[K]) Candidates(fn func(K, uint64, uint64)) {
 // SpaceSavingInstances builds one stream-summary Space Saving instance per
 // lattice node, each with the given number of counters.
 func SpaceSavingInstances[K comparable](dom *hierarchy.Domain[K], counters int) []Instance[K] {
-	out := make([]Instance[K], dom.Size())
-	for i := range out {
-		out[i] = ssInstance[K]{spacesaving.New[K](counters)}
+	sums := make([]*spacesaving.Summary[K], dom.Size())
+	for i := range sums {
+		sums[i] = spacesaving.New[K](counters)
+	}
+	return WrapSummaries(sums)
+}
+
+// WrapSummaries adapts caller-owned Space Saving summaries to Instances —
+// for components (like the distributed collector) that need both the
+// Instance view and direct snapshot access to the same state.
+func WrapSummaries[K comparable](sums []*spacesaving.Summary[K]) []Instance[K] {
+	out := make([]Instance[K], len(sums))
+	for i, s := range sums {
+		out[i] = ssInstance[K]{s}
 	}
 	return out
 }

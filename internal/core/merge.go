@@ -1,18 +1,17 @@
 package core
 
-import (
-	"math"
-
-	"rhhh/internal/spacesaving"
-)
-
 // MergeOutput answers an HHH query over the union of several
 // equally-configured engines — the multi-queue deployment: modern NICs
 // spread flows across receive queues, one engine per queue/core updates
 // lock-free, and queries merge at read time. Engines must share the domain,
 // V, R and the Space Saving (stream-summary) backend; the merged per-node
-// summaries preserve the Definition 4 bounds (see spacesaving.Merge), so
+// summaries preserve the Definition 4 bounds (see spacesaving.Merger), so
 // Theorem 6.17 applies to the union stream with N = ΣNi.
+//
+// MergeOutput snapshots every engine and merges the snapshots; callers that
+// query repeatedly should hold their own EngineSnapshot buffers and a
+// SnapshotMerger instead (as the sharded aggregator does) to avoid the
+// per-call snapshot allocation.
 func MergeOutput[K comparable](theta float64, engines ...*Engine[K]) []Result[K] {
 	if !(theta > 0 && theta <= 1) {
 		panic("core: theta must be in (0, 1]")
@@ -32,31 +31,10 @@ func MergeOutput[K comparable](theta float64, engines ...*Engine[K]) []Result[K]
 	if len(engines) == 1 {
 		return first.Output(theta)
 	}
-
-	var n float64
-	merged := make([]Instance[K], first.dom.Size())
-	for node := range merged {
-		acc, ok := first.inst[node].(ssInstance[K])
-		if !ok {
-			panic("core: MergeOutput supports the Space Saving backend only")
-		}
-		sum := acc.s
-		for _, e := range engines[1:] {
-			other, ok := e.inst[node].(ssInstance[K])
-			if !ok {
-				panic("core: MergeOutput supports the Space Saving backend only")
-			}
-			sum = spacesaving.Merge(sum, other.s, sum.Capacity())
-		}
-		merged[node] = ssInstance[K]{sum}
+	snaps := make([]*EngineSnapshot[K], len(engines))
+	for i, e := range engines {
+		snaps[i] = e.Snapshot()
 	}
-	for _, e := range engines {
-		n += float64(e.Weight())
-	}
-	if n == 0 {
-		return nil
-	}
-	scale := float64(first.v) / float64(first.r)
-	corr := 2 * first.z * math.Sqrt(n*float64(first.v)/float64(first.r))
-	return Extract(first.dom, merged, n, scale, corr, theta)
+	var sm SnapshotMerger[K]
+	return sm.Merge(nil, snaps...).Output(first.dom, theta)
 }

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/spacesaving"
+	"rhhh/internal/stats"
+)
+
+// EngineSnapshot is an immutable, mergeable copy of an engine's measurement
+// state: one Space Saving snapshot per lattice node plus the sampling
+// metadata (N, V, R, ε, δ) a query needs. Snapshots are the read-path
+// currency — Output, merging, serialization and windowing all consume
+// snapshots, so live engines are only ever paused for the O(H·capacity)
+// copy in SnapshotInto, never for a query.
+type EngineSnapshot[K comparable] struct {
+	// Nodes holds one summary snapshot per lattice node, indexed like the
+	// engine's instances.
+	Nodes []spacesaving.Snapshot[K]
+	// Packets is the number of Update calls absorbed; Weight the total
+	// stream weight (equal on unitary streams).
+	Packets uint64
+	Weight  uint64
+	// V and R are the sampling parameters in effect (counts scale by V/R).
+	V, R int
+	// Epsilon and Delta are the configured error and failure probability;
+	// Delta determines the sampling correction applied by Output.
+	Epsilon, Delta float64
+}
+
+// SnapshotInto copies the engine's state into dst, reusing dst's buffers
+// (zero allocations once they have grown). A nil dst allocates. Only the
+// Space Saving (stream-summary) backend supports snapshots, matching the
+// merge path. Returns dst.
+func (e *Engine[K]) SnapshotInto(dst *EngineSnapshot[K]) *EngineSnapshot[K] {
+	if e.ss == nil {
+		panic("core: snapshots require the Space Saving backend")
+	}
+	if dst == nil {
+		dst = &EngineSnapshot[K]{}
+	}
+	if cap(dst.Nodes) < len(e.ss) {
+		nodes := make([]spacesaving.Snapshot[K], len(e.ss))
+		copy(nodes, dst.Nodes)
+		dst.Nodes = nodes
+	}
+	dst.Nodes = dst.Nodes[:len(e.ss)]
+	for i, s := range e.ss {
+		s.SnapshotInto(&dst.Nodes[i])
+	}
+	dst.Packets = e.packets
+	dst.Weight = e.Weight()
+	dst.V, dst.R = int(e.v), e.r
+	dst.Epsilon, dst.Delta = e.epsilon, e.delta
+	return dst
+}
+
+// Snapshot returns a freshly allocated snapshot of the engine.
+func (e *Engine[K]) Snapshot() *EngineSnapshot[K] { return e.SnapshotInto(nil) }
+
+// snapInstance adapts one node's snapshot to the Instance interface for the
+// Extract machinery. Only the read methods are implemented; a key index for
+// Bounds is built lazily on first use (most nodes never receive a Bounds
+// query — only GLB nodes in two dimensions do).
+type snapInstance[K comparable] struct {
+	sn  *spacesaving.Snapshot[K]
+	idx map[K]int32
+}
+
+func (a *snapInstance[K]) Bounds(k K) (uint64, uint64) {
+	if a.idx == nil {
+		a.idx = make(map[K]int32, len(a.sn.Keys))
+		for i, key := range a.sn.Keys {
+			a.idx[key] = int32(i)
+		}
+	}
+	if i, ok := a.idx[k]; ok {
+		return a.sn.Upper[i], a.sn.Lower[i]
+	}
+	return a.sn.Min, 0
+}
+
+func (a *snapInstance[K]) Candidates(fn func(K, uint64, uint64)) {
+	for i, k := range a.sn.Keys {
+		fn(k, a.sn.Upper[i], a.sn.Lower[i])
+	}
+}
+
+func (a *snapInstance[K]) Updates() uint64       { return a.sn.N }
+func (a *snapInstance[K]) Increment(K)           { panic("core: snapshot instances are immutable") }
+func (a *snapInstance[K]) IncrementBy(K, uint64) { panic("core: snapshot instances are immutable") }
+func (a *snapInstance[K]) Reset()                { panic("core: snapshot instances are immutable") }
+
+// Output answers the HHH query from the snapshot, exactly as the engine it
+// was taken from would have at capture time: same candidate order, same
+// bounds, same V/r scaling and sampling correction, hence bit-identical
+// results.
+func (es *EngineSnapshot[K]) Output(dom *hierarchy.Domain[K], theta float64) []Result[K] {
+	if !(theta > 0 && theta <= 1) {
+		panic("core: theta must be in (0, 1]")
+	}
+	if len(es.Nodes) != dom.Size() {
+		panic("core: snapshot does not match lattice size")
+	}
+	n := float64(es.Weight)
+	if n == 0 {
+		return nil
+	}
+	adapters := make([]snapInstance[K], len(es.Nodes))
+	inst := make([]Instance[K], len(es.Nodes))
+	for i := range es.Nodes {
+		adapters[i].sn = &es.Nodes[i]
+		inst[i] = &adapters[i]
+	}
+	scale := float64(es.V) / float64(es.R)
+	corr := 2 * stats.Z(es.Delta) * math.Sqrt(n*float64(es.V)/float64(es.R))
+	return Extract(dom, inst, n, scale, corr, theta)
+}
+
+// SnapshotMerger folds engine snapshots over disjoint sub-streams into one
+// snapshot over their union, retaining all scratch (one spacesaving.Merger
+// per node) across calls so a steady-state merge allocates nothing. The
+// merged snapshot preserves the Definition 4 bounds per node (see
+// spacesaving.Merger), so Theorem 6.17 applies to the union stream with
+// N = ΣNᵢ.
+type SnapshotMerger[K comparable] struct {
+	mergers []spacesaving.Merger[K]
+}
+
+// Merge folds snaps (in order, which fixes deterministic tie-breaking) into
+// dst, reusing dst's buffers; a nil dst allocates. All snapshots must share
+// the lattice size and the V and R parameters — the merged counts share one
+// V/r scaling. Node capacities may differ; each merged node keeps the
+// largest. Panics on mismatched snapshots (a programming error — public
+// wrappers validate first).
+func (sm *SnapshotMerger[K]) Merge(dst *EngineSnapshot[K], snaps ...*EngineSnapshot[K]) *EngineSnapshot[K] {
+	if len(snaps) == 0 {
+		panic("core: merge of zero snapshots")
+	}
+	first := snaps[0]
+	h := len(first.Nodes)
+	for _, s := range snaps[1:] {
+		if len(s.Nodes) != h {
+			panic("core: snapshot merge requires a shared lattice")
+		}
+		if s.V != first.V || s.R != first.R {
+			panic("core: snapshot merge requires equal V and R")
+		}
+	}
+	if dst == nil {
+		dst = &EngineSnapshot[K]{}
+	}
+	if cap(dst.Nodes) < h {
+		nodes := make([]spacesaving.Snapshot[K], h)
+		copy(nodes, dst.Nodes)
+		dst.Nodes = nodes
+	}
+	dst.Nodes = dst.Nodes[:h]
+	if cap(sm.mergers) < h {
+		sm.mergers = make([]spacesaving.Merger[K], h)
+	}
+	sm.mergers = sm.mergers[:h]
+	for node := 0; node < h; node++ {
+		m := &sm.mergers[node]
+		m.Reset()
+		capacity := 1
+		for _, s := range snaps {
+			m.Add(&s.Nodes[node])
+			capacity = max(capacity, s.Nodes[node].Cap)
+		}
+		m.MergeInto(&dst.Nodes[node], capacity)
+	}
+	dst.Packets, dst.Weight = 0, 0
+	for _, s := range snaps {
+		dst.Packets += s.Packets
+		dst.Weight += s.Weight
+	}
+	dst.V, dst.R = first.V, first.R
+	dst.Epsilon, dst.Delta = first.Epsilon, first.Delta
+	return dst
+}
+
+// Engine snapshot binary encoding, version 1. Deterministic: equal
+// snapshots encode to equal bytes. Layout:
+//
+//	byte    version (1)
+//	uvarint H (number of lattice nodes)
+//	uvarint V, uvarint R
+//	8 bytes ε (IEEE 754 bits, big endian), 8 bytes δ
+//	uvarint packets, uvarint weight
+//	H × node snapshot (spacesaving encoding, fixed-width big-endian keys)
+const engineSnapVersion = 1
+
+// engineSnapMaxH guards decode against absurd allocations.
+const engineSnapMaxH = 1 << 16
+
+// AppendBinary appends the versioned binary encoding of the snapshot to buf.
+// It errors when the carrier type K has no registered key codec (the four
+// lattice carriers — uint32, uint64, Addr, AddrPair — all do).
+func (es *EngineSnapshot[K]) AppendBinary(buf []byte) ([]byte, error) {
+	putKey, _, ok := keyCodecFor[K]()
+	if !ok {
+		return nil, fmt.Errorf("core: no key codec for %T", *new(K))
+	}
+	buf = append(buf, engineSnapVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(es.Nodes)))
+	buf = binary.AppendUvarint(buf, uint64(es.V))
+	buf = binary.AppendUvarint(buf, uint64(es.R))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(es.Epsilon))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(es.Delta))
+	buf = binary.AppendUvarint(buf, es.Packets)
+	buf = binary.AppendUvarint(buf, es.Weight)
+	for i := range es.Nodes {
+		buf = es.Nodes[i].AppendBinary(buf, putKey)
+	}
+	return buf, nil
+}
+
+// DecodeEngineSnapshot parses one encoded engine snapshot from b and returns
+// it with the remaining bytes. All structural invariants are validated (see
+// spacesaving snapshot decoding), so the result is safe to merge and query.
+func DecodeEngineSnapshot[K comparable](b []byte) (*EngineSnapshot[K], []byte, error) {
+	_, getKey, ok := keyCodecFor[K]()
+	if !ok {
+		return nil, nil, fmt.Errorf("core: no key codec for %T", *new(K))
+	}
+	if len(b) < 1 {
+		return nil, nil, errors.New("core: short engine snapshot")
+	}
+	if b[0] != engineSnapVersion {
+		return nil, nil, fmt.Errorf("core: unknown engine snapshot version %d", b[0])
+	}
+	b = b[1:]
+	var h, v, r uint64
+	for _, dst := range []*uint64{&h, &v, &r} {
+		val, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, nil, errors.New("core: truncated engine snapshot header")
+		}
+		*dst, b = val, b[w:]
+	}
+	if h < 1 || h > engineSnapMaxH {
+		return nil, nil, fmt.Errorf("core: engine snapshot H=%d out of range", h)
+	}
+	if v < h || r < 1 {
+		return nil, nil, fmt.Errorf("core: engine snapshot has invalid V=%d R=%d for H=%d", v, r, h)
+	}
+	if len(b) < 16 {
+		return nil, nil, errors.New("core: truncated engine snapshot header")
+	}
+	epsilon := math.Float64frombits(binary.BigEndian.Uint64(b[0:8]))
+	delta := math.Float64frombits(binary.BigEndian.Uint64(b[8:16]))
+	b = b[16:]
+	if !(epsilon > 0 && epsilon < 1) || !(delta > 0 && delta < 1) {
+		return nil, nil, errors.New("core: engine snapshot ε/δ out of (0, 1)")
+	}
+	var packets, weight uint64
+	for _, dst := range []*uint64{&packets, &weight} {
+		val, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, nil, errors.New("core: truncated engine snapshot header")
+		}
+		*dst, b = val, b[w:]
+	}
+	es := &EngineSnapshot[K]{
+		Nodes:   make([]spacesaving.Snapshot[K], h),
+		Packets: packets,
+		Weight:  weight,
+		V:       int(v),
+		R:       int(r),
+		Epsilon: epsilon,
+		Delta:   delta,
+	}
+	for i := range es.Nodes {
+		rest, err := es.Nodes[i].Decode(b, getKey)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: node %d: %w", i, err)
+		}
+		b = rest
+	}
+	return es, b, nil
+}
+
+// keyCodecFor resolves the fixed-width big-endian key codec for the built-in
+// lattice carriers at instantiation time (the same trick the Space Saving
+// hash resolver uses). ok is false for carriers without a codec.
+func keyCodecFor[K comparable]() (putKey func([]byte, K) []byte, getKey func([]byte) (K, []byte, error), ok bool) {
+	var put, get any
+	switch any(*new(K)).(type) {
+	case uint32:
+		put = func(b []byte, k uint32) []byte { return binary.BigEndian.AppendUint32(b, k) }
+		get = func(b []byte) (uint32, []byte, error) {
+			if len(b) < 4 {
+				return 0, nil, errors.New("core: truncated key")
+			}
+			return binary.BigEndian.Uint32(b), b[4:], nil
+		}
+	case uint64:
+		put = func(b []byte, k uint64) []byte { return binary.BigEndian.AppendUint64(b, k) }
+		get = func(b []byte) (uint64, []byte, error) {
+			if len(b) < 8 {
+				return 0, nil, errors.New("core: truncated key")
+			}
+			return binary.BigEndian.Uint64(b), b[8:], nil
+		}
+	case hierarchy.Addr:
+		put = func(b []byte, k hierarchy.Addr) []byte {
+			b = binary.BigEndian.AppendUint64(b, k.Hi)
+			return binary.BigEndian.AppendUint64(b, k.Lo)
+		}
+		get = func(b []byte) (hierarchy.Addr, []byte, error) {
+			if len(b) < 16 {
+				return hierarchy.Addr{}, nil, errors.New("core: truncated key")
+			}
+			return hierarchy.Addr{
+				Hi: binary.BigEndian.Uint64(b[0:8]),
+				Lo: binary.BigEndian.Uint64(b[8:16]),
+			}, b[16:], nil
+		}
+	case hierarchy.AddrPair:
+		put = func(b []byte, k hierarchy.AddrPair) []byte {
+			b = binary.BigEndian.AppendUint64(b, k.Src.Hi)
+			b = binary.BigEndian.AppendUint64(b, k.Src.Lo)
+			b = binary.BigEndian.AppendUint64(b, k.Dst.Hi)
+			return binary.BigEndian.AppendUint64(b, k.Dst.Lo)
+		}
+		get = func(b []byte) (hierarchy.AddrPair, []byte, error) {
+			if len(b) < 32 {
+				return hierarchy.AddrPair{}, nil, errors.New("core: truncated key")
+			}
+			return hierarchy.AddrPair{
+				Src: hierarchy.Addr{Hi: binary.BigEndian.Uint64(b[0:8]), Lo: binary.BigEndian.Uint64(b[8:16])},
+				Dst: hierarchy.Addr{Hi: binary.BigEndian.Uint64(b[16:24]), Lo: binary.BigEndian.Uint64(b[24:32])},
+			}, b[32:], nil
+		}
+	default:
+		return nil, nil, false
+	}
+	return put.(func([]byte, K) []byte), get.(func([]byte) (K, []byte, error)), true
+}

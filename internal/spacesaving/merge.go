@@ -1,7 +1,5 @@
 package spacesaving
 
-import "sort"
-
 // Merge combines two Space Saving summaries over disjoint sub-streams into
 // one summary over their union, in the style of mergeable summaries
 // (Agarwal et al., PODS 2012). For every key the merged upper bound is the
@@ -14,54 +12,23 @@ import "sort"
 //
 // Only the `capacity` keys with the largest upper bounds are retained; a
 // dropped key's frequency is bounded by the merged MinCount, exactly as in
-// a freshly built summary. Merging therefore supports the multi-queue
-// deployment: shard a stream across cores, one summary each, and merge at
-// query time.
+// a freshly built summary.
+//
+// Merge materializes a standalone Summary and allocates accordingly; the
+// query paths (core.MergeOutput, the sharded aggregator) instead reuse a
+// Merger over Snapshots, which performs the same combination with no
+// steady-state allocation.
 func Merge[K comparable](a, b *Summary[K], capacity int) *Summary[K] {
 	if capacity < 1 {
 		panic("spacesaving: capacity must be >= 1")
 	}
-	type pair struct {
-		key          K
-		upper, lower uint64
-	}
-	union := make(map[K]pair, a.Len()+b.Len())
-	collect := func(from, other *Summary[K]) {
-		from.ForEach(func(k K, count, err uint64) {
-			if _, seen := union[k]; seen {
-				return
-			}
-			oUp, oLo := other.Bounds(k)
-			union[k] = pair{key: k, upper: count + oUp, lower: count - err + oLo}
-		})
-	}
-	collect(a, b)
-	collect(b, a)
-
-	pairs := make([]pair, 0, len(union))
-	for _, p := range union {
-		pairs = append(pairs, p)
-	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].upper > pairs[j].upper })
-	if len(pairs) > capacity {
-		pairs = pairs[:capacity]
-	}
-	// Rebuild a well-formed summary: insert counters in ascending count
-	// order so the bucket list is constructed in one pass.
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].upper < pairs[j].upper })
+	var m Merger[K]
+	m.Reset()
+	m.Add(a.Snapshot())
+	m.Add(b.Snapshot())
+	var sn Snapshot[K]
+	m.MergeInto(&sn, capacity)
 	out := New[K](capacity)
-	out.n = a.n + b.n
-	tail := nilIdx
-	for _, p := range pairs {
-		c := int32(out.used)
-		out.used++
-		out.slots[c].key = p.key
-		out.slots[c].err = p.upper - p.lower
-		out.indexInsert(c, out.hash(p.key))
-		if tail == nilIdx || out.buckets[tail].count != p.upper {
-			tail = out.newBucket(p.upper, tail, nilIdx)
-		}
-		out.pushCounter(tail, c)
-	}
+	out.LoadSnapshot(&sn)
 	return out
 }

@@ -1,0 +1,339 @@
+package spacesaving
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"slices"
+)
+
+// Snapshot is a compact, immutable copy of a Summary's observable state:
+// flat parallel key/upper/lower arrays in descending upper-bound order (the
+// same order ForEach visits), plus the stream weight and the MinCount bound
+// for unmonitored keys. Snapshots are the unit of the read path — queries,
+// merges, serialization and window rings all operate on snapshots, never on
+// live summaries — so the update path is never paused for more than one
+// O(capacity) copy.
+//
+// A Snapshot preserves the Definition 4 contract of the summary it was taken
+// from: for every key, Lower ≤ f ≤ Upper for monitored keys, and f ≤ Min for
+// unmonitored ones.
+type Snapshot[K comparable] struct {
+	// Keys, Upper and Lower are parallel arrays in non-ascending Upper
+	// order. Upper[i] and Lower[i] bound the true frequency of Keys[i].
+	Keys  []K
+	Upper []uint64
+	Lower []uint64
+	// N is the total stream weight the source summary had absorbed.
+	N uint64
+	// Min bounds the frequency of any key not present in Keys.
+	Min uint64
+	// Cap is the source summary's counter capacity (⌈1/ε⌉-ish); merged
+	// snapshots record the capacity they were truncated to.
+	Cap int
+}
+
+// Len returns the number of monitored keys in the snapshot.
+func (sn *Snapshot[K]) Len() int { return len(sn.Keys) }
+
+// Bounds returns (upper, lower) frequency bounds for k: the stored entry for
+// monitored keys, (Min, 0) otherwise. Linear scan — build an index for bulk
+// lookups (the core package's query adapter does).
+func (sn *Snapshot[K]) Bounds(k K) (upper, lower uint64) {
+	for i, key := range sn.Keys {
+		if key == k {
+			return sn.Upper[i], sn.Lower[i]
+		}
+	}
+	return sn.Min, 0
+}
+
+// reset empties the snapshot, keeping array capacity for reuse.
+func (sn *Snapshot[K]) reset() {
+	sn.Keys = sn.Keys[:0]
+	sn.Upper = sn.Upper[:0]
+	sn.Lower = sn.Lower[:0]
+	sn.N, sn.Min, sn.Cap = 0, 0, 0
+}
+
+// SnapshotInto copies the summary's state into dst, reusing dst's arrays
+// (zero allocations once the arrays have grown to capacity). A nil dst
+// allocates a fresh snapshot. Returns dst.
+func (s *Summary[K]) SnapshotInto(dst *Snapshot[K]) *Snapshot[K] {
+	if dst == nil {
+		dst = &Snapshot[K]{}
+	}
+	dst.reset()
+	s.ForEach(func(k K, count, err uint64) {
+		dst.Keys = append(dst.Keys, k)
+		dst.Upper = append(dst.Upper, count)
+		dst.Lower = append(dst.Lower, count-err)
+	})
+	dst.N = s.n
+	dst.Min = s.MinCount()
+	dst.Cap = s.capacity
+	return dst
+}
+
+// Snapshot returns a freshly allocated snapshot of the summary.
+func (s *Summary[K]) Snapshot() *Snapshot[K] { return s.SnapshotInto(nil) }
+
+// LoadSnapshot rebuilds the summary's state from a snapshot: counters are
+// inserted in ascending count order so the bucket list is constructed in one
+// pass. The snapshot must fit the summary's capacity and be well formed
+// (non-ascending Upper, Lower ≤ Upper); snapshots produced by SnapshotInto,
+// Merger.MergeInto or a validated Decode always are.
+func (s *Summary[K]) LoadSnapshot(sn *Snapshot[K]) {
+	if sn.Len() > s.capacity {
+		panic("spacesaving: snapshot exceeds summary capacity")
+	}
+	s.Reset()
+	s.n = sn.N
+	tail := nilIdx
+	for i := sn.Len() - 1; i >= 0; i-- {
+		up := sn.Upper[i]
+		if i+1 < sn.Len() && sn.Upper[i+1] > up {
+			panic("spacesaving: snapshot upper bounds not sorted")
+		}
+		c := int32(s.used)
+		s.used++
+		s.slots[c].key = sn.Keys[i]
+		s.slots[c].err = up - sn.Lower[i]
+		s.indexInsert(c, s.hash(sn.Keys[i]))
+		if tail == nilIdx || s.buckets[tail].count != up {
+			tail = s.newBucket(up, tail, nilIdx)
+		}
+		s.pushCounter(tail, c)
+	}
+}
+
+// Merger accumulates snapshots over disjoint sub-streams into merged
+// frequency bounds, in the style of mergeable summaries (Agarwal et al.,
+// PODS 2012). It replaces the per-query map+sort rebuild the old Merge
+// performed: all scratch (union arrays, key index, sort permutation) is
+// retained across queries, so a steady-state merge allocates nothing.
+//
+// For every key the merged upper bound is the sum of the per-snapshot upper
+// bounds (using a snapshot's Min when it does not monitor the key) and the
+// merged lower bound is the sum of the lower bounds, preserving Definition 4:
+//
+//	Σfᵢ(k) ≤ upper(k),   lower(k) ≤ Σfᵢ(k),   upper(k)−lower(k) ≤ Σ εᵢNᵢ.
+//
+// Usage: Reset, Add each snapshot, then MergeInto a destination snapshot.
+type Merger[K comparable] struct {
+	keys    []K
+	upper   []uint64
+	lower   []uint64
+	touched []int32 // round stamp of the last snapshot containing the key
+	idx     map[K]int32
+	perm    []int32
+	minSum  uint64 // Σ Min over added snapshots
+	n       uint64 // Σ N over added snapshots
+	round   int32
+}
+
+// Reset clears the accumulator for a new merge, keeping scratch storage.
+func (m *Merger[K]) Reset() {
+	m.keys = m.keys[:0]
+	m.upper = m.upper[:0]
+	m.lower = m.lower[:0]
+	m.touched = m.touched[:0]
+	if m.idx == nil {
+		m.idx = make(map[K]int32)
+	} else {
+		clear(m.idx)
+	}
+	m.minSum, m.n, m.round = 0, 0, 0
+}
+
+// Add folds one snapshot into the accumulator. Keys new to the union start
+// from the sum of the previous snapshots' Min bounds; accumulated keys the
+// snapshot does not monitor gain its Min on their upper bound.
+func (m *Merger[K]) Add(sn *Snapshot[K]) {
+	if m.idx == nil {
+		m.idx = make(map[K]int32)
+	}
+	m.n += sn.N
+	round := m.round
+	m.round++
+	for i, k := range sn.Keys {
+		j, ok := m.idx[k]
+		if !ok {
+			j = int32(len(m.keys))
+			m.idx[k] = j
+			m.keys = append(m.keys, k)
+			m.upper = append(m.upper, m.minSum)
+			m.lower = append(m.lower, 0)
+			m.touched = append(m.touched, round)
+		}
+		m.upper[j] += sn.Upper[i]
+		m.lower[j] += sn.Lower[i]
+		m.touched[j] = round
+	}
+	for j := range m.keys {
+		if m.touched[j] != round {
+			m.upper[j] += sn.Min
+		}
+	}
+	m.minSum += sn.Min
+}
+
+// N returns the total stream weight accumulated so far.
+func (m *Merger[K]) N() uint64 { return m.n }
+
+// MergeInto writes the merged result into dst, truncated to the `capacity`
+// keys with the largest upper bounds (deterministically: ties keep the
+// earlier-accumulated key). dst's arrays are reused; a nil dst allocates.
+// A dropped key's frequency is bounded by dst.Min, exactly as in a freshly
+// built summary. Returns dst.
+func (m *Merger[K]) MergeInto(dst *Snapshot[K], capacity int) *Snapshot[K] {
+	if capacity < 1 {
+		panic("spacesaving: capacity must be >= 1")
+	}
+	if dst == nil {
+		dst = &Snapshot[K]{}
+	}
+	dst.reset()
+	if cap(m.perm) < len(m.keys) {
+		m.perm = make([]int32, len(m.keys))
+	}
+	perm := m.perm[:len(m.keys)]
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	slices.SortFunc(perm, func(a, b int32) int {
+		if m.upper[a] != m.upper[b] {
+			if m.upper[a] > m.upper[b] {
+				return -1
+			}
+			return 1
+		}
+		return int(a - b)
+	})
+	kept := perm
+	dropMax := uint64(0)
+	if len(kept) > capacity {
+		dropMax = m.upper[kept[capacity]]
+		kept = kept[:capacity]
+	}
+	for _, j := range kept {
+		dst.Keys = append(dst.Keys, m.keys[j])
+		dst.Upper = append(dst.Upper, m.upper[j])
+		dst.Lower = append(dst.Lower, m.lower[j])
+	}
+	dst.N = m.n
+	dst.Min = max(m.minSum, dropMax)
+	dst.Cap = capacity
+	return dst
+}
+
+// Snapshot binary encoding, version 1. The format is deterministic: a
+// snapshot always encodes to the same bytes, and decode∘encode is the
+// identity. Layout (all varints are unsigned LEB128):
+//
+//	byte    version (1)
+//	uvarint capacity
+//	uvarint n
+//	uvarint min
+//	uvarint number of entries
+//	entries × { key (caller codec, fixed width), uvarint upper, uvarint upper−lower }
+//
+// Key bytes are produced by a caller-supplied codec so this package stays
+// agnostic of the carrier types (the core package provides codecs for the
+// four lattice carriers).
+const snapshotVersion = 1
+
+// snapMaxCap guards decode against absurd allocations from corrupt input.
+const snapMaxCap = 1 << 24
+
+// AppendBinary appends the versioned binary encoding of the snapshot to buf
+// and returns the extended slice. putKey appends one key's fixed-width
+// encoding.
+func (sn *Snapshot[K]) AppendBinary(buf []byte, putKey func([]byte, K) []byte) []byte {
+	buf = append(buf, snapshotVersion)
+	buf = binary.AppendUvarint(buf, uint64(sn.Cap))
+	buf = binary.AppendUvarint(buf, sn.N)
+	buf = binary.AppendUvarint(buf, sn.Min)
+	buf = binary.AppendUvarint(buf, uint64(len(sn.Keys)))
+	for i, k := range sn.Keys {
+		buf = putKey(buf, k)
+		buf = binary.AppendUvarint(buf, sn.Upper[i])
+		buf = binary.AppendUvarint(buf, sn.Upper[i]-sn.Lower[i])
+	}
+	return buf
+}
+
+// Decode parses one encoded snapshot from b into sn (reusing sn's arrays)
+// and returns the remaining bytes. It rejects version mismatches, truncated
+// input, and structurally invalid state (more entries than capacity,
+// ascending upper bounds, error exceeding the bound, duplicate keys), so a
+// decoded snapshot is always safe to merge or load.
+func (sn *Snapshot[K]) Decode(b []byte, getKey func([]byte) (K, []byte, error)) (rest []byte, err error) {
+	if len(b) < 1 {
+		return nil, errors.New("spacesaving: short snapshot")
+	}
+	if b[0] != snapshotVersion {
+		return nil, fmt.Errorf("spacesaving: unknown snapshot version %d", b[0])
+	}
+	b = b[1:]
+	var capacity, n, min, entries uint64
+	for _, dst := range []*uint64{&capacity, &n, &min, &entries} {
+		v, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, errors.New("spacesaving: truncated snapshot header")
+		}
+		*dst, b = v, b[w:]
+	}
+	if capacity < 1 || capacity > snapMaxCap {
+		return nil, fmt.Errorf("spacesaving: snapshot capacity %d out of range", capacity)
+	}
+	if entries > capacity {
+		return nil, fmt.Errorf("spacesaving: snapshot has %d entries for capacity %d", entries, capacity)
+	}
+	sn.reset()
+	sn.Cap = int(capacity)
+	sn.N = n
+	sn.Min = min
+	// Size hints come from untrusted input: bound them by what the
+	// remaining bytes could possibly hold (≥ 3 bytes per entry: one key
+	// byte minimum via getKey plus two uvarints) so a tiny corrupt datagram
+	// cannot trigger a huge eager allocation.
+	hint := entries
+	if most := uint64(len(b)) / 3; hint > most {
+		hint = most
+	}
+	seen := make(map[K]struct{}, hint)
+	prev := ^uint64(0)
+	for i := uint64(0); i < entries; i++ {
+		k, rest, err := getKey(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		up, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, errors.New("spacesaving: truncated snapshot entry")
+		}
+		b = b[w:]
+		e, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, errors.New("spacesaving: truncated snapshot entry")
+		}
+		b = b[w:]
+		if e > up {
+			return nil, fmt.Errorf("spacesaving: snapshot error %d exceeds upper bound %d", e, up)
+		}
+		if up > prev {
+			return nil, errors.New("spacesaving: snapshot upper bounds not sorted")
+		}
+		if _, dup := seen[k]; dup {
+			return nil, errors.New("spacesaving: duplicate key in snapshot")
+		}
+		seen[k] = struct{}{}
+		prev = up
+		sn.Keys = append(sn.Keys, k)
+		sn.Upper = append(sn.Upper, up)
+		sn.Lower = append(sn.Lower, up-e)
+	}
+	return b, nil
+}

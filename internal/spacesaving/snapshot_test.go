@@ -1,0 +1,386 @@
+package spacesaving
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"slices"
+	"sort"
+	"testing"
+
+	"rhhh/internal/fastrand"
+)
+
+// mergeMapSort is the reference merge implementation the Merger replaced: a
+// per-query union map, two sorts, and a rebuilt summary. Kept test-only to
+// cross-check Merger semantics and to benchmark the allocation win.
+func mergeMapSort[K comparable](a, b *Summary[K], capacity int) *Summary[K] {
+	if capacity < 1 {
+		panic("spacesaving: capacity must be >= 1")
+	}
+	type pair struct {
+		key          K
+		upper, lower uint64
+	}
+	union := make(map[K]pair, a.Len()+b.Len())
+	collect := func(from, other *Summary[K]) {
+		from.ForEach(func(k K, count, err uint64) {
+			if _, seen := union[k]; seen {
+				return
+			}
+			oUp, oLo := other.Bounds(k)
+			union[k] = pair{key: k, upper: count + oUp, lower: count - err + oLo}
+		})
+	}
+	collect(a, b)
+	collect(b, a)
+
+	pairs := make([]pair, 0, len(union))
+	for _, p := range union {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].upper > pairs[j].upper })
+	if len(pairs) > capacity {
+		pairs = pairs[:capacity]
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].upper < pairs[j].upper })
+	out := New[K](capacity)
+	out.n = a.n + b.n
+	tail := nilIdx
+	for _, p := range pairs {
+		c := int32(out.used)
+		out.used++
+		out.slots[c].key = p.key
+		out.slots[c].err = p.upper - p.lower
+		out.indexInsert(c, out.hash(p.key))
+		if tail == nilIdx || out.buckets[tail].count != p.upper {
+			tail = out.newBucket(p.upper, tail, nilIdx)
+		}
+		out.pushCounter(tail, c)
+	}
+	return out
+}
+
+func putU64(b []byte, k uint64) []byte { return binary.BigEndian.AppendUint64(b, k) }
+
+func getU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, errors.New("short key")
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
+}
+
+func TestSnapshotMatchesForEach(t *testing.T) {
+	s := New[uint64](32)
+	r := fastrand.New(1)
+	for i := 0; i < 5000; i++ {
+		s.Increment(r.Uint64n(100))
+	}
+	sn := s.Snapshot()
+	if sn.N != s.N() || sn.Min != s.MinCount() || sn.Cap != s.Capacity() {
+		t.Fatalf("snapshot metadata %d/%d/%d vs %d/%d/%d",
+			sn.N, sn.Min, sn.Cap, s.N(), s.MinCount(), s.Capacity())
+	}
+	i := 0
+	s.ForEach(func(k uint64, count, err uint64) {
+		if sn.Keys[i] != k || sn.Upper[i] != count || sn.Lower[i] != count-err {
+			t.Fatalf("entry %d: snapshot (%d,%d,%d) vs live (%d,%d,%d)",
+				i, sn.Keys[i], sn.Upper[i], sn.Lower[i], k, count, count-err)
+		}
+		i++
+	})
+	if i != sn.Len() {
+		t.Fatalf("snapshot has %d entries, ForEach visited %d", sn.Len(), i)
+	}
+	// Bounds agree for monitored and unmonitored keys.
+	for k := uint64(0); k < 120; k++ {
+		su, sl := sn.Bounds(k)
+		lu, ll := s.Bounds(k)
+		if su != lu || sl != ll {
+			t.Fatalf("Bounds(%d): snapshot (%d,%d) vs live (%d,%d)", k, su, sl, lu, ll)
+		}
+	}
+}
+
+func TestSnapshotIntoReusesBuffers(t *testing.T) {
+	s := New[uint64](64)
+	r := fastrand.New(2)
+	for i := 0; i < 10000; i++ {
+		s.Increment(r.Uint64n(200))
+	}
+	var sn Snapshot[uint64]
+	s.SnapshotInto(&sn)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.SnapshotInto(&sn)
+	})
+	if allocs != 0 {
+		t.Fatalf("SnapshotInto allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestLoadSnapshotRoundTrip(t *testing.T) {
+	s := New[uint64](32)
+	r := fastrand.New(3)
+	for i := 0; i < 20000; i++ {
+		s.Increment(r.Uint64n(1 + r.Uint64n(300)))
+	}
+	sn := s.Snapshot()
+	re := New[uint64](32)
+	re.LoadSnapshot(sn)
+	sn2 := re.Snapshot()
+	if !slices.Equal(sn.Keys, sn2.Keys) || !slices.Equal(sn.Upper, sn2.Upper) ||
+		!slices.Equal(sn.Lower, sn2.Lower) || sn.N != sn2.N {
+		t.Fatal("LoadSnapshot did not reproduce the snapshot")
+	}
+	// The rebuilt summary stays a working Space Saving instance.
+	for i := 0; i < 1000; i++ {
+		re.Increment(7)
+	}
+	if up, lo := re.Bounds(7); up < 1000 || lo > up {
+		t.Fatalf("rebuilt summary broken after increments: bounds (%d,%d)", up, lo)
+	}
+}
+
+// TestMergerDefinition4Contract: on randomized streams split across
+// summaries of different capacities, the merged bounds must bracket the
+// exact combined counts, and the merged error must respect the Definition 4
+// budget upper−lower ≤ Σ εᵢNᵢ with εᵢ = 1/capᵢ.
+func TestMergerDefinition4Contract(t *testing.T) {
+	r := fastrand.New(7)
+	for trial := 0; trial < 30; trial++ {
+		caps := []int{16 + int(r.Uint64n(48)), 16 + int(r.Uint64n(48)), 16 + int(r.Uint64n(48))}
+		sums := make([]*Summary[uint64], len(caps))
+		for i, c := range caps {
+			sums[i] = New[uint64](c)
+		}
+		exact := map[uint64]uint64{}
+		total := 10000 + int(r.Uint64n(20000))
+		for i := 0; i < total; i++ {
+			k := r.Uint64n(1 + r.Uint64n(400))
+			exact[k]++
+			sums[i%len(sums)].Increment(k)
+		}
+		var m Merger[uint64]
+		m.Reset()
+		budget := 0.0
+		for _, s := range sums {
+			m.Add(s.Snapshot())
+			budget += float64(s.N()) / float64(s.Capacity())
+		}
+		var sn Snapshot[uint64]
+		m.MergeInto(&sn, 64)
+		if sn.N != uint64(total) {
+			t.Fatalf("trial %d: merged N=%d want %d", trial, sn.N, total)
+		}
+		for i, k := range sn.Keys {
+			f := exact[k]
+			if f > sn.Upper[i] {
+				t.Fatalf("trial %d key %d: upper %d < true %d", trial, k, sn.Upper[i], f)
+			}
+			if f < sn.Lower[i] {
+				t.Fatalf("trial %d key %d: lower %d > true %d", trial, k, sn.Lower[i], f)
+			}
+			if spread := float64(sn.Upper[i] - sn.Lower[i]); spread > budget+1e-9 {
+				t.Fatalf("trial %d key %d: spread %.0f exceeds Definition-4 budget %.2f",
+					trial, k, spread, budget)
+			}
+		}
+		// Keys the merge dropped or never saw are bounded by the merged Min.
+		kept := make(map[uint64]bool, sn.Len())
+		for _, k := range sn.Keys {
+			kept[k] = true
+		}
+		for k, f := range exact {
+			if !kept[k] && f > sn.Min {
+				t.Fatalf("trial %d: unmonitored key %d has f=%d above merged Min %d",
+					trial, k, f, sn.Min)
+			}
+		}
+	}
+}
+
+// TestMergerMatchesMapSortReference: the accumulator and the reference
+// map+sort merge agree on bounds for every key they both retain.
+func TestMergerMatchesMapSortReference(t *testing.T) {
+	r := fastrand.New(13)
+	for trial := 0; trial < 20; trial++ {
+		a := New[uint64](24)
+		b := New[uint64](24)
+		for i := 0; i < 15000; i++ {
+			k := r.Uint64n(1 + r.Uint64n(200))
+			if i%2 == 0 {
+				a.Increment(k)
+			} else {
+				b.Increment(k)
+			}
+		}
+		ref := mergeMapSort(a, b, 24)
+		got := Merge(a, b, 24)
+		if got.Len() != ref.Len() || got.N() != ref.N() {
+			t.Fatalf("trial %d: Len/N %d/%d vs reference %d/%d",
+				trial, got.Len(), got.N(), ref.Len(), ref.N())
+		}
+		got.ForEach(func(k uint64, count, err uint64) {
+			rc, re, ok := ref.Query(k)
+			if !ok {
+				// Tie at the truncation boundary: both kept a key with the
+				// same upper bound. Accept when the reference's smallest
+				// retained upper equals this key's.
+				if count != ref.MinCount() && ref.Len() == ref.Capacity() {
+					t.Fatalf("trial %d: key %d (count %d) missing from reference", trial, k, count)
+				}
+				return
+			}
+			if rc != count || re != err {
+				t.Fatalf("trial %d key %d: (%d,%d) vs reference (%d,%d)",
+					trial, k, count, err, rc, re)
+			}
+		})
+	}
+}
+
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	s := New[uint64](32)
+	r := fastrand.New(21)
+	for i := 0; i < 25000; i++ {
+		s.Increment(r.Uint64n(1 + r.Uint64n(300)))
+	}
+	sn := s.Snapshot()
+	enc := sn.AppendBinary(nil, putU64)
+
+	var dec Snapshot[uint64]
+	rest, err := dec.Decode(enc, getU64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if !slices.Equal(sn.Keys, dec.Keys) || !slices.Equal(sn.Upper, dec.Upper) ||
+		!slices.Equal(sn.Lower, dec.Lower) || sn.N != dec.N || sn.Min != dec.Min || sn.Cap != dec.Cap {
+		t.Fatal("decoded snapshot differs from original")
+	}
+	// Re-encoding is bit-identical (deterministic format).
+	if re := dec.AppendBinary(nil, putU64); !bytes.Equal(enc, re) {
+		t.Fatal("re-encoding is not bit-identical")
+	}
+}
+
+func TestSnapshotDecodeRejectsCorruptInput(t *testing.T) {
+	s := New[uint64](8)
+	for k := uint64(0); k < 10; k++ {
+		for i := uint64(0); i <= k; i++ {
+			s.Increment(k)
+		}
+	}
+	enc := s.Snapshot().AppendBinary(nil, putU64)
+
+	var dec Snapshot[uint64]
+	// Every strict prefix must be rejected as truncated.
+	for i := 0; i < len(enc); i++ {
+		if _, err := dec.Decode(enc[:i], getU64); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", i, len(enc))
+		}
+	}
+	// Unknown version.
+	bad := append([]byte{}, enc...)
+	bad[0] = 99
+	if _, err := dec.Decode(bad, getU64); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// More entries than capacity.
+	craft := func(capacity, entries uint64, entry func(buf []byte, i uint64) []byte) []byte {
+		b := []byte{snapshotVersion}
+		b = binary.AppendUvarint(b, capacity)
+		b = binary.AppendUvarint(b, 100) // n
+		b = binary.AppendUvarint(b, 0)   // min
+		b = binary.AppendUvarint(b, entries)
+		for i := uint64(0); i < entries; i++ {
+			b = entry(b, i)
+		}
+		return b
+	}
+	over := craft(2, 3, func(b []byte, i uint64) []byte {
+		b = putU64(b, i)
+		b = binary.AppendUvarint(b, 10-i) // upper
+		return binary.AppendUvarint(b, 0) // err
+	})
+	if _, err := dec.Decode(over, getU64); err == nil {
+		t.Fatal("entries > capacity accepted")
+	}
+	// Error larger than the upper bound.
+	badErr := craft(4, 1, func(b []byte, _ uint64) []byte {
+		b = putU64(b, 1)
+		b = binary.AppendUvarint(b, 5)
+		return binary.AppendUvarint(b, 6)
+	})
+	if _, err := dec.Decode(badErr, getU64); err == nil {
+		t.Fatal("err > upper accepted")
+	}
+	// Ascending upper bounds.
+	unsorted := craft(4, 2, func(b []byte, i uint64) []byte {
+		b = putU64(b, i)
+		b = binary.AppendUvarint(b, 5+i)
+		return binary.AppendUvarint(b, 0)
+	})
+	if _, err := dec.Decode(unsorted, getU64); err == nil {
+		t.Fatal("ascending upper bounds accepted")
+	}
+	// Duplicate keys.
+	dup := craft(4, 2, func(b []byte, _ uint64) []byte {
+		b = putU64(b, 7)
+		b = binary.AppendUvarint(b, 5)
+		return binary.AppendUvarint(b, 0)
+	})
+	if _, err := dec.Decode(dup, getU64); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+	// Zero capacity.
+	zeroCap := craft(0, 0, nil)
+	if _, err := dec.Decode(zeroCap, getU64); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func buildMergeBenchPair() (a, b *Summary[uint64]) {
+	a = New[uint64](1024)
+	b = New[uint64](1024)
+	r := fastrand.New(42)
+	for i := 0; i < 400000; i++ {
+		k := r.Uint64n(1 + r.Uint64n(4096))
+		if i%2 == 0 {
+			a.Increment(k)
+		} else {
+			b.Increment(k)
+		}
+	}
+	return a, b
+}
+
+// BenchmarkMergeMapSort measures the reference map+sort merge the Merger
+// replaced; compare allocs/op against BenchmarkMergerMergeInto.
+func BenchmarkMergeMapSort(b *testing.B) {
+	x, y := buildMergeBenchPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mergeMapSort(x, y, 1024)
+	}
+}
+
+// BenchmarkMergerMergeInto measures the snapshot accumulator on the same
+// workload with all scratch reused, as the sharded query path runs it.
+func BenchmarkMergerMergeInto(b *testing.B) {
+	x, y := buildMergeBenchPair()
+	sx, sy := x.Snapshot(), y.Snapshot()
+	var m Merger[uint64]
+	var dst Snapshot[uint64]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		m.Add(sx)
+		m.Add(sy)
+		m.MergeInto(&dst, 1024)
+	}
+}

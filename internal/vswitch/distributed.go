@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"slices"
 	"sync"
 
 	"rhhh/internal/core"
 	"rhhh/internal/fastrand"
 	"rhhh/internal/hierarchy"
+	"rhhh/internal/spacesaving"
 	"rhhh/internal/stats"
 	"rhhh/internal/trace"
 )
@@ -234,15 +236,29 @@ func (s *SamplerHook) Flush() error {
 func (s *SamplerHook) Packets() uint64 { return s.packets }
 
 // Collector is the measurement-VM side: it owns the per-node HH instances
-// and reconstructs the RHHH estimator from received samples. Safe for
-// concurrent Apply/Output.
+// and reconstructs the RHHH estimator from received samples and/or whole
+// engine snapshots (see ApplySnapshot). Safe for concurrent Apply/Output.
 type Collector struct {
 	mu     sync.Mutex
 	dom    *hierarchy.Domain[uint64]
+	sums   []*spacesaving.Summary[uint64]
 	inst   []core.Instance[uint64]
 	v      int
 	z      float64
-	totals map[uint16]uint64 // per-sender latest packet counts
+	eps    float64
+	delta  float64
+	totals map[uint16]uint64 // per-sender latest packet counts (sample mode)
+
+	// Snapshot mode: the latest whole-state snapshot per sender (each
+	// report supersedes the previous — a lost datagram delays state, it
+	// never loses samples). Merged with the sample-fed instances at query
+	// time; all merge scratch is reused across queries.
+	snaps    map[uint16]*core.EngineSnapshot[uint64]
+	order    []uint16 // scratch: sender ids in deterministic merge order
+	local    core.EngineSnapshot[uint64]
+	merged   core.EngineSnapshot[uint64]
+	mergeBuf []*core.EngineSnapshot[uint64]
+	sm       core.SnapshotMerger[uint64]
 }
 
 // NewCollector builds a collector matching the sampler's configuration
@@ -255,12 +271,20 @@ func NewCollector(dom *hierarchy.Domain[uint64], epsilon, delta float64, v int) 
 		panic("vswitch: V must be at least H")
 	}
 	counters := int(math.Ceil((1 + epsilon) / epsilon))
+	sums := make([]*spacesaving.Summary[uint64], dom.Size())
+	for i := range sums {
+		sums[i] = spacesaving.New[uint64](counters)
+	}
 	return &Collector{
 		dom:    dom,
-		inst:   core.SpaceSavingInstances(dom, counters),
+		sums:   sums,
+		inst:   core.WrapSummaries(sums),
 		v:      v,
 		z:      stats.Z(delta),
+		eps:    epsilon,
+		delta:  delta,
 		totals: make(map[uint16]uint64),
+		snaps:  make(map[uint16]*core.EngineSnapshot[uint64]),
 	}
 }
 
@@ -279,13 +303,17 @@ func (c *Collector) Apply(sender uint16, total uint64, batch []Sample) {
 	}
 }
 
-// Packets returns the total packet count across all reporting switches.
+// Packets returns the total packet count across all reporting switches,
+// sample-mode and snapshot-mode alike.
 func (c *Collector) Packets() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var n uint64
 	for _, t := range c.totals {
 		n += t
+	}
+	for _, es := range c.snaps {
+		n += es.Packets
 	}
 	return n
 }
@@ -302,6 +330,7 @@ func (c *Collector) Updates() uint64 {
 }
 
 // Output answers the HHH query exactly as the co-located engine would.
+// Snapshot-mode senders are merged with the sample-fed state at query time.
 func (c *Collector) Output(theta float64) []core.Result[uint64] {
 	if !(theta > 0 && theta <= 1) {
 		panic("vswitch: theta must be in (0, 1]")
@@ -312,26 +341,90 @@ func (c *Collector) Output(theta float64) []core.Result[uint64] {
 	for _, t := range c.totals {
 		nTotal += t
 	}
-	n := float64(nTotal)
-	if n == 0 {
+	if len(c.snaps) == 0 {
+		n := float64(nTotal)
+		if n == 0 {
+			return nil
+		}
+		corr := 2 * c.z * math.Sqrt(n*float64(c.v))
+		return core.Extract(c.dom, c.inst, n, float64(c.v), corr, theta)
+	}
+	// Fold the sample-fed state and every sender's latest snapshot into one
+	// merged snapshot (deterministically: local state first, then senders in
+	// ascending id order), then run the standard snapshot query.
+	if len(c.local.Nodes) != len(c.sums) {
+		c.local.Nodes = make([]spacesaving.Snapshot[uint64], len(c.sums))
+	}
+	for i, s := range c.sums {
+		s.SnapshotInto(&c.local.Nodes[i])
+	}
+	c.local.Packets, c.local.Weight = nTotal, nTotal
+	c.local.V, c.local.R = c.v, 1
+	c.local.Epsilon, c.local.Delta = c.eps, c.delta
+	c.order = c.order[:0]
+	for id := range c.snaps {
+		c.order = append(c.order, id)
+	}
+	slices.Sort(c.order)
+	c.mergeBuf = append(c.mergeBuf[:0], &c.local)
+	for _, id := range c.order {
+		c.mergeBuf = append(c.mergeBuf, c.snaps[id])
+	}
+	merged := c.sm.Merge(&c.merged, c.mergeBuf...)
+	if merged.Weight == 0 {
 		return nil
 	}
-	corr := 2 * c.z * math.Sqrt(n*float64(c.v))
-	return core.Extract(c.dom, c.inst, n, float64(c.v), corr, theta)
+	return merged.Output(c.dom, theta)
+}
+
+// ApplySnapshot records sender's whole-state snapshot, replacing any
+// previous one from the same sender (snapshots are cumulative). The
+// snapshot must match the collector's configuration. A sender should use
+// either the sample stream or snapshot reports, not both — mixing would
+// double count its traffic.
+func (c *Collector) ApplySnapshot(sender uint16, es *core.EngineSnapshot[uint64]) error {
+	if len(es.Nodes) != c.dom.Size() {
+		return fmt.Errorf("vswitch: snapshot has %d nodes, lattice has %d", len(es.Nodes), c.dom.Size())
+	}
+	if es.V != c.v {
+		return fmt.Errorf("vswitch: snapshot V=%d, collector V=%d", es.V, c.v)
+	}
+	if es.R != 1 {
+		return fmt.Errorf("vswitch: snapshot R=%d unsupported by the collector", es.R)
+	}
+	if es.Epsilon != c.eps || es.Delta != c.delta {
+		return fmt.Errorf("vswitch: snapshot ε=%g δ=%g, collector ε=%g δ=%g",
+			es.Epsilon, es.Delta, c.eps, c.delta)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snaps[sender] = es
+	return nil
+}
+
+// ApplySnapshotMsg decodes one snapshot datagram and applies it.
+func (c *Collector) ApplySnapshotMsg(b []byte) error {
+	sender, es, err := DecodeSnapshotMsg(b)
+	if err != nil {
+		return err
+	}
+	return c.ApplySnapshot(sender, es)
 }
 
 // InProcTransport delivers batches to a Collector over a buffered channel
 // drained by a dedicated goroutine — the in-process stand-in for the
 // measurement VM.
 type InProcTransport struct {
-	ch   chan inProcMsg
-	done chan struct{}
+	ch       chan inProcMsg
+	done     chan struct{}
+	applyErr error // first snapshot-apply failure; reported by Close
 }
 
 type inProcMsg struct {
 	sender uint16
 	total  uint64
 	batch  []Sample
+	snap   []byte // encoded snapshot datagram; nil for sample batches
 }
 
 // NewInProcTransport starts the collector goroutine; depth is the channel
@@ -347,6 +440,12 @@ func NewInProcTransport(c *Collector, depth int) *InProcTransport {
 	go func() {
 		defer close(t.done)
 		for m := range t.ch {
+			if m.snap != nil {
+				if err := c.ApplySnapshotMsg(m.snap); err != nil && t.applyErr == nil {
+					t.applyErr = err
+				}
+				continue
+			}
 			c.Apply(m.sender, m.total, m.batch)
 		}
 	}()
@@ -361,11 +460,29 @@ func (t *InProcTransport) Send(sender uint16, total uint64, batch []Sample) erro
 	return nil
 }
 
-// Close drains outstanding batches and stops the goroutine.
+// SendSnapshot checks the datagram header, then copies and enqueues it in
+// order with any outstanding sample batches. Payload decoding happens once,
+// on the collector goroutine; apply-time failures (a malformed payload or a
+// configuration mismatch with the collector) are reported by Close.
+func (t *InProcTransport) SendSnapshot(msg []byte) error {
+	if len(msg) < snapMsgHeader {
+		return errors.New("vswitch: short snapshot message")
+	}
+	if msg[0] != snapMsgMagic || msg[1] != snapMsgVersion {
+		return errors.New("vswitch: bad snapshot magic/version")
+	}
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	t.ch <- inProcMsg{snap: cp}
+	return nil
+}
+
+// Close drains outstanding batches and stops the goroutine. It reports the
+// first snapshot-apply failure encountered, if any.
 func (t *InProcTransport) Close() error {
 	close(t.ch)
 	<-t.done
-	return nil
+	return t.applyErr
 }
 
 // UDPCollectorServer receives sample datagrams on a UDP socket and applies
@@ -393,6 +510,10 @@ func ListenUDP(addr string, c *Collector) (*UDPCollectorServer, error) {
 			n, _, err := conn.ReadFromUDP(buf)
 			if err != nil {
 				return // closed
+			}
+			if n > 0 && buf[0] == snapMsgMagic {
+				_ = c.ApplySnapshotMsg(buf[:n])
+				continue
 			}
 			if sender, total, batch, err := DecodeBatch(buf[:n]); err == nil {
 				c.Apply(sender, total, batch)
@@ -437,5 +558,143 @@ func (t *UDPTransport) Send(sender uint16, total uint64, batch []Sample) error {
 	return err
 }
 
+// maxUDPPayload is the largest UDP payload: 65535 minus the 8-byte UDP and
+// 20-byte IP headers.
+const maxUDPPayload = 65535 - 8 - 20
+
+// SendSnapshot transmits one encoded snapshot datagram. Snapshots must fit
+// a UDP datagram (~64 KiB): use a coarser ε or the sample stream otherwise.
+func (t *UDPTransport) SendSnapshot(msg []byte) error {
+	if len(msg) > maxUDPPayload {
+		return fmt.Errorf("vswitch: snapshot of %d bytes exceeds the UDP datagram limit", len(msg))
+	}
+	_, err := t.conn.Write(msg)
+	return err
+}
+
 // Close closes the socket.
 func (t *UDPTransport) Close() error { return t.conn.Close() }
+
+// Snapshot datagram format: magic 'S', version 1, uint16 sender id (big
+// endian), then the engine snapshot in its own versioned encoding. A
+// snapshot report carries the switch's whole cumulative state, so it is the
+// transport mode for lossy or high-latency links: each report supersedes
+// the previous one and a lost datagram only delays state, unlike the sample
+// stream where a lost batch is lost measurement.
+const (
+	snapMsgMagic   = 'S'
+	snapMsgVersion = 1
+	snapMsgHeader  = 2 + 2
+)
+
+// SnapshotTransport is an optional Transport extension for shipping whole
+// encoded snapshot datagrams (see EncodeSnapshotMsg). Both built-in
+// transports implement it.
+type SnapshotTransport interface {
+	SendSnapshot(msg []byte) error
+}
+
+// EncodeSnapshotMsg serializes a snapshot datagram into buf (reusing its
+// storage when large enough) and returns the encoded bytes.
+func EncodeSnapshotMsg(buf []byte, sender uint16, es *core.EngineSnapshot[uint64]) ([]byte, error) {
+	buf = buf[:0]
+	buf = append(buf, snapMsgMagic, snapMsgVersion)
+	buf = binary.BigEndian.AppendUint16(buf, sender)
+	return es.AppendBinary(buf)
+}
+
+// DecodeSnapshotMsg parses a datagram produced by EncodeSnapshotMsg,
+// validating the snapshot's structural invariants.
+func DecodeSnapshotMsg(b []byte) (sender uint16, es *core.EngineSnapshot[uint64], err error) {
+	if len(b) < snapMsgHeader {
+		return 0, nil, errors.New("vswitch: short snapshot message")
+	}
+	if b[0] != snapMsgMagic || b[1] != snapMsgVersion {
+		return 0, nil, errors.New("vswitch: bad snapshot magic/version")
+	}
+	sender = binary.BigEndian.Uint16(b[2:4])
+	es, rest, err := core.DecodeEngineSnapshot[uint64](b[snapMsgHeader:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("vswitch: %d trailing bytes after snapshot", len(rest))
+	}
+	return sender, es, nil
+}
+
+// SnapshotReporter is the switch-side half of the snapshot transport mode:
+// it runs a full local RHHH engine (like EngineHook) and periodically ships
+// the engine's whole state downstream instead of streaming per-sample
+// batches — the alternative §5.2 integration for links where datagram loss
+// or latency makes the sample stream unreliable.
+type SnapshotReporter struct {
+	*EngineHook
+	eng     *core.Engine[uint64]
+	tr      SnapshotTransport
+	sender  uint16
+	every   uint64 // packets between reports
+	next    uint64
+	buf     []byte
+	scratch core.EngineSnapshot[uint64]
+	sendErr error
+}
+
+// NewSnapshotReporter wraps an engine in a datapath hook that reports the
+// engine's snapshot to tr every `every` packets (and on Flush). every must
+// be positive.
+func NewSnapshotReporter(eng *core.Engine[uint64], tr SnapshotTransport, sender uint16, every uint64) *SnapshotReporter {
+	if every == 0 {
+		panic("vswitch: snapshot report interval must be positive")
+	}
+	return &SnapshotReporter{
+		EngineHook: NewEngineHook(eng),
+		eng:        eng,
+		tr:         tr,
+		sender:     sender,
+		every:      every,
+		next:       every,
+	}
+}
+
+// OnPacket feeds the engine and reports when the interval elapses.
+func (r *SnapshotReporter) OnPacket(p trace.Packet) {
+	r.EngineHook.OnPacket(p)
+	if r.eng.N() >= r.next {
+		r.report()
+	}
+}
+
+// OnBatch feeds the engine's batched update path and reports when the
+// interval elapses (at batch granularity).
+func (r *SnapshotReporter) OnBatch(ps []trace.Packet) {
+	r.EngineHook.OnBatch(ps)
+	if r.eng.N() >= r.next {
+		r.report()
+	}
+}
+
+func (r *SnapshotReporter) report() {
+	r.eng.SnapshotInto(&r.scratch)
+	msg, err := EncodeSnapshotMsg(r.buf, r.sender, &r.scratch)
+	if err != nil {
+		if r.sendErr == nil {
+			r.sendErr = err
+		}
+		return
+	}
+	r.buf = msg
+	if err := r.tr.SendSnapshot(msg); err != nil && r.sendErr == nil {
+		r.sendErr = err
+	}
+	for r.next <= r.eng.N() {
+		r.next += r.every
+	}
+}
+
+// Flush ships a final snapshot and reports the first transport error
+// encountered, if any.
+func (r *SnapshotReporter) Flush() error {
+	r.report()
+	return r.sendErr
+}

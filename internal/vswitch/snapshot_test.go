@@ -1,0 +1,214 @@
+package vswitch
+
+import (
+	"testing"
+	"time"
+
+	"rhhh/internal/core"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/trace"
+)
+
+// TestSnapshotReporterInProcMatchesEngine: shipping whole-state snapshots
+// must reproduce the co-located engine's query exactly — the snapshot is
+// the engine's state, and the collector's merge of {empty local state, one
+// snapshot} is the identity.
+func TestSnapshotReporterInProcMatchesEngine(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	v := 10 * dom.Size()
+	eng := core.New(dom, core.Config{Epsilon: 0.05, Delta: 0.05, V: v, Seed: 3})
+	col := NewCollector(dom, 0.05, 0.05, v)
+	tr := NewInProcTransport(col, 64)
+	rep := NewSnapshotReporter(eng, tr, 7, 50000)
+
+	victim := hierarchy.AddrFromIPv4(ip4(203, 0, 113, 0))
+	gen := trace.NewSynthetic(trace.Config{
+		Seed:       10,
+		Aggregates: []trace.Aggregate{{Fraction: 0.4, Dst: victim, DstBits: 24, Spread: 10000}},
+	})
+	const n = 400000
+	for i := 0; i < n; i++ {
+		p, _ := gen.Next()
+		rep.OnPacket(p)
+	}
+	if err := rep.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Packets() != n {
+		t.Fatalf("collector saw N=%d, want %d", col.Packets(), n)
+	}
+	want := eng.Output(0.2)
+	got := col.Output(0.2)
+	if len(got) != len(want) {
+		t.Fatalf("%d results via snapshots, %d locally", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSnapshotReporterSupersedes: a later report replaces the earlier one —
+// the collector never double counts a snapshot sender.
+func TestSnapshotReporterSupersedes(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	eng := core.New(dom, core.Config{Epsilon: 0.1, Delta: 0.1, Seed: 1})
+	col := NewCollector(dom, 0.1, 0.1, dom.Size())
+	tr := NewInProcTransport(col, 64)
+	rep := NewSnapshotReporter(eng, tr, 1, 1000)
+
+	gen := trace.NewSynthetic(trace.Profile("chicago16"))
+	for i := 0; i < 10000; i++ { // 10 reports along the way
+		p, _ := gen.Next()
+		rep.OnPacket(p)
+	}
+	if err := rep.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Packets() != 10000 {
+		t.Fatalf("collector N=%d after 11 cumulative reports, want 10000", col.Packets())
+	}
+}
+
+// TestCollectorMergesSnapshotAndSampleSenders: one switch streams samples,
+// another ships snapshots; the union query must see both contributions.
+func TestCollectorMergesSnapshotAndSampleSenders(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	col := NewCollector(dom, 0.02, 0.05, dom.Size())
+	tr := NewInProcTransport(col, 64)
+
+	sampler := NewSamplerHook(dom, dom.Size(), 21, tr, 0)
+	sampler.SetSender(1)
+	eng := core.New(dom, core.Config{Epsilon: 0.02, Delta: 0.05, Seed: 22})
+	rep := NewSnapshotReporter(eng, tr, 2, 100000)
+
+	// Switch 1 sees the victim-A aggregate, switch 2 the victim-B one.
+	genA := trace.NewSynthetic(trace.Config{
+		Seed: 31,
+		Aggregates: []trace.Aggregate{{
+			Fraction: 0.5, Dst: hierarchy.AddrFromIPv4(ip4(203, 0, 113, 0)), DstBits: 24, Spread: 10000,
+		}},
+	})
+	genB := trace.NewSynthetic(trace.Config{
+		Seed: 32,
+		Aggregates: []trace.Aggregate{{
+			Fraction: 0.5, Dst: hierarchy.AddrFromIPv4(ip4(198, 51, 100, 0)), DstBits: 24, Spread: 10000,
+		}},
+	})
+	const n = 300000
+	for i := 0; i < n; i++ {
+		pa, _ := genA.Next()
+		sampler.OnPacket(pa)
+		pb, _ := genB.Next()
+		rep.OnPacket(pb)
+	}
+	if err := sampler.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Packets() != 2*n {
+		t.Fatalf("collector N=%d, want %d", col.Packets(), 2*n)
+	}
+	out := col.Output(0.15)
+	find := func(dst uint32) bool {
+		node, _ := dom.NodeByBits(0, 24)
+		want := hierarchy.Pack2D(0, dst)
+		for _, p := range out {
+			if p.Node == node && p.Key == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !find(ip4(203, 0, 113, 0)) {
+		t.Error("sample-mode switch's victim /24 missing from merged output")
+	}
+	if !find(ip4(198, 51, 100, 0)) {
+		t.Error("snapshot-mode switch's victim /24 missing from merged output")
+	}
+}
+
+// TestSnapshotMsgRejectsCorruptInput: the decode path must reject bad
+// magic, truncation and mismatched configuration rather than fold garbage
+// into the estimator.
+func TestSnapshotMsgRejectsCorruptInput(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	eng := core.New(dom, core.Config{Epsilon: 0.1, Delta: 0.1, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		eng.Update(uint64(i))
+	}
+	msg, err := EncodeSnapshotMsg(nil, 3, eng.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender, es, err := DecodeSnapshotMsg(msg); err != nil || sender != 3 || es.Packets != 1000 {
+		t.Fatalf("roundtrip failed: sender=%d err=%v", sender, err)
+	}
+	for _, cut := range []int{0, 1, 3, len(msg) / 2, len(msg) - 1} {
+		if _, _, err := DecodeSnapshotMsg(msg[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte{}, msg...)
+	bad[0] = 'X'
+	if _, _, err := DecodeSnapshotMsg(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Mismatched V is rejected at apply time.
+	col := NewCollector(dom, 0.1, 0.1, 10*dom.Size())
+	if err := col.ApplySnapshotMsg(msg); err == nil {
+		t.Fatal("snapshot with mismatched V accepted")
+	}
+}
+
+// TestSnapshotReporterOverUDP: the snapshot datagram path works over a real
+// socket, dispatched by magic byte alongside sample batches.
+func TestSnapshotReporterOverUDP(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	col := NewCollector(dom, 0.05, 0.05, dom.Size())
+	srv, err := ListenUDP("127.0.0.1:0", col)
+	if err != nil {
+		t.Skipf("UDP loopback unavailable: %v", err)
+	}
+	defer srv.Close()
+	tr, err := DialUDP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	eng := core.New(dom, core.Config{Epsilon: 0.05, Delta: 0.05, Seed: 5})
+	rep := NewSnapshotReporter(eng, tr, 9, 100000)
+	gen := trace.NewSynthetic(trace.Profile("chicago16"))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		p, _ := gen.Next()
+		rep.OnPacket(p)
+	}
+	if err := rep.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// UDP delivery is asynchronous; wait for the final cumulative report.
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Packets() != n && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if col.Packets() != n {
+		t.Fatalf("collector N=%d, want %d", col.Packets(), n)
+	}
+	if len(col.Output(0.3)) == 0 {
+		t.Fatal("no output from snapshot-fed collector")
+	}
+}

@@ -164,6 +164,8 @@ type monImpl interface {
 	n() uint64
 	psi() float64
 	reset()
+	reseed(seed uint64)
+	snapshotInto(dst *Snapshot) *Snapshot
 	size() int
 	vParam() int
 }
@@ -408,19 +410,23 @@ func (im *impl[K]) updateBatch(srcs, dsts []netip.Addr) {
 }
 
 func (im *impl[K]) output(theta float64) []HeavyHitter {
-	return im.convert(im.alg.Output(theta))
+	return convertResults(im.dom, im.split, im.alg.Output(theta))
 }
 
-// convert renders engine results into the public HeavyHitter shape.
-func (im *impl[K]) convert(rs []core.Result[K]) []HeavyHitter {
+// convertResults renders engine results into the public HeavyHitter shape.
+func convertResults[K comparable](
+	dom *hierarchy.Domain[K],
+	split func(k K, srcBits, dstBits int) (netip.Prefix, netip.Prefix),
+	rs []core.Result[K],
+) []HeavyHitter {
 	out := make([]HeavyHitter, len(rs))
 	for i, r := range rs {
-		node := im.dom.Node(r.Node)
-		srcP, dstP := im.split(r.Key, node.SrcBits, node.DstBits)
+		node := dom.Node(r.Node)
+		srcP, dstP := split(r.Key, node.SrcBits, node.DstBits)
 		out[i] = HeavyHitter{
 			Src:   srcP,
 			Dst:   dstP,
-			Text:  im.dom.Format(r.Key, r.Node),
+			Text:  dom.Format(r.Key, r.Node),
 			Lower: r.Lower,
 			Upper: r.Upper,
 			Cond:  r.Cond,
@@ -428,6 +434,36 @@ func (im *impl[K]) convert(rs []core.Result[K]) []HeavyHitter {
 		}
 	}
 	return out
+}
+
+// snapshotInto captures the engine state into dst (see Monitor.Snapshot).
+func (im *impl[K]) snapshotInto(dst *Snapshot) *Snapshot {
+	eng, ok := im.alg.(*core.Engine[K])
+	if !ok {
+		panic("rhhh: snapshots require the RHHH algorithm")
+	}
+	if dst == nil {
+		dst = &Snapshot{}
+	}
+	st, ok := dst.impl.(*snapState[K])
+	if !ok {
+		st = &snapState[K]{}
+		dst.impl = st
+	}
+	// Always re-point dom/split: a reused dst may come from a monitor with
+	// the same carrier type but a different lattice.
+	st.dom, st.split = im.dom, im.split
+	eng.SnapshotInto(&st.es)
+	return dst
+}
+
+// reseed rewinds the algorithm's RNG when it has one (deterministic
+// algorithms are unaffected); with Reset it reproduces a freshly built
+// monitor bit for bit.
+func (im *impl[K]) reseed(seed uint64) {
+	if eng, ok := im.alg.(interface{ Reseed(uint64) }); ok {
+		eng.Reseed(seed)
+	}
 }
 
 func (im *impl[K]) n() uint64 {

@@ -3,6 +3,7 @@ package rhhh
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 
 	"rhhh/internal/core"
 	"rhhh/internal/hierarchy"
@@ -10,20 +11,68 @@ import (
 
 // Sharded spreads measurement across several independent RHHH monitors —
 // the multi-queue deployment: modern NICs hash flows onto receive queues,
-// and one shard per queue/core updates without locks. Queries merge the
-// shards' Space Saving state (see core.MergeOutput); the union keeps the
-// paper's guarantees with N equal to the combined stream length.
+// and one shard per queue/core updates with only its own (uncontended)
+// shard lock. Queries are pause-free: HeavyHitters briefly captures a
+// snapshot of each shard in turn — blocking that shard for one O(H·1/ε)
+// copy, never all shards at once — and then merges and extracts entirely
+// outside the shard locks, against a snapshot set whose buffers and merge
+// scratch are reused across queries. The union keeps the paper's guarantees
+// with N equal to the combined stream length (see Snapshot and
+// core.SnapshotMerger).
 //
-// Each shard is single-threaded: give every producing goroutine its own via
-// Shard(i). HeavyHitters may run concurrently with updates only if the
-// caller externally pauses the shards (merging reads their state).
+// Give every producing goroutine its own shard via Shard(i); producers on
+// different shards never contend, and HeavyHitters may run concurrently
+// with all of them.
 type Sharded struct {
-	cfg      Config
-	monitors []*Monitor
+	cfg    Config
+	shards []*Shard
 
-	// Per-shard scratch for UpdateBatch routing (single-goroutine use, like
+	// aggMu serializes queries (capture, merge and extract all reuse the
+	// aggregator's scratch); producers never take it — a query holds only
+	// one shard lock at a time, and only for that shard's snapshot copy.
+	aggMu sync.Mutex
+	agg   shardAgg
+
+	// Per-call scratch for UpdateBatch routing (single-goroutine use, like
 	// Update).
 	srcBuf, dstBuf [][]netip.Addr
+}
+
+// Shard is one producer's handle: a monitor plus the lock that coordinates
+// its updates with snapshot capture. Each shard is single-producer: give
+// every producing goroutine its own.
+type Shard struct {
+	mu sync.Mutex
+	m  *Monitor
+}
+
+// Update records one packet on this shard.
+func (sh *Shard) Update(src, dst netip.Addr) {
+	sh.mu.Lock()
+	sh.m.Update(src, dst)
+	sh.mu.Unlock()
+}
+
+// UpdateWeighted records one packet carrying weight w on this shard.
+func (sh *Shard) UpdateWeighted(src, dst netip.Addr, w uint64) {
+	sh.mu.Lock()
+	sh.m.UpdateWeighted(src, dst, w)
+	sh.mu.Unlock()
+}
+
+// UpdateBatch records a batch of packets on this shard in one call,
+// amortizing the lock over the whole batch (the preferred producer shape).
+func (sh *Shard) UpdateBatch(srcs, dsts []netip.Addr) {
+	sh.mu.Lock()
+	sh.m.UpdateBatch(srcs, dsts)
+	sh.mu.Unlock()
+}
+
+// N returns this shard's stream weight.
+func (sh *Shard) N() uint64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m.N()
 }
 
 // NewSharded builds n independently seeded shards. Only Algorithm RHHH with
@@ -35,73 +84,148 @@ func NewSharded(cfg Config, n int) (*Sharded, error) {
 	if cfg.Algorithm != RHHH {
 		return nil, fmt.Errorf("rhhh: sharding requires the RHHH algorithm, got %v", cfg.Algorithm)
 	}
-	s := &Sharded{cfg: cfg, monitors: make([]*Monitor, n)}
-	for i := range s.monitors {
+	s := &Sharded{cfg: cfg, shards: make([]*Shard, n)}
+	monitors := make([]*Monitor, n)
+	for i := range s.shards {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
 		m, err := New(c)
 		if err != nil {
 			return nil, err
 		}
-		s.monitors[i] = m
+		monitors[i] = m
+		s.shards[i] = &Shard{m: m}
+	}
+	// All shards share the same concrete impl type; dispatch on the first.
+	switch im := monitors[0].impl.(type) {
+	case *impl[uint32]:
+		s.agg = newAggState(im, monitors)
+	case *impl[uint64]:
+		s.agg = newAggState(im, monitors)
+	case *impl[hierarchy.Addr]:
+		s.agg = newAggState(im, monitors)
+	case *impl[hierarchy.AddrPair]:
+		s.agg = newAggState(im, monitors)
+	default:
+		return nil, fmt.Errorf("rhhh: unknown shard implementation %T", monitors[0].impl)
 	}
 	return s, nil
 }
 
 // Shards returns the number of shards.
-func (s *Sharded) Shards() int { return len(s.monitors) }
+func (s *Sharded) Shards() int { return len(s.shards) }
 
-// Shard returns shard i's monitor; each goroutine must use its own shard.
-func (s *Sharded) Shard(i int) *Monitor { return s.monitors[i] }
+// Shard returns shard i's handle; each producing goroutine must use its own
+// shard.
+func (s *Sharded) Shard(i int) *Shard { return s.shards[i] }
 
 // N returns the combined stream weight across shards.
 func (s *Sharded) N() uint64 {
 	var n uint64
-	for _, m := range s.monitors {
-		n += m.N()
+	for _, sh := range s.shards {
+		n += sh.N()
 	}
 	return n
 }
 
 // Psi returns the convergence bound for the combined stream (identical to a
 // single shard's: ψ depends on V and ε, not on how the stream is split).
-func (s *Sharded) Psi() float64 { return s.monitors[0].Psi() }
+func (s *Sharded) Psi() float64 { return s.shards[0].m.Psi() }
 
 // Converged reports whether the combined N has passed ψ.
 func (s *Sharded) Converged() bool { return float64(s.N()) >= s.Psi() }
 
-// HeavyHitters merges all shards and answers the HHH query over the union
-// stream. Do not call while shards are concurrently updating.
+// HeavyHitters answers the HHH query over the union stream. Safe to call
+// while shards update concurrently: each shard is paused only for its own
+// snapshot copy, and the merge and extraction run outside all shard locks
+// on reused buffers. Concurrent HeavyHitters calls serialize with each
+// other.
 func (s *Sharded) HeavyHitters(theta float64) []HeavyHitter {
 	if !(theta > 0 && theta <= 1) {
 		panic("rhhh: theta must be in (0, 1]")
 	}
-	// All shards share the same concrete impl type; dispatch on the first.
-	switch im := s.monitors[0].impl.(type) {
-	case *impl[uint32]:
-		return mergeShards(s, im, theta)
-	case *impl[uint64]:
-		return mergeShards(s, im, theta)
-	case *impl[hierarchy.Addr]:
-		return mergeShards(s, im, theta)
-	case *impl[hierarchy.AddrPair]:
-		return mergeShards(s, im, theta)
-	default:
-		panic("rhhh: unknown shard implementation")
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	s.agg.refresh(s.shards)
+	return s.agg.query(theta)
+}
+
+// Snapshot captures and merges all shards into one standalone Snapshot —
+// queryable, mergeable with other snapshots, and serializable. Like
+// HeavyHitters, it never pauses more than one shard at a time.
+func (s *Sharded) Snapshot() *Snapshot {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	s.agg.refresh(s.shards)
+	return &Snapshot{
+		impl: s.agg.freshSnapshot(),
+		dims: s.cfg.Dims,
+		gran: s.cfg.Granularity,
+		ipv6: s.cfg.IPv6,
 	}
 }
 
-func mergeShards[K comparable](s *Sharded, first *impl[K], theta float64) []HeavyHitter {
-	engines := make([]*core.Engine[K], len(s.monitors))
-	for i, m := range s.monitors {
-		im := m.impl.(*impl[K])
-		eng, ok := im.alg.(*core.Engine[K])
+// shardAgg is the carrier-typed aggregator behind the query path.
+type shardAgg interface {
+	refresh(shards []*Shard)
+	query(theta float64) []HeavyHitter
+	freshSnapshot() snapCore
+}
+
+// aggState implements shardAgg over carrier type K with reusable per-shard
+// snapshot buffers and a reusable merger (queries allocate nothing for the
+// capture and merge stages in steady state).
+type aggState[K comparable] struct {
+	im      *impl[K]
+	engines []*core.Engine[K]
+	bufs    []core.EngineSnapshot[K]
+	ptrs    []*core.EngineSnapshot[K]
+	sm      core.SnapshotMerger[K]
+	merged  core.EngineSnapshot[K]
+}
+
+func newAggState[K comparable](first *impl[K], monitors []*Monitor) *aggState[K] {
+	a := &aggState[K]{
+		im:      first,
+		engines: make([]*core.Engine[K], len(monitors)),
+		bufs:    make([]core.EngineSnapshot[K], len(monitors)),
+		ptrs:    make([]*core.EngineSnapshot[K], len(monitors)),
+	}
+	for i, m := range monitors {
+		eng, ok := m.impl.(*impl[K]).alg.(*core.Engine[K])
 		if !ok {
 			panic("rhhh: sharding requires the RHHH engine")
 		}
-		engines[i] = eng
+		a.engines[i] = eng
+		a.ptrs[i] = &a.bufs[i]
 	}
-	return first.convert(core.MergeOutput(theta, engines...))
+	return a
+}
+
+// refresh captures every shard into the snapshot buffers, holding each
+// shard's lock only for its own copy.
+func (a *aggState[K]) refresh(shards []*Shard) {
+	for i, sh := range shards {
+		sh.mu.Lock()
+		a.engines[i].SnapshotInto(&a.bufs[i])
+		sh.mu.Unlock()
+	}
+}
+
+// query merges the captured snapshot set (reusing all merge scratch) and
+// runs the Output procedure, entirely outside the shard locks.
+func (a *aggState[K]) query(theta float64) []HeavyHitter {
+	merged := a.sm.Merge(&a.merged, a.ptrs...)
+	return convertResults(a.im.dom, a.im.split, merged.Output(a.im.dom, theta))
+}
+
+// freshSnapshot merges the captured set into a newly allocated snapshot
+// state (it escapes to the caller, so no buffers are shared with the
+// aggregator).
+func (a *aggState[K]) freshSnapshot() snapCore {
+	var sm core.SnapshotMerger[K]
+	es := sm.Merge(nil, a.ptrs...)
+	return &snapState[K]{es: *es, dom: a.im.dom, split: a.im.split}
 }
 
 // Update is a convenience for single-goroutine use: it routes the packet to
@@ -109,7 +233,7 @@ func mergeShards[K comparable](s *Sharded, first *impl[K], theta float64) []Heav
 // Shard(i).Update directly instead.
 func (s *Sharded) Update(src, dst netip.Addr) {
 	h := hashAddrPair(src, dst)
-	s.monitors[h%uint64(len(s.monitors))].Update(src, dst)
+	s.shards[h%uint64(len(s.shards))].Update(src, dst)
 }
 
 // UpdateBatch routes a batch of packets to their shards and feeds each
@@ -125,8 +249,8 @@ func (s *Sharded) UpdateBatch(srcs, dsts []netip.Addr) {
 		panic("rhhh: UpdateBatch srcs/dsts length mismatch")
 	}
 	if s.srcBuf == nil {
-		s.srcBuf = make([][]netip.Addr, len(s.monitors))
-		s.dstBuf = make([][]netip.Addr, len(s.monitors))
+		s.srcBuf = make([][]netip.Addr, len(s.shards))
+		s.dstBuf = make([][]netip.Addr, len(s.shards))
 	}
 	for i := range s.srcBuf {
 		s.srcBuf[i] = s.srcBuf[i][:0]
@@ -137,13 +261,13 @@ func (s *Sharded) UpdateBatch(srcs, dsts []netip.Addr) {
 		if dsts != nil {
 			dst = dsts[i]
 		}
-		shard := hashAddrPair(src, dst) % uint64(len(s.monitors))
+		shard := hashAddrPair(src, dst) % uint64(len(s.shards))
 		s.srcBuf[shard] = append(s.srcBuf[shard], src)
 		s.dstBuf[shard] = append(s.dstBuf[shard], dst)
 	}
-	for i, m := range s.monitors {
+	for i, sh := range s.shards {
 		if len(s.srcBuf[i]) != 0 {
-			m.UpdateBatch(s.srcBuf[i], s.dstBuf[i])
+			sh.UpdateBatch(s.srcBuf[i], s.dstBuf[i])
 		}
 	}
 }

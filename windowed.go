@@ -6,31 +6,57 @@ import (
 	"net/netip"
 )
 
-// Windowed measures hierarchical heavy hitters over tumbling windows of a
-// fixed packet count — the epoch-based deployment §6.3 of the paper
-// alludes to ("when the minimal measurement interval is known in advance,
-// the parameter V can be set to satisfy correctness at the end of the
-// measurement"). Each window is a fresh monitor; when a window fills, its
-// HHH set is delivered to the callback and counting restarts.
+// Windowed measures hierarchical heavy hitters over windows of a fixed
+// packet count — the epoch-based deployment §6.3 of the paper alludes to
+// ("when the minimal measurement interval is known in advance, the
+// parameter V can be set to satisfy correctness at the end of the
+// measurement"). Two modes:
 //
-// Choose WindowSize ≥ Psi(ε, δ, V) so every delivered result carries the
-// paper's guarantees; NewWindowed rejects configurations where the window
-// is smaller than ψ for the RHHH algorithm.
+//   - Tumbling (NewWindowed): when a window fills, its HHH set is delivered
+//     to the callback and counting restarts from empty.
+//   - Sliding (NewSlidingWindowed): the stream is cut into sub-windows of
+//     `windowSize` packets whose snapshots are kept in a ring; when a
+//     sub-window closes, the callback receives the HHH set of the union of
+//     the last k sub-windows (merged with N-weighted bounds, see Snapshot),
+//     so each delivered result covers a window of k·windowSize packets that
+//     slides forward by windowSize at a time.
+//
+// The monitor is reused across windows — Reset plus a per-window reseed —
+// so window turnover allocates nothing and stays reproducible: window i
+// behaves bit-identically to a freshly built monitor seeded with
+// Seed + i·φ64. Windows remain statistically independent.
+//
+// Choose the covered window (windowSize, or k·windowSize when sliding)
+// ≥ Psi(ε, δ, V) so every delivered result carries the paper's guarantees;
+// the constructors reject configurations below ψ for the RHHH algorithm.
 type Windowed struct {
 	cfg     Config
 	size    uint64
+	k       int
 	theta   float64
 	onFlush func(WindowResult)
 	current *Monitor
 	index   uint64
+
+	// Sliding-mode state: ring of the last k sub-window snapshots and the
+	// reused merge destination. All nil in tumbling mode.
+	ring      []*Snapshot
+	order     []*Snapshot // scratch: ring reordered oldest → newest
+	merged    *Snapshot
+	querySnap *Snapshot // scratch for on-demand HeavyHitters
 }
 
 // WindowResult is one completed window's output.
 type WindowResult struct {
-	// Index counts completed windows, starting at 0.
+	// Index counts completed (sub-)windows, starting at 0.
 	Index uint64
-	// N is the window's packet count (equal to the configured size).
+	// N is the stream weight the result covers: the window's packet count
+	// when tumbling, the merged weight of the covered sub-windows when
+	// sliding.
 	N uint64
+	// SubWindows is the number of sub-windows the result covers: always 1
+	// when tumbling, min(Index+1, k) when sliding.
+	SubWindows int
 	// HeavyHitters is the window's HHH set at the configured θ.
 	HeavyHitters []HeavyHitter
 }
@@ -38,6 +64,24 @@ type WindowResult struct {
 // NewWindowed builds a tumbling-window monitor delivering results for
 // threshold theta to onFlush every windowSize packets.
 func NewWindowed(cfg Config, windowSize uint64, theta float64, onFlush func(WindowResult)) (*Windowed, error) {
+	return newWindowed(cfg, windowSize, 1, theta, onFlush)
+}
+
+// NewSlidingWindowed builds a sliding-window monitor: sub-windows of
+// windowSize packets, each delivered result covering the last k of them.
+// k = 1 degenerates to tumbling. Sliding mode merges snapshots and
+// therefore requires the RHHH algorithm.
+func NewSlidingWindowed(cfg Config, windowSize uint64, k int, theta float64, onFlush func(WindowResult)) (*Windowed, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("rhhh: sliding window needs k >= 1 sub-windows, got %d", k)
+	}
+	if k > 1 && cfg.Algorithm != RHHH {
+		return nil, fmt.Errorf("rhhh: sliding windows require the RHHH algorithm, got %v", cfg.Algorithm)
+	}
+	return newWindowed(cfg, windowSize, k, theta, onFlush)
+}
+
+func newWindowed(cfg Config, windowSize uint64, k int, theta float64, onFlush func(WindowResult)) (*Windowed, error) {
 	if windowSize == 0 {
 		return nil, errors.New("rhhh: window size must be positive")
 	}
@@ -51,18 +95,24 @@ func NewWindowed(cfg Config, windowSize uint64, theta float64, onFlush func(Wind
 	if err != nil {
 		return nil, err
 	}
-	if psi := m.Psi(); float64(windowSize) < psi {
+	if psi := m.Psi(); float64(windowSize)*float64(k) < psi {
 		return nil, fmt.Errorf(
-			"rhhh: window of %d packets is below ψ=%.0f; enlarge the window, the ε, or use R (Corollary 6.8)",
-			windowSize, psi)
+			"rhhh: covered window of %d packets is below ψ=%.0f; enlarge the window, the ε, or use R (Corollary 6.8)",
+			windowSize*uint64(k), psi)
 	}
-	return &Windowed{
+	w := &Windowed{
 		cfg:     cfg,
 		size:    windowSize,
+		k:       k,
 		theta:   theta,
 		onFlush: onFlush,
 		current: m,
-	}, nil
+	}
+	if k > 1 {
+		w.ring = make([]*Snapshot, k)
+		w.order = make([]*Snapshot, 0, k)
+	}
+	return w, nil
 }
 
 // Update feeds one packet; when the window fills, the callback fires
@@ -71,6 +121,47 @@ func (w *Windowed) Update(src, dst netip.Addr) {
 	w.current.Update(src, dst)
 	if w.current.N() >= w.size {
 		w.flush()
+	}
+}
+
+// UpdateWeighted feeds one packet carrying weight wgt (e.g. its byte
+// count); window boundaries are measured in stream weight, so a heavy
+// packet can close the window by itself.
+func (w *Windowed) UpdateWeighted(src, dst netip.Addr, wgt uint64) {
+	w.current.UpdateWeighted(src, dst, wgt)
+	if w.current.N() >= w.size {
+		w.flush()
+	}
+}
+
+// UpdateBatch feeds a batch of packets in one call, splitting the batch at
+// window boundaries: results (delivered windows included) are identical to
+// feeding every packet through Update in order. For Dims == 1 pass
+// dsts == nil.
+func (w *Windowed) UpdateBatch(srcs, dsts []netip.Addr) {
+	if dsts == nil {
+		if w.cfg.Dims == 2 {
+			panic("rhhh: UpdateBatch needs dsts on a two-dimensional monitor")
+		}
+	} else if len(dsts) != len(srcs) {
+		panic("rhhh: UpdateBatch srcs/dsts length mismatch")
+	}
+	for len(srcs) > 0 {
+		room := w.size - w.current.N() // packets until the boundary
+		n := uint64(len(srcs))
+		if n > room {
+			n = room
+		}
+		var chunkDst []netip.Addr
+		if dsts != nil {
+			chunkDst = dsts[:n]
+			dsts = dsts[n:]
+		}
+		w.current.UpdateBatch(srcs[:n], chunkDst)
+		srcs = srcs[n:]
+		if w.current.N() >= w.size {
+			w.flush()
+		}
 	}
 }
 
@@ -83,23 +174,73 @@ func (w *Windowed) Flush() {
 	}
 }
 
-// WindowSize returns the configured window length in packets.
+// HeavyHitters answers an on-demand query without closing the window: the
+// union of the last min(Completed, k−1) completed sub-windows and the
+// in-progress one (tumbling mode: just the in-progress window). The
+// in-progress window's packets are included, so the covered span is up to
+// (k−1)·windowSize plus the current fill.
+func (w *Windowed) HeavyHitters(theta float64) []HeavyHitter {
+	if !(theta > 0 && theta <= 1) {
+		panic("rhhh: theta must be in (0, 1]")
+	}
+	if w.k == 1 {
+		return w.current.HeavyHitters(theta)
+	}
+	w.querySnap = w.current.SnapshotInto(w.querySnap)
+	w.collectRing(w.k - 1)
+	w.order = append(w.order, w.querySnap)
+	merged, err := mergeSnapshots(w.merged, w.order)
+	if err != nil {
+		panic("rhhh: windowed merge failed: " + err.Error())
+	}
+	w.merged = merged
+	return merged.HeavyHitters(theta)
+}
+
+// WindowSize returns the configured (sub-)window length in packets.
 func (w *Windowed) WindowSize() uint64 { return w.size }
+
+// SubWindows returns k, the number of sub-windows a delivered result
+// covers (1 when tumbling).
+func (w *Windowed) SubWindows() int { return w.k }
 
 // Completed returns the number of windows delivered so far.
 func (w *Windowed) Completed() uint64 { return w.index }
 
+// collectRing fills w.order with up to limit of the most recent completed
+// sub-window snapshots, oldest first (the deterministic merge order).
+func (w *Windowed) collectRing(limit int) {
+	w.order = w.order[:0]
+	count := int(min(w.index, uint64(limit)))
+	for j := count - 1; j >= 0; j-- {
+		w.order = append(w.order, w.ring[(w.index-1-uint64(j))%uint64(w.k)])
+	}
+}
+
 func (w *Windowed) flush() {
-	res := WindowResult{
-		Index:        w.index,
-		N:            w.current.N(),
-		HeavyHitters: w.current.HeavyHitters(w.theta),
+	res := WindowResult{Index: w.index, SubWindows: 1}
+	if w.k == 1 {
+		res.N = w.current.N()
+		res.HeavyHitters = w.current.HeavyHitters(w.theta)
+	} else {
+		slot := w.index % uint64(w.k)
+		w.ring[slot] = w.current.SnapshotInto(w.ring[slot])
+		w.collectRing(w.k - 1)
+		w.order = append(w.order, w.ring[slot])
+		merged, err := mergeSnapshots(w.merged, w.order)
+		if err != nil {
+			panic("rhhh: windowed merge failed: " + err.Error())
+		}
+		w.merged = merged
+		res.N = merged.N()
+		res.SubWindows = len(w.order)
+		res.HeavyHitters = merged.HeavyHitters(w.theta)
 	}
 	w.index++
-	// Fresh monitor with a window-dependent seed: windows stay
-	// statistically independent but runs remain reproducible.
-	cfg := w.cfg
-	cfg.Seed = w.cfg.Seed + w.index*0x9e3779b97f4a7c15
-	w.current = MustNew(cfg)
+	// Reset + window-dependent reseed: windows stay statistically
+	// independent and runs reproducible — window i is bit-identical to a
+	// fresh monitor seeded Seed + i·φ64 — without rebuilding the monitor.
+	w.current.Reset()
+	w.current.impl.reseed(w.cfg.Seed + w.index*0x9e3779b97f4a7c15)
 	w.onFlush(res)
 }

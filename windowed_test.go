@@ -104,6 +104,279 @@ func TestWindowedRejectsWindowBelowPsi(t *testing.T) {
 	}
 }
 
+// TestWindowedReuseMatchesFreshMonitors: each delivered window must be
+// bit-identical to a freshly built monitor seeded Seed + i·φ64 fed the same
+// sub-stream — the Reset+Reseed reuse cannot change results.
+func TestWindowedReuseMatchesFreshMonitors(t *testing.T) {
+	cfg := rhhh.Config{Dims: 1, Epsilon: 0.05, Delta: 0.05, V: 50, Seed: 11}
+	window := uint64(rhhh.Psi(0.05, 0.05, 50)) + 1000
+
+	var results []rhhh.WindowResult
+	w, err := rhhh.NewWindowed(cfg, window, 0.3, func(r rhhh.WindowResult) {
+		results = append(results, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	const windows = 3
+	streams := make([][]netip.Addr, windows)
+	for wi := 0; wi < windows; wi++ {
+		for i := uint64(0); i < window; i++ {
+			var a netip.Addr
+			if rng.Intn(2) == 0 {
+				a = addr4(5, 5, byte(wi), byte(rng.Intn(256)))
+			} else {
+				a = addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+			}
+			streams[wi] = append(streams[wi], a)
+			w.Update(a, netip.Addr{})
+		}
+	}
+	if len(results) != windows {
+		t.Fatalf("%d windows delivered, want %d", len(results), windows)
+	}
+	for wi := 0; wi < windows; wi++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(wi)*0x9e3779b97f4a7c15
+		fresh := rhhh.MustNew(c)
+		for _, a := range streams[wi] {
+			fresh.Update(a, netip.Addr{})
+		}
+		want := fresh.HeavyHitters(0.3)
+		got := results[wi].HeavyHitters
+		if len(got) != len(want) {
+			t.Fatalf("window %d: %d vs %d results", wi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("window %d result %d differs:\n  %+v\n  %+v", wi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWindowedUpdateBatchMatchesPerPacket: feeding batches that straddle
+// window boundaries must deliver exactly the same windows as per-packet
+// feeding.
+func TestWindowedUpdateBatchMatchesPerPacket(t *testing.T) {
+	cfg := rhhh.Config{Dims: 2, Epsilon: 0.05, Delta: 0.05, V: 50, Seed: 21}
+	window := uint64(rhhh.Psi(0.05, 0.05, 50)) + 777 // deliberately not a batch multiple
+
+	var perPacket, batched []rhhh.WindowResult
+	wa, err := rhhh.NewWindowed(cfg, window, 0.25, func(r rhhh.WindowResult) { perPacket = append(perPacket, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := rhhh.NewWindowed(cfg, window, 0.25, func(r rhhh.WindowResult) { batched = append(batched, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	total := int(3*window) + 123
+	srcs := make([]netip.Addr, total)
+	dsts := make([]netip.Addr, total)
+	for i := range srcs {
+		srcs[i] = addr4(3, 3, byte(rng.Intn(8)), byte(rng.Intn(256)))
+		dsts[i] = addr4(byte(rng.Intn(8)), 4, 4, byte(rng.Intn(256)))
+	}
+	for i := range srcs {
+		wa.Update(srcs[i], dsts[i])
+	}
+	// Uneven batch sizes to hit boundaries mid-batch.
+	for off := 0; off < total; {
+		n := 300 + rng.Intn(700)
+		if off+n > total {
+			n = total - off
+		}
+		wb.UpdateBatch(srcs[off:off+n], dsts[off:off+n])
+		off += n
+	}
+	if len(perPacket) != len(batched) {
+		t.Fatalf("%d vs %d windows delivered", len(perPacket), len(batched))
+	}
+	for wi := range perPacket {
+		a, b := perPacket[wi], batched[wi]
+		if a.Index != b.Index || a.N != b.N || a.SubWindows != b.SubWindows || len(a.HeavyHitters) != len(b.HeavyHitters) {
+			t.Fatalf("window %d metadata differs: %+v vs %+v", wi, a, b)
+		}
+		for i := range a.HeavyHitters {
+			if a.HeavyHitters[i] != b.HeavyHitters[i] {
+				t.Fatalf("window %d result %d differs", wi, i)
+			}
+		}
+	}
+}
+
+// TestWindowedUpdateWeighted: window boundaries are measured in stream
+// weight, so weighted packets close windows early.
+func TestWindowedUpdateWeighted(t *testing.T) {
+	cfg := rhhh.Config{Dims: 1, Epsilon: 0.1, Algorithm: rhhh.MST}
+	var results []rhhh.WindowResult
+	w, err := rhhh.NewWindowed(cfg, 1000, 0.5, func(r rhhh.WindowResult) { results = append(results, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		w.UpdateWeighted(addr4(1, 2, 3, 4), netip.Addr{}, 300)
+	}
+	if len(results) != 1 {
+		t.Fatalf("%d windows after 1200 units of weight, want 1", len(results))
+	}
+	if results[0].N < 1000 {
+		t.Fatalf("window closed at N=%d, below the 1000 boundary", results[0].N)
+	}
+}
+
+// TestSlidingWindowMatchesMergedSubStreams: a delivered sliding result over
+// k sub-windows must equal merging standalone per-sub-window measurements
+// (with the window seeds) and querying the union — the acceptance criterion
+// of the snapshot layer.
+func TestSlidingWindowMatchesMergedSubStreams(t *testing.T) {
+	const k = 3
+	cfg := rhhh.Config{Dims: 1, Epsilon: 0.05, Delta: 0.05, V: 50, Seed: 31}
+	window := uint64(rhhh.Psi(0.05, 0.05, 50))/k + 5000
+
+	var results []rhhh.WindowResult
+	w, err := rhhh.NewSlidingWindowed(cfg, window, k, 0.2, func(r rhhh.WindowResult) {
+		results = append(results, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	streams := make([][]netip.Addr, k)
+	for wi := 0; wi < k; wi++ {
+		for i := uint64(0); i < window; i++ {
+			var a netip.Addr
+			if rng.Intn(3) == 0 {
+				a = addr4(8, 8, byte(wi), byte(rng.Intn(256)))
+			} else {
+				a = addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+			}
+			streams[wi] = append(streams[wi], a)
+			w.Update(a, netip.Addr{})
+		}
+	}
+	if len(results) != k {
+		t.Fatalf("%d sub-windows delivered, want %d", len(results), k)
+	}
+	// Rebuild each sub-window standalone with the window's seed.
+	snaps := make([]*rhhh.Snapshot, k)
+	for wi := 0; wi < k; wi++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(wi)*0x9e3779b97f4a7c15
+		m := rhhh.MustNew(c)
+		for _, a := range streams[wi] {
+			m.Update(a, netip.Addr{})
+		}
+		snaps[wi] = m.Snapshot()
+	}
+	merged, err := snaps[0].Merge(snaps[1:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := results[k-1]
+	if final.SubWindows != k || final.N != merged.N() || final.N != k*window {
+		t.Fatalf("final window metadata: %+v (merged N=%d)", final, merged.N())
+	}
+	want := merged.HeavyHitters(0.2)
+	if len(final.HeavyHitters) != len(want) {
+		t.Fatalf("%d vs %d results", len(final.HeavyHitters), len(want))
+	}
+	for i := range want {
+		if final.HeavyHitters[i] != want[i] {
+			t.Fatalf("result %d differs:\n  %+v\n  %+v", i, final.HeavyHitters[i], want[i])
+		}
+	}
+	// Early results cover fewer sub-windows with proportional N.
+	if results[0].SubWindows != 1 || results[0].N != window {
+		t.Fatalf("first sub-window metadata: %+v", results[0])
+	}
+	if results[1].SubWindows != 2 || results[1].N != 2*window {
+		t.Fatalf("second sub-window metadata: %+v", results[1])
+	}
+}
+
+// TestSlidingWindowEvictsOldSubWindows: an aggregate heavy only in an old
+// sub-window must leave the reported set once the window slides past it.
+func TestSlidingWindowEvictsOldSubWindows(t *testing.T) {
+	const k = 2
+	cfg := rhhh.Config{Dims: 1, Epsilon: 0.05, Delta: 0.05, Seed: 41}
+	window := uint64(rhhh.Psi(0.05, 0.05, 5))/k + 10000
+
+	var results []rhhh.WindowResult
+	w, err := rhhh.NewSlidingWindowed(cfg, window, k, 0.3, func(r rhhh.WindowResult) {
+		results = append(results, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	feed := func(heavy bool) {
+		for i := uint64(0); i < window; i++ {
+			if heavy && rng.Intn(2) == 0 {
+				w.Update(addr4(6, 6, 6, byte(rng.Intn(256))), netip.Addr{})
+			} else {
+				w.Update(addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))), netip.Addr{})
+			}
+		}
+	}
+	feed(true)  // sub-window 0: heavy
+	feed(false) // sub-window 1: uniform
+	feed(false) // sub-window 2: uniform — slides past sub-window 0
+	if len(results) != 3 {
+		t.Fatalf("%d sub-windows delivered", len(results))
+	}
+	has := func(r rhhh.WindowResult) bool {
+		for _, h := range r.HeavyHitters {
+			if h.Src == netip.PrefixFrom(addr4(6, 6, 6, 0), 24) {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(results[0]) {
+		t.Error("sliding window missed the heavy aggregate while it was live")
+	}
+	if !has(results[1]) {
+		t.Error("aggregate should persist while sub-window 0 is still covered")
+	}
+	if has(results[2]) {
+		t.Error("aggregate not evicted after the window slid past its sub-window")
+	}
+	// On-demand query mid-window covers the last k−1 completed plus current.
+	w.Update(addr4(1, 1, 1, 1), netip.Addr{})
+	if hh := w.HeavyHitters(0.3); hh == nil && w.Completed() != 3 {
+		t.Error("on-demand sliding query failed")
+	}
+}
+
+func TestSlidingWindowValidation(t *testing.T) {
+	ok := func(rhhh.WindowResult) {}
+	cfg := rhhh.Config{Dims: 1, Epsilon: 0.05, Delta: 0.05}
+	if _, err := rhhh.NewSlidingWindowed(cfg, 100000, 0, 0.5, ok); err == nil {
+		t.Error("k=0 accepted")
+	}
+	mst := rhhh.Config{Dims: 1, Epsilon: 0.1, Algorithm: rhhh.MST}
+	if _, err := rhhh.NewSlidingWindowed(mst, 1000, 2, 0.5, ok); err == nil {
+		t.Error("sliding MST accepted")
+	}
+	// k=1 degenerates to tumbling and accepts MST.
+	if _, err := rhhh.NewSlidingWindowed(mst, 1000, 1, 0.5, ok); err != nil {
+		t.Errorf("k=1 MST rejected: %v", err)
+	}
+	// ψ is checked against the covered window k·size.
+	tight := rhhh.Config{Dims: 1, Epsilon: 0.05, Delta: 0.05}
+	size := uint64(rhhh.Psi(0.05, 0.05, 5))/2 + 1
+	if _, err := rhhh.NewSlidingWindowed(tight, size, 2, 0.5, ok); err != nil {
+		t.Errorf("covered window above ψ rejected: %v", err)
+	}
+	if _, err := rhhh.NewWindowed(tight, size, 0.5, ok); err == nil {
+		t.Error("tumbling window below ψ accepted")
+	}
+}
+
 func TestWindowedValidation(t *testing.T) {
 	ok := func(rhhh.WindowResult) {}
 	cfg := rhhh.Config{Dims: 1, Epsilon: 0.1, Algorithm: rhhh.MST}
