@@ -347,13 +347,40 @@ func BenchmarkOutput(b *testing.B) {
 }
 
 // BenchmarkShardedHeavyHitters measures the pause-free sharded query path:
-// per-shard snapshot capture, the reusable snapshot merge, and extraction.
-// allocs/op is the headline number the CI bench smoke records — compare
-// against BenchmarkMergeMapSort in internal/spacesaving, the per-node
-// map+sort rebuild this path replaced.
+// per-shard snapshot capture, the reusable snapshot merge, flat extraction
+// and rendering. One packet lands on a shard before every query so the
+// unchanged-state shortcuts cannot fire — this is the steady-state cost of
+// querying a live monitor, and the headline number the CI bench smoke
+// records (0 allocs/op once warm; see BENCH_query.json for history).
 func BenchmarkShardedHeavyHitters(b *testing.B) {
-	const shards = 4
-	s, err := rhhh.NewSharded(rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01, Seed: 1}, shards)
+	s := filledSharded(b)
+	src, dst := v4addr(0x0a010101), v4addr(0x14020202)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Shard(0).Update(src, dst)
+		_ = s.HeavyHitters(0.05)
+	}
+}
+
+// BenchmarkShardedHeavyHittersIdle is the same query with no traffic between
+// queries: capture recognizes the engines as unchanged, the merge recognizes
+// its inputs, and the extraction short-circuits to the retained result — the
+// cost of polling an idle monitor.
+func BenchmarkShardedHeavyHittersIdle(b *testing.B) {
+	s := filledSharded(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.HeavyHitters(0.05)
+	}
+}
+
+// filledSharded builds the 4-shard acceptance workload (2D-Bytes, ε=0.01,
+// ~330k packets of chicago16).
+func filledSharded(b *testing.B) *rhhh.Sharded {
+	b.Helper()
+	s, err := rhhh.NewSharded(rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01, Seed: 1}, 4)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -368,11 +395,49 @@ func BenchmarkShardedHeavyHitters(b *testing.B) {
 	for i := 0; i < 40; i++ { // ~330k packets across the shards
 		s.UpdateBatch(srcs, dsts)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = s.HeavyHitters(0.05)
+	return s
+}
+
+// BenchmarkQueryExtract isolates the core extraction stage on the
+// acceptance workload (2D-Bytes, ε=0.01, θ=0.05): a cold extractor per
+// query (the pre-Extractor shape) versus a warm reused one, and the warm
+// incremental (seeded) path versus the warm full scan, with the snapshot
+// re-captured after a trickle of updates before every query so no variant
+// can ride the unchanged shortcut.
+func BenchmarkQueryExtract(b *testing.B) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	mkEngine := func() *core.Engine[uint64] {
+		eng := core.New(dom, core.Config{Epsilon: 0.01, Delta: 0.01, Seed: 1})
+		keys := prebuiltKeys2D(1 << 16)
+		for i := 0; i < 330_000; i++ {
+			eng.Update(keys[i&(len(keys)-1)])
+		}
+		return eng
 	}
+	run := func(b *testing.B, ex *core.Extractor[uint64], fresh bool) {
+		eng := mkEngine()
+		keys := prebuiltKeys2D(1 << 10)
+		var buf core.EngineSnapshot[uint64]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Update(keys[i&(len(keys)-1)])
+			es := eng.SnapshotInto(&buf)
+			if fresh {
+				ex = core.NewExtractor[uint64](dom)
+			}
+			_ = ex.ExtractSnapshot(es, 0.05)
+		}
+	}
+	b.Run("Cold", func(b *testing.B) { run(b, nil, true) })
+	b.Run("WarmIncremental", func(b *testing.B) {
+		run(b, core.NewExtractor[uint64](dom), false)
+	})
+	b.Run("WarmFull", func(b *testing.B) {
+		ex := core.NewExtractor[uint64](dom)
+		ex.SetMaxGrowth(-1) // disable the seeded path; always full scan
+		run(b, ex, false)
+	})
 }
 
 func v4addr(v uint32) netip.Addr {

@@ -8,10 +8,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net/netip"
 	"os"
+	"slices"
 	"sort"
 
 	"rhhh"
@@ -33,6 +36,8 @@ func main() {
 		theta    = flag.Float64("theta", 0.01, "HHH threshold θ")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		weighted = flag.Bool("bytes", false, "weight packets by byte count instead of counting packets")
+		ckpt     = flag.String("checkpoint", "", "snapshot checkpoint file: restored on start if present, written periodically and at exit (RHHH only)")
+		ckptEvry = flag.Uint64("checkpoint-every", 1_000_000, "packets between checkpoint writes (0 = only at exit)")
 	)
 	flag.Parse()
 
@@ -77,6 +82,16 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if *ckpt != "" && cfg.Algorithm != rhhh.RHHH {
+		fatalf("-checkpoint requires the RHHH algorithm")
+	}
+	if *ckpt != "" {
+		if restored, err := restoreCheckpoint(mon, *ckpt); err != nil {
+			fatalf("restoring checkpoint: %v", err)
+		} else if restored {
+			fmt.Fprintf(os.Stderr, "hhh: restored N=%d from %s\n", mon.N(), *ckpt)
+		}
+	}
 
 	var src trace.Source
 	if *pcapPath != "" {
@@ -95,6 +110,7 @@ func main() {
 	}
 
 	var count uint64
+	var snapBuf *rhhh.Snapshot
 	for {
 		p, ok := src.Next()
 		if !ok {
@@ -112,11 +128,25 @@ func main() {
 			mon.Update(saddr, daddr)
 		}
 		count++
+		if *ckpt != "" && *ckptEvry > 0 && count%*ckptEvry == 0 {
+			snapBuf = mon.SnapshotInto(snapBuf)
+			if err := writeCheckpoint(snapBuf, *ckpt); err != nil {
+				fatalf("writing checkpoint: %v", err)
+			}
+		}
+	}
+	if *ckpt != "" {
+		snapBuf = mon.SnapshotInto(snapBuf)
+		if err := writeCheckpoint(snapBuf, *ckpt); err != nil {
+			fatalf("writing checkpoint: %v", err)
+		}
 	}
 
 	fmt.Printf("algorithm=%s H=%d V=%d packets=%d N=%d psi=%.3g converged=%v\n",
 		mon.Algorithm(), mon.H(), mon.V(), count, mon.N(), mon.Psi(), mon.Converged())
-	hits := mon.HeavyHitters(*theta)
+	// Copy before sorting: HeavyHitters returns the monitor's reusable
+	// query buffer.
+	hits := slices.Clone(mon.HeavyHitters(*theta))
 	sort.Slice(hits, func(i, j int) bool { return hits[i].Upper > hits[j].Upper })
 	fmt.Printf("hierarchical heavy hitters (theta=%g, threshold=%.0f):\n",
 		*theta, *theta*float64(mon.N()))
@@ -138,6 +168,41 @@ func toNetip(a hierarchy.Addr, v6 bool) netip.Addr {
 		return netip.AddrFrom16(b)
 	}
 	return netip.AddrFrom4([4]byte{b[0], b[1], b[2], b[3]})
+}
+
+// restoreCheckpoint loads a checkpoint file into the monitor; a missing file
+// is a fresh start, not an error.
+func restoreCheckpoint(mon *rhhh.Monitor, path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	var snap rhhh.Snapshot
+	if err := snap.UnmarshalBinary(data); err != nil {
+		return false, err
+	}
+	if err := mon.LoadSnapshot(&snap); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// writeCheckpoint atomically replaces the checkpoint file (write to a
+// sibling temp file, then rename), so a crash mid-write never corrupts the
+// last good checkpoint.
+func writeCheckpoint(snap *rhhh.Snapshot, path string) error {
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatalf(format string, args ...any) {

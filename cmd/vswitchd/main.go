@@ -10,9 +10,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"slices"
 	"sort"
 	"time"
 
@@ -34,6 +37,8 @@ func main() {
 		profile  = flag.String("profile", "chicago16", "traffic profile")
 		udp      = flag.Bool("udp", false, "distributed mode: use loopback UDP instead of in-process transport")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
+		ckpt     = flag.String("checkpoint", "", "dataplane mode: engine snapshot checkpoint file, restored on start if present, written periodically and at exit")
+		ckptEvry = flag.Uint64("checkpoint-every", 1_000_000, "packets between checkpoint writes (0 = only at exit)")
 	)
 	flag.Parse()
 
@@ -59,8 +64,27 @@ func main() {
 		report = func() { fmt.Println("no measurement configured (-mode off)") }
 	case "dataplane":
 		eng := core.New(dom, core.Config{Epsilon: *epsilon, Delta: *delta, V: v, Seed: *seed})
-		hook = vswitch.NewEngineHook(eng)
-		report = func() { printHHH(dom, eng.Output(*theta), eng.Weight(), *theta) }
+		if *ckpt != "" {
+			if restored, err := restoreEngine(eng, *ckpt); err != nil {
+				fatalf("restoring checkpoint: %v", err)
+			} else if restored {
+				fmt.Fprintf(os.Stderr, "vswitchd: restored N=%d from %s\n", eng.N(), *ckpt)
+			}
+		}
+		engHook := vswitch.NewEngineHook(eng)
+		if *ckpt != "" && *ckptEvry > 0 {
+			hook = &checkpointHook{EngineHook: engHook, eng: eng, path: *ckpt, every: *ckptEvry, next: eng.N() + *ckptEvry}
+		} else {
+			hook = engHook
+		}
+		report = func() {
+			if *ckpt != "" {
+				if err := writeEngineCheckpoint(eng, *ckpt); err != nil {
+					fatalf("writing checkpoint: %v", err)
+				}
+			}
+			printHHH(dom, eng.Output(*theta), eng.Weight(), *theta)
+		}
 	case "distributed":
 		col := vswitch.NewCollector(dom, *epsilon, *delta, v)
 		var tr vswitch.Transport
@@ -109,7 +133,80 @@ func main() {
 	report()
 }
 
+// checkpointHook wraps the dataplane EngineHook with periodic snapshot
+// checkpoints, so long measurements survive a restart (restore with the
+// same -checkpoint flag).
+type checkpointHook struct {
+	*vswitch.EngineHook
+	eng   *core.Engine[uint64]
+	path  string
+	every uint64
+	next  uint64
+}
+
+func (h *checkpointHook) OnPacket(p trace.Packet) {
+	h.EngineHook.OnPacket(p)
+	h.maybeCheckpoint()
+}
+
+func (h *checkpointHook) OnBatch(ps []trace.Packet) {
+	h.EngineHook.OnBatch(ps)
+	h.maybeCheckpoint()
+}
+
+func (h *checkpointHook) maybeCheckpoint() {
+	if h.eng.N() < h.next {
+		return
+	}
+	if err := writeEngineCheckpoint(h.eng, h.path); err != nil {
+		fatalf("writing checkpoint: %v", err)
+	}
+	for h.next <= h.eng.N() {
+		h.next += h.every
+	}
+}
+
+// restoreEngine loads an engine snapshot checkpoint; a missing file is a
+// fresh start, not an error.
+func restoreEngine(eng *core.Engine[uint64], path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	es, rest, err := core.DecodeEngineSnapshot[uint64](data)
+	if err != nil {
+		return false, err
+	}
+	if len(rest) != 0 {
+		return false, fmt.Errorf("%d trailing bytes in checkpoint", len(rest))
+	}
+	if err := eng.LoadSnapshot(es); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// writeEngineCheckpoint atomically replaces the checkpoint file.
+func writeEngineCheckpoint(eng *core.Engine[uint64], path string) error {
+	var es core.EngineSnapshot[uint64]
+	eng.SnapshotInto(&es)
+	data, err := es.AppendBinary(nil)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 func printHHH(dom *hierarchy.Domain[uint64], out []core.Result[uint64], n uint64, theta float64) {
+	// Copy before sorting: Output returns a reusable query buffer.
+	out = slices.Clone(out)
 	sort.Slice(out, func(i, j int) bool { return out[i].Upper > out[j].Upper })
 	fmt.Printf("hierarchical heavy hitters (theta=%g, N=%d):\n", theta, n)
 	for _, p := range out {

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -62,7 +63,8 @@ func main() {
 	fmt.Printf("datapath stats: received=%d emc-hit=%.1f%% forwarded=%d\n\n",
 		st.Received, 100*float64(st.EMCHits)/float64(st.Received), st.Forwarded)
 
-	out := eng.Output(0.05)
+	// Copy before sorting: Output returns the engine's reusable query buffer.
+	out := slices.Clone(eng.Output(0.05))
 	sort.Slice(out, func(i, j int) bool { return out[i].Upper > out[j].Upper })
 	fmt.Println("heavy hitters measured inside the switch (θ=5%):")
 	for i, p := range out {

@@ -96,6 +96,13 @@ type Engine[K comparable] struct {
 	epsilon, delta float64
 	z              float64 // Z(1−δ), for the output correction
 	psi            float64
+
+	// ex is the engine's reusable query workspace, built on first Output.
+	ex *Extractor[K]
+	// epoch counts the discontinuities (Reset, Reseed, LoadSnapshot) that
+	// invalidate the "unchanged since capture" check SnapshotInto relies on;
+	// between discontinuities the packet counter alone is monotone.
+	epoch uint64
 }
 
 // New builds an RHHH engine over dom with cfg. It panics on invalid
@@ -374,6 +381,10 @@ func (e *Engine[K]) applyGrouped() {
 // Output returns the HHH set for threshold θ (Algorithm 1 lines 8–21): every
 // prefix whose conservative conditioned-frequency estimate reaches θ·N.
 // Frequencies in the results are scaled to stream units.
+//
+// The returned slice is the engine's reusable query workspace: treat it as
+// read-only, valid until the engine's next Output call — copy it to retain
+// results across queries.
 func (e *Engine[K]) Output(theta float64) []Result[K] {
 	if !(theta > 0 && theta <= 1) {
 		panic("core: theta must be in (0, 1]")
@@ -382,9 +393,12 @@ func (e *Engine[K]) Output(theta float64) []Result[K] {
 	if n == 0 {
 		return nil
 	}
+	if e.ex == nil {
+		e.ex = NewExtractor(e.dom)
+	}
 	scale := float64(e.v) / float64(e.r)
 	corr := 2 * e.z * math.Sqrt(n*float64(e.v)/float64(e.r))
-	return Extract(e.dom, e.inst, n, scale, corr, theta)
+	return e.ex.Extract(e.inst, n, scale, corr, theta)
 }
 
 // EstimateFrequency returns (f̂p−, f̂p+) for an arbitrary prefix given by
@@ -402,6 +416,7 @@ func (e *Engine[K]) EstimateFrequency(key K, node int) (lower, upper float64) {
 // and reproducible without reallocating the engine.
 func (e *Engine[K]) Reseed(seed uint64) {
 	e.rng.Seed(seed)
+	e.epoch++
 	if e.useSkip {
 		e.nextSample = e.packets + 1 + e.geo.Next(e.rng)
 	}
@@ -418,4 +433,5 @@ func (e *Engine[K]) Reset() {
 	}
 	e.packets = 0
 	e.extraW = 0
+	e.epoch++
 }

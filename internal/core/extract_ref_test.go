@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"rhhh/internal/core"
+	"rhhh/internal/hierarchy"
+)
+
+// extractMapRef is the reference Output implementation the flat Extractor
+// replaced (mirroring the mergeMapSort precedent in internal/spacesaving): a
+// per-query rebuild of the Algorithm 1–3 bookkeeping on Go maps — admitted
+// prefixes indexed by their generalization at every node (byGen), per-node
+// membership for the maximality filter (inP) — with the literal O(|G|³)
+// triple loop for the Algorithm 3 line 8 domination check. It is kept
+// test-only as the oracle for the differential tests: the Extractor must be
+// bit-identical to it on every input.
+func extractMapRef[K comparable](dom *hierarchy.Domain[K], inst []core.Instance[K], n, scale, correction, theta float64) []core.Result[K] {
+	if len(inst) != dom.Size() {
+		panic("core_test: instance count does not match lattice size")
+	}
+	var results []core.Result[K]
+	byGen := make([]map[K][]int, dom.Size())
+	inP := make([]map[K]bool, dom.Size())
+	for i := range byGen {
+		byGen[i] = make(map[K][]int)
+		inP[i] = make(map[K]bool)
+	}
+	threshold := theta * n
+
+	for _, level := range dom.NodesByLevel() {
+		for _, node := range level {
+			inst[node].Candidates(func(k K, up, lo uint64) {
+				fUp := float64(up) * scale
+				fLo := float64(lo) * scale
+				cond := fUp + calcPredMapRef(dom, inst, byGen, inP, results, k, node, scale) + correction
+				if cond >= threshold {
+					idx := len(results)
+					results = append(results, core.Result[K]{
+						Key: k, Node: node,
+						Upper: fUp, Lower: fLo,
+						Cond: cond,
+					})
+					inP[node][k] = true
+					for v := 0; v < dom.Size(); v++ {
+						if v != node && dom.NodeGeneralizes(v, node) {
+							gk := dom.Mask(k, v)
+							byGen[v][gk] = append(byGen[v][gk], idx)
+						}
+					}
+				}
+			})
+		}
+	}
+	return results
+}
+
+// calcPredMapRef is the reference Algorithms 2 and 3 estimator.
+func calcPredMapRef[K comparable](
+	dom *hierarchy.Domain[K],
+	inst []core.Instance[K],
+	byGen []map[K][]int,
+	inP []map[K]bool,
+	results []core.Result[K],
+	pKey K, pNode int,
+	scale float64,
+) float64 {
+	g := gSetMapRef(dom, byGen, inP, results, pKey, pNode)
+	if len(g) == 0 {
+		return 0
+	}
+	r := 0.0
+	for _, idx := range g {
+		r -= results[idx].Lower
+	}
+	if dom.Dims() == 1 {
+		return r
+	}
+	for i := 0; i < len(g); i++ {
+		hi := results[g[i]]
+		for j := i + 1; j < len(g); j++ {
+			hj := results[g[j]]
+			qKey, qNode, ok := dom.GLB(hi.Key, hi.Node, hj.Key, hj.Node)
+			if !ok {
+				continue
+			}
+			dominated := false
+			for t := 0; t < len(g); t++ {
+				if t == i || t == j {
+					continue
+				}
+				h3 := results[g[t]]
+				if dom.Generalizes(h3.Key, h3.Node, qKey, qNode) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+			qUp, _ := inst[qNode].Bounds(qKey)
+			r += float64(qUp) * scale
+		}
+	}
+	return r
+}
+
+// gSetMapRef is the reference G(p|P) computation (Definition 2).
+func gSetMapRef[K comparable](
+	dom *hierarchy.Domain[K],
+	byGen []map[K][]int,
+	inP []map[K]bool,
+	results []core.Result[K],
+	pKey K, pNode int,
+) []int {
+	desc := byGen[pNode][pKey]
+	if len(desc) <= 1 {
+		return desc
+	}
+	out := make([]int, 0, len(desc))
+	for _, hIdx := range desc {
+		h := results[hIdx]
+		dominated := false
+		for w := 0; w < len(inP); w++ {
+			if w == pNode || w == h.Node {
+				continue
+			}
+			if !dom.NodeGeneralizes(pNode, w) || !dom.NodeGeneralizes(w, h.Node) {
+				continue
+			}
+			if inP[w][dom.Mask(h.Key, w)] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, hIdx)
+		}
+	}
+	return out
+}

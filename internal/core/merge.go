@@ -12,6 +12,11 @@ package core
 // query repeatedly should hold their own EngineSnapshot buffers and a
 // SnapshotMerger instead (as the sharded aggregator does) to avoid the
 // per-call snapshot allocation.
+//
+// Like the other query entry points, treat the returned slice as read-only
+// and valid only until the next query involving the same engines (with a
+// single engine it is that engine's reusable Output buffer); copy it to
+// retain results.
 func MergeOutput[K comparable](theta float64, engines ...*Engine[K]) []Result[K] {
 	if !(theta > 0 && theta <= 1) {
 		panic("core: theta must be in (0, 1]")

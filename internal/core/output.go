@@ -1,6 +1,13 @@
 package core
 
-import "rhhh/internal/hierarchy"
+import (
+	"hash/maphash"
+	"math"
+	"math/rand/v2"
+
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/stats"
+)
 
 // Result is one HHH prefix produced by the Output procedure, with its
 // frequency bounds (Algorithm 1 line 16 prints (p, f̂p−, f̂p+)) and the
@@ -17,8 +24,149 @@ type Result[K comparable] struct {
 	Cond float64
 }
 
-// Extract runs the paper's Output procedure (Algorithm 1 lines 8–21) over
-// per-node instances:
+// Extractor is a reusable workspace for the paper's Output procedure
+// (Algorithm 1 lines 8–21 with the calcPred estimators of Algorithms 2–3).
+// It replaces the per-query map bookkeeping the procedure naturally wants —
+// admitted prefixes indexed by their generalization at every ancestor node,
+// plus per-node membership for the maximality filter — with flat slabs tied
+// together by one open-addressing (node, key) index and index-linked
+// per-entry lists, the same slab idiom the Space Saving summary uses. All
+// scratch (result buffer, entry and list slabs, gSet buffers, GLB domination
+// stamps, snapshot bounds indices) is retained across calls, so a warm query
+// allocates nothing.
+//
+// An Extractor is bound to one lattice domain and is not safe for concurrent
+// use. Its Extract methods return a slice owned by the Extractor: treat it
+// as read-only, valid until the next call on the same Extractor — copy it to
+// retain results across queries.
+type Extractor[K comparable] struct {
+	dom  *hierarchy.Domain[K]
+	dims int
+	h    int
+	mask func(K, int) K
+	hash func(K, int32) uint32
+
+	// Static lattice tables: for each node, the other nodes whose pattern
+	// generalizes it (genUp, used to fan a new result into its ancestors'
+	// byGen lists) and the same set including the node itself (genUpSelf,
+	// used by the GLB domination scan).
+	genUp     [][]int32
+	genUpSelf [][]int32
+
+	// The admitted set P of the in-flight (or, between calls, the previous)
+	// query. resEntry[i] is the slab entry of results[i]'s own (node, key).
+	results  []Result[K]
+	resEntry []int32
+
+	// Entry slab: one entry per (node, key) touched this query — admitted
+	// prefixes (flagInP), their generalizations at ancestor nodes (with the
+	// index-linked list of admitted descendants that gSet consumes), and
+	// seeds carried over from the previous query in incremental mode. The
+	// slab is indexed by tab (open addressing, entry+1, 0 = empty) and
+	// chained per node through eNext for the incremental tail scan.
+	eKey   []K
+	eNode  []int32
+	eHash  []uint32
+	eFlags []uint8
+	eHead  []int32 // admitted-descendant list head (element slab index)
+	eTail  []int32 // list tail, so lists preserve admission order
+	eCount []int32
+	eGMark []uint32 // stamp: member of the G set of the current calcPred
+	eGWho  []int32  // result index owning the stamp
+	eNext  []int32  // next entry at the same node
+
+	tab      []int32
+	tabMask  uint32
+	nodeHead []int32 // per node: first entry + 1
+
+	// Element slab: the per-entry admitted-descendant lists.
+	elRes  []int32
+	elNext []int32
+
+	gBuf    []int32 // gSet result scratch
+	gRound  uint32
+	tailBuf []int32 // incremental tail-scan position scratch
+
+	// Per-call state.
+	scale, corr, threshold float64
+	curNode                int32
+	inst                   []Instance[K]
+	snap                   *EngineSnapshot[K]
+	visitCb                func(K, uint64, uint64)
+
+	// Snapshot bounds-index cache: per-node key→position tables over the
+	// last snapshot's Keys arrays, built lazily (only GLB nodes ever get
+	// Bounds queries) and kept valid across queries until the snapshot's
+	// generation changes.
+	idxSnap *EngineSnapshot[K]
+	idxGen  uint64
+	nodeIdx []boundsIndex[K]
+
+	// Incremental-query state: the previous result set (the seed), its
+	// stream weight, and the identity of the last snapshot answered so an
+	// unchanged snapshot at the same θ returns the retained results with no
+	// work at all.
+	maxGrowth float64
+	prevKeys  []K
+	prevNodes []int32
+	prevN     float64
+	prevValid bool
+	lastSnap  *EngineSnapshot[K]
+	lastGen   uint64
+	lastTheta float64
+}
+
+const (
+	extFlagInP  uint8 = 1 << 0 // entry's (node, key) is in the admitted set
+	extFlagSeed uint8 = 1 << 1 // entry seeded from the previous query's result
+)
+
+// DefaultMaxGrowth is the default bound on relative stream growth between
+// consecutive snapshot queries under which the incremental (seeded) path is
+// used; beyond it the extractor falls back to a full scan. Both paths give
+// bit-identical output — the bound only decides which evaluation strategy
+// pays off.
+const DefaultMaxGrowth = 0.25
+
+// NewExtractor builds a reusable extraction workspace over dom.
+func NewExtractor[K comparable](dom *hierarchy.Domain[K]) *Extractor[K] {
+	h := dom.Size()
+	ex := &Extractor[K]{
+		dom:       dom,
+		dims:      dom.Dims(),
+		h:         h,
+		mask:      dom.Masker(),
+		hash:      extHashFor[K](),
+		genUp:     make([][]int32, h),
+		genUpSelf: make([][]int32, h),
+		tab:       make([]int32, 1024),
+		tabMask:   1023,
+		nodeHead:  make([]int32, h),
+		nodeIdx:   make([]boundsIndex[K], h),
+		maxGrowth: DefaultMaxGrowth,
+	}
+	for node := 0; node < h; node++ {
+		for v := 0; v < h; v++ {
+			if !dom.NodeGeneralizes(v, node) {
+				continue
+			}
+			ex.genUpSelf[node] = append(ex.genUpSelf[node], int32(v))
+			if v != node {
+				ex.genUp[node] = append(ex.genUp[node], int32(v))
+			}
+		}
+	}
+	ex.visitCb = ex.visit
+	return ex
+}
+
+// SetMaxGrowth configures the incremental-query growth bound (see
+// DefaultMaxGrowth). A negative value disables the seeded path entirely, so
+// every changed snapshot takes the full scan; the unchanged-snapshot
+// shortcut is unaffected. Output is bit-identical at any setting.
+func (ex *Extractor[K]) SetMaxGrowth(g float64) { ex.maxGrowth = g }
+
+// Extract runs the Output procedure over live per-node instances:
 //
 //	for level ℓ from most specific to most general, for each candidate p at ℓ:
 //	    Ĉp|P = f̂p+ + calcPred(p, P) + correction
@@ -32,142 +180,523 @@ type Result[K comparable] struct {
 // descendants G(p|P) (Algorithm 2); in two dimensions it adds back the upper
 // bounds of pairwise greatest lower bounds to avoid double counting
 // (Algorithm 3).
-func Extract[K comparable](dom *hierarchy.Domain[K], inst []Instance[K], n, scale, correction, theta float64) []Result[K] {
-	if len(inst) != dom.Size() {
+func (ex *Extractor[K]) Extract(inst []Instance[K], n, scale, correction, theta float64) []Result[K] {
+	if len(inst) != ex.dom.Size() {
 		panic("core: instance count does not match lattice size")
 	}
-	var results []Result[K]
-	// byGen[v] indexes admitted prefixes by their generalization at node v:
-	// gSet(p at v) is then a single map lookup instead of a scan over P,
-	// keeping Output near-linear in the number of candidates even while the
-	// pre-convergence output is large. inP holds per-node membership for the
-	// maximality filter.
-	byGen := make([]map[K][]int, dom.Size())
-	inP := make([]map[K]bool, dom.Size())
-	for i := range byGen {
-		byGen[i] = make(map[K][]int)
-		inP[i] = make(map[K]bool)
-	}
-	threshold := theta * n
+	ex.inst, ex.snap = inst, nil
+	ex.lastSnap = nil // live instances mutate freely; no unchanged shortcut
+	out := ex.run(n, scale, correction, theta, false)
+	ex.inst = nil
+	return out
+}
 
-	for _, level := range dom.NodesByLevel() {
+// ExtractSnapshot answers the HHH query from an engine snapshot, exactly as
+// the engine it was taken from would have at capture time (same candidate
+// order, same bounds, same V/r scaling and sampling correction). The
+// per-node bounds indices are cached inside the Extractor across calls; a
+// snapshot whose generation is unchanged since the previous call at the same
+// θ short-circuits to the retained result, and one whose stream weight moved
+// by at most the configured growth bound takes the incremental path seeded
+// with the previous result set. All paths return bit-identical output.
+func (ex *Extractor[K]) ExtractSnapshot(es *EngineSnapshot[K], theta float64) []Result[K] {
+	if len(es.Nodes) != ex.dom.Size() {
+		panic("core: snapshot does not match lattice size")
+	}
+	n := float64(es.Weight)
+	if n == 0 {
+		return nil
+	}
+	if es.gen != 0 && ex.lastSnap == es && ex.lastGen == es.gen && ex.lastTheta == theta && ex.prevValid {
+		return ex.resultsOrNil()
+	}
+	scale := float64(es.V) / float64(es.R)
+	corr := SamplingCorrection(n, es.V, es.R, es.Delta)
+	ex.snap, ex.inst = es, nil
+	ex.refreshIndexCache(es)
+	incremental := ex.maxGrowth >= 0 && ex.prevValid && ex.prevN > 0 &&
+		math.Abs(n-ex.prevN) <= ex.maxGrowth*ex.prevN
+	out := ex.run(n, scale, corr, theta, incremental)
+	ex.lastSnap, ex.lastGen, ex.lastTheta = es, es.gen, theta
+	return out
+}
+
+// run is the shared admission loop.
+func (ex *Extractor[K]) run(n, scale, correction, theta float64, incremental bool) []Result[K] {
+	ex.scale, ex.corr, ex.threshold = scale, correction, theta*n
+	ex.resetQuery()
+	if incremental {
+		ex.seedPrev()
+	}
+	for _, level := range ex.dom.NodesByLevel() {
 		for _, node := range level {
-			inst[node].Candidates(func(k K, up, lo uint64) {
-				fUp := float64(up) * scale
-				fLo := float64(lo) * scale
-				cond := fUp + calcPred(dom, inst, byGen, inP, results, k, node, scale) + correction
-				if cond >= threshold {
-					idx := len(results)
-					results = append(results, Result[K]{
-						Key: k, Node: node,
-						Upper: fUp, Lower: fLo,
-						Cond: cond,
-					})
-					inP[node][k] = true
-					for v := 0; v < dom.Size(); v++ {
-						if v != node && dom.NodeGeneralizes(v, node) {
-							gk := dom.Mask(k, v)
-							byGen[v][gk] = append(byGen[v][gk], idx)
-						}
-					}
-				}
-			})
+			ex.curNode = int32(node)
+			if ex.snap != nil {
+				ex.scanSnapshotNode(node, incremental)
+			} else {
+				ex.inst[node].Candidates(ex.visitCb)
+			}
 		}
 	}
-	return results
+	ex.savePrev(n)
+	return ex.resultsOrNil()
+}
+
+// resetQuery clears the per-query state, keeping all storage.
+func (ex *Extractor[K]) resetQuery() {
+	clear(ex.tab)
+	clear(ex.nodeHead)
+	ex.results = ex.results[:0]
+	ex.resEntry = ex.resEntry[:0]
+	ex.eKey = ex.eKey[:0]
+	ex.eNode = ex.eNode[:0]
+	ex.eHash = ex.eHash[:0]
+	ex.eFlags = ex.eFlags[:0]
+	ex.eHead = ex.eHead[:0]
+	ex.eTail = ex.eTail[:0]
+	ex.eCount = ex.eCount[:0]
+	ex.eGMark = ex.eGMark[:0]
+	ex.eGWho = ex.eGWho[:0]
+	ex.eNext = ex.eNext[:0]
+	ex.elRes = ex.elRes[:0]
+	ex.elNext = ex.elNext[:0]
+	ex.gRound = 0
+}
+
+func (ex *Extractor[K]) resultsOrNil() []Result[K] {
+	if len(ex.results) == 0 {
+		return nil
+	}
+	return ex.results
+}
+
+// visit evaluates one candidate at the current node (Algorithm 1 lines
+// 12–15) and admits it when its conditioned estimate reaches the threshold.
+func (ex *Extractor[K]) visit(k K, up, lo uint64) {
+	fUp := float64(up) * ex.scale
+	fLo := float64(lo) * ex.scale
+	cond := fUp + ex.calcPred(k) + ex.corr
+	if cond >= ex.threshold {
+		ex.admit(k, fUp, fLo, cond)
+	}
+}
+
+// admit appends the candidate to P and links it into the byGen list of every
+// ancestor node, in the ancestors' node order (the list order itself is the
+// admission order, which fixes the float summation order downstream).
+func (ex *Extractor[K]) admit(k K, fUp, fLo, cond float64) {
+	idx := int32(len(ex.results))
+	ex.results = append(ex.results, Result[K]{
+		Key: k, Node: int(ex.curNode),
+		Upper: fUp, Lower: fLo,
+		Cond: cond,
+	})
+	e := ex.entryFor(ex.curNode, k)
+	ex.eFlags[e] |= extFlagInP
+	ex.resEntry = append(ex.resEntry, e)
+	for _, v := range ex.genUp[ex.curNode] {
+		ex.pushElem(ex.entryFor(v, ex.mask(k, int(v))), idx)
+	}
+}
+
+// pushElem appends result idx to entry e's admitted-descendant list.
+func (ex *Extractor[K]) pushElem(e, idx int32) {
+	el := int32(len(ex.elRes))
+	ex.elRes = append(ex.elRes, idx)
+	ex.elNext = append(ex.elNext, -1)
+	if t := ex.eTail[e]; t >= 0 {
+		ex.elNext[t] = el
+	} else {
+		ex.eHead[e] = el
+	}
+	ex.eTail[e] = el
+	ex.eCount[e]++
 }
 
 // calcPred implements Algorithms 2 and 3: the adjustment added to f̂p+ to
-// form the conditioned-frequency estimate.
-func calcPred[K comparable](
-	dom *hierarchy.Domain[K],
-	inst []Instance[K],
-	byGen []map[K][]int,
-	inP []map[K]bool,
-	results []Result[K],
-	pKey K, pNode int,
-	scale float64,
-) float64 {
-	g := gSet(dom, byGen, inP, results, pKey, pNode)
-	if len(g) == 0 {
+// form the conditioned-frequency estimate for the candidate at the current
+// node.
+func (ex *Extractor[K]) calcPred(pKey K) float64 {
+	e := ex.find(ex.curNode, pKey)
+	if e < 0 || ex.eCount[e] == 0 {
 		return 0
 	}
+	g := ex.gSet(e)
 	r := 0.0
 	for _, idx := range g {
-		r -= results[idx].Lower
+		r -= ex.results[idx].Lower
 	}
-	if dom.Dims() == 1 {
+	if ex.dims == 1 || len(g) < 2 {
 		return r
 	}
 	// Two dimensions: add back the pairwise overlaps (inclusion-exclusion),
 	// skipping a glb that is itself inside a third element of G(p|P)
 	// (Algorithm 3 line 8); missing glbs count as zero (Definition 12).
+	//
+	// The domination test has two equivalent forms: scan G directly, or look
+	// the glb's ancestor positions up in the admitted-set index against the
+	// G-membership stamps. The index costs O(ancestors(glb)) ≤ H per pair,
+	// so it wins once |G| outgrows the hierarchy — the pre-convergence
+	// regime where the old triple loop over G went cubic.
+	useIdx := len(g) > ex.h
+	round := uint32(0)
+	if useIdx {
+		ex.gRound++
+		round = ex.gRound
+		for _, idx := range g {
+			me := ex.resEntry[idx]
+			ex.eGMark[me] = round
+			ex.eGWho[me] = idx
+		}
+	}
 	for i := 0; i < len(g); i++ {
-		hi := results[g[i]]
+		hi := ex.results[g[i]]
 		for j := i + 1; j < len(g); j++ {
-			hj := results[g[j]]
-			qKey, qNode, ok := dom.GLB(hi.Key, hi.Node, hj.Key, hj.Node)
+			hj := ex.results[g[j]]
+			qKey, qNode, ok := ex.dom.GLB(hi.Key, hi.Node, hj.Key, hj.Node)
 			if !ok {
 				continue
 			}
 			dominated := false
-			for t := 0; t < len(g); t++ {
-				if t == i || t == j {
-					continue
+			if useIdx {
+				for _, w := range ex.genUpSelf[qNode] {
+					me := ex.find(w, ex.mask(qKey, int(w)))
+					if me >= 0 && ex.eGMark[me] == round {
+						if who := ex.eGWho[me]; who != g[i] && who != g[j] {
+							dominated = true
+							break
+						}
+					}
 				}
-				h3 := results[g[t]]
-				if dom.Generalizes(h3.Key, h3.Node, qKey, qNode) {
-					dominated = true
-					break
+			} else {
+				for t := 0; t < len(g); t++ {
+					if t == i || t == j {
+						continue
+					}
+					h3 := ex.results[g[t]]
+					if ex.dom.Generalizes(h3.Key, h3.Node, qKey, qNode) {
+						dominated = true
+						break
+					}
 				}
 			}
 			if dominated {
 				continue
 			}
-			qUp, _ := inst[qNode].Bounds(qKey)
-			r += float64(qUp) * scale
+			r += float64(ex.upperOf(qKey, qNode)) * ex.scale
 		}
 	}
 	return r
 }
 
-// gSet computes G(p|P) (Definition 2): the prefixes in P that p properly
-// generalizes, keeping only the maximal ones (no other element of P strictly
-// between them and p). Returned as indices into results.
-func gSet[K comparable](
-	dom *hierarchy.Domain[K],
-	byGen []map[K][]int,
-	inP []map[K]bool,
-	results []Result[K],
-	pKey K, pNode int,
-) []int {
-	desc := byGen[pNode][pKey]
-	if len(desc) <= 1 {
-		return desc
+// gSet computes G(p|P) (Definition 2) for the candidate at the current node
+// whose entry is e: the prefixes in P that p properly generalizes, keeping
+// only the maximal ones (no other element of P strictly between them and p).
+// Returned as result indices in admission order, in ex.gBuf (valid until the
+// next gSet call).
+func (ex *Extractor[K]) gSet(e int32) []int32 {
+	ex.gBuf = ex.gBuf[:0]
+	if ex.eCount[e] == 1 {
+		ex.gBuf = append(ex.gBuf, ex.elRes[ex.eHead[e]])
+		return ex.gBuf
 	}
 	// Keep only maximal elements: h is dominated when some strictly closer
-	// generalization of h (still strictly below p) is already in P. Testing
-	// each intermediate lattice node with a membership lookup makes this
+	// generalization of h (still strictly below p) is already in P. Each
+	// intermediate lattice node is tested with one index probe, keeping this
 	// O(|desc|·H) instead of O(|desc|²).
-	out := make([]int, 0, len(desc))
-	for _, hIdx := range desc {
-		h := results[hIdx]
+	pNode := int(ex.curNode)
+	for el := ex.eHead[e]; el >= 0; el = ex.elNext[el] {
+		idx := ex.elRes[el]
+		h := &ex.results[idx]
 		dominated := false
-		for w := 0; w < len(inP); w++ {
+		for w := 0; w < ex.h; w++ {
 			if w == pNode || w == h.Node {
 				continue
 			}
-			if !dom.NodeGeneralizes(pNode, w) || !dom.NodeGeneralizes(w, h.Node) {
+			if !ex.dom.NodeGeneralizes(pNode, w) || !ex.dom.NodeGeneralizes(w, h.Node) {
 				continue
 			}
-			if inP[w][dom.Mask(h.Key, w)] {
+			if me := ex.find(int32(w), ex.mask(h.Key, w)); me >= 0 && ex.eFlags[me]&extFlagInP != 0 {
 				dominated = true
 				break
 			}
 		}
 		if !dominated {
-			out = append(out, hIdx)
+			ex.gBuf = append(ex.gBuf, idx)
 		}
 	}
-	return out
+	return ex.gBuf
+}
+
+// upperOf returns the upper frequency bound of an arbitrary prefix, in raw
+// instance units (the caller applies the scale).
+func (ex *Extractor[K]) upperOf(k K, node int) uint64 {
+	if ex.snap != nil {
+		sn := &ex.snap.Nodes[node]
+		if pos := ex.keyPos(k, node); pos >= 0 {
+			return sn.Upper[pos]
+		}
+		return sn.Min
+	}
+	up, _ := ex.inst[node].Bounds(k)
+	return up
+}
+
+// scanSnapshotNode enumerates one node's candidates from the snapshot. The
+// full scan visits every monitored key in stored (non-ascending upper bound)
+// order. The incremental scan uses that order: once a key's upper bound
+// alone cannot reach the threshold, only keys with at least two admitted
+// descendants (a positive add-back needs a pair, Algorithm 3) or seeded from
+// the previous result can still matter, and those are fetched directly from
+// the node's entry list — every skipped candidate is provably rejected, so
+// both scans admit identical sets with identical estimates.
+func (ex *Extractor[K]) scanSnapshotNode(node int, incremental bool) {
+	sn := &ex.snap.Nodes[node]
+	keys := sn.Keys
+	if !incremental {
+		for i, k := range keys {
+			ex.visit(k, sn.Upper[i], sn.Lower[i])
+		}
+		return
+	}
+	i := 0
+	for ; i < len(keys); i++ {
+		if float64(sn.Upper[i])*ex.scale+ex.corr < ex.threshold {
+			break
+		}
+		ex.visit(keys[i], sn.Upper[i], sn.Lower[i])
+	}
+	if i >= len(keys) {
+		return
+	}
+	ex.tailBuf = ex.tailBuf[:0]
+	for e := ex.nodeHead[node] - 1; e >= 0; e = ex.eNext[e] {
+		if ex.eCount[e] < 2 && ex.eFlags[e]&extFlagSeed == 0 {
+			continue
+		}
+		if pos := ex.keyPos(ex.eKey[e], node); pos >= int32(i) {
+			ex.tailBuf = append(ex.tailBuf, pos)
+		}
+	}
+	// Ascending position restores the reference evaluation order.
+	for a := 1; a < len(ex.tailBuf); a++ {
+		for b := a; b > 0 && ex.tailBuf[b] < ex.tailBuf[b-1]; b-- {
+			ex.tailBuf[b], ex.tailBuf[b-1] = ex.tailBuf[b-1], ex.tailBuf[b]
+		}
+	}
+	for _, pos := range ex.tailBuf {
+		ex.visit(keys[pos], sn.Upper[pos], sn.Lower[pos])
+	}
+}
+
+// seedPrev marks the previous query's admitted prefixes in the entry table,
+// so the incremental tail scan re-evaluates them wherever they fall.
+func (ex *Extractor[K]) seedPrev() {
+	for i, k := range ex.prevKeys {
+		ex.eFlags[ex.entryFor(ex.prevNodes[i], k)] |= extFlagSeed
+	}
+}
+
+// savePrev retains the query's admitted set as the next query's seed.
+func (ex *Extractor[K]) savePrev(n float64) {
+	ex.prevKeys = ex.prevKeys[:0]
+	ex.prevNodes = ex.prevNodes[:0]
+	for i := range ex.results {
+		ex.prevKeys = append(ex.prevKeys, ex.results[i].Key)
+		ex.prevNodes = append(ex.prevNodes, int32(ex.results[i].Node))
+	}
+	ex.prevN = n
+	ex.prevValid = true
+}
+
+// find returns the entry of (node, k), or −1.
+func (ex *Extractor[K]) find(node int32, k K) int32 {
+	h := ex.hash(k, node)
+	pos := h & ex.tabMask
+	for {
+		v := ex.tab[pos]
+		if v == 0 {
+			return -1
+		}
+		if e := v - 1; ex.eHash[e] == h && ex.eNode[e] == node && ex.eKey[e] == k {
+			return e
+		}
+		pos = (pos + 1) & ex.tabMask
+	}
+}
+
+// entryFor returns the entry of (node, k), creating it if absent.
+func (ex *Extractor[K]) entryFor(node int32, k K) int32 {
+	h := ex.hash(k, node)
+	pos := h & ex.tabMask
+	for {
+		v := ex.tab[pos]
+		if v == 0 {
+			break
+		}
+		if e := v - 1; ex.eHash[e] == h && ex.eNode[e] == node && ex.eKey[e] == k {
+			return e
+		}
+		pos = (pos + 1) & ex.tabMask
+	}
+	e := int32(len(ex.eKey))
+	ex.eKey = append(ex.eKey, k)
+	ex.eNode = append(ex.eNode, node)
+	ex.eHash = append(ex.eHash, h)
+	ex.eFlags = append(ex.eFlags, 0)
+	ex.eHead = append(ex.eHead, -1)
+	ex.eTail = append(ex.eTail, -1)
+	ex.eCount = append(ex.eCount, 0)
+	ex.eGMark = append(ex.eGMark, 0)
+	ex.eGWho = append(ex.eGWho, -1)
+	ex.eNext = append(ex.eNext, ex.nodeHead[node]-1)
+	ex.nodeHead[node] = e + 1
+	ex.tab[pos] = e + 1
+	if uint32(len(ex.eKey))*4 >= uint32(len(ex.tab))*3 {
+		ex.growTable()
+	}
+	return e
+}
+
+// growTable doubles the open-addressing table and reinserts every entry.
+func (ex *Extractor[K]) growTable() {
+	n := uint32(len(ex.tab)) * 2
+	ex.tab = make([]int32, n)
+	ex.tabMask = n - 1
+	for e := range ex.eHash {
+		pos := ex.eHash[e] & ex.tabMask
+		for ex.tab[pos] != 0 {
+			pos = (pos + 1) & ex.tabMask
+		}
+		ex.tab[pos] = int32(e) + 1
+	}
+}
+
+// boundsIndex is one node's key→position table over a snapshot's Keys array.
+type boundsIndex[K comparable] struct {
+	tab   []int32 // position + 1; 0 = empty
+	mask  uint32
+	gen   uint64 // node snapshot generation the index was built from
+	built bool
+}
+
+// refreshIndexCache invalidates the per-node bounds indices whose node
+// content changed since they were built; untouched nodes keep their lazily
+// built index even when the snapshot as a whole moved (a partial re-merge
+// bumps only the re-merged nodes' generations).
+func (ex *Extractor[K]) refreshIndexCache(es *EngineSnapshot[K]) {
+	if ex.idxSnap == es && ex.idxGen == es.gen && es.gen != 0 {
+		return
+	}
+	for i := range ex.nodeIdx {
+		bi := &ex.nodeIdx[i]
+		if g := es.Nodes[i].Gen(); g == 0 || g != bi.gen {
+			bi.built = false
+		}
+	}
+	ex.idxSnap, ex.idxGen = es, es.gen
+}
+
+// keyPos returns k's position in the current snapshot's node Keys array, or
+// −1 when unmonitored, building the node's index on first use.
+func (ex *Extractor[K]) keyPos(k K, node int) int32 {
+	bi := &ex.nodeIdx[node]
+	sn := &ex.snap.Nodes[node]
+	if !bi.built {
+		ex.buildIndex(bi, int32(node))
+	}
+	h := ex.hash(k, int32(node))
+	pos := h & bi.mask
+	for {
+		v := bi.tab[pos]
+		if v == 0 {
+			return -1
+		}
+		if p := v - 1; sn.Keys[p] == k {
+			return p
+		}
+		pos = (pos + 1) & bi.mask
+	}
+}
+
+// buildIndex (re)builds one node's bounds index over the node's snapshot
+// Keys, reusing the table storage.
+func (ex *Extractor[K]) buildIndex(bi *boundsIndex[K], node int32) {
+	keys := ex.snap.Nodes[node].Keys
+	n := uint32(8)
+	for int(n) < 2*len(keys) {
+		n <<= 1
+	}
+	if uint32(cap(bi.tab)) >= n {
+		bi.tab = bi.tab[:n]
+		clear(bi.tab)
+	} else {
+		bi.tab = make([]int32, n)
+	}
+	bi.mask = n - 1
+	for i, k := range keys {
+		pos := ex.hash(k, node) & bi.mask
+		for bi.tab[pos] != 0 {
+			pos = (pos + 1) & bi.mask
+		}
+		bi.tab[pos] = int32(i) + 1
+	}
+	bi.gen = ex.snap.Nodes[node].Gen()
+	bi.built = true
+}
+
+// extHashFor resolves the (key, node) hash at instantiation time: integer
+// carriers get an inline splitmix64 finalizer, Addr and AddrPair mix their
+// words directly, and any other comparable type falls back to hash/maphash.
+// Each extractor gets its own random seed; output never depends on the hash.
+func extHashFor[K comparable]() func(k K, node int32) uint32 {
+	seed := rand.Uint64()
+	const phi = 0x9e3779b97f4a7c15
+	mix := func(z uint64) uint64 {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	var fn any
+	switch any(*new(K)).(type) {
+	case uint32:
+		fn = func(k uint32, node int32) uint32 {
+			return uint32(mix(seed ^ uint64(k) ^ uint64(node)*phi))
+		}
+	case uint64:
+		fn = func(k uint64, node int32) uint32 {
+			return uint32(mix(seed ^ k ^ uint64(node)*phi))
+		}
+	case hierarchy.Addr:
+		fn = func(k hierarchy.Addr, node int32) uint32 {
+			return uint32(mix(mix(seed^k.Hi) ^ k.Lo ^ uint64(node)*phi))
+		}
+	case hierarchy.AddrPair:
+		fn = func(k hierarchy.AddrPair, node int32) uint32 {
+			h := mix(seed ^ k.Src.Hi)
+			h = mix(h ^ k.Src.Lo)
+			h = mix(h ^ k.Dst.Hi)
+			return uint32(mix(h ^ k.Dst.Lo ^ uint64(node)*phi))
+		}
+	default:
+		ms := maphash.MakeSeed()
+		return func(k K, node int32) uint32 {
+			return uint32(maphash.Comparable(ms, k) ^ uint64(node)*phi)
+		}
+	}
+	return fn.(func(k K, node int32) uint32)
+}
+
+// SamplingCorrection returns RHHH's conservative sampling slack, the term
+// added to every conditioned estimate in the Output procedure:
+// 2·Z(1−δ)·√(n·V/r).
+func SamplingCorrection(n float64, v, r int, delta float64) float64 {
+	return 2 * stats.Z(delta) * math.Sqrt(n*float64(v)/float64(r))
+}
+
+// Extract runs the Output procedure on a freshly allocated workspace — the
+// convenience entry point for one-shot queries (the deterministic baselines
+// use it). Hot query paths hold an Extractor and reuse it instead.
+func Extract[K comparable](dom *hierarchy.Domain[K], inst []Instance[K], n, scale, correction, theta float64) []Result[K] {
+	return NewExtractor(dom).Extract(inst, n, scale, correction, theta)
 }

@@ -5,10 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"rhhh/internal/hierarchy"
 	"rhhh/internal/spacesaving"
-	"rhhh/internal/stats"
 )
 
 // EngineSnapshot is an immutable, mergeable copy of an engine's measurement
@@ -30,12 +30,50 @@ type EngineSnapshot[K comparable] struct {
 	// Epsilon and Delta are the configured error and failure probability;
 	// Delta determines the sampling correction applied by Output.
 	Epsilon, Delta float64
+
+	// gen is the snapshot's mutation generation, drawn from a process-wide
+	// counter each time the in-repo mutators (SnapshotInto, SnapshotMerger,
+	// Decode, Invalidate) rewrite the contents. Query caches (the
+	// Extractor's bounds indices and unchanged-query shortcut) key on it, so
+	// code that fills the exported fields by hand must call Invalidate.
+	gen uint64
+	// src identifies the engine (and its reset epoch) a SnapshotInto capture
+	// came from, letting a repeat capture of an unchanged engine into the
+	// same buffer skip the copy and keep gen.
+	src      *Engine[K]
+	srcEpoch uint64
+}
+
+// snapGenCounter issues mutation generations; 0 is reserved for "unknown"
+// (hand-assembled snapshots), which disables the unchanged-query caches.
+var snapGenCounter atomic.Uint64
+
+func nextSnapGen() uint64 { return snapGenCounter.Add(1) }
+
+// Invalidate marks a hand-assembled (or externally mutated) snapshot as
+// changed so snapshot-level query caches — the unchanged-snapshot query
+// shortcut and the merger's whole-merge skip — are refreshed. Per-node
+// caches (the Extractor's bounds indices, the merger's per-node re-merge
+// skip) are keyed on each node's own generation: rewriting a node through
+// spacesaving.SnapshotInto/MergeInto/Decode stamps it automatically, and
+// code that mutates a node's arrays in place must call that node's
+// Invalidate as well. Snapshots produced by SnapshotInto,
+// SnapshotMerger.Merge and DecodeEngineSnapshot are marked automatically at
+// both levels.
+func (es *EngineSnapshot[K]) Invalidate() {
+	es.gen = nextSnapGen()
+	es.src = nil
 }
 
 // SnapshotInto copies the engine's state into dst, reusing dst's buffers
 // (zero allocations once they have grown). A nil dst allocates. Only the
 // Space Saving (stream-summary) backend supports snapshots, matching the
 // merge path. Returns dst.
+//
+// A repeat capture of an engine that has not absorbed any update (and has
+// not been Reset, Reseeded or restored) into the same dst skips the copy
+// and leaves dst's mutation generation unchanged, so downstream query
+// caches recognize the state as identical.
 func (e *Engine[K]) SnapshotInto(dst *EngineSnapshot[K]) *EngineSnapshot[K] {
 	if e.ss == nil {
 		panic("core: snapshots require the Space Saving backend")
@@ -43,6 +81,14 @@ func (e *Engine[K]) SnapshotInto(dst *EngineSnapshot[K]) *EngineSnapshot[K] {
 	if dst == nil {
 		dst = &EngineSnapshot[K]{}
 	}
+	if dst.src == e && dst.srcEpoch == e.epoch && dst.Packets == e.packets && dst.Weight == e.Weight() {
+		return dst
+	}
+	// Same source, same epoch: per-node summary weights are monotone, so a
+	// node whose N matches the previous capture is unchanged and its copy
+	// (and mutation generation) can be kept — a query after a small traffic
+	// delta then re-merges and re-indexes only the touched nodes.
+	sameSrc := dst.src == e && dst.srcEpoch == e.epoch && len(dst.Nodes) == len(e.ss)
 	if cap(dst.Nodes) < len(e.ss) {
 		nodes := make([]spacesaving.Snapshot[K], len(e.ss))
 		copy(nodes, dst.Nodes)
@@ -50,75 +96,72 @@ func (e *Engine[K]) SnapshotInto(dst *EngineSnapshot[K]) *EngineSnapshot[K] {
 	}
 	dst.Nodes = dst.Nodes[:len(e.ss)]
 	for i, s := range e.ss {
+		if sameSrc && dst.Nodes[i].N == s.N() && dst.Nodes[i].Gen() != 0 {
+			continue
+		}
 		s.SnapshotInto(&dst.Nodes[i])
 	}
 	dst.Packets = e.packets
 	dst.Weight = e.Weight()
 	dst.V, dst.R = int(e.v), e.r
 	dst.Epsilon, dst.Delta = e.epsilon, e.delta
+	dst.gen = nextSnapGen()
+	dst.src, dst.srcEpoch = e, e.epoch
 	return dst
 }
 
 // Snapshot returns a freshly allocated snapshot of the engine.
 func (e *Engine[K]) Snapshot() *EngineSnapshot[K] { return e.SnapshotInto(nil) }
 
-// snapInstance adapts one node's snapshot to the Instance interface for the
-// Extract machinery. Only the read methods are implemented; a key index for
-// Bounds is built lazily on first use (most nodes never receive a Bounds
-// query — only GLB nodes in two dimensions do).
-type snapInstance[K comparable] struct {
-	sn  *spacesaving.Snapshot[K]
-	idx map[K]int32
-}
-
-func (a *snapInstance[K]) Bounds(k K) (uint64, uint64) {
-	if a.idx == nil {
-		a.idx = make(map[K]int32, len(a.sn.Keys))
-		for i, key := range a.sn.Keys {
-			a.idx[key] = int32(i)
-		}
-	}
-	if i, ok := a.idx[k]; ok {
-		return a.sn.Upper[i], a.sn.Lower[i]
-	}
-	return a.sn.Min, 0
-}
-
-func (a *snapInstance[K]) Candidates(fn func(K, uint64, uint64)) {
-	for i, k := range a.sn.Keys {
-		fn(k, a.sn.Upper[i], a.sn.Lower[i])
-	}
-}
-
-func (a *snapInstance[K]) Updates() uint64       { return a.sn.N }
-func (a *snapInstance[K]) Increment(K)           { panic("core: snapshot instances are immutable") }
-func (a *snapInstance[K]) IncrementBy(K, uint64) { panic("core: snapshot instances are immutable") }
-func (a *snapInstance[K]) Reset()                { panic("core: snapshot instances are immutable") }
-
 // Output answers the HHH query from the snapshot, exactly as the engine it
 // was taken from would have at capture time: same candidate order, same
 // bounds, same V/r scaling and sampling correction, hence bit-identical
-// results.
+// results. It runs on a freshly allocated workspace; hot query paths hold a
+// reusable Extractor and call ExtractSnapshot instead.
 func (es *EngineSnapshot[K]) Output(dom *hierarchy.Domain[K], theta float64) []Result[K] {
 	if !(theta > 0 && theta <= 1) {
 		panic("core: theta must be in (0, 1]")
 	}
-	if len(es.Nodes) != dom.Size() {
-		panic("core: snapshot does not match lattice size")
+	return NewExtractor(dom).ExtractSnapshot(es, theta)
+}
+
+// LoadSnapshot replaces the engine's measurement state with the snapshot's —
+// the restore half of snapshot-driven persistence. The engine must use the
+// Space Saving backend with the same lattice size, V, R, ε and δ, and each
+// node must fit its counter capacity (always true for snapshots of an
+// equally configured engine). The update-path RNG is not part of a
+// snapshot: a restored engine continues on its own stream, so the paper's
+// guarantees carry over but bit-for-bit reproducibility across a restart is
+// not preserved.
+func (e *Engine[K]) LoadSnapshot(es *EngineSnapshot[K]) error {
+	if e.ss == nil {
+		return errors.New("core: snapshots require the Space Saving backend")
 	}
-	n := float64(es.Weight)
-	if n == 0 {
-		return nil
+	if len(es.Nodes) != len(e.ss) {
+		return fmt.Errorf("core: snapshot has %d lattice nodes, engine has %d", len(es.Nodes), len(e.ss))
 	}
-	adapters := make([]snapInstance[K], len(es.Nodes))
-	inst := make([]Instance[K], len(es.Nodes))
+	if es.V != int(e.v) || es.R != e.r {
+		return fmt.Errorf("core: snapshot V=%d R=%d, engine V=%d R=%d", es.V, es.R, e.v, e.r)
+	}
+	if es.Epsilon != e.epsilon || es.Delta != e.delta {
+		return fmt.Errorf("core: snapshot ε=%g δ=%g, engine ε=%g δ=%g", es.Epsilon, es.Delta, e.epsilon, e.delta)
+	}
 	for i := range es.Nodes {
-		adapters[i].sn = &es.Nodes[i]
-		inst[i] = &adapters[i]
+		if es.Nodes[i].Len() > e.ss[i].Capacity() {
+			return fmt.Errorf("core: node %d snapshot has %d keys, engine capacity %d",
+				i, es.Nodes[i].Len(), e.ss[i].Capacity())
+		}
 	}
-	scale := float64(es.V) / float64(es.R)
-	corr := 2 * stats.Z(es.Delta) * math.Sqrt(n*float64(es.V)/float64(es.R))
-	return Extract(dom, inst, n, scale, corr, theta)
+	for i := range es.Nodes {
+		e.ss[i].LoadSnapshot(&es.Nodes[i])
+	}
+	e.packets = es.Packets
+	e.extraW = int64(es.Weight) - int64(es.Packets)
+	e.epoch++
+	if e.useSkip {
+		e.nextSample = e.packets + 1 + e.geo.Next(e.rng)
+	}
+	return nil
 }
 
 // SnapshotMerger folds engine snapshots over disjoint sub-streams into one
@@ -129,6 +172,20 @@ func (es *EngineSnapshot[K]) Output(dom *hierarchy.Domain[K], theta float64) []R
 // N = ΣNᵢ.
 type SnapshotMerger[K comparable] struct {
 	mergers []spacesaving.Merger[K]
+
+	// Unchanged-input skip: the previous call's destination and input
+	// identities/generations. A repeat merge of the same unchanged inputs
+	// into the same (untouched) destination is a no-op that keeps the
+	// destination's generation, so downstream query caches stay warm. The
+	// per-node generations refine the skip: when only some nodes' inputs
+	// changed (a small traffic delta between queries), only those nodes are
+	// re-merged.
+	lastDst        *EngineSnapshot[K]
+	lastDstGen     uint64
+	lastIn         []*EngineSnapshot[K]
+	lastGen        []uint64
+	lastNodeGen    []uint64 // input node generations, input-major: [i*h+node]
+	lastDstNodeGen []uint64
 }
 
 // Merge folds snaps (in order, which fixes deterministic tie-breaking) into
@@ -154,6 +211,9 @@ func (sm *SnapshotMerger[K]) Merge(dst *EngineSnapshot[K], snaps ...*EngineSnaps
 	if dst == nil {
 		dst = &EngineSnapshot[K]{}
 	}
+	if sm.unchanged(dst, snaps) {
+		return dst
+	}
 	if cap(dst.Nodes) < h {
 		nodes := make([]spacesaving.Snapshot[K], h)
 		copy(nodes, dst.Nodes)
@@ -164,7 +224,33 @@ func (sm *SnapshotMerger[K]) Merge(dst *EngineSnapshot[K], snaps ...*EngineSnaps
 		sm.mergers = make([]spacesaving.Merger[K], h)
 	}
 	sm.mergers = sm.mergers[:h]
+	// Per-node skip: when this merge repeats the previous call's shape (same
+	// destination, untouched since, same inputs), a node whose input
+	// generations all match the previous call still holds the right merged
+	// result — keep it (and its generation) and re-merge only changed nodes.
+	partial := dst == sm.lastDst && dst.gen == sm.lastDstGen && dst.gen != 0 &&
+		len(snaps) == len(sm.lastIn) &&
+		len(sm.lastNodeGen) == len(snaps)*h && len(sm.lastDstNodeGen) == h
+	if partial {
+		for i, s := range snaps {
+			if s != sm.lastIn[i] {
+				partial = false
+				break
+			}
+		}
+	}
+	if cap(sm.lastNodeGen) < len(snaps)*h {
+		sm.lastNodeGen = make([]uint64, len(snaps)*h)
+	}
+	sm.lastNodeGen = sm.lastNodeGen[:len(snaps)*h]
+	if cap(sm.lastDstNodeGen) < h {
+		sm.lastDstNodeGen = make([]uint64, h)
+	}
+	sm.lastDstNodeGen = sm.lastDstNodeGen[:h]
 	for node := 0; node < h; node++ {
+		if partial && sm.nodeUnchanged(node, h, snaps, dst) {
+			continue
+		}
 		m := &sm.mergers[node]
 		m.Reset()
 		capacity := 1
@@ -174,6 +260,14 @@ func (sm *SnapshotMerger[K]) Merge(dst *EngineSnapshot[K], snaps ...*EngineSnaps
 		}
 		m.MergeInto(&dst.Nodes[node], capacity)
 	}
+	for i, s := range snaps {
+		for node := 0; node < h; node++ {
+			sm.lastNodeGen[i*h+node] = s.Nodes[node].Gen()
+		}
+	}
+	for node := 0; node < h; node++ {
+		sm.lastDstNodeGen[node] = dst.Nodes[node].Gen()
+	}
 	dst.Packets, dst.Weight = 0, 0
 	for _, s := range snaps {
 		dst.Packets += s.Packets
@@ -181,7 +275,44 @@ func (sm *SnapshotMerger[K]) Merge(dst *EngineSnapshot[K], snaps ...*EngineSnaps
 	}
 	dst.V, dst.R = first.V, first.R
 	dst.Epsilon, dst.Delta = first.Epsilon, first.Delta
+	dst.gen = nextSnapGen()
+	dst.src = nil
+	sm.lastDst, sm.lastDstGen = dst, dst.gen
+	sm.lastIn = append(sm.lastIn[:0], snaps...)
+	sm.lastGen = sm.lastGen[:0]
+	for _, s := range snaps {
+		sm.lastGen = append(sm.lastGen, s.gen)
+	}
 	return dst
+}
+
+// nodeUnchanged reports whether one node's merge inputs (and its slot in the
+// destination) are untouched since the merger's previous call.
+func (sm *SnapshotMerger[K]) nodeUnchanged(node, h int, snaps []*EngineSnapshot[K], dst *EngineSnapshot[K]) bool {
+	if g := dst.Nodes[node].Gen(); g == 0 || g != sm.lastDstNodeGen[node] {
+		return false
+	}
+	for i, s := range snaps {
+		if g := s.Nodes[node].Gen(); g == 0 || g != sm.lastNodeGen[i*h+node] {
+			return false
+		}
+	}
+	return true
+}
+
+// unchanged reports whether this merge would reproduce the merger's previous
+// result: same destination (not rewritten by anyone since), same inputs,
+// every input generation unchanged and known.
+func (sm *SnapshotMerger[K]) unchanged(dst *EngineSnapshot[K], snaps []*EngineSnapshot[K]) bool {
+	if dst != sm.lastDst || dst.gen != sm.lastDstGen || dst.gen == 0 || len(snaps) != len(sm.lastIn) {
+		return false
+	}
+	for i, s := range snaps {
+		if s != sm.lastIn[i] || s.gen != sm.lastGen[i] || s.gen == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Engine snapshot binary encoding, version 1. Deterministic: equal
@@ -274,6 +405,7 @@ func DecodeEngineSnapshot[K comparable](b []byte) (*EngineSnapshot[K], []byte, e
 		R:       int(r),
 		Epsilon: epsilon,
 		Delta:   delta,
+		gen:     nextSnapGen(),
 	}
 	for i := range es.Nodes {
 		rest, err := es.Nodes[i].Decode(b, getKey)

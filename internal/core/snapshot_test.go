@@ -236,3 +236,68 @@ func roundTrip[K comparable](t *testing.T, dom *hierarchy.Domain[K], eng *core.E
 		}
 	}
 }
+
+// TestEngineLoadSnapshotRoundtrip: LoadSnapshot must restore an equally
+// configured engine to a state whose queries are bit-identical to the
+// source's at capture time, and the restored engine must keep counting from
+// the snapshot's N. This is the restore half of snapshot-driven persistence
+// (cmd/hhh and cmd/vswitchd checkpoints).
+func TestEngineLoadSnapshotRoundtrip(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	cfg := core.Config{Epsilon: 0.02, Delta: 0.05, V: 2 * dom.Size(), Seed: 9}
+	src := core.New(dom, cfg)
+	r := fastrand.New(21)
+	for i := 0; i < 120000; i++ {
+		src.UpdateWeighted(gen2D(r), 1+r.Uint64n(3))
+	}
+	// Ship through the wire format, as the checkpoint files do.
+	buf, err := src.Snapshot().AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, rest, err := core.DecodeEngineSnapshot[uint64](buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+
+	dst := core.New(dom, cfg)
+	if err := dst.LoadSnapshot(es); err != nil {
+		t.Fatal(err)
+	}
+	if dst.N() != src.N() || dst.Weight() != src.Weight() {
+		t.Fatalf("restored N=%d W=%d, want N=%d W=%d", dst.N(), dst.Weight(), src.N(), src.Weight())
+	}
+	for _, theta := range []float64{0.02, 0.1} {
+		a := src.Output(theta)
+		b := dst.Output(theta)
+		if len(a) != len(b) {
+			t.Fatalf("theta=%v: %d vs %d results", theta, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("theta=%v result %d: %+v vs %+v", theta, i, a[i], b[i])
+			}
+		}
+	}
+	// The restored engine keeps absorbing traffic on top of the snapshot.
+	before := dst.Weight()
+	for i := 0; i < 1000; i++ {
+		dst.Update(gen2D(r))
+	}
+	if dst.Weight() != before+1000 {
+		t.Fatalf("weight after restore+update = %d, want %d", dst.Weight(), before+1000)
+	}
+
+	// Config mismatches are rejected.
+	other := core.New(dom, core.Config{Epsilon: 0.05, Delta: 0.05, V: 2 * dom.Size(), Seed: 9})
+	if err := other.LoadSnapshot(es); err == nil {
+		t.Fatal("ε mismatch accepted")
+	}
+	vMismatch := core.New(dom, core.Config{Epsilon: 0.02, Delta: 0.05, Seed: 9})
+	if err := vMismatch.LoadSnapshot(es); err == nil {
+		t.Fatal("V mismatch accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync/atomic"
 )
 
 // Snapshot is a compact, immutable copy of a Summary's observable state:
@@ -31,7 +32,30 @@ type Snapshot[K comparable] struct {
 	// Cap is the source summary's counter capacity (⌈1/ε⌉-ish); merged
 	// snapshots record the capacity they were truncated to.
 	Cap int
+
+	// gen is the snapshot's mutation generation, drawn from a process-wide
+	// counter whenever a mutator (SnapshotInto, Merger.MergeInto, Decode)
+	// rewrites the contents. Downstream caches — the per-node merge skip,
+	// the extractor's bounds indices — key on it; 0 means "unknown"
+	// (hand-assembled) and disables them. Code that fills the exported
+	// fields directly must leave gen at 0 or not reuse the snapshot where
+	// caches watch it.
+	gen uint64
 }
+
+// snapGenCounter issues mutation generations; see Snapshot.gen.
+var snapGenCounter atomic.Uint64
+
+// Gen returns the snapshot's mutation generation: two reads returning the
+// same non-zero value guarantee the snapshot contents have not been
+// rewritten in between. 0 means the snapshot was assembled by hand and has
+// no tracked generation.
+func (sn *Snapshot[K]) Gen() uint64 { return sn.gen }
+
+// Invalidate clears the snapshot's generation to "unknown", so every cache
+// keyed on it rebuilds. Call it after mutating the exported fields in
+// place; the tracked mutators stamp a fresh generation on their own.
+func (sn *Snapshot[K]) Invalidate() { sn.gen = 0 }
 
 // Len returns the number of monitored keys in the snapshot.
 func (sn *Snapshot[K]) Len() int { return len(sn.Keys) }
@@ -54,6 +78,7 @@ func (sn *Snapshot[K]) reset() {
 	sn.Upper = sn.Upper[:0]
 	sn.Lower = sn.Lower[:0]
 	sn.N, sn.Min, sn.Cap = 0, 0, 0
+	sn.gen = 0
 }
 
 // SnapshotInto copies the summary's state into dst, reusing dst's arrays
@@ -72,6 +97,7 @@ func (s *Summary[K]) SnapshotInto(dst *Snapshot[K]) *Snapshot[K] {
 	dst.N = s.n
 	dst.Min = s.MinCount()
 	dst.Cap = s.capacity
+	dst.gen = snapGenCounter.Add(1)
 	return dst
 }
 
@@ -224,6 +250,7 @@ func (m *Merger[K]) MergeInto(dst *Snapshot[K], capacity int) *Snapshot[K] {
 	dst.N = m.n
 	dst.Min = max(m.minSum, dropMax)
 	dst.Cap = capacity
+	dst.gen = snapGenCounter.Add(1)
 	return dst
 }
 
@@ -335,5 +362,6 @@ func (sn *Snapshot[K]) Decode(b []byte, getKey func([]byte) (K, []byte, error)) 
 		sn.Upper = append(sn.Upper, up)
 		sn.Lower = append(sn.Lower, up-e)
 	}
+	sn.gen = snapGenCounter.Add(1)
 	return b, nil
 }

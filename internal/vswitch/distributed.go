@@ -13,7 +13,6 @@ import (
 	"rhhh/internal/fastrand"
 	"rhhh/internal/hierarchy"
 	"rhhh/internal/spacesaving"
-	"rhhh/internal/stats"
 	"rhhh/internal/trace"
 )
 
@@ -244,7 +243,6 @@ type Collector struct {
 	sums   []*spacesaving.Summary[uint64]
 	inst   []core.Instance[uint64]
 	v      int
-	z      float64
 	eps    float64
 	delta  float64
 	totals map[uint16]uint64 // per-sender latest packet counts (sample mode)
@@ -259,6 +257,13 @@ type Collector struct {
 	merged   core.EngineSnapshot[uint64]
 	mergeBuf []*core.EngineSnapshot[uint64]
 	sm       core.SnapshotMerger[uint64]
+
+	// Reusable extraction workspace shared by both query modes, plus a
+	// dirty flag so the local sample-fed state is only re-captured (and the
+	// merge and extraction only re-run) when new samples actually arrived.
+	ex         *core.Extractor[uint64]
+	localDirty bool
+	localBuilt bool
 }
 
 // NewCollector builds a collector matching the sampler's configuration
@@ -280,11 +285,11 @@ func NewCollector(dom *hierarchy.Domain[uint64], epsilon, delta float64, v int) 
 		sums:   sums,
 		inst:   core.WrapSummaries(sums),
 		v:      v,
-		z:      stats.Z(delta),
 		eps:    epsilon,
 		delta:  delta,
 		totals: make(map[uint16]uint64),
 		snaps:  make(map[uint16]*core.EngineSnapshot[uint64]),
+		ex:     core.NewExtractor[uint64](dom),
 	}
 }
 
@@ -301,6 +306,7 @@ func (c *Collector) Apply(sender uint16, total uint64, batch []Sample) {
 			c.inst[s.Node].Increment(s.Key)
 		}
 	}
+	c.localDirty = true
 }
 
 // Packets returns the total packet count across all reporting switches,
@@ -331,6 +337,12 @@ func (c *Collector) Updates() uint64 {
 
 // Output answers the HHH query exactly as the co-located engine would.
 // Snapshot-mode senders are merged with the sample-fed state at query time.
+//
+// The returned slice is the collector's reusable query workspace: treat it
+// as read-only, valid until the next Output call — copy it to retain or
+// reorder results. Warm queries allocate nothing, and a query with no new
+// samples or snapshot reports since the previous one short-circuits to the
+// retained result.
 func (c *Collector) Output(theta float64) []core.Result[uint64] {
 	if !(theta > 0 && theta <= 1) {
 		panic("vswitch: theta must be in (0, 1]")
@@ -346,21 +358,34 @@ func (c *Collector) Output(theta float64) []core.Result[uint64] {
 		if n == 0 {
 			return nil
 		}
-		corr := 2 * c.z * math.Sqrt(n*float64(c.v))
-		return core.Extract(c.dom, c.inst, n, float64(c.v), corr, theta)
+		corr := core.SamplingCorrection(n, c.v, 1, c.delta)
+		return c.ex.Extract(c.inst, n, float64(c.v), corr, theta)
 	}
 	// Fold the sample-fed state and every sender's latest snapshot into one
 	// merged snapshot (deterministically: local state first, then senders in
-	// ascending id order), then run the standard snapshot query.
-	if len(c.local.Nodes) != len(c.sums) {
-		c.local.Nodes = make([]spacesaving.Snapshot[uint64], len(c.sums))
+	// ascending id order), then run the standard snapshot query. The local
+	// capture is refreshed only when samples arrived since the last query;
+	// the merge and extraction recognize unchanged inputs on their own.
+	if c.localDirty || !c.localBuilt {
+		if len(c.local.Nodes) != len(c.sums) {
+			c.local.Nodes = make([]spacesaving.Snapshot[uint64], len(c.sums))
+		}
+		for i, s := range c.sums {
+			// The collector's summaries only ever absorb increments, so a
+			// node whose N matches the previous capture is unchanged — keep
+			// its copy and generation, and the merge re-merges only the
+			// nodes this batch of samples touched.
+			if c.localBuilt && c.local.Nodes[i].N == s.N() && c.local.Nodes[i].Gen() != 0 {
+				continue
+			}
+			s.SnapshotInto(&c.local.Nodes[i])
+		}
+		c.local.Packets, c.local.Weight = nTotal, nTotal
+		c.local.V, c.local.R = c.v, 1
+		c.local.Epsilon, c.local.Delta = c.eps, c.delta
+		c.local.Invalidate()
+		c.localDirty, c.localBuilt = false, true
 	}
-	for i, s := range c.sums {
-		s.SnapshotInto(&c.local.Nodes[i])
-	}
-	c.local.Packets, c.local.Weight = nTotal, nTotal
-	c.local.V, c.local.R = c.v, 1
-	c.local.Epsilon, c.local.Delta = c.eps, c.delta
 	c.order = c.order[:0]
 	for id := range c.snaps {
 		c.order = append(c.order, id)
@@ -374,7 +399,7 @@ func (c *Collector) Output(theta float64) []core.Result[uint64] {
 	if merged.Weight == 0 {
 		return nil
 	}
-	return merged.Output(c.dom, theta)
+	return c.ex.ExtractSnapshot(merged, theta)
 }
 
 // ApplySnapshot records sender's whole-state snapshot, replacing any

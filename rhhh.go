@@ -166,6 +166,7 @@ type monImpl interface {
 	reset()
 	reseed(seed uint64)
 	snapshotInto(dst *Snapshot) *Snapshot
+	loadSnapshot(sc snapCore) error
 	size() int
 	vParam() int
 }
@@ -270,6 +271,10 @@ func (m *Monitor) UpdateBatch(srcs, dsts []netip.Addr) {
 // every prefix whose conditioned frequency estimate reaches θ·N. The
 // guarantees of Definition 10 (accuracy within εN, coverage with
 // probability 1−δ) hold once Converged().
+//
+// The returned slice is the monitor's reusable query buffer: treat it as
+// read-only, valid until the monitor's next HeavyHitters call — copy it
+// (e.g. with slices.Clone) to retain or reorder results.
 func (m *Monitor) HeavyHitters(theta float64) []HeavyHitter {
 	if !(theta > 0 && theta <= 1) {
 		panic("rhhh: theta must be in (0, 1]")
@@ -337,6 +342,7 @@ type impl[K comparable] struct {
 	alg     algorithmIface[K]
 	batch   func([]K) // alg's native batched update, when it has one
 	keyBuf  []K       // scratch for updateBatch conversions
+	conv    converter[K]
 	v6      bool
 	psiV    float64
 	packets uint64
@@ -410,30 +416,64 @@ func (im *impl[K]) updateBatch(srcs, dsts []netip.Addr) {
 }
 
 func (im *impl[K]) output(theta float64) []HeavyHitter {
-	return convertResults(im.dom, im.split, im.alg.Output(theta))
+	return im.conv.convert(im.dom, im.split, im.alg.Output(theta))
 }
 
-// convertResults renders engine results into the public HeavyHitter shape.
-func convertResults[K comparable](
+// textKey identifies one rendered prefix in a converter's string cache.
+type textKey[K comparable] struct {
+	node int32
+	key  K
+}
+
+// converter renders engine results into the public HeavyHitter shape on a
+// reused buffer, caching the formatted prefix texts across queries — the
+// last allocating stage of the warm query path. The returned slice is owned
+// by the converter and valid until its next use.
+type converter[K comparable] struct {
+	buf   []HeavyHitter
+	texts map[textKey[K]]string
+	dom   *hierarchy.Domain[K] // the cache's domain; a switch resets it
+}
+
+// convTextCacheMax bounds the rendered-text cache: when prefixes churn past
+// this many distinct (node, key) entries the cache is dropped and rebuilt
+// from the live result set, so a long-running monitor cannot leak formatted
+// strings indefinitely while steady-state queries stay allocation-free.
+const convTextCacheMax = 1 << 14
+
+func (c *converter[K]) convert(
 	dom *hierarchy.Domain[K],
 	split func(k K, srcBits, dstBits int) (netip.Prefix, netip.Prefix),
 	rs []core.Result[K],
 ) []HeavyHitter {
-	out := make([]HeavyHitter, len(rs))
-	for i, r := range rs {
+	if c.texts == nil || c.dom != dom {
+		c.texts = make(map[textKey[K]]string)
+		c.dom = dom
+	}
+	if len(c.texts) > convTextCacheMax && len(c.texts) > 4*len(rs) {
+		clear(c.texts)
+	}
+	c.buf = c.buf[:0]
+	for _, r := range rs {
 		node := dom.Node(r.Node)
+		tk := textKey[K]{node: int32(r.Node), key: r.Key}
+		text, ok := c.texts[tk]
+		if !ok {
+			text = dom.Format(r.Key, r.Node)
+			c.texts[tk] = text
+		}
 		srcP, dstP := split(r.Key, node.SrcBits, node.DstBits)
-		out[i] = HeavyHitter{
+		c.buf = append(c.buf, HeavyHitter{
 			Src:   srcP,
 			Dst:   dstP,
-			Text:  dom.Format(r.Key, r.Node),
+			Text:  text,
 			Lower: r.Lower,
 			Upper: r.Upper,
 			Cond:  r.Cond,
 			Level: node.Level,
-		}
+		})
 	}
-	return out
+	return c.buf
 }
 
 // snapshotInto captures the engine state into dst (see Monitor.Snapshot).
@@ -464,6 +504,24 @@ func (im *impl[K]) reseed(seed uint64) {
 	if eng, ok := im.alg.(interface{ Reseed(uint64) }); ok {
 		eng.Reseed(seed)
 	}
+}
+
+// loadSnapshot restores the engine state from a captured snapshot (see
+// Monitor.LoadSnapshot).
+func (im *impl[K]) loadSnapshot(sc snapCore) error {
+	st, ok := sc.(*snapState[K])
+	if !ok {
+		return errors.New("rhhh: snapshot hierarchy does not match the monitor")
+	}
+	eng, ok := im.alg.(*core.Engine[K])
+	if !ok {
+		return errors.New("rhhh: restore requires the RHHH algorithm")
+	}
+	if err := eng.LoadSnapshot(&st.es); err != nil {
+		return fmt.Errorf("rhhh: %w", err)
+	}
+	im.packets = st.es.Packets
+	return nil
 }
 
 func (im *impl[K]) n() uint64 {

@@ -140,6 +140,12 @@ func (s *Sharded) Converged() bool { return float64(s.N()) >= s.Psi() }
 // snapshot copy, and the merge and extraction run outside all shard locks
 // on reused buffers. Concurrent HeavyHitters calls serialize with each
 // other.
+//
+// The returned slice is the aggregator's reusable query buffer: treat it as
+// read-only, valid until the next HeavyHitters call — copy it (e.g. with
+// slices.Clone) to retain or reorder results. A warm query allocates
+// nothing, and when no shard absorbed traffic since the previous query at
+// the same θ the whole pipeline short-circuits to the retained result.
 func (s *Sharded) HeavyHitters(theta float64) []HeavyHitter {
 	if !(theta > 0 && theta <= 1) {
 		panic("rhhh: theta must be in (0, 1]")
@@ -173,8 +179,11 @@ type shardAgg interface {
 }
 
 // aggState implements shardAgg over carrier type K with reusable per-shard
-// snapshot buffers and a reusable merger (queries allocate nothing for the
-// capture and merge stages in steady state).
+// snapshot buffers, a reusable merger, and a reusable extractor+converter —
+// a warm query allocates nothing across capture, merge, extraction and
+// rendering. When no shard absorbed traffic between queries the capture and
+// merge are recognized as unchanged and the extraction short-circuits to
+// the retained result.
 type aggState[K comparable] struct {
 	im      *impl[K]
 	engines []*core.Engine[K]
@@ -182,6 +191,8 @@ type aggState[K comparable] struct {
 	ptrs    []*core.EngineSnapshot[K]
 	sm      core.SnapshotMerger[K]
 	merged  core.EngineSnapshot[K]
+	ex      *core.Extractor[K]
+	conv    converter[K]
 }
 
 func newAggState[K comparable](first *impl[K], monitors []*Monitor) *aggState[K] {
@@ -190,6 +201,7 @@ func newAggState[K comparable](first *impl[K], monitors []*Monitor) *aggState[K]
 		engines: make([]*core.Engine[K], len(monitors)),
 		bufs:    make([]core.EngineSnapshot[K], len(monitors)),
 		ptrs:    make([]*core.EngineSnapshot[K], len(monitors)),
+		ex:      core.NewExtractor(first.dom),
 	}
 	for i, m := range monitors {
 		eng, ok := m.impl.(*impl[K]).alg.(*core.Engine[K])
@@ -216,7 +228,7 @@ func (a *aggState[K]) refresh(shards []*Shard) {
 // runs the Output procedure, entirely outside the shard locks.
 func (a *aggState[K]) query(theta float64) []HeavyHitter {
 	merged := a.sm.Merge(&a.merged, a.ptrs...)
-	return convertResults(a.im.dom, a.im.split, merged.Output(a.im.dom, theta))
+	return a.conv.convert(a.im.dom, a.im.split, a.ex.ExtractSnapshot(merged, theta))
 }
 
 // freshSnapshot merges the captured set into a newly allocated snapshot

@@ -26,6 +26,12 @@ import (
 // Snapshots are only available for the RHHH algorithm with the default
 // Space Saving backend (the mergeable configuration). The zero Snapshot is
 // empty; UnmarshalBinary fills it.
+//
+// The measurement state a Snapshot carries is frozen, but queries reuse
+// cached workspace inside the Snapshot (extraction slabs, bounds indices,
+// the result buffer), so a Snapshot is not safe for concurrent use:
+// serialize HeavyHitters/Merge calls externally, and copy the returned
+// slice before handing it to another goroutine.
 type Snapshot struct {
 	impl snapCore
 	dims int
@@ -51,6 +57,14 @@ type snapState[K comparable] struct {
 	dom   *hierarchy.Domain[K]
 	split func(k K, srcBits, dstBits int) (netip.Prefix, netip.Prefix)
 
+	// Query workspace, built on first use and retained: repeated queries on
+	// the same (or successively refreshed) snapshot reuse the extraction
+	// slabs, cached bounds indices and rendered prefix texts, so a warm
+	// query allocates nothing.
+	ex    *core.Extractor[K]
+	exDom *hierarchy.Domain[K]
+	conv  converter[K]
+
 	// Merge scratch, retained so repeated merges into the same destination
 	// (the windowed ring) allocate nothing in steady state.
 	sm       core.SnapshotMerger[K]
@@ -58,7 +72,11 @@ type snapState[K comparable] struct {
 }
 
 func (st *snapState[K]) heavyHitters(theta float64) []HeavyHitter {
-	return convertResults(st.dom, st.split, st.es.Output(st.dom, theta))
+	if st.ex == nil || st.exDom != st.dom {
+		st.ex = core.NewExtractor(st.dom)
+		st.exDom = st.dom
+	}
+	return st.conv.convert(st.dom, st.split, st.ex.ExtractSnapshot(&st.es, theta))
 }
 
 func (st *snapState[K]) weight() uint64  { return st.es.Weight }
@@ -95,6 +113,12 @@ func (st *snapState[K]) mergeFrom(dst snapCore, snaps []*Snapshot) (snapCore, er
 // HeavyHitters answers the HHH query from the snapshot: the result is
 // exactly what the source monitor would have returned at capture time.
 // theta must be in (0, 1].
+//
+// The returned slice is the snapshot's reusable query buffer: treat it as
+// read-only, valid until the snapshot's next HeavyHitters call — copy it
+// (e.g. with slices.Clone) to retain or reorder results. Repeated queries
+// on an unchanged snapshot reuse the cached extraction state, so a warm
+// query performs no allocation.
 func (s *Snapshot) HeavyHitters(theta float64) []HeavyHitter {
 	if !(theta > 0 && theta <= 1) {
 		panic("rhhh: theta must be in (0, 1]")
@@ -270,4 +294,22 @@ func (m *Monitor) SnapshotInto(dst *Snapshot) *Snapshot {
 	dst = m.impl.snapshotInto(dst)
 	dst.dims, dst.gran, dst.ipv6 = m.cfg.Dims, m.cfg.Granularity, m.cfg.IPv6
 	return dst
+}
+
+// LoadSnapshot replaces the monitor's measurement state with the snapshot's
+// — the restore half of snapshot-driven persistence: marshal a snapshot to
+// a checkpoint file, and on restart unmarshal it and load it into a monitor
+// built with the same configuration (hierarchy, ε, δ, V, R; the RHHH
+// algorithm with the default backend). The update RNG is not part of a
+// snapshot, so a restored monitor continues on its own random stream; the
+// paper's guarantees carry over, bit-for-bit reproducibility across the
+// restart does not.
+func (m *Monitor) LoadSnapshot(s *Snapshot) error {
+	if s == nil || s.impl == nil {
+		return errors.New("rhhh: cannot load an empty snapshot")
+	}
+	if s.dims != m.cfg.Dims || s.gran != m.cfg.Granularity || s.ipv6 != m.cfg.IPv6 {
+		return errors.New("rhhh: snapshot hierarchy does not match the monitor")
+	}
+	return m.impl.loadSnapshot(s.impl)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"net/netip"
+	"slices"
 	"sync"
 	"testing"
 
@@ -75,7 +76,8 @@ func TestSnapshotIsolatedFromMonitor(t *testing.T) {
 		m.Update(addr4(1, 1, byte(rng.Intn(4)), byte(rng.Intn(256))), netip.Addr{})
 	}
 	snap := m.Snapshot()
-	before := snap.HeavyHitters(0.2)
+	// Copy: HeavyHitters returns the snapshot's reusable query buffer.
+	before := slices.Clone(snap.HeavyHitters(0.2))
 	for i := 0; i < 50000; i++ {
 		m.Update(addr4(9, 9, 9, byte(rng.Intn(256))), netip.Addr{})
 	}
@@ -326,5 +328,62 @@ func TestShardedQueriesDuringConcurrentUpdates(t *testing.T) {
 			_ = s.Snapshot().N()
 			queries++
 		}
+	}
+}
+
+// TestMonitorLoadSnapshotRoundtrip: the persistence cycle behind the
+// cmd/hhh and cmd/vswitchd checkpoint flags — capture, marshal, unmarshal,
+// restore into a fresh equally-configured monitor — must reproduce the
+// source's answers exactly and keep counting from the snapshot's N.
+func TestMonitorLoadSnapshotRoundtrip(t *testing.T) {
+	cfg := rhhh.Config{Dims: 2, Epsilon: 0.02, Delta: 0.05, V: 250, Seed: 11}
+	src := rhhh.MustNew(cfg)
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 200000; i++ {
+		src.Update(
+			addr4(10, byte(rng.Intn(4)), 1, byte(rng.Intn(256))),
+			addr4(20, byte(rng.Intn(4)), 2, byte(rng.Intn(256))),
+		)
+	}
+	enc, err := src.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap rhhh.Snapshot
+	if err := snap.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := rhhh.MustNew(cfg)
+	if err := dst.LoadSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.N() != src.N() {
+		t.Fatalf("restored N=%d, want %d", dst.N(), src.N())
+	}
+	for _, theta := range []float64{0.02, 0.1} {
+		snapEqualHH(t, "restored monitor", slices.Clone(src.HeavyHitters(theta)), dst.HeavyHitters(theta))
+	}
+	before := dst.N()
+	for i := 0; i < 1000; i++ {
+		dst.Update(addr4(1, 2, 3, 4), addr4(5, 6, 7, 8))
+	}
+	if dst.N() != before+1000 {
+		t.Fatalf("N after restore+updates = %d, want %d", dst.N(), before+1000)
+	}
+
+	// Mismatched configurations are rejected.
+	if err := rhhh.MustNew(rhhh.Config{Dims: 1, Epsilon: 0.02, Delta: 0.05, Seed: 1}).LoadSnapshot(&snap); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+	if err := rhhh.MustNew(rhhh.Config{Dims: 2, Epsilon: 0.02, Delta: 0.05, Seed: 1}).LoadSnapshot(&snap); err == nil {
+		t.Fatal("V mismatch accepted")
+	}
+	if err := rhhh.MustNew(rhhh.Config{Dims: 2, Epsilon: 0.02, Delta: 0.05, V: 250, Algorithm: rhhh.MST}).LoadSnapshot(&snap); err == nil {
+		t.Fatal("non-RHHH restore accepted")
+	}
+	var empty rhhh.Snapshot
+	if err := dst.LoadSnapshot(&empty); err == nil {
+		t.Fatal("empty snapshot accepted")
 	}
 }

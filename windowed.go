@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"slices"
 )
 
 // Windowed measures hierarchical heavy hitters over windows of a fixed
@@ -57,7 +58,9 @@ type WindowResult struct {
 	// SubWindows is the number of sub-windows the result covers: always 1
 	// when tumbling, min(Index+1, k) when sliding.
 	SubWindows int
-	// HeavyHitters is the window's HHH set at the configured θ.
+	// HeavyHitters is the window's HHH set at the configured θ. The slice is
+	// owned by the result (copied out of the reusable query buffers), so
+	// callbacks may retain it across windows.
 	HeavyHitters []HeavyHitter
 }
 
@@ -179,6 +182,10 @@ func (w *Windowed) Flush() {
 // in-progress one (tumbling mode: just the in-progress window). The
 // in-progress window's packets are included, so the covered span is up to
 // (k−1)·windowSize plus the current fill.
+//
+// The returned slice is a reusable query buffer: treat it as read-only,
+// valid until the next query on this Windowed — copy it to retain results
+// (delivered WindowResults are already copies).
 func (w *Windowed) HeavyHitters(theta float64) []HeavyHitter {
 	if !(theta > 0 && theta <= 1) {
 		panic("rhhh: theta must be in (0, 1]")
@@ -221,7 +228,7 @@ func (w *Windowed) flush() {
 	res := WindowResult{Index: w.index, SubWindows: 1}
 	if w.k == 1 {
 		res.N = w.current.N()
-		res.HeavyHitters = w.current.HeavyHitters(w.theta)
+		res.HeavyHitters = slices.Clone(w.current.HeavyHitters(w.theta))
 	} else {
 		slot := w.index % uint64(w.k)
 		w.ring[slot] = w.current.SnapshotInto(w.ring[slot])
@@ -234,7 +241,7 @@ func (w *Windowed) flush() {
 		w.merged = merged
 		res.N = merged.N()
 		res.SubWindows = len(w.order)
-		res.HeavyHitters = merged.HeavyHitters(w.theta)
+		res.HeavyHitters = slices.Clone(merged.HeavyHitters(w.theta))
 	}
 	w.index++
 	// Reset + window-dependent reseed: windows stay statistically
