@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/netip"
 	"testing"
+	"time"
 
 	"rhhh"
 	"rhhh/internal/baseline/ancestry"
@@ -437,6 +438,51 @@ func BenchmarkQueryExtract(b *testing.B) {
 		ex := core.NewExtractor[uint64](dom)
 		ex.SetMaxGrowth(-1) // disable the seeded path; always full scan
 		run(b, ex, false)
+	})
+}
+
+// BenchmarkWatchTick measures one standing-query tick on the sharded
+// acceptance workload with a registered callback subscription (θ=0.05,
+// MinDelta suppressing estimator jitter). Busy lands one packet before every
+// tick, so capture re-copies the touched node and the extraction re-runs —
+// the steady-state cost of watching a live monitor; Idle ticks with no
+// traffic, riding the unchanged-state shortcuts end to end — the cost of a
+// watch on a quiet monitor. Both are 0 allocs/op once warm (pinned by
+// TestWatchTickZeroAlloc); history in BENCH_watch.json.
+func BenchmarkWatchTick(b *testing.B) {
+	build := func(b *testing.B) *rhhh.Sharded {
+		s := filledSharded(b)
+		_, err := s.Watch(rhhh.WatchOptions{
+			Theta:    0.05,
+			MinDelta: 1e12, // membership-only events: ticks deliver nothing
+			Interval: time.Hour,
+			OnDelta:  func(rhhh.Delta) {},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.TickWatch()
+		return s
+	}
+	b.Run("Busy", func(b *testing.B) {
+		s := build(b)
+		defer s.Close()
+		src, dst := v4addr(0x0a010101), v4addr(0x14020202)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Shard(0).Update(src, dst)
+			s.TickWatch()
+		}
+	})
+	b.Run("Idle", func(b *testing.B) {
+		s := build(b)
+		defer s.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.TickWatch()
+		}
 	})
 }
 

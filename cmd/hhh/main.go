@@ -38,6 +38,9 @@ func main() {
 		weighted = flag.Bool("bytes", false, "weight packets by byte count instead of counting packets")
 		ckpt     = flag.String("checkpoint", "", "snapshot checkpoint file: restored on start if present, written periodically and at exit (RHHH only)")
 		ckptEvry = flag.Uint64("checkpoint-every", 1_000_000, "packets between checkpoint writes (0 = only at exit)")
+		watch    = flag.Bool("watch", false, "log standing-query events (admitted/retired/updated HHH prefixes) during replay (RHHH only)")
+		watchEvy = flag.Uint64("watch-every", 100_000, "packets between standing-query ticks")
+		watchK   = flag.Int("watch-k", 0, "auto-tune the watch threshold to track the top k keys instead of -theta")
 	)
 	flag.Parse()
 
@@ -93,6 +96,22 @@ func main() {
 		}
 	}
 
+	if *watch {
+		if cfg.Algorithm != rhhh.RHHH {
+			fatalf("-watch requires the RHHH algorithm")
+		}
+		if *watchEvy == 0 {
+			fatalf("-watch-every must be positive")
+		}
+		opts := rhhh.WatchOptions{Theta: *theta, OnDelta: printWatchDelta}
+		if *watchK > 0 {
+			opts.Theta, opts.AutoThetaK = 0, *watchK
+		}
+		if _, err := mon.Watch(opts); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
 	var src trace.Source
 	if *pcapPath != "" {
 		f, err := os.Open(*pcapPath)
@@ -128,12 +147,18 @@ func main() {
 			mon.Update(saddr, daddr)
 		}
 		count++
+		if *watch && count%*watchEvy == 0 {
+			mon.Tick()
+		}
 		if *ckpt != "" && *ckptEvry > 0 && count%*ckptEvry == 0 {
 			snapBuf = mon.SnapshotInto(snapBuf)
 			if err := writeCheckpoint(snapBuf, *ckpt); err != nil {
 				fatalf("writing checkpoint: %v", err)
 			}
 		}
+	}
+	if *watch {
+		mon.Tick() // deliver the stream's final deltas
 	}
 	if *ckpt != "" {
 		snapBuf = mon.SnapshotInto(snapBuf)
@@ -157,6 +182,22 @@ func main() {
 	}
 	if len(hits) == 0 {
 		fmt.Println("  (none above threshold)")
+	}
+}
+
+// printWatchDelta renders one standing-query event: only the changes, with
+// + for admitted, - for retired and ~ for updated prefixes.
+func printWatchDelta(d rhhh.Delta) {
+	fmt.Printf("watch tick=%d N=%d theta=%.4g: +%d -%d ~%d\n",
+		d.Seq, d.N, d.Theta, len(d.Admitted), len(d.Retired), len(d.Updated))
+	for _, h := range d.Admitted {
+		fmt.Printf("  + %s\n", h)
+	}
+	for _, h := range d.Retired {
+		fmt.Printf("  - %s\n", h.Text)
+	}
+	for _, h := range d.Updated {
+		fmt.Printf("  ~ %s\n", h)
 	}
 }
 

@@ -39,6 +39,9 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		ckpt     = flag.String("checkpoint", "", "dataplane mode: engine snapshot checkpoint file, restored on start if present, written periodically and at exit")
 		ckptEvry = flag.Uint64("checkpoint-every", 1_000_000, "packets between checkpoint writes (0 = only at exit)")
+		watch    = flag.Bool("watch", false, "log standing-query events (admitted/retired/updated HHH prefixes) while traffic runs")
+		watchEvy = flag.Uint64("watch-every", 500_000, "dataplane mode: packets between standing-query ticks")
+		watchIvl = flag.Duration("watch-interval", 200*time.Millisecond, "distributed mode: collector tick interval")
 	)
 	flag.Parse()
 
@@ -77,6 +80,16 @@ func main() {
 		} else {
 			hook = engHook
 		}
+		if *watch {
+			if *watchEvy == 0 {
+				fatalf("-watch-every must be positive")
+			}
+			hook = &watchLogHook{
+				inner: hook, eng: eng, dom: dom, theta: *theta,
+				every: *watchEvy, next: eng.N() + *watchEvy,
+				differ: core.NewDiffer[uint64](),
+			}
+		}
 		report = func() {
 			if *ckpt != "" {
 				if err := writeEngineCheckpoint(eng, *ckpt); err != nil {
@@ -108,6 +121,12 @@ func main() {
 		}
 		sh := vswitch.NewSamplerHook(dom, v, *seed, tr, 0)
 		hook = sh
+		if *watch {
+			w := col.Watch(*theta, 0, *watchIvl, func(d vswitch.CollectorDelta) {
+				printWatchEvents(dom, d.Seq, d.N, d.Admitted, d.Retired, d.Updated)
+			})
+			defer w.Close()
+		}
 		report = func() {
 			if err := sh.Flush(); err != nil {
 				fmt.Fprintf(os.Stderr, "vswitchd: transport error: %v\n", err)
@@ -131,6 +150,66 @@ func main() {
 	fmt.Printf("throughput: %.2f Mpps (%d packets; emc hits %.1f%%)\n",
 		res.Mpps(), st.Received, 100*float64(st.EMCHits)/float64(st.Received))
 	report()
+}
+
+// watchLogHook wraps the dataplane hook with a packet-count-driven standing
+// query: every `every` packets it diffs the engine's HHH set against the
+// previous tick and logs only the changes — the -watch event-log mode.
+type watchLogHook struct {
+	inner  vswitch.Hook
+	eng    *core.Engine[uint64]
+	dom    *hierarchy.Domain[uint64]
+	theta  float64
+	every  uint64
+	next   uint64
+	differ *core.Differ[uint64]
+	seq    uint64
+}
+
+func (h *watchLogHook) OnPacket(p trace.Packet) {
+	h.inner.OnPacket(p)
+	h.maybeTick()
+}
+
+func (h *watchLogHook) OnBatch(ps []trace.Packet) {
+	if bh, ok := h.inner.(vswitch.BatchHook); ok {
+		bh.OnBatch(ps)
+	} else {
+		for _, p := range ps {
+			h.inner.OnPacket(p)
+		}
+	}
+	h.maybeTick()
+}
+
+func (h *watchLogHook) maybeTick() {
+	if h.eng.N() < h.next {
+		return
+	}
+	for h.next <= h.eng.N() {
+		h.next += h.every
+	}
+	h.seq++
+	d := h.differ.Diff(h.eng.Output(h.theta), 0)
+	if d.Empty() {
+		return
+	}
+	printWatchEvents(h.dom, h.seq, h.eng.Weight(), d.Admitted, d.Retired, d.Updated)
+}
+
+// printWatchEvents renders one standing-query delta: + admitted, - retired,
+// ~ updated.
+func printWatchEvents(dom *hierarchy.Domain[uint64], seq, n uint64, admitted, retired, updated []core.Result[uint64]) {
+	fmt.Printf("watch tick=%d N=%d: +%d -%d ~%d\n", seq, n, len(admitted), len(retired), len(updated))
+	for _, r := range admitted {
+		fmt.Printf("  + %-44s f in [%12.0f, %12.0f]\n", dom.Format(r.Key, r.Node), r.Lower, r.Upper)
+	}
+	for _, r := range retired {
+		fmt.Printf("  - %s\n", dom.Format(r.Key, r.Node))
+	}
+	for _, r := range updated {
+		fmt.Printf("  ~ %-44s f in [%12.0f, %12.0f]\n", dom.Format(r.Key, r.Node), r.Lower, r.Upper)
+	}
 }
 
 // checkpointHook wraps the dataplane EngineHook with periodic snapshot

@@ -1,0 +1,80 @@
+// The watch example registers a standing query and drives three traffic
+// phases through a monitor — baseline noise, a DDoS aggregate switching on,
+// and the attack ending. Instead of polling HeavyHitters and re-reading
+// mostly unchanged sets, the subscription delivers only the changes: the
+// victim prefix is Admitted when the attack starts and Retired once enough
+// clean traffic dilutes it.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+
+	"rhhh"
+)
+
+func main() {
+	m := rhhh.MustNew(rhhh.Config{
+		Dims:        2,
+		Granularity: rhhh.Byte,
+		Epsilon:     0.005,
+		Delta:       0.01,
+		Seed:        1,
+	})
+
+	sub, err := m.Watch(rhhh.WatchOptions{
+		Theta:    0.2,
+		MinDelta: 25_000, // suppress estimator jitter below 25k packets
+		OnDelta: func(d rhhh.Delta) {
+			fmt.Printf("tick %d (N=%d):\n", d.Seq, d.N)
+			for _, h := range d.Admitted {
+				fmt.Printf("  + %v\n", h)
+			}
+			for _, h := range d.Retired {
+				fmt.Printf("  - %s\n", h.Text)
+			}
+			for _, h := range d.Updated {
+				fmt.Printf("  ~ %v\n", h)
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sub.Close()
+
+	rng := rand.New(rand.NewPCG(1, 1))
+	background := func(n int) {
+		for i := 0; i < n; i++ {
+			src := netip.AddrFrom4([4]byte{byte(rng.IntN(100)), byte(rng.IntN(200)), byte(rng.IntN(10)), byte(rng.IntN(50))})
+			dst := netip.AddrFrom4([4]byte{byte(100 + rng.IntN(100)), byte(rng.IntN(200)), 0, byte(rng.IntN(20))})
+			m.Update(src, dst)
+		}
+	}
+	victim := netip.MustParseAddr("203.0.113.9")
+	attack := func(n int) {
+		for i := 0; i < n; i++ {
+			// A spread source aggregate hammering one victim address.
+			src := netip.AddrFrom4([4]byte{198, 18, byte(rng.IntN(250)), byte(rng.IntN(250))})
+			m.Update(src, victim)
+		}
+	}
+
+	fmt.Println("phase 1: background traffic")
+	background(300_000)
+	m.Tick()
+
+	fmt.Println("phase 2: DDoS aggregate starts")
+	for i := 0; i < 3; i++ {
+		background(50_000)
+		attack(150_000)
+		m.Tick()
+	}
+
+	fmt.Println("phase 3: attack over, traffic dilutes")
+	for i := 0; i < 5; i++ {
+		background(400_000)
+		m.Tick()
+	}
+}

@@ -1,0 +1,13 @@
+package rhhh
+
+// TickWatch runs one standing-query tick synchronously — the test hook the
+// differential tests use to interleave ticks deterministically with updates
+// (the production Sharded driver ticks on its own interval).
+func (s *Sharded) TickWatch() {
+	s.watchMu.Lock()
+	hub := s.hub
+	s.watchMu.Unlock()
+	if hub != nil {
+		hub.tick()
+	}
+}

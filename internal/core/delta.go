@@ -1,0 +1,201 @@
+package core
+
+import "math"
+
+// Delta is the change between two consecutive result sets of a standing
+// query: the prefixes that entered the HHH set, the ones that left it, and
+// the surviving ones whose estimates moved past the update hysteresis.
+// Replaying a delta stream onto the initial (empty) set — insert Admitted,
+// remove Retired, overwrite Updated — reconstructs every reported set
+// exactly (bit-identical to the full query output when the hysteresis is
+// zero; see Differ).
+type Delta[K comparable] struct {
+	// Admitted holds results present now but absent from the last reported
+	// set; Retired results absent now, carrying their last reported
+	// estimates; Updated surviving results whose estimates changed (new
+	// values).
+	Admitted []Result[K]
+	Retired  []Result[K]
+	Updated  []Result[K]
+}
+
+// Empty reports whether the delta carries no events.
+func (d *Delta[K]) Empty() bool {
+	return len(d.Admitted) == 0 && len(d.Retired) == 0 && len(d.Updated) == 0
+}
+
+// Differ turns a standing query's consecutive full result sets into deltas.
+// It retains the last reported set in a flat slab indexed by one
+// open-addressing (node, key) table — the Extractor's index idiom — and all
+// scratch (the double-buffered slabs, the event buffers, the seen stamps) is
+// reused across calls, so a tick whose set did not change performs no
+// allocation and no state rewrite at all.
+//
+// Updated events are gated by a count-change hysteresis: a surviving result
+// is reported (and the retained copy refreshed) only when its frequency
+// bounds moved at least minDelta away from the last values actually
+// reported, so estimator jitter cannot spam subscribers while sustained
+// drift still surfaces once it accumulates past the threshold. With
+// minDelta == 0 any field change is reported and the retained set tracks the
+// query output bit for bit.
+//
+// A Differ is not safe for concurrent use. The slices inside the returned
+// Delta are owned by the Differ and valid until its next Diff call.
+type Differ[K comparable] struct {
+	hash func(K, int32) uint32
+
+	// state[live] is the last reported set; the other buffer is the build
+	// target when a diff changes membership or values. tab indexes the live
+	// buffer (entry+1, 0 = empty), seen carries per-entry round stamps.
+	state [2][]Result[K]
+	live  int
+	tab   []int32
+	mask  uint32
+	seen  []uint32
+	round uint32
+	cls   []int32 // per-candidate classification scratch (see Diff)
+	out   Delta[K]
+}
+
+// NewDiffer builds a reusable delta workspace.
+func NewDiffer[K comparable]() *Differ[K] {
+	return &Differ[K]{hash: extHashFor[K](), tab: make([]int32, 64), mask: 63}
+}
+
+// cls sentinel values; non-negative entries are live-slab indices of
+// survivors kept at their last reported values.
+const (
+	diffAdmitted int32 = -1
+	diffUpdated  int32 = -2
+)
+
+// Diff computes the events between the retained last-reported set and cur,
+// then folds cur into the retained set (survivors under the hysteresis keep
+// their last reported values). cur's (node, key) pairs must be distinct —
+// extraction output always is. The first call reports the whole set as
+// Admitted.
+func (d *Differ[K]) Diff(cur []Result[K], minDelta float64) *Delta[K] {
+	d.out.Admitted = d.out.Admitted[:0]
+	d.out.Retired = d.out.Retired[:0]
+	d.out.Updated = d.out.Updated[:0]
+	prev := d.state[d.live]
+	d.round++
+	if d.round == 0 { // stamp wrap: stale stamps could alias the new round
+		clear(d.seen)
+		d.round = 1
+	}
+	if cap(d.cls) < len(cur) {
+		d.cls = make([]int32, len(cur))
+	}
+	d.cls = d.cls[:len(cur)]
+	for i := range cur {
+		r := &cur[i]
+		e := d.find(prev, int32(r.Node), r.Key)
+		if e < 0 {
+			d.cls[i] = diffAdmitted
+			d.out.Admitted = append(d.out.Admitted, *r)
+			continue
+		}
+		d.seen[e] = d.round
+		if d.changed(&prev[e], r, minDelta) {
+			d.cls[i] = diffUpdated
+			d.out.Updated = append(d.out.Updated, *r)
+		} else {
+			d.cls[i] = e
+		}
+	}
+	// With no admissions and no updates, equal sizes mean every retained
+	// entry was matched — no retirements either, and the retained set (and
+	// its index) is already exactly right: the common idle tick ends here.
+	if len(d.out.Admitted) == 0 && len(d.out.Updated) == 0 && len(cur) == len(prev) {
+		return &d.out
+	}
+	for e := range prev {
+		if d.seen[e] != d.round {
+			d.out.Retired = append(d.out.Retired, prev[e])
+		}
+	}
+	if d.out.Empty() {
+		return &d.out
+	}
+	// Fold: the next retained set has cur's membership, with unreported
+	// survivors kept at their last reported values (the hysteresis baseline).
+	next := d.state[1-d.live][:0]
+	for i := range cur {
+		if e := d.cls[i]; e >= 0 {
+			next = append(next, prev[e])
+		} else {
+			next = append(next, cur[i])
+		}
+	}
+	d.state[1-d.live] = next
+	d.live = 1 - d.live
+	d.reindex(next)
+	return &d.out
+}
+
+// Reported returns the retained last-reported set — what a subscriber that
+// replayed every delta holds. Read-only, valid until the next Diff.
+func (d *Differ[K]) Reported() []Result[K] { return d.state[d.live] }
+
+// Reset forgets the retained set; the next Diff reports everything as
+// Admitted. Storage is kept.
+func (d *Differ[K]) Reset() {
+	d.state[d.live] = d.state[d.live][:0]
+	clear(d.tab)
+}
+
+// changed reports whether a surviving result must be re-reported given the
+// hysteresis: with minDelta == 0 any field change counts (the retained set
+// then tracks the query bit for bit); otherwise either frequency bound must
+// have moved at least minDelta from the last reported value.
+func (d *Differ[K]) changed(old, cur *Result[K], minDelta float64) bool {
+	if minDelta <= 0 {
+		return *old != *cur
+	}
+	return math.Abs(cur.Upper-old.Upper) >= minDelta ||
+		math.Abs(cur.Lower-old.Lower) >= minDelta
+}
+
+// find returns the live-slab index of (node, k), or −1.
+func (d *Differ[K]) find(prev []Result[K], node int32, k K) int32 {
+	h := d.hash(k, node)
+	pos := h & d.mask
+	for {
+		v := d.tab[pos]
+		if v == 0 {
+			return -1
+		}
+		if e := v - 1; int32(prev[e].Node) == node && prev[e].Key == k {
+			return e
+		}
+		pos = (pos + 1) & d.mask
+	}
+}
+
+// reindex rebuilds the (node, key) table and the stamp array over the new
+// live set, reusing storage.
+func (d *Differ[K]) reindex(set []Result[K]) {
+	n := uint32(64)
+	for int(n) < 2*len(set) {
+		n <<= 1
+	}
+	if uint32(cap(d.tab)) >= n {
+		d.tab = d.tab[:n]
+		clear(d.tab)
+	} else {
+		d.tab = make([]int32, n)
+	}
+	d.mask = n - 1
+	for i := range set {
+		pos := d.hash(set[i].Key, int32(set[i].Node)) & d.mask
+		for d.tab[pos] != 0 {
+			pos = (pos + 1) & d.mask
+		}
+		d.tab[pos] = int32(i) + 1
+	}
+	if cap(d.seen) < len(set) {
+		d.seen = make([]uint32, len(set))
+	}
+	d.seen = d.seen[:len(set)]
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func res(node int, key uint64, up, lo, cond float64) Result[uint64] {
+	return Result[uint64]{Key: key, Node: node, Upper: up, Lower: lo, Cond: cond}
+}
+
+func deltaKinds(d *Delta[uint64]) (adm, ret, upd int) {
+	return len(d.Admitted), len(d.Retired), len(d.Updated)
+}
+
+func TestDifferBasicTransitions(t *testing.T) {
+	df := NewDiffer[uint64]()
+
+	// First set: everything admitted.
+	s1 := []Result[uint64]{res(0, 10, 100, 90, 100), res(1, 20, 50, 40, 50)}
+	d := df.Diff(s1, 0)
+	if adm, ret, upd := deltaKinds(d); adm != 2 || ret != 0 || upd != 0 {
+		t.Fatalf("first diff: got %d/%d/%d events, want 2 admitted", adm, ret, upd)
+	}
+
+	// Unchanged set: no events, even when the slice is a fresh copy.
+	s2 := append([]Result[uint64](nil), s1...)
+	if d := df.Diff(s2, 0); !d.Empty() {
+		t.Fatalf("unchanged diff emitted events: %+v", d)
+	}
+
+	// One update, one retirement, one admission.
+	s3 := []Result[uint64]{res(0, 10, 120, 95, 120), res(2, 30, 70, 60, 70)}
+	d = df.Diff(s3, 0)
+	if adm, ret, upd := deltaKinds(d); adm != 1 || ret != 1 || upd != 1 {
+		t.Fatalf("mixed diff: got %d/%d/%d events", adm, ret, upd)
+	}
+	if d.Admitted[0].Key != 30 || d.Retired[0].Key != 20 || d.Updated[0].Key != 10 {
+		t.Fatalf("mixed diff misclassified: %+v", d)
+	}
+	if d.Updated[0].Upper != 120 {
+		t.Fatalf("updated event carries old value %v", d.Updated[0].Upper)
+	}
+	if d.Retired[0].Upper != 50 {
+		t.Fatalf("retired event should carry the last reported value, got %v", d.Retired[0].Upper)
+	}
+}
+
+func TestDifferHysteresisAgainstLastReported(t *testing.T) {
+	df := NewDiffer[uint64]()
+	df.Diff([]Result[uint64]{res(0, 1, 100, 90, 100)}, 0)
+
+	// Sub-threshold drift is suppressed...
+	if d := df.Diff([]Result[uint64]{res(0, 1, 104, 94, 104)}, 10); !d.Empty() {
+		t.Fatalf("sub-threshold change reported: %+v", d)
+	}
+	// ...but the baseline stays at the last *reported* values, so continued
+	// drift accumulates and fires once it crosses the threshold.
+	d := df.Diff([]Result[uint64]{res(0, 1, 111, 97, 111)}, 10)
+	if adm, ret, upd := deltaKinds(d); adm != 0 || ret != 0 || upd != 1 {
+		t.Fatalf("accumulated drift: got %d/%d/%d events", adm, ret, upd)
+	}
+	if d.Updated[0].Upper != 111 {
+		t.Fatalf("update should report current values, got %v", d.Updated[0].Upper)
+	}
+	if got := df.Reported()[0].Upper; got != 111 {
+		t.Fatalf("baseline not refreshed on report: %v", got)
+	}
+	// A membership change is never suppressed.
+	d = df.Diff(nil, 1e9)
+	if adm, ret, upd := deltaKinds(d); adm != 0 || ret != 1 || upd != 0 {
+		t.Fatalf("retirement suppressed by hysteresis: %d/%d/%d", adm, ret, upd)
+	}
+	if d.Retired[0].Upper != 111 {
+		t.Fatalf("retired should carry last reported value, got %v", d.Retired[0].Upper)
+	}
+}
+
+// TestDifferReplayRandom drives random result-set sequences through a Differ
+// with zero hysteresis and checks the replayed stream reconstructs every set
+// exactly — the property the standing-query layer's correctness rests on.
+func TestDifferReplayRandom(t *testing.T) {
+	type ident struct {
+		node int
+		key  uint64
+	}
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewPCG(7, uint64(trial)))
+		df := NewDiffer[uint64]()
+		replay := map[ident]Result[uint64]{}
+		for step := 0; step < 40; step++ {
+			// Random set over a small identity universe with random values.
+			var cur []Result[uint64]
+			seen := map[ident]bool{}
+			for n := rng.IntN(12); n > 0; n-- {
+				id := ident{node: rng.IntN(3), key: uint64(rng.IntN(8))}
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				cur = append(cur, res(id.node, id.key,
+					float64(rng.IntN(1000)), float64(rng.IntN(500)), float64(rng.IntN(1000))))
+			}
+			d := df.Diff(cur, 0)
+			for _, r := range d.Retired {
+				delete(replay, ident{r.Node, r.Key})
+			}
+			for _, r := range d.Admitted {
+				replay[ident{r.Node, r.Key}] = r
+			}
+			for _, r := range d.Updated {
+				id := ident{r.Node, r.Key}
+				if _, ok := replay[id]; !ok {
+					t.Fatalf("trial %d step %d: update for absent %v", trial, step, id)
+				}
+				replay[id] = r
+			}
+			if len(replay) != len(cur) {
+				t.Fatalf("trial %d step %d: replay has %d entries, set has %d",
+					trial, step, len(replay), len(cur))
+			}
+			for _, r := range cur {
+				if got := replay[ident{r.Node, r.Key}]; got != r {
+					t.Fatalf("trial %d step %d: replay %+v != set %+v", trial, step, got, r)
+				}
+			}
+		}
+	}
+}
+
+func TestDifferUnchangedDiffZeroAlloc(t *testing.T) {
+	df := NewDiffer[uint64]()
+	set := make([]Result[uint64], 0, 64)
+	for i := 0; i < 64; i++ {
+		set = append(set, res(i%5, uint64(i), float64(1000-i), float64(900-i), float64(1000-i)))
+	}
+	df.Diff(set, 0)
+	if n := testing.AllocsPerRun(100, func() {
+		if d := df.Diff(set, 0); !d.Empty() {
+			t.Fatal("unchanged diff emitted events")
+		}
+	}); n != 0 {
+		t.Fatalf("unchanged diff allocates %v per run", n)
+	}
+}
+
+func TestDifferReset(t *testing.T) {
+	df := NewDiffer[uint64]()
+	set := []Result[uint64]{res(0, 1, 10, 9, 10)}
+	df.Diff(set, 0)
+	df.Reset()
+	d := df.Diff(set, 0)
+	if adm, ret, upd := deltaKinds(d); adm != 1 || ret != 0 || upd != 0 {
+		t.Fatalf("after Reset: got %d/%d/%d events, want full admit", adm, ret, upd)
+	}
+}

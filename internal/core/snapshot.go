@@ -125,6 +125,52 @@ func (es *EngineSnapshot[K]) Output(dom *hierarchy.Domain[K], theta float64) []R
 	return NewExtractor(dom).ExtractSnapshot(es, theta)
 }
 
+// SuggestTheta returns a reporting threshold tuned from the observed skew:
+// the k-th largest conditioned-estimate fraction among the fully specified
+// candidates. Fully specified keys are evaluated first by the Output
+// procedure, before any HHH exists below them, so their conditioned estimate
+// is exactly f̂p+ + correction — the k-th largest of those (the node's Upper
+// array is stored in non-ascending order, so this is one array read) divided
+// by N is the threshold at which the k heaviest monitored keys still pass.
+// When fewer than k keys are monitored the smallest monitored upper bound is
+// used (more permissive), and an empty snapshot returns 1. The result is
+// clamped to (0, 1], so it is always a valid query threshold.
+func (es *EngineSnapshot[K]) SuggestTheta(dom *hierarchy.Domain[K], k int) float64 {
+	if k < 1 {
+		panic("core: SuggestTheta needs k >= 1")
+	}
+	if len(es.Nodes) != dom.Size() {
+		panic("core: snapshot does not match lattice size")
+	}
+	n := float64(es.Weight)
+	if n == 0 {
+		return 1
+	}
+	sn := &es.Nodes[dom.FullNode()]
+	var up uint64
+	switch {
+	case len(sn.Keys) == 0:
+		up = sn.Min
+	case k <= len(sn.Upper):
+		up = sn.Upper[k-1]
+	default:
+		up = sn.Upper[len(sn.Upper)-1]
+	}
+	scale := float64(es.V) / float64(es.R)
+	theta := (float64(up)*scale + SamplingCorrection(n, es.V, es.R, es.Delta)) / n
+	// Clamp both ends: the correction is non-positive when δ ≥ 0.5 and the
+	// fully specified node can be empty, so the raw value may reach 0 or
+	// below — floor at one stream unit (θ·N = 1) to keep the promise that
+	// the result is always a valid query threshold.
+	switch {
+	case theta > 1:
+		return 1
+	case theta*n < 1:
+		return 1 / n
+	}
+	return theta
+}
+
 // LoadSnapshot replaces the engine's measurement state with the snapshot's —
 // the restore half of snapshot-driven persistence. The engine must use the
 // Space Saving backend with the same lattice size, V, R, ε and δ, and each

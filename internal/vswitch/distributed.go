@@ -349,6 +349,26 @@ func (c *Collector) Output(theta float64) []core.Result[uint64] {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	out, _ := c.outputLocked(theta)
+	return out
+}
+
+// OutputInto appends the HHH set for θ (and returns the stream weight behind
+// it) to dst under the collector's lock — the form concurrent consumers use,
+// since Output's returned slice is the collector's shared workspace and a
+// later query from another goroutine would rewrite it.
+func (c *Collector) OutputInto(dst []core.Result[uint64], theta float64) ([]core.Result[uint64], uint64) {
+	if !(theta > 0 && theta <= 1) {
+		panic("vswitch: theta must be in (0, 1]")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, n := c.outputLocked(theta)
+	return append(dst[:0], out...), n
+}
+
+// outputLocked is the query body; c.mu must be held.
+func (c *Collector) outputLocked(theta float64) ([]core.Result[uint64], uint64) {
 	var nTotal uint64
 	for _, t := range c.totals {
 		nTotal += t
@@ -356,10 +376,10 @@ func (c *Collector) Output(theta float64) []core.Result[uint64] {
 	if len(c.snaps) == 0 {
 		n := float64(nTotal)
 		if n == 0 {
-			return nil
+			return nil, 0
 		}
 		corr := core.SamplingCorrection(n, c.v, 1, c.delta)
-		return c.ex.Extract(c.inst, n, float64(c.v), corr, theta)
+		return c.ex.Extract(c.inst, n, float64(c.v), corr, theta), nTotal
 	}
 	// Fold the sample-fed state and every sender's latest snapshot into one
 	// merged snapshot (deterministically: local state first, then senders in
@@ -397,9 +417,9 @@ func (c *Collector) Output(theta float64) []core.Result[uint64] {
 	}
 	merged := c.sm.Merge(&c.merged, c.mergeBuf...)
 	if merged.Weight == 0 {
-		return nil
+		return nil, 0
 	}
-	return c.ex.ExtractSnapshot(merged, theta)
+	return c.ex.ExtractSnapshot(merged, theta), merged.Weight
 }
 
 // ApplySnapshot records sender's whole-state snapshot, replacing any

@@ -169,6 +169,8 @@ type monImpl interface {
 	loadSnapshot(sc snapCore) error
 	size() int
 	vParam() int
+	watch(opts WatchOptions) (*Subscription, error)
+	tickWatch()
 }
 
 // New validates cfg and builds a Monitor.
@@ -347,6 +349,32 @@ type impl[K comparable] struct {
 	psiV    float64
 	packets uint64
 	vp      int
+
+	// Standing-query state, created by the first Watch: the hub holds the
+	// subscriptions, hubSnap is the reused capture buffer its ticks read.
+	hub     *watchHub[K]
+	hubSnap core.EngineSnapshot[K]
+}
+
+// watch lazily builds the monitor-level hub (capture = engine snapshot into
+// the reused buffer, so unchanged ticks skip the copy) and registers opts.
+func (im *impl[K]) watch(opts WatchOptions) (*Subscription, error) {
+	if im.hub == nil {
+		eng, ok := im.alg.(*core.Engine[K])
+		if !ok {
+			return nil, errors.New("rhhh: Watch requires the RHHH algorithm")
+		}
+		im.hub = newWatchHub(im.dom, im.split, im.v6, func() *core.EngineSnapshot[K] {
+			return eng.SnapshotInto(&im.hubSnap)
+		})
+	}
+	return im.hub.register(opts)
+}
+
+func (im *impl[K]) tickWatch() {
+	if im.hub != nil {
+		im.hub.tick()
+	}
 }
 
 func build[K comparable](

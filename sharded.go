@@ -1,9 +1,11 @@
 package rhhh
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"sync"
+	"time"
 
 	"rhhh/internal/core"
 	"rhhh/internal/hierarchy"
@@ -36,6 +38,15 @@ type Sharded struct {
 	// Per-call scratch for UpdateBatch routing (single-goroutine use, like
 	// Update).
 	srcBuf, dstBuf [][]netip.Addr
+
+	// Standing-query driver state (see Watch): the hub holds subscriptions,
+	// the goroutine behind watchDone ticks it on the capture interval.
+	watchMu     sync.Mutex
+	hub         watchCtl
+	watchStop   chan struct{}
+	watchWake   chan struct{}
+	watchDone   chan struct{}
+	watchClosed bool
 }
 
 // Shard is one producer's handle: a monitor plus the lock that coordinates
@@ -176,6 +187,7 @@ type shardAgg interface {
 	refresh(shards []*Shard)
 	query(theta float64) []HeavyHitter
 	freshSnapshot() snapCore
+	watchHub(s *Sharded) watchCtl
 }
 
 // aggState implements shardAgg over carrier type K with reusable per-shard
@@ -193,6 +205,11 @@ type aggState[K comparable] struct {
 	merged  core.EngineSnapshot[K]
 	ex      *core.Extractor[K]
 	conv    converter[K]
+
+	// Watch-path merge scratch, separate from the query path's so the two
+	// destinations keep their own unchanged-merge caches warm.
+	wsm     core.SnapshotMerger[K]
+	wmerged core.EngineSnapshot[K]
 }
 
 func newAggState[K comparable](first *impl[K], monitors []*Monitor) *aggState[K] {
@@ -238,6 +255,100 @@ func (a *aggState[K]) freshSnapshot() snapCore {
 	var sm core.SnapshotMerger[K]
 	es := sm.Merge(nil, a.ptrs...)
 	return &snapState[K]{es: *es, dom: a.im.dom, split: a.im.split}
+}
+
+// watchHub builds the sharded watch hub: each capture pauses one shard at a
+// time for its snapshot copy (exactly like HeavyHitters) and merges outside
+// all shard locks, under the aggregator lock so watches and queries
+// serialize on the shared per-shard capture buffers.
+func (a *aggState[K]) watchHub(s *Sharded) watchCtl {
+	return newWatchHub(a.im.dom, a.im.split, a.im.v6, func() *core.EngineSnapshot[K] {
+		s.aggMu.Lock()
+		defer s.aggMu.Unlock()
+		a.refresh(s.shards)
+		return a.wsm.Merge(&a.wmerged, a.ptrs...)
+	})
+}
+
+// Watch registers a standing query over the union stream: a driver goroutine
+// (started by the first Watch) captures the shards on the tick interval —
+// the smallest WatchOptions.Interval across live subscriptions, 100ms by
+// default — and delivers HHH set deltas to the subscription. Producers are
+// never paused for more than one shard's snapshot copy, identical to
+// HeavyHitters. Close the subscription to unregister, or Close the Sharded
+// to stop the driver and end every subscription.
+func (s *Sharded) Watch(opts WatchOptions) (*Subscription, error) {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	if s.watchClosed {
+		return nil, errors.New("rhhh: Watch on a closed Sharded")
+	}
+	if s.hub == nil {
+		s.hub = s.agg.watchHub(s)
+	}
+	sub, err := s.hub.register(opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.watchDone == nil {
+		// First subscription: start the driver, which now sees the
+		// registered interval from the start.
+		s.watchStop = make(chan struct{})
+		s.watchWake = make(chan struct{}, 1)
+		s.watchDone = make(chan struct{})
+		go s.watchLoop()
+	} else {
+		// Nudge the driver so a shorter interval takes effect immediately.
+		select {
+		case s.watchWake <- struct{}{}:
+		default:
+		}
+	}
+	return sub, nil
+}
+
+// watchLoop is the standing-query driver: it ticks the hub on the current
+// minimum subscription interval until Close.
+func (s *Sharded) watchLoop() {
+	defer close(s.watchDone)
+	timer := time.NewTimer(s.hub.minInterval())
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-s.watchWake:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		case <-timer.C:
+			s.hub.tick()
+		}
+		timer.Reset(s.hub.minInterval())
+	}
+}
+
+// Close stops the standing-query driver and closes every subscription's
+// Events channel. Updates and queries keep working; further Watch calls
+// fail. Idempotent.
+func (s *Sharded) Close() error {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	if s.watchClosed {
+		return nil
+	}
+	s.watchClosed = true
+	if s.watchDone != nil {
+		close(s.watchStop)
+		<-s.watchDone
+	}
+	if s.hub != nil {
+		s.hub.closeHub()
+	}
+	return nil
 }
 
 // Update is a convenience for single-goroutine use: it routes the packet to

@@ -45,6 +45,7 @@ type snapCore interface {
 	weight() uint64
 	packets() uint64
 	appendBinary(buf []byte) ([]byte, error)
+	suggestTheta(k int) float64
 	// mergeFrom merges snaps (whose impls must share the receiver's carrier
 	// type) into dst — reused when it has the right type, freshly allocated
 	// otherwise — and returns it. dst must not be one of snaps' impls.
@@ -84,6 +85,10 @@ func (st *snapState[K]) packets() uint64 { return st.es.Packets }
 
 func (st *snapState[K]) appendBinary(buf []byte) ([]byte, error) {
 	return st.es.AppendBinary(buf)
+}
+
+func (st *snapState[K]) suggestTheta(k int) float64 {
+	return st.es.SuggestTheta(st.dom, k)
 }
 
 func (st *snapState[K]) mergeFrom(dst snapCore, snaps []*Snapshot) (snapCore, error) {
@@ -145,6 +150,22 @@ func (s *Snapshot) Packets() uint64 {
 		return 0
 	}
 	return s.impl.packets()
+}
+
+// SuggestTheta returns a reporting threshold tuned from the observed skew:
+// the k-th largest conditioned-estimate fraction among the fully specified
+// candidates, so HeavyHitters at the suggested θ tracks roughly the top k
+// monitored keys (the ROADMAP's adaptive-θ rule; standing queries apply it
+// per tick via WatchOptions.AutoThetaK). The result is clamped to (0, 1] and
+// an empty snapshot returns 1. k must be at least 1.
+func (s *Snapshot) SuggestTheta(k int) float64 {
+	if k < 1 {
+		panic("rhhh: SuggestTheta needs k >= 1")
+	}
+	if s.impl == nil {
+		return 1
+	}
+	return s.impl.suggestTheta(k)
 }
 
 // Merge returns a new snapshot over the union of the sub-streams behind s

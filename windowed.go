@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"net/netip"
 	"slices"
+
+	"rhhh/internal/core"
+	"rhhh/internal/hierarchy"
 )
 
 // Windowed measures hierarchical heavy hitters over windows of a fixed
@@ -45,6 +48,11 @@ type Windowed struct {
 	order     []*Snapshot // scratch: ring reordered oldest → newest
 	merged    *Snapshot
 	querySnap *Snapshot // scratch for on-demand HeavyHitters
+
+	// Standing-query hub, created by the first Watch and ticked on each
+	// completed (sub-)window.
+	hub         watchCtl
+	watchClosed bool
 }
 
 // WindowResult is one completed window's output.
@@ -224,6 +232,73 @@ func (w *Windowed) collectRing(limit int) {
 	}
 }
 
+// Watch registers a standing query ticked on each completed (sub-)window,
+// before the window result is delivered: deltas compare the HHH set of
+// consecutive covered windows (the union of the last k sub-windows when
+// sliding) at the subscription's own threshold — the change-detection
+// deployment, where a subscriber learns that a prefix became heavy this
+// window or stopped being heavy, without re-reading full sets. Requires the
+// RHHH algorithm. WatchOptions.Interval is ignored: window turnover is the
+// tick.
+func (w *Windowed) Watch(opts WatchOptions) (*Subscription, error) {
+	if w.watchClosed {
+		return nil, errors.New("rhhh: Watch on a closed Windowed")
+	}
+	if w.hub == nil {
+		hub, err := newWindowedHub(w)
+		if err != nil {
+			return nil, err
+		}
+		w.hub = hub
+	}
+	return w.hub.register(opts)
+}
+
+// Close ends every watch subscription (closing their Events channels);
+// further Watch calls fail. The window state itself is unaffected — Flush
+// remains available for shutdown delivery. Idempotent.
+func (w *Windowed) Close() error {
+	w.watchClosed = true
+	if w.hub != nil {
+		w.hub.closeHub()
+	}
+	return nil
+}
+
+// newWindowedHub dispatches hub construction over the four carrier types.
+func newWindowedHub(w *Windowed) (watchCtl, error) {
+	switch im := w.current.impl.(type) {
+	case *impl[uint32]:
+		return windowedHub(w, im)
+	case *impl[uint64]:
+		return windowedHub(w, im)
+	case *impl[hierarchy.Addr]:
+		return windowedHub(w, im)
+	case *impl[hierarchy.AddrPair]:
+		return windowedHub(w, im)
+	default:
+		return nil, fmt.Errorf("rhhh: unknown windowed implementation %T", w.current.impl)
+	}
+}
+
+// windowedHub builds the typed hub: capture reads the covered window's state
+// at flush time — the ring-merged snapshot when sliding, a reused snapshot
+// of the closing monitor when tumbling.
+func windowedHub[K comparable](w *Windowed, im *impl[K]) (watchCtl, error) {
+	eng, ok := im.alg.(*core.Engine[K])
+	if !ok {
+		return nil, errors.New("rhhh: Watch requires the RHHH algorithm")
+	}
+	var buf core.EngineSnapshot[K]
+	capture := func() *core.EngineSnapshot[K] {
+		if w.k > 1 {
+			return &w.merged.impl.(*snapState[K]).es
+		}
+		return eng.SnapshotInto(&buf)
+	}
+	return newWatchHub(im.dom, im.split, im.v6, capture), nil
+}
+
 func (w *Windowed) flush() {
 	res := WindowResult{Index: w.index, SubWindows: 1}
 	if w.k == 1 {
@@ -242,6 +317,11 @@ func (w *Windowed) flush() {
 		res.N = merged.N()
 		res.SubWindows = len(w.order)
 		res.HeavyHitters = slices.Clone(merged.HeavyHitters(w.theta))
+	}
+	// Standing-query tick on the covered window's final state — before the
+	// monitor resets for the next window.
+	if w.hub != nil {
+		w.hub.tick()
 	}
 	w.index++
 	// Reset + window-dependent reseed: windows stay statistically
