@@ -97,6 +97,181 @@ func TestMonitorUpdateBatchLengthMismatchPanics(t *testing.T) {
 	m.UpdateBatch(make([]netip.Addr, 3), make([]netip.Addr, 2))
 }
 
+// TestMonitorUpdateWeightedBatchMatchesSequential: the public weighted batch
+// must be indistinguishable from per-packet UpdateWeighted for the same
+// seed, at V = H and V > H, including zero and heavy weights.
+func TestMonitorUpdateWeightedBatchMatchesSequential(t *testing.T) {
+	for _, vMult := range []int{0, 10} {
+		cfg := rhhh.Config{Dims: 2, Epsilon: 0.02, Delta: 0.05, Seed: 13}
+		probe := rhhh.MustNew(cfg)
+		cfg.V = vMult * probe.H()
+
+		const n = 60_000
+		r := fastrand.New(14)
+		srcs := make([]netip.Addr, n)
+		dsts := make([]netip.Addr, n)
+		ws := make([]uint64, n)
+		for i := range srcs {
+			srcs[i] = randAddr4(r)
+			dsts[i] = randAddr4(r)
+			switch r.Uint64n(10) {
+			case 0:
+				ws[i] = 0
+			case 1:
+				ws[i] = 1 + r.Uint64n(100_000)
+			default:
+				ws[i] = 1 + r.Uint64n(8)
+			}
+		}
+
+		seq := rhhh.MustNew(cfg)
+		for i := range srcs {
+			seq.UpdateWeighted(srcs[i], dsts[i], ws[i])
+		}
+		bat := rhhh.MustNew(cfg)
+		for i := 0; i < n; {
+			end := i + 1 + int(r.Uint64n(5000))
+			if end > n {
+				end = n
+			}
+			bat.UpdateWeightedBatch(srcs[i:end], dsts[i:end], ws[i:end])
+			i = end
+		}
+
+		if seq.N() != bat.N() {
+			t.Fatalf("V=%d: N %d vs %d", cfg.V, seq.N(), bat.N())
+		}
+		a, b := seq.HeavyHitters(0.01), bat.HeavyHitters(0.01)
+		if len(a) != len(b) {
+			t.Fatalf("V=%d: result count %d vs %d", cfg.V, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("V=%d: result %d differs: %+v vs %+v", cfg.V, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestMonitorUpdateWeightedBatchValidation guards the API contract.
+func TestMonitorUpdateWeightedBatchValidation(t *testing.T) {
+	m := rhhh.MustNew(rhhh.Config{Dims: 2, Epsilon: 0.1, Delta: 0.1})
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("srcs/ws mismatch", func() {
+		m.UpdateWeightedBatch(make([]netip.Addr, 3), make([]netip.Addr, 3), make([]uint64, 2))
+	})
+	mustPanic("srcs/dsts mismatch", func() {
+		m.UpdateWeightedBatch(make([]netip.Addr, 3), make([]netip.Addr, 2), make([]uint64, 3))
+	})
+	mustPanic("nil dsts on 2D", func() {
+		m.UpdateWeightedBatch(make([]netip.Addr, 3), nil, make([]uint64, 3))
+	})
+}
+
+// TestMonitorBatchSurfacesZeroAlloc pins the steady-state allocation
+// contract of the public batch surfaces.
+func TestMonitorBatchSurfacesZeroAlloc(t *testing.T) {
+	m := rhhh.MustNew(rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01, V: 250, Seed: 3})
+	r := fastrand.New(5)
+	srcs := make([]netip.Addr, 256)
+	dsts := make([]netip.Addr, 256)
+	ws := make([]uint64, 256)
+	for i := range srcs {
+		srcs[i] = randAddr4(r)
+		dsts[i] = randAddr4(r)
+		ws[i] = 1 + r.Uint64n(9)
+	}
+	for i := 0; i < 500; i++ { // fill summaries, grow scratch
+		m.UpdateBatch(srcs, dsts)
+		m.UpdateWeightedBatch(srcs, dsts, ws)
+	}
+	if n := testing.AllocsPerRun(100, func() { m.UpdateBatch(srcs, dsts) }); n != 0 {
+		t.Errorf("Monitor.UpdateBatch allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { m.UpdateWeightedBatch(srcs, dsts, ws) }); n != 0 {
+		t.Errorf("Monitor.UpdateWeightedBatch allocates %v/op", n)
+	}
+
+	s, err := rhhh.NewSharded(rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01, V: 250, Seed: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s.UpdateBatch(srcs, dsts)
+		s.UpdateWeightedBatch(srcs, dsts, ws)
+	}
+	if n := testing.AllocsPerRun(100, func() { s.Shard(0).UpdateBatch(srcs, dsts) }); n != 0 {
+		t.Errorf("Shard.UpdateBatch allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { s.Shard(0).UpdateWeightedBatch(srcs, dsts, ws) }); n != 0 {
+		t.Errorf("Shard.UpdateWeightedBatch allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { s.UpdateBatch(srcs, dsts) }); n != 0 {
+		t.Errorf("Sharded.UpdateBatch allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { s.UpdateWeightedBatch(srcs, dsts, ws) }); n != 0 {
+		t.Errorf("Sharded.UpdateWeightedBatch allocates %v/op", n)
+	}
+}
+
+// TestShardedUpdateWeightedBatchMatchesUpdate: weighted batched sharded
+// feeding must land every packet on the same shard with the same weight as
+// per-packet feeding, with identical merged results.
+func TestShardedUpdateWeightedBatchMatchesUpdate(t *testing.T) {
+	cfg := rhhh.Config{Dims: 2, Epsilon: 0.02, Delta: 0.05, Seed: 15}
+	const shards = 4
+	a, err := rhhh.NewSharded(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rhhh.NewSharded(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 40_000
+	r := fastrand.New(16)
+	srcs := make([]netip.Addr, n)
+	dsts := make([]netip.Addr, n)
+	ws := make([]uint64, n)
+	for i := range srcs {
+		srcs[i] = randAddr4(r)
+		dsts[i] = randAddr4(r)
+		ws[i] = r.Uint64n(16)
+	}
+	for i := range srcs {
+		a.UpdateWeighted(srcs[i], dsts[i], ws[i])
+	}
+	for i := 0; i < n; i += 1000 {
+		b.UpdateWeightedBatch(srcs[i:i+1000], dsts[i:i+1000], ws[i:i+1000])
+	}
+
+	if a.N() != b.N() {
+		t.Fatalf("N %d vs %d", a.N(), b.N())
+	}
+	for i := 0; i < shards; i++ {
+		if an, bn := a.Shard(i).N(), b.Shard(i).N(); an != bn {
+			t.Fatalf("shard %d: N %d vs %d — batch routing diverged", i, an, bn)
+		}
+	}
+	ha, hb := a.HeavyHitters(0.01), b.HeavyHitters(0.01)
+	if len(ha) != len(hb) {
+		t.Fatalf("result count %d vs %d", len(ha), len(hb))
+	}
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
 // TestShardedUpdateBatchMatchesUpdate: batched sharded feeding must land
 // every packet on the same shard as per-packet feeding, with identical
 // merged results.

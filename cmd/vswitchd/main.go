@@ -42,6 +42,7 @@ func main() {
 		watch    = flag.Bool("watch", false, "log standing-query events (admitted/retired/updated HHH prefixes) while traffic runs")
 		watchEvy = flag.Uint64("watch-every", 500_000, "dataplane mode: packets between standing-query ticks")
 		watchIvl = flag.Duration("watch-interval", 200*time.Millisecond, "distributed mode: collector tick interval")
+		byBytes  = flag.Bool("bytes", false, "dataplane mode: weight updates by packet length (byte-count heavy hitters)")
 	)
 	flag.Parse()
 
@@ -75,6 +76,9 @@ func main() {
 			}
 		}
 		engHook := vswitch.NewEngineHook(eng)
+		if *byBytes {
+			engHook = vswitch.NewEngineHookBytes(eng)
+		}
 		if *ckpt != "" && *ckptEvry > 0 {
 			hook = &checkpointHook{EngineHook: engHook, eng: eng, path: *ckpt, every: *ckptEvry, next: eng.N() + *ckptEvry}
 		} else {

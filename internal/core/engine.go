@@ -83,15 +83,25 @@ type Engine[K comparable] struct {
 	nextSample uint64
 	geo        *fastrand.GeometricSampler
 
-	// UpdateBatch scratch: a batch's sampled (node, masked key) pairs are
-	// collected and applied node-grouped at the end of the call, touching
-	// each node's counter store once per batch instead of once per sample.
-	// Update itself applies samples immediately — every single call stays
-	// O(1) worst case, the paper's headline property.
-	batchNode []int32 // node draw per sampled packet, in sample order
-	batchKey  []K     // masked key per sampled packet
-	grpKey    []K     // scratch: masked keys regrouped by node
-	grpOff    []int32 // scratch: per-node group boundaries
+	// UpdateBatch scratch: a batch's sampled (node, masked key[, weight])
+	// tuples are collected and applied node-grouped at the end of the call,
+	// touching each node's counter store once per batch instead of once per
+	// sample. Update itself applies samples immediately — every single call
+	// stays O(1) worst case, the paper's headline property.
+	batchNode []int32  // node draw per sampled packet, in sample order
+	batchKey  []K      // masked key per sampled packet
+	batchW    []uint64 // weight per sampled packet (weighted batches only)
+	grpKey    []K      // scratch: masked keys regrouped by node
+	grpNode   []int32  // scratch: node per grouped sample
+	grpW      []uint64 // scratch: weights regrouped by node
+	grpOff    []int32  // scratch: per-node group boundaries
+	// planSlot/planHash hold one resolve window's plan (see applyGrouped).
+	planSlot [spacesaving.BatchChunk]int32
+	planHash [spacesaving.BatchChunk]uint32
+	// directApply short-circuits the resolve/apply kernel when the whole
+	// counter state is small enough to live in cache (see applyGrouped):
+	// with nothing stalling, the planning pass is pure overhead.
+	directApply bool
 
 	epsilon, delta float64
 	z              float64 // Z(1−δ), for the output correction
@@ -176,6 +186,17 @@ func NewWithInstances[K comparable](dom *hierarchy.Domain[K], cfg Config, inst [
 		ss[i] = a.s
 	}
 	e.ss = ss
+	if ss != nil {
+		total := 0
+		for _, s := range ss {
+			total += s.Capacity()
+		}
+		// ~64 B of slab+index+bucket state per counter; below ~512 KiB the
+		// lattice fits alongside the working set in L2 on anything current,
+		// and the batch path applies samples directly instead of going
+		// through the two-phase kernel (identical results either way).
+		e.directApply = total < 8192
+	}
 	if v > h && r == 1 {
 		e.useSkip = true
 		e.geo = fastrand.NewGeometricSampler(float64(h) / float64(v))
@@ -306,21 +327,32 @@ func (e *Engine[K]) UpdateWeighted(k K, w uint64) {
 // UpdateBatch processes a slice of packets in one call — semantically
 // identical to calling Update on each key in order (same RNG consumption,
 // same state). With V > H the skip sampler fast-forwards over runs of
-// non-sampled packets, and the batch's samples are applied node-grouped at
-// the end of the call so each node's counter store is touched in one
-// cache-friendly burst. Per-batch work is O(len(keys)) counter arithmetic
-// plus O(samples) instance updates.
+// non-sampled packets; at V = H (and for r > 1) the per-packet draws are
+// taken in order up front. Either way the batch's samples are applied
+// node-grouped through the pipelined two-phase kernel (see applyGrouped) so
+// each node's counter store is touched in one cache-friendly burst and
+// independent loads stay in flight across node boundaries. Per-batch work is
+// O(len(keys)) counter arithmetic plus O(samples) instance updates.
 func (e *Engine[K]) UpdateBatch(keys []K) {
+	e.batchNode = e.batchNode[:0]
+	e.batchKey = e.batchKey[:0]
 	if !e.useSkip {
+		// Per-draw sampling, exactly as the sequential path consumes it.
+		e.packets += uint64(len(keys))
 		for _, k := range keys {
-			e.Update(k)
+			for j := 0; j < e.r; j++ {
+				if d := e.rng.Uint64n(e.v); d < e.h {
+					node := int32(d)
+					e.batchNode = append(e.batchNode, node)
+					e.batchKey = append(e.batchKey, e.mask(k, int(node)))
+				}
+			}
 		}
+		e.applyGrouped(false)
 		return
 	}
 	base := e.packets
 	e.packets += uint64(len(keys))
-	e.batchNode = e.batchNode[:0]
-	e.batchKey = e.batchKey[:0]
 	for e.nextSample <= e.packets {
 		k := keys[e.nextSample-base-1]
 		// Draw node then gap, exactly as the per-packet path would.
@@ -329,20 +361,78 @@ func (e *Engine[K]) UpdateBatch(keys []K) {
 		e.batchKey = append(e.batchKey, e.mask(k, int(node)))
 		e.nextSample += 1 + e.geo.Next(e.rng)
 	}
-	e.applyGrouped()
+	e.applyGrouped(false)
+}
+
+// UpdateWeightedBatch processes a slice of packets carrying weights in one
+// call — semantically identical to calling UpdateWeighted on each pair in
+// order (same RNG consumption, same state). len(ws) must equal len(keys).
+// Samples are applied node-grouped through the same pipelined kernel as
+// UpdateBatch, with each sampled node receiving its packet's full weight.
+func (e *Engine[K]) UpdateWeightedBatch(keys []K, ws []uint64) {
+	if len(ws) != len(keys) {
+		panic("core: UpdateWeightedBatch keys/weights length mismatch")
+	}
+	e.batchNode = e.batchNode[:0]
+	e.batchKey = e.batchKey[:0]
+	e.batchW = e.batchW[:0]
+	if !e.useSkip {
+		for i, k := range keys {
+			e.packets++
+			e.extraW += int64(ws[i]) - 1
+			for j := 0; j < e.r; j++ {
+				if d := e.rng.Uint64n(e.v); d < e.h {
+					node := int32(d)
+					e.batchNode = append(e.batchNode, node)
+					e.batchKey = append(e.batchKey, e.mask(k, int(node)))
+					e.batchW = append(e.batchW, ws[i])
+				}
+			}
+		}
+		e.applyGrouped(true)
+		return
+	}
+	base := e.packets
+	e.packets += uint64(len(keys))
+	for _, w := range ws {
+		e.extraW += int64(w) - 1
+	}
+	for e.nextSample <= e.packets {
+		i := e.nextSample - base - 1
+		node := int32(e.rng.Uint64n(e.h))
+		e.batchNode = append(e.batchNode, node)
+		e.batchKey = append(e.batchKey, e.mask(keys[i], int(node)))
+		e.batchW = append(e.batchW, ws[i])
+		e.nextSample += 1 + e.geo.Next(e.rng)
+	}
+	e.applyGrouped(true)
 }
 
 // applyGrouped applies the batch's sampled updates grouped by node with a
-// stable counting sort, preserving each node's update order.
-func (e *Engine[K]) applyGrouped() {
+// stable counting sort, preserving each node's update order, then drives the
+// two-phase spacesaving kernel in BatchChunk-sized windows that span node
+// boundaries: spacesaving.ResolveAcross walks a whole window level by level
+// — every sample's index words, then every candidate ref and slab confirm,
+// then every bucket/victim line — so up to 64 samples' cache misses overlap
+// across nodes, and the per-run applies then replay the window's plan
+// against warm lines.
+func (e *Engine[K]) applyGrouped(weighted bool) {
 	n := len(e.batchNode)
 	if n == 0 {
 		return
 	}
 	if cap(e.grpKey) < n {
 		e.grpKey = make([]K, n)
+		e.grpNode = make([]int32, n)
 	}
 	e.grpKey = e.grpKey[:n]
+	e.grpNode = e.grpNode[:n]
+	if weighted {
+		if cap(e.grpW) < n {
+			e.grpW = make([]uint64, n)
+		}
+		e.grpW = e.grpW[:n]
+	}
 	off := e.grpOff
 	for i := range off {
 		off[i] = 0
@@ -356,25 +446,63 @@ func (e *Engine[K]) applyGrouped() {
 	pos := off // off[nd] advances to off[nd+1] while scattering
 	for i, nd := range e.batchNode {
 		e.grpKey[pos[nd]] = e.batchKey[i]
+		e.grpNode[pos[nd]] = nd
+		if weighted {
+			e.grpW[pos[nd]] = e.batchW[i]
+		}
 		pos[nd]++
 	}
-	// After the scatter pass pos[nd] == original off[nd+1], so each group
-	// ends where the next began.
-	start := int32(0)
-	for nd := 0; nd < int(e.h); nd++ {
-		end := pos[nd]
-		if end == start {
-			continue
-		}
-		if e.ss != nil {
-			e.ss[nd].IncrementBatch(e.grpKey[start:end])
-		} else {
-			in := e.inst[nd]
-			for j := start; j < end; j++ {
+	// After the scatter pass each node's group is contiguous in grpKey, in
+	// arrival order.
+	if e.ss == nil {
+		for j := 0; j < n; j++ {
+			in := e.inst[e.grpNode[j]]
+			if weighted {
+				in.IncrementBy(e.grpKey[j], e.grpW[j])
+			} else {
 				in.Increment(e.grpKey[j])
 			}
 		}
-		start = end
+		return
+	}
+	if e.directApply {
+		// The whole lattice state is cache-resident: apply the grouped
+		// samples without the planning pass (same state transitions, no
+		// stalls for the kernel to overlap).
+		for j := 0; j < n; j++ {
+			if weighted {
+				e.ss[e.grpNode[j]].IncrementBy(e.grpKey[j], e.grpW[j])
+			} else {
+				e.ss[e.grpNode[j]].Increment(e.grpKey[j])
+			}
+		}
+		return
+	}
+	// Resolve a window across nodes, then apply it run by run. A node run
+	// that straddles a window boundary is resolved in two pieces, each
+	// planned after every earlier apply on that summary — plans never go
+	// stale across windows.
+	for win := 0; win < n; win += spacesaving.BatchChunk {
+		end := win + spacesaving.BatchChunk
+		if end > n {
+			end = n
+		}
+		slots := e.planSlot[:end-win]
+		hashes := e.planHash[:end-win]
+		spacesaving.ResolveAcross(e.ss, e.grpNode[win:end], e.grpKey[win:end], slots, hashes)
+		for i := win; i < end; {
+			nd := e.grpNode[i]
+			j := i + 1
+			for j < end && e.grpNode[j] == nd {
+				j++
+			}
+			if weighted {
+				e.ss[nd].ApplyWeightedPlanned(e.grpKey[i:j], e.grpW[i:j], slots[i-win:j-win], hashes[i-win:j-win], true)
+			} else {
+				e.ss[nd].ApplyPlanned(e.grpKey[i:j], slots[i-win:j-win], hashes[i-win:j-win], true)
+			}
+			i = j
+		}
 	}
 }
 

@@ -16,3 +16,11 @@ func (e *Engine[K]) UsesSkipSampling() bool { return e.useSkip }
 // UsesConcreteBackend reports whether the update path calls the concrete
 // Space Saving summaries without interface dispatch.
 func (e *Engine[K]) UsesConcreteBackend() bool { return e.ss != nil }
+
+// ForceKernelApply disables the small-state direct apply so tests can pin
+// the windowed resolve/apply kernel on lattices whose state would otherwise
+// be applied directly.
+func (e *Engine[K]) ForceKernelApply() { e.directApply = false }
+
+// UsesDirectApply reports whether batches bypass the two-phase kernel.
+func (e *Engine[K]) UsesDirectApply() bool { return e.directApply }

@@ -218,12 +218,15 @@ func TestAblationWorstCase(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("%d rows", len(rows))
 	}
-	// The strawman's max latency must exceed RHHH's: that is the whole
-	// point of the O(1) worst-case design.
-	rhhhMax := parse(t, rows[0][3])
-	strawMax := parse(t, rows[1][3])
-	if strawMax <= rhhhMax/2 {
-		t.Fatalf("strawman worst case (%v ns) unexpectedly below RHHH's (%v ns)", strawMax, rhhhMax)
+	// The strawman's tail latency must exceed RHHH's: that is the whole
+	// point of the O(1) worst-case design. Compare p99.9 rather than the
+	// raw max — a single OS preemption during RHHH's run corrupts the max
+	// on shared machines, while the 0.1% tail still sits squarely in the
+	// strawman's sampled O(H) updates.
+	rhhhTail := parse(t, rows[0][2])
+	strawTail := parse(t, rows[1][2])
+	if strawTail <= rhhhTail/2 {
+		t.Fatalf("strawman tail latency (%v ns) unexpectedly below RHHH's (%v ns)", strawTail, rhhhTail)
 	}
 }
 

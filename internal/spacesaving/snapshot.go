@@ -123,8 +123,8 @@ func (s *Summary[K]) LoadSnapshot(sn *Snapshot[K]) {
 		}
 		c := int32(s.used)
 		s.used++
-		s.slots[c].key = sn.Keys[i]
-		s.slots[c].err = up - sn.Lower[i]
+		s.hot[c].key = sn.Keys[i]
+		s.cold[c].err = up - sn.Lower[i]
 		s.indexInsert(c, s.hash(sn.Keys[i]))
 		if tail == nilIdx || s.buckets[tail].count != up {
 			tail = s.newBucket(up, tail, nilIdx)

@@ -50,8 +50,8 @@ func mergeMapSort[K comparable](a, b *Summary[K], capacity int) *Summary[K] {
 	for _, p := range pairs {
 		c := int32(out.used)
 		out.used++
-		out.slots[c].key = p.key
-		out.slots[c].err = p.upper - p.lower
+		out.hot[c].key = p.key
+		out.cold[c].err = p.upper - p.lower
 		out.indexInsert(c, out.hash(p.key))
 		if tail == nilIdx || out.buckets[tail].count != p.upper {
 			tail = out.newBucket(p.upper, tail, nilIdx)

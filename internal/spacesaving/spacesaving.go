@@ -11,10 +11,19 @@
 //
 // Summary stores all counters in one flat slab indexed by an open-addressed
 // hash table, and the Stream-Summary bucket list links counters and buckets
-// by slab index rather than by pointer. A steady-state update therefore
-// touches a handful of contiguous arrays instead of chasing map buckets and
+// by slab index rather than by pointer. The slab is split hot/cold: the hot
+// array holds exactly the fields a monitored-key increment touches (key +
+// bucket/sibling links), the cold array the fields only insertions, evictions
+// and mid-list detaches need (error, index lane position). A steady-state
+// update therefore touches a handful of contiguous arrays — and within the
+// slab a single, denser cache line — instead of chasing map buckets and
 // heap-allocated nodes, and the structure performs zero allocations after
 // construction.
+//
+// Batched updates run a two-phase kernel (Resolve + Apply, see those methods)
+// that issues every update's index and slab loads for a whole chunk before
+// applying any of them, so the cache misses of up to BatchChunk independent
+// updates overlap instead of serializing through the per-key path.
 //
 // Guarantees (for capacity c after N unit updates):
 //
@@ -35,18 +44,25 @@ import (
 // nilIdx is the shared sentinel for "no counter / no bucket" slab links.
 const nilIdx = int32(-1)
 
-// counter tracks one monitored key. Counters with equal counts hang off a
+// hotCounter is the hot half of one monitored key's state: the fields every
+// increment of a monitored key touches. Counters with equal counts hang off a
 // shared bucket; the count itself lives on the bucket (the Stream-Summary
 // trick that makes increments O(1)). Links are slab indices. Sibling lists
 // are singly linked: head removal (the eviction case) touches no sibling,
 // and mid-list removal swaps the head's key into the vacated position
 // (detach), so no counter ever needs a back link.
-type counter[K comparable] struct {
-	key    K
+type hotCounter[K comparable] struct {
+	key  K
+	bkt  int32
+	next int32 // next sibling in the same bucket
+}
+
+// coldCounter is the cold half: fields only the insertion, eviction and
+// mid-list detach paths touch, split off so the monitored-key fast path
+// never loads their cache lines.
+type coldCounter struct {
 	err    uint64
 	tabPos uint32 // lane position in the cuckoo index (stashPos if stashed)
-	bkt    int32
-	next   int32 // next sibling in the same bucket
 }
 
 // bucket groups counters with the same count. Buckets form a doubly linked
@@ -57,11 +73,18 @@ type bucket struct {
 	prev, next int32
 }
 
+// BatchChunk is the plan depth of the two-phase batch kernel: Resolve issues
+// the loads for up to this many updates before Apply retires them. 64 keeps
+// the whole plan (slots + hashes) in two cache lines while saturating the
+// load buffers of current cores.
+const BatchChunk = 64
+
 // Summary is a Stream-Summary Space Saving instance. It is not safe for
 // concurrent use; RHHH gives each lattice node its own instance.
 type Summary[K comparable] struct {
 	capacity int
-	slots    []counter[K] // flat counter slab; [0:used) are live
+	hot      []hotCounter[K] // hot counter slab; [0:used) are live
+	cold     []coldCounter   // cold counter slab, parallel to hot
 	used     int
 	buckets  []bucket // bucket slab, recycled through freeBkt
 	min      int32    // bucket with the smallest count, or nilIdx when empty
@@ -83,7 +106,16 @@ type Summary[K comparable] struct {
 	stash   []int32  // overflowed slots, scanned only when non-empty
 	hash    func(k K) uint32
 
-	warmSink uint32 // defeats dead-load elimination of the warming pass
+	// Two-phase batch plan (see Resolve/Apply): resolved slab slot and key
+	// hash per chunk position, reused across chunks. planDup records whether
+	// the chunk may contain the same unmonitored key twice — only then can an
+	// earlier admission invalidate a later planned miss, forcing Apply's
+	// fallback lookup.
+	planSlot []int32
+	planHash []uint32
+	planDup  bool
+
+	warmSink uint64 // defeats dead-load elimination of the resolve loads
 }
 
 // fpOf derives a non-zero fingerprint byte from a key hash.
@@ -142,7 +174,8 @@ func New[K comparable](capacity int) *Summary[K] {
 	}
 	s := &Summary[K]{
 		capacity: capacity,
-		slots:    make([]counter[K], capacity),
+		hot:      make([]hotCounter[K], capacity),
+		cold:     make([]coldCounter, capacity),
 		buckets:  make([]bucket, 0, capacity+1),
 		min:      nilIdx,
 		freeBkt:  nilIdx,
@@ -151,6 +184,8 @@ func New[K comparable](capacity int) *Summary[K] {
 		bktMask:  nBkt - 1,
 		stash:    make([]int32, 0, 8),
 		hash:     hashFuncFor[K](),
+		planSlot: make([]int32, BatchChunk),
+		planHash: make([]uint32, BatchChunk),
 	}
 	return s
 }
@@ -175,27 +210,27 @@ func (s *Summary[K]) MinCount() uint64 {
 
 // lookup returns the slab slot of k (whose hash is h), or nilIdx when
 // unmonitored. The two candidate buckets are independent loads, and each is
-// compared four lanes at a time; the counter slab is only loaded to confirm
-// a fingerprint match.
+// compared four lanes at a time; the hot slab is only loaded to confirm a
+// fingerprint match.
 func (s *Summary[K]) lookup(k K, h uint32) int32 {
 	fp := fpOf(h)
 	b := h & s.bktMask
 	for m := swarMatch(s.fps[b], fp); m != 0; m &= m - 1 {
 		lane := laneOf(m)
-		if v := s.refs[b*4+lane]; s.slots[v].key == k {
+		if v := s.refs[b*4+lane]; s.hot[v].key == k {
 			return v
 		}
 	}
 	b2 := altBucket(b, fp, s.bktMask)
 	for m := swarMatch(s.fps[b2], fp); m != 0; m &= m - 1 {
 		lane := laneOf(m)
-		if v := s.refs[b2*4+lane]; s.slots[v].key == k {
+		if v := s.refs[b2*4+lane]; s.hot[v].key == k {
 			return v
 		}
 	}
 	if len(s.stash) != 0 {
 		for _, v := range s.stash {
-			if s.slots[v].key == k {
+			if s.hot[v].key == k {
 				return v
 			}
 		}
@@ -230,14 +265,14 @@ func (s *Summary[K]) indexInsert(slot int32, h uint32) {
 		old := s.refs[pos]
 		s.fps[b] = s.fps[b]&^(0xff<<(lane*8)) | curFP<<(lane*8)
 		s.refs[pos] = cur
-		s.slots[cur].tabPos = pos
+		s.cold[cur].tabPos = pos
 		curFP, cur = oldFP, old
 		b = altBucket(b, curFP, s.bktMask)
 		if s.place(b, curFP, cur) {
 			return
 		}
 	}
-	s.slots[cur].tabPos = stashPos
+	s.cold[cur].tabPos = stashPos
 	s.stash = append(s.stash, cur)
 }
 
@@ -251,7 +286,7 @@ func (s *Summary[K]) place(b, fp uint32, slot int32) bool {
 	s.fps[b] |= fp << (lane * 8)
 	pos := b*4 + lane
 	s.refs[pos] = slot
-	s.slots[slot].tabPos = pos
+	s.cold[slot].tabPos = pos
 	return true
 }
 
@@ -261,7 +296,7 @@ const stashPos = ^uint32(0)
 // indexDelete removes slot from the index: clear its fingerprint byte —
 // cuckoo probing has no chains to repair.
 func (s *Summary[K]) indexDelete(slot int32) {
-	pos := s.slots[slot].tabPos
+	pos := s.cold[slot].tabPos
 	if pos == stashPos {
 		for i, v := range s.stash {
 			if v == slot {
@@ -284,53 +319,326 @@ func (s *Summary[K]) Increment(k K) {
 func (s *Summary[K]) incrementH(k K, h uint32) {
 	s.n++
 	if c := s.lookup(k, h); c != nilIdx {
-		s.bump(c, s.buckets[s.slots[c].bkt].count+1)
+		s.bump(c, s.buckets[s.hot[c].bkt].count+1)
 		return
 	}
+	s.insertOrEvict(k, h, 1)
+}
+
+// insertOrEvict admits an unmonitored key carrying weight w: a fresh counter
+// while below capacity, otherwise the classic Space Saving takeover of a
+// minimum-bucket counter (any one; we take the head).
+func (s *Summary[K]) insertOrEvict(k K, h uint32, w uint64) {
 	if s.used < s.capacity {
 		c := int32(s.used)
 		s.used++
-		s.slots[c].key = k
-		s.slots[c].err = 0
+		s.hot[c].key = k
+		s.cold[c].err = 0
 		s.indexInsert(c, h)
-		s.attach(c, 1)
+		s.attach(c, w)
 		return
 	}
-	// Evict a counter from the minimum bucket (any one; we take the head).
 	c := s.buckets[s.min].head
 	minCount := s.buckets[s.min].count
 	s.indexDelete(c)
-	s.slots[c].key = k
-	s.slots[c].err = minCount
+	s.hot[c].key = k
+	s.cold[c].err = minCount
 	s.indexInsert(c, h)
-	s.bump(c, minCount+1)
+	s.bump(c, minCount+w)
+}
+
+// Resolve plans the next Apply for a chunk of up to BatchChunk keys: it runs
+// the full cuckoo-index lookup for every key, recording hit/miss and the hit
+// slab slot, and touches the hit counters' bucket lines — so by the time
+// Apply replays the plan, every cache line a steady-state update needs is in
+// flight or resident, and the misses of the whole chunk overlap instead of
+// serializing through the dependent-load chain of the per-key path.
+//
+// Resolve reads but never mutates measurement state. Apply (or
+// ApplyWeighted) must follow with the same keys before any other mutation of
+// the summary; the plan does not survive interleaved updates.
+func (s *Summary[K]) Resolve(keys []K) {
+	if len(keys) > len(s.planSlot) {
+		s.planSlot = make([]int32, len(keys))
+		s.planHash = make([]uint32, len(keys))
+	}
+	var warm uint64
+	misses := 0
+	for i, k := range keys {
+		h := s.hash(k)
+		s.planHash[i] = h
+		c := s.lookup(k, h)
+		s.planSlot[i] = c
+		if c != nilIdx {
+			// Load the bucket line the bump will read; the count feeds the
+			// warm sink so the load cannot be elided.
+			warm += s.buckets[s.hot[c].bkt].count
+		} else {
+			misses++
+		}
+	}
+	// Duplicate-miss detection: a planned miss only goes stale when the same
+	// key was admitted earlier in the chunk, i.e. the chunk repeats an
+	// unmonitored key. The quadratic scan is bounded and runs over misses
+	// only; past the bound we conservatively assume a duplicate.
+	s.planDup = false
+	if misses > 1 {
+		if misses > 16 {
+			s.planDup = true
+		} else {
+		dupScan:
+			for i := 1; i < len(keys); i++ {
+				if s.planSlot[i] != nilIdx {
+					continue
+				}
+				for j := 0; j < i; j++ {
+					if s.planSlot[j] == nilIdx && keys[j] == keys[i] {
+						s.planDup = true
+						break dupScan
+					}
+				}
+			}
+		}
+	}
+	if misses > 0 && s.min != nilIdx {
+		// The eviction path of any planned miss starts at the min bucket;
+		// its victims are the leading siblings of the min-bucket list. Walk
+		// them read-only, touching the three lines each eviction will write
+		// — the victim's hot entry, its cold entry, and its index lane —
+		// so the apply's evictions hit warm lines too.
+		warm += s.buckets[s.min].count
+		c := s.buckets[s.min].head
+		for i := 0; i < misses && c != nilIdx; i++ {
+			pos := s.cold[c].tabPos
+			if pos != stashPos {
+				warm += uint64(s.fps[pos/4])
+			}
+			c = s.hot[c].next
+		}
+	}
+	s.warmSink += warm
+}
+
+// Apply replays a Resolve plan, adding one occurrence of each key in order —
+// equivalent to calling Increment per key. Planned hits skip the index
+// probes entirely; a plan entry invalidated by an earlier update in the same
+// chunk (a detach swap moved the key, an eviction removed it, or an earlier
+// miss admitted it) falls back to a fresh lookup, so the result is
+// bit-identical to the sequential path.
+func (s *Summary[K]) Apply(keys []K) {
+	s.ApplyPlanned(keys, s.planSlot[:len(keys)], s.planHash[:len(keys)], s.planDup)
+}
+
+// ApplyWeighted replays a Resolve plan with per-key weights — equivalent to
+// calling IncrementBy per (key, weight) pair, including the w == 0 no-op.
+func (s *Summary[K]) ApplyWeighted(keys []K, ws []uint64) {
+	s.ApplyWeightedPlanned(keys, ws, s.planSlot[:len(keys)], s.planHash[:len(keys)], s.planDup)
+}
+
+// ApplyPlanned is Apply with a caller-held plan (see ResolveAcross): slots
+// and hashes are parallel to keys. mayDup tells Apply whether the chunk may
+// repeat an unmonitored key; passing true is always safe and only costs a
+// warm re-lookup per planned miss after the chunk's first admission.
+func (s *Summary[K]) ApplyPlanned(keys []K, slots []int32, hashes []uint32, mayDup bool) {
+	dirty := false // a planned-miss key was admitted during this chunk
+	for i, k := range keys {
+		s.n++
+		c := slots[i]
+		if c != nilIdx {
+			if s.hot[c].key == k {
+				s.bump(c, s.buckets[s.hot[c].bkt].count+1)
+				continue
+			}
+			// Stale hit: a detach swap moved the key, or an eviction removed
+			// it — a fresh lookup decides which.
+			h := hashes[i]
+			if c = s.lookup(k, h); c != nilIdx {
+				s.bump(c, s.buckets[s.hot[c].bkt].count+1)
+			} else {
+				s.insertOrEvict(k, h, 1)
+			}
+			continue
+		}
+		// Planned miss: still a miss unless this chunk admitted the same key
+		// earlier, which requires both an admission and a duplicated miss.
+		h := hashes[i]
+		if dirty && mayDup {
+			if c = s.lookup(k, h); c != nilIdx {
+				s.bump(c, s.buckets[s.hot[c].bkt].count+1)
+				continue
+			}
+		}
+		s.insertOrEvict(k, h, 1)
+		dirty = true
+	}
+}
+
+// ApplyWeightedPlanned is ApplyWeighted with a caller-held plan.
+func (s *Summary[K]) ApplyWeightedPlanned(keys []K, ws []uint64, slots []int32, hashes []uint32, mayDup bool) {
+	dirty := false
+	for i, k := range keys {
+		w := ws[i]
+		if w == 0 {
+			continue
+		}
+		s.n += w
+		c := slots[i]
+		if c != nilIdx {
+			if s.hot[c].key == k {
+				s.bump(c, s.buckets[s.hot[c].bkt].count+w)
+				continue
+			}
+			h := hashes[i]
+			if c = s.lookup(k, h); c != nilIdx {
+				s.bump(c, s.buckets[s.hot[c].bkt].count+w)
+			} else {
+				s.insertOrEvict(k, h, w)
+			}
+			continue
+		}
+		h := hashes[i]
+		if dirty && mayDup {
+			if c = s.lookup(k, h); c != nilIdx {
+				s.bump(c, s.buckets[s.hot[c].bkt].count+w)
+				continue
+			}
+		}
+		s.insertOrEvict(k, h, w)
+		dirty = true
+	}
+}
+
+// ResolveAcross plans one update per sample across many summaries at once —
+// the cross-node half of the batch kernel. Sample i is keys[i] against
+// sums[nodes[i]]; the resolved slab slot (or nilIdx) and key hash land in
+// slots[i] / hashes[i], which a following ApplyPlanned replays run by run.
+// len(keys) must be at most BatchChunk; summaries may repeat, but a window's
+// same-summary samples must be contiguous (group by node first, as the
+// engine's counting sort does) so that nothing mutates a summary between a
+// sample's resolve and its apply.
+//
+// Unlike per-summary Resolve — whose dependent probe chain (index word →
+// lane ref → slab confirm → bucket line) serializes per call — ResolveAcross
+// walks the whole window level by level: first every sample's two index
+// words, then every sample's candidate ref and slab confirm, then every
+// sample's bucket or eviction-victim lines. Each level issues up to
+// BatchChunk independent loads, so the window's cache misses overlap to the
+// limit of the machine's memory-level parallelism instead of stacking into
+// per-node round trips.
+//
+// Read-only, like Resolve. Samples that need the stash or see fingerprint
+// collisions fall back to the full lookup inside the confirm level.
+func ResolveAcross[K comparable](sums []*Summary[K], nodes []int32, keys []K, slots []int32, hashes []uint32) {
+	n := len(keys)
+	if n > BatchChunk {
+		panic("spacesaving: ResolveAcross window exceeds BatchChunk")
+	}
+	const (
+		candNone = int32(-1) // no fingerprint match: certain miss
+		candSlow = int32(-2) // collisions or stash: full lookup
+	)
+	var b1, w1, w2 [BatchChunk]uint32
+	var cand [BatchChunk]int32 // ref position of the single candidate lane
+	// Level 1: hash every key and load both candidate index words.
+	for i := 0; i < n; i++ {
+		s := sums[nodes[i]]
+		h := s.hash(keys[i])
+		hashes[i] = h
+		b := h & s.bktMask
+		b1[i] = b
+		w1[i] = s.fps[b]
+		w2[i] = s.fps[altBucket(b, fpOf(h), s.bktMask)]
+	}
+	// Level 2: pick each sample's candidate lane from the loaded words.
+	for i := 0; i < n; i++ {
+		s := sums[nodes[i]]
+		fp := fpOf(hashes[i])
+		m1 := swarMatch(w1[i], fp)
+		m2 := swarMatch(w2[i], fp)
+		switch {
+		case len(s.stash) != 0 || (m1 != 0 && m2 != 0) ||
+			m1&(m1-1) != 0 || m2&(m2-1) != 0:
+			cand[i] = candSlow
+		case m1 != 0:
+			cand[i] = int32(b1[i]*4 + laneOf(m1))
+		case m2 != 0:
+			b := altBucket(b1[i], fp, s.bktMask)
+			cand[i] = int32(b*4 + laneOf(m2))
+		default:
+			cand[i] = candNone
+		}
+	}
+	// Level 3: load the candidate refs and confirm against the hot slab.
+	for i := 0; i < n; i++ {
+		switch cand[i] {
+		case candSlow:
+			s := sums[nodes[i]]
+			slots[i] = s.lookup(keys[i], hashes[i])
+		case candNone:
+			slots[i] = nilIdx
+		default:
+			s := sums[nodes[i]]
+			if v := s.refs[cand[i]]; s.hot[v].key == keys[i] {
+				slots[i] = v
+			} else {
+				slots[i] = nilIdx // lone fingerprint collision: certain miss
+			}
+		}
+	}
+	// Level 4: warm the lines the apply phase will write — the hit buckets,
+	// and for misses the eviction victim's cold entry and index lane.
+	var warm uint64
+	for i := 0; i < n; i++ {
+		s := sums[nodes[i]]
+		if c := slots[i]; c != nilIdx {
+			warm += s.buckets[s.hot[c].bkt].count
+		} else if s.used == s.capacity && s.min != nilIdx {
+			v := s.buckets[s.min].head
+			if v != nilIdx {
+				if pos := s.cold[v].tabPos; pos != stashPos {
+					warm += uint64(s.fps[pos/4])
+				}
+			}
+		}
+	}
+	if n > 0 {
+		sums[nodes[0]].warmSink += warm
+	}
 }
 
 // IncrementBatch adds one occurrence of each key, in order — equivalent to
-// calling Increment per key. Keys are processed in chunks: a first pass
-// hashes the chunk and touches both candidate index buckets per key, so the
-// cache misses of up to 64 probes overlap instead of serializing through
-// the per-key update path; the second pass applies the updates with the
-// precomputed hashes.
+// calling Increment per key. Keys are processed in BatchChunk-sized chunks
+// through the two-phase kernel: Resolve issues every chunk update's index,
+// slab and bucket loads up front so their cache misses overlap, then Apply
+// retires the updates against warm lines.
 func (s *Summary[K]) IncrementBatch(keys []K) {
-	var hs [64]uint32
 	for len(keys) > 0 {
 		chunk := keys
-		if len(chunk) > len(hs) {
-			chunk = chunk[:len(hs)]
+		if len(chunk) > BatchChunk {
+			chunk = chunk[:BatchChunk]
 		}
 		keys = keys[len(chunk):]
-		var warm uint32
-		for i, k := range chunk {
-			h := s.hash(k)
-			hs[i] = h
-			b := h & s.bktMask
-			warm += s.fps[b] + s.fps[altBucket(b, fpOf(h), s.bktMask)] + uint32(s.refs[b*4])
+		s.Resolve(chunk)
+		s.Apply(chunk)
+	}
+}
+
+// IncrementBatchWeighted adds weight ws[i] of keys[i], in order — equivalent
+// to calling IncrementBy per pair. len(ws) must equal len(keys). Chunked
+// through the same two-phase kernel as IncrementBatch.
+func (s *Summary[K]) IncrementBatchWeighted(keys []K, ws []uint64) {
+	if len(ws) != len(keys) {
+		panic("spacesaving: keys/weights length mismatch")
+	}
+	for len(keys) > 0 {
+		chunk := keys
+		if len(chunk) > BatchChunk {
+			chunk = chunk[:BatchChunk]
 		}
-		s.warmSink += warm
-		for i, k := range chunk {
-			s.incrementH(k, hs[i])
-		}
+		s.Resolve(chunk)
+		s.ApplyWeighted(chunk, ws[:len(chunk)])
+		keys = keys[len(chunk):]
+		ws = ws[len(chunk):]
 	}
 }
 
@@ -345,25 +653,10 @@ func (s *Summary[K]) IncrementBy(k K, w uint64) {
 	s.n += w
 	h := s.hash(k)
 	if c := s.lookup(k, h); c != nilIdx {
-		s.bump(c, s.buckets[s.slots[c].bkt].count+w)
+		s.bump(c, s.buckets[s.hot[c].bkt].count+w)
 		return
 	}
-	if s.used < s.capacity {
-		c := int32(s.used)
-		s.used++
-		s.slots[c].key = k
-		s.slots[c].err = 0
-		s.indexInsert(c, h)
-		s.attach(c, w)
-		return
-	}
-	c := s.buckets[s.min].head
-	minCount := s.buckets[s.min].count
-	s.indexDelete(c)
-	s.slots[c].key = k
-	s.slots[c].err = minCount
-	s.indexInsert(c, h)
-	s.bump(c, minCount+w)
+	s.insertOrEvict(k, h, w)
 }
 
 // Query returns the counter value, its maximum overestimation error, and
@@ -373,15 +666,15 @@ func (s *Summary[K]) Query(k K) (count, err uint64, ok bool) {
 	if c == nilIdx {
 		return 0, 0, false
 	}
-	return s.buckets[s.slots[c].bkt].count, s.slots[c].err, true
+	return s.buckets[s.hot[c].bkt].count, s.cold[c].err, true
 }
 
 // Bounds returns an upper and a lower bound on the true frequency of k:
 // (count, count−error) for monitored keys, (MinCount, 0) otherwise.
 func (s *Summary[K]) Bounds(k K) (upper, lower uint64) {
 	if c := s.lookup(k, s.hash(k)); c != nilIdx {
-		count := s.buckets[s.slots[c].bkt].count
-		return count, count - s.slots[c].err
+		count := s.buckets[s.hot[c].bkt].count
+		return count, count - s.cold[c].err
 	}
 	return s.MinCount(), 0
 }
@@ -397,8 +690,8 @@ func (s *Summary[K]) ForEach(fn func(k K, count, err uint64)) {
 		last = s.buckets[last].next
 	}
 	for b := last; b != nilIdx; b = s.buckets[b].prev {
-		for c := s.buckets[b].head; c != nilIdx; c = s.slots[c].next {
-			fn(s.slots[c].key, s.buckets[b].count, s.slots[c].err)
+		for c := s.buckets[b].head; c != nilIdx; c = s.hot[c].next {
+			fn(s.hot[c].key, s.buckets[b].count, s.cold[c].err)
 		}
 	}
 }
@@ -436,7 +729,18 @@ func (s *Summary[K]) attach(c int32, count uint64) {
 // creating/removing buckets as needed. newCount must exceed c's count. The
 // key may settle in a different slab slot (see detach).
 func (s *Summary[K]) bump(c int32, newCount uint64) {
-	old := s.slots[c].bkt
+	old := s.hot[c].bkt
+	// Fast path: c is its bucket's only counter and the next bucket (if
+	// any) still exceeds newCount — the bucket's count moves in place, with
+	// no list surgery at all. The common case for the skewed head of the
+	// distribution, where counts are unique.
+	if s.buckets[old].head == c && s.hot[c].next == nilIdx {
+		next := s.buckets[old].next
+		if next == nilIdx || s.buckets[next].count > newCount {
+			s.buckets[old].count = newCount
+			return
+		}
+	}
 	carrier := s.detach(c)
 	// Walk forward to the insertion point. For unit increments this is at
 	// most one step, preserving O(1).
@@ -457,34 +761,35 @@ func (s *Summary[K]) bump(c int32, newCount uint64) {
 
 // pushCounter puts c at the head of bucket b. No sibling is touched.
 func (s *Summary[K]) pushCounter(b, c int32) {
-	s.slots[c].bkt = b
-	s.slots[c].next = s.buckets[b].head
+	s.hot[c].bkt = b
+	s.hot[c].next = s.buckets[b].head
 	s.buckets[b].head = c
 }
 
 // detach removes counter c's key from its bucket (without removing an
 // emptied bucket; callers handle that so bump can reuse the position) and
 // returns the slab slot now carrying that key. When c heads its bucket —
-// always true for evictions — this is a pointer pop touching only c. A
-// mid-list c instead swaps contents with the bucket head: the head's key
-// settles into c's list position and the freed head slot carries the
-// detached key onward; the index entries of both keys are re-pointed.
+// always true for evictions — this is a pointer pop touching only c's hot
+// entry. A mid-list c instead swaps contents with the bucket head: the
+// head's key settles into c's list position and the freed head slot carries
+// the detached key onward; the index entries of both keys are re-pointed
+// (the one fast-path case that pays for the cold lines).
 func (s *Summary[K]) detach(c int32) int32 {
-	b := s.slots[c].bkt
+	b := s.hot[c].bkt
 	h := s.buckets[b].head
 	if h == c {
-		s.buckets[b].head = s.slots[c].next
+		s.buckets[b].head = s.hot[c].next
 		return c
 	}
-	ck, cerr, cpos := s.slots[c].key, s.slots[c].err, s.slots[c].tabPos
-	s.slots[c].key = s.slots[h].key
-	s.slots[c].err = s.slots[h].err
-	s.slots[c].tabPos = s.slots[h].tabPos
-	s.setRef(s.slots[c].tabPos, h, c)
-	s.buckets[b].head = s.slots[h].next
-	s.slots[h].key = ck
-	s.slots[h].err = cerr
-	s.slots[h].tabPos = cpos
+	ck, cerr, cpos := s.hot[c].key, s.cold[c].err, s.cold[c].tabPos
+	s.hot[c].key = s.hot[h].key
+	s.cold[c].err = s.cold[h].err
+	s.cold[c].tabPos = s.cold[h].tabPos
+	s.setRef(s.cold[c].tabPos, h, c)
+	s.buckets[b].head = s.hot[h].next
+	s.hot[h].key = ck
+	s.cold[h].err = cerr
+	s.cold[h].tabPos = cpos
 	s.setRef(cpos, c, h)
 	return h
 }

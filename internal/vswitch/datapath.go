@@ -193,19 +193,40 @@ func (d *Datapath) ProcessBatch(batch []trace.Packet) int {
 // EngineHook feeds the datapath's packets to a co-located RHHH engine over
 // the two-dimensional IPv4 domain — the paper's dataplane integration.
 // Under ProcessBatch it uses the engine's batched update, which skips runs
-// of non-sampled packets in bulk when V > H.
+// of non-sampled packets in bulk when V > H and applies the batch's samples
+// through the engine's pipelined node-grouped kernel. In byte-count mode
+// (NewEngineHookBytes) every update carries the packet's wire length, so the
+// reported heavy hitters rank prefixes by traffic volume instead of packet
+// count.
 type EngineHook struct {
-	eng *core.Engine[uint64]
-	buf []uint64
+	eng   *core.Engine[uint64]
+	buf   []uint64
+	wbuf  []uint64
+	bytes bool
 }
 
-// NewEngineHook wraps an engine in a (batch-capable) datapath hook.
+// NewEngineHook wraps an engine in a (batch-capable) datapath hook counting
+// packets.
 func NewEngineHook(eng *core.Engine[uint64]) *EngineHook {
 	return &EngineHook{eng: eng, buf: make([]uint64, 0, 256)}
 }
 
-// OnPacket feeds one packet's 2D key to the engine.
-func (h *EngineHook) OnPacket(p trace.Packet) { h.eng.Update(p.Key2()) }
+// NewEngineHookBytes wraps an engine in a (batch-capable) datapath hook
+// counting bytes: each packet contributes its wire length as update weight,
+// through the engine's weighted batch path under ProcessBatch.
+func NewEngineHookBytes(eng *core.Engine[uint64]) *EngineHook {
+	return &EngineHook{eng: eng, buf: make([]uint64, 0, 256), wbuf: make([]uint64, 0, 256), bytes: true}
+}
+
+// OnPacket feeds one packet's 2D key (and, in byte-count mode, its length)
+// to the engine.
+func (h *EngineHook) OnPacket(p trace.Packet) {
+	if h.bytes {
+		h.eng.UpdateWeighted(p.Key2(), uint64(p.Length))
+		return
+	}
+	h.eng.Update(p.Key2())
+}
 
 // OnBatch feeds a whole batch through the engine's batched update path.
 func (h *EngineHook) OnBatch(ps []trace.Packet) {
@@ -214,5 +235,14 @@ func (h *EngineHook) OnBatch(ps []trace.Packet) {
 		buf = append(buf, p.Key2())
 	}
 	h.buf = buf
+	if h.bytes {
+		wbuf := h.wbuf[:0]
+		for _, p := range ps {
+			wbuf = append(wbuf, uint64(p.Length))
+		}
+		h.wbuf = wbuf
+		h.eng.UpdateWeightedBatch(buf, wbuf)
+		return
+	}
 	h.eng.UpdateBatch(buf)
 }

@@ -1,0 +1,74 @@
+package vswitch
+
+import (
+	"testing"
+
+	"rhhh/internal/core"
+	"rhhh/internal/fastrand"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/trace"
+)
+
+// TestEngineHookBytesMatchesSequential: the byte-count hook must leave the
+// engine bit-identical to feeding UpdateWeighted(key, length) per packet,
+// under both the per-packet and the batched datapath delivery.
+func TestEngineHookBytesMatchesSequential(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	h := dom.Size()
+	cfg := core.Config{Epsilon: 0.02, Delta: 0.05, V: 10 * h, Seed: 31}
+
+	r := fastrand.New(32)
+	const n = 60_000
+	packets := make([]trace.Packet, n)
+	for i := range packets {
+		packets[i] = pkt(uint32(r.Uint64()), uint32(r.Uint64()), 80, 443, trace.ProtoTCP)
+		packets[i].Length = 64 + int(r.Uint64n(1400))
+	}
+
+	ref := core.New(dom, cfg)
+	for _, p := range packets {
+		ref.UpdateWeighted(p.Key2(), uint64(p.Length))
+	}
+
+	var refSnap, gotSnap core.EngineSnapshot[uint64]
+	ref.SnapshotInto(&refSnap)
+
+	for _, batched := range []bool{false, true} {
+		eng := core.New(dom, cfg)
+		hook := NewEngineHookBytes(eng)
+		if batched {
+			for off := 0; off < n; {
+				sz := 1 + int(r.Uint64n(500))
+				if off+sz > n {
+					sz = n - off
+				}
+				hook.OnBatch(packets[off : off+sz])
+				off += sz
+			}
+		} else {
+			for _, p := range packets {
+				hook.OnPacket(p)
+			}
+		}
+		if eng.Weight() != ref.Weight() || eng.N() != ref.N() {
+			t.Fatalf("batched=%v: N/Weight (%d,%d) vs ref (%d,%d)",
+				batched, eng.N(), eng.Weight(), ref.N(), ref.Weight())
+		}
+		eng.SnapshotInto(&gotSnap)
+		if len(gotSnap.Nodes) != len(refSnap.Nodes) {
+			t.Fatalf("batched=%v: node counts differ", batched)
+		}
+		for nd := range refSnap.Nodes {
+			a, b := &refSnap.Nodes[nd], &gotSnap.Nodes[nd]
+			if a.N != b.N || len(a.Keys) != len(b.Keys) {
+				t.Fatalf("batched=%v node %d: (N=%d,len=%d) vs ref (N=%d,len=%d)",
+					batched, nd, b.N, len(b.Keys), a.N, len(a.Keys))
+			}
+			for i := range a.Keys {
+				if a.Keys[i] != b.Keys[i] || a.Upper[i] != b.Upper[i] || a.Lower[i] != b.Lower[i] {
+					t.Fatalf("batched=%v node %d entry %d differs", batched, nd, i)
+				}
+			}
+		}
+	}
+}

@@ -160,6 +160,7 @@ type Monitor struct {
 type monImpl interface {
 	update(src, dst hierarchy.Addr, w uint64)
 	updateBatch(srcs, dsts []netip.Addr)
+	updateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64)
 	output(theta float64) []HeavyHitter
 	n() uint64
 	psi() float64
@@ -269,6 +270,26 @@ func (m *Monitor) UpdateBatch(srcs, dsts []netip.Addr) {
 	m.impl.updateBatch(srcs, dsts)
 }
 
+// UpdateWeightedBatch records a batch of packets carrying per-packet weights
+// (e.g. byte counts) in one call. For Dims == 1 pass dsts == nil; dsts (when
+// given) and ws must be the same length as srcs. Results are identical to
+// updating each (packet, weight) pair through UpdateWeighted in order; the
+// RHHH engine applies the batch's samples node-grouped through its pipelined
+// update kernel.
+func (m *Monitor) UpdateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
+	if dsts == nil {
+		if m.cfg.Dims == 2 {
+			panic("rhhh: UpdateWeightedBatch needs dsts on a two-dimensional monitor")
+		}
+	} else if len(dsts) != len(srcs) {
+		panic("rhhh: UpdateWeightedBatch srcs/dsts length mismatch")
+	}
+	if len(ws) != len(srcs) {
+		panic("rhhh: UpdateWeightedBatch srcs/weights length mismatch")
+	}
+	m.impl.updateWeightedBatch(srcs, dsts, ws)
+}
+
 // HeavyHitters returns the approximate HHH set for threshold θ ∈ (0, 1]:
 // every prefix whose conditioned frequency estimate reaches θ·N. The
 // guarantees of Definition 10 (accuracy within εN, coverage with
@@ -342,8 +363,9 @@ type impl[K comparable] struct {
 	key     func(src, dst hierarchy.Addr) K
 	split   func(k K, srcBits, dstBits int) (netip.Prefix, netip.Prefix)
 	alg     algorithmIface[K]
-	batch   func([]K) // alg's native batched update, when it has one
-	keyBuf  []K       // scratch for updateBatch conversions
+	batch   func([]K)           // alg's native batched update, when it has one
+	batchW  func([]K, []uint64) // alg's native weighted batched update
+	keyBuf  []K                 // scratch for updateBatch conversions
 	conv    converter[K]
 	v6      bool
 	psiV    float64
@@ -410,6 +432,9 @@ func build[K comparable](
 	if ub, ok := im.alg.(interface{ UpdateBatch([]K) }); ok {
 		im.batch = ub.UpdateBatch
 	}
+	if uw, ok := im.alg.(interface{ UpdateWeightedBatch([]K, []uint64) }); ok {
+		im.batchW = uw.UpdateWeightedBatch
+	}
 	return im, nil
 }
 
@@ -440,6 +465,26 @@ func (im *impl[K]) updateBatch(srcs, dsts []netip.Addr) {
 	}
 	for _, k := range buf {
 		im.alg.Update(k)
+	}
+}
+
+func (im *impl[K]) updateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
+	buf := im.keyBuf[:0]
+	for i, src := range srcs {
+		var dst netip.Addr
+		if dsts != nil {
+			dst = dsts[i]
+		}
+		buf = append(buf, im.key(toAddr(src, im.v6), toAddr(dst, im.v6)))
+	}
+	im.keyBuf = buf
+	im.packets += uint64(len(buf))
+	if im.batchW != nil {
+		im.batchW(buf, ws)
+		return
+	}
+	for i, k := range buf {
+		im.alg.UpdateWeighted(k, ws[i])
 	}
 }
 

@@ -38,6 +38,7 @@ type Sharded struct {
 	// Per-call scratch for UpdateBatch routing (single-goroutine use, like
 	// Update).
 	srcBuf, dstBuf [][]netip.Addr
+	wBuf           [][]uint64
 
 	// Standing-query driver state (see Watch): the hub holds subscriptions,
 	// the goroutine behind watchDone ticks it on the capture interval.
@@ -76,6 +77,14 @@ func (sh *Shard) UpdateWeighted(src, dst netip.Addr, w uint64) {
 func (sh *Shard) UpdateBatch(srcs, dsts []netip.Addr) {
 	sh.mu.Lock()
 	sh.m.UpdateBatch(srcs, dsts)
+	sh.mu.Unlock()
+}
+
+// UpdateWeightedBatch records a batch of packets carrying per-packet weights
+// on this shard in one call.
+func (sh *Shard) UpdateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
+	sh.mu.Lock()
+	sh.m.UpdateWeightedBatch(srcs, dsts, ws)
 	sh.mu.Unlock()
 }
 
@@ -359,6 +368,14 @@ func (s *Sharded) Update(src, dst netip.Addr) {
 	s.shards[h%uint64(len(s.shards))].Update(src, dst)
 }
 
+// UpdateWeighted is a convenience for single-goroutine use: it routes the
+// weighted packet to a shard by address hash. Concurrent producers should
+// call Shard(i).UpdateWeighted directly instead.
+func (s *Sharded) UpdateWeighted(src, dst netip.Addr, w uint64) {
+	h := hashAddrPair(src, dst)
+	s.shards[h%uint64(len(s.shards))].UpdateWeighted(src, dst, w)
+}
+
 // UpdateBatch routes a batch of packets to their shards and feeds each
 // shard its sub-batch in one call, preserving per-shard arrival order. For
 // one-dimensional monitors pass dsts == nil. Single-goroutine use, like
@@ -391,6 +408,51 @@ func (s *Sharded) UpdateBatch(srcs, dsts []netip.Addr) {
 	for i, sh := range s.shards {
 		if len(s.srcBuf[i]) != 0 {
 			sh.UpdateBatch(s.srcBuf[i], s.dstBuf[i])
+		}
+	}
+}
+
+// UpdateWeightedBatch routes a batch of weighted packets to their shards and
+// feeds each shard its sub-batch in one call, preserving per-shard arrival
+// order. For one-dimensional monitors pass dsts == nil; ws must be the same
+// length as srcs. Single-goroutine use, like UpdateBatch; concurrent
+// producers should call Shard(i).UpdateWeightedBatch directly.
+func (s *Sharded) UpdateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
+	if dsts == nil {
+		if s.cfg.Dims == 2 {
+			panic("rhhh: UpdateWeightedBatch needs dsts on a two-dimensional monitor")
+		}
+	} else if len(dsts) != len(srcs) {
+		panic("rhhh: UpdateWeightedBatch srcs/dsts length mismatch")
+	}
+	if len(ws) != len(srcs) {
+		panic("rhhh: UpdateWeightedBatch srcs/weights length mismatch")
+	}
+	if s.srcBuf == nil {
+		s.srcBuf = make([][]netip.Addr, len(s.shards))
+		s.dstBuf = make([][]netip.Addr, len(s.shards))
+	}
+	if s.wBuf == nil {
+		s.wBuf = make([][]uint64, len(s.shards))
+	}
+	for i := range s.srcBuf {
+		s.srcBuf[i] = s.srcBuf[i][:0]
+		s.dstBuf[i] = s.dstBuf[i][:0]
+		s.wBuf[i] = s.wBuf[i][:0]
+	}
+	for i, src := range srcs {
+		var dst netip.Addr
+		if dsts != nil {
+			dst = dsts[i]
+		}
+		shard := hashAddrPair(src, dst) % uint64(len(s.shards))
+		s.srcBuf[shard] = append(s.srcBuf[shard], src)
+		s.dstBuf[shard] = append(s.dstBuf[shard], dst)
+		s.wBuf[shard] = append(s.wBuf[shard], ws[i])
+	}
+	for i, sh := range s.shards {
+		if len(s.srcBuf[i]) != 0 {
+			sh.UpdateWeightedBatch(s.srcBuf[i], s.dstBuf[i], s.wBuf[i])
 		}
 	}
 }

@@ -198,6 +198,7 @@ func TestWindowedWatchDeltaReplay(t *testing.T) {
 			for i := 0; i < int(tc.window)*8; i++ {
 				w.Update(watchAddr(rng), netip.Addr{})
 			}
+			w.Sync() // sliding ticks run on the background merger
 			if checked < 7 {
 				t.Fatalf("only %d windows checked", checked)
 			}
@@ -387,13 +388,13 @@ func TestWatchPrefixFilters(t *testing.T) {
 func TestWatchOptionValidation(t *testing.T) {
 	m1 := rhhh.MustNew(rhhh.Config{Dims: 1, Granularity: rhhh.Byte, Epsilon: 0.01, Delta: 0.01})
 	cases := []rhhh.WatchOptions{
-		{},                            // no threshold at all
-		{Theta: 1.5},                  // out of range
-		{Theta: 0.1, AutoThetaK: 3},   // both set
-		{AutoThetaK: -1},              // negative k
-		{Theta: 0.1, MinDelta: -1},    // negative hysteresis
+		{},                          // no threshold at all
+		{Theta: 1.5},                // out of range
+		{Theta: 0.1, AutoThetaK: 3}, // both set
+		{AutoThetaK: -1},            // negative k
+		{Theta: 0.1, MinDelta: -1},  // negative hysteresis
 		{Theta: 0.1, Interval: -time.Second},
-		{Theta: 0.1, DstFilter: netip.MustParsePrefix("10.0.0.0/8")}, // 1D
+		{Theta: 0.1, DstFilter: netip.MustParsePrefix("10.0.0.0/8")},    // 1D
 		{Theta: 0.1, SrcFilter: netip.MustParsePrefix("2001:db8::/32")}, // family
 	}
 	for i, opts := range cases {

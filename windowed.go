@@ -23,7 +23,12 @@ import (
 //     sub-window closes, the callback receives the HHH set of the union of
 //     the last k sub-windows (merged with N-weighted bounds, see Snapshot),
 //     so each delivered result covers a window of k·windowSize packets that
-//     slides forward by windowSize at a time.
+//     slides forward by windowSize at a time. The ring merge, extraction and
+//     callback run on a background goroutine so the producer only pays for
+//     the sub-window snapshot copy at a boundary — the flush blocks solely
+//     when the previous merge is still running. Callbacks stay ordered and
+//     bit-identical to the synchronous path; call Sync (or Flush/Close) to
+//     wait for outstanding deliveries.
 //
 // The monitor is reused across windows — Reset plus a per-window reseed —
 // so window turnover allocates nothing and stays reproducible: window i
@@ -48,9 +53,20 @@ type Windowed struct {
 	order     []*Snapshot // scratch: ring reordered oldest → newest
 	merged    *Snapshot
 	querySnap *Snapshot // scratch for on-demand HeavyHitters
+	qMerged   *Snapshot // on-demand merge destination, separate from the
+	// flush path's so the background merger's caches stay warm
+
+	// Background ring merge (sliding mode): each completed sub-window's
+	// merge + extraction + delivery runs on its own goroutine so the flush
+	// path — and with it the producer — only pays for the snapshot copy.
+	// The flush blocks only when the previous merge is still running
+	// (mergePending), because the new capture overwrites a ring slot the
+	// in-flight merge reads. mergeDone carries one token per finished job.
+	mergePending bool
+	mergeDone    chan struct{}
 
 	// Standing-query hub, created by the first Watch and ticked on each
-	// completed (sub-)window.
+	// completed (sub-)window (from the merge goroutine when sliding).
 	hub         watchCtl
 	watchClosed bool
 }
@@ -82,6 +98,9 @@ func NewWindowed(cfg Config, windowSize uint64, theta float64, onFlush func(Wind
 // windowSize packets, each delivered result covering the last k of them.
 // k = 1 degenerates to tumbling. Sliding mode merges snapshots and
 // therefore requires the RHHH algorithm.
+//
+// Sliding-mode results are merged and delivered on a background goroutine
+// (see Windowed); onFlush must not call back into the Windowed.
 func NewSlidingWindowed(cfg Config, windowSize uint64, k int, theta float64, onFlush func(WindowResult)) (*Windowed, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("rhhh: sliding window needs k >= 1 sub-windows, got %d", k)
@@ -122,9 +141,27 @@ func newWindowed(cfg Config, windowSize uint64, k int, theta float64, onFlush fu
 	if k > 1 {
 		w.ring = make([]*Snapshot, k)
 		w.order = make([]*Snapshot, 0, k)
+		w.mergeDone = make(chan struct{}, 1)
 	}
 	return w, nil
 }
+
+// sync blocks until the outstanding background merge (if any) has delivered
+// its window result. Callers touching the ring, the merge scratch or the
+// watch hub must sync first.
+func (w *Windowed) sync() {
+	if w.mergePending {
+		<-w.mergeDone
+		w.mergePending = false
+	}
+}
+
+// Sync blocks until every completed window's result has been delivered to
+// the callback. Sliding-mode results are merged and delivered by a
+// background goroutine (see NewSlidingWindowed); Sync is the barrier a
+// caller needs before inspecting state the callback populates. Tumbling
+// windows deliver synchronously, making Sync a no-op.
+func (w *Windowed) Sync() { w.sync() }
 
 // Update feeds one packet; when the window fills, the callback fires
 // synchronously and a fresh window begins.
@@ -176,13 +213,60 @@ func (w *Windowed) UpdateBatch(srcs, dsts []netip.Addr) {
 	}
 }
 
+// UpdateWeightedBatch feeds a batch of packets carrying per-packet weights
+// (e.g. byte counts) in one call, splitting the batch at window boundaries:
+// results (delivered windows included) are identical to feeding every
+// (packet, weight) pair through UpdateWeighted in order — a heavy packet
+// closes the window exactly where it would have sequentially. For Dims == 1
+// pass dsts == nil; ws must be the same length as srcs.
+func (w *Windowed) UpdateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
+	if dsts == nil {
+		if w.cfg.Dims == 2 {
+			panic("rhhh: UpdateWeightedBatch needs dsts on a two-dimensional monitor")
+		}
+	} else if len(dsts) != len(srcs) {
+		panic("rhhh: UpdateWeightedBatch srcs/dsts length mismatch")
+	}
+	if len(ws) != len(srcs) {
+		panic("rhhh: UpdateWeightedBatch srcs/weights length mismatch")
+	}
+	for len(srcs) > 0 {
+		room := w.size - w.current.N() // weight until the boundary
+		// Take packets up to and including the one whose weight crosses the
+		// boundary — the packet after which the sequential path would flush.
+		n := 0
+		var acc uint64
+		for n < len(srcs) {
+			acc += ws[n]
+			n++
+			if acc >= room {
+				break
+			}
+		}
+		var chunkDst []netip.Addr
+		if dsts != nil {
+			chunkDst = dsts[:n]
+			dsts = dsts[n:]
+		}
+		w.current.UpdateWeightedBatch(srcs[:n], chunkDst, ws[:n])
+		srcs = srcs[n:]
+		ws = ws[n:]
+		if w.current.N() >= w.size {
+			w.flush()
+		}
+	}
+}
+
 // Flush force-closes the current window (e.g. at shutdown), delivering its
 // partial result if it saw any traffic. Partial windows may not have
 // converged; WindowResult.N tells the consumer how much stream backed it.
+// Flush returns only after the result (and any previously pending one) has
+// been handed to the callback.
 func (w *Windowed) Flush() {
 	if w.current.N() > 0 {
 		w.flush()
 	}
+	w.sync()
 }
 
 // HeavyHitters answers an on-demand query without closing the window: the
@@ -201,14 +285,15 @@ func (w *Windowed) HeavyHitters(theta float64) []HeavyHitter {
 	if w.k == 1 {
 		return w.current.HeavyHitters(theta)
 	}
+	w.sync()
 	w.querySnap = w.current.SnapshotInto(w.querySnap)
 	w.collectRing(w.k - 1)
 	w.order = append(w.order, w.querySnap)
-	merged, err := mergeSnapshots(w.merged, w.order)
+	merged, err := mergeSnapshots(w.qMerged, w.order)
 	if err != nil {
 		panic("rhhh: windowed merge failed: " + err.Error())
 	}
-	w.merged = merged
+	w.qMerged = merged
 	return merged.HeavyHitters(theta)
 }
 
@@ -244,6 +329,7 @@ func (w *Windowed) Watch(opts WatchOptions) (*Subscription, error) {
 	if w.watchClosed {
 		return nil, errors.New("rhhh: Watch on a closed Windowed")
 	}
+	w.sync()
 	if w.hub == nil {
 		hub, err := newWindowedHub(w)
 		if err != nil {
@@ -256,8 +342,11 @@ func (w *Windowed) Watch(opts WatchOptions) (*Subscription, error) {
 
 // Close ends every watch subscription (closing their Events channels);
 // further Watch calls fail. The window state itself is unaffected — Flush
-// remains available for shutdown delivery. Idempotent.
+// remains available for shutdown delivery. Close waits for an in-flight
+// background merge, so every completed window has been delivered when it
+// returns. Idempotent.
 func (w *Windowed) Close() error {
+	w.sync()
 	w.watchClosed = true
 	if w.hub != nil {
 		w.hub.closeHub()
@@ -304,30 +393,53 @@ func (w *Windowed) flush() {
 	if w.k == 1 {
 		res.N = w.current.N()
 		res.HeavyHitters = slices.Clone(w.current.HeavyHitters(w.theta))
-	} else {
-		slot := w.index % uint64(w.k)
-		w.ring[slot] = w.current.SnapshotInto(w.ring[slot])
-		w.collectRing(w.k - 1)
-		w.order = append(w.order, w.ring[slot])
-		merged, err := mergeSnapshots(w.merged, w.order)
-		if err != nil {
-			panic("rhhh: windowed merge failed: " + err.Error())
+		// Standing-query tick on the covered window's final state — before
+		// the monitor resets for the next window.
+		if w.hub != nil {
+			w.hub.tick()
 		}
-		w.merged = merged
-		res.N = merged.N()
-		res.SubWindows = len(w.order)
-		res.HeavyHitters = slices.Clone(merged.HeavyHitters(w.theta))
+		w.index++
+		// Reset + window-dependent reseed: windows stay statistically
+		// independent and runs reproducible — window i is bit-identical to a
+		// fresh monitor seeded Seed + i·φ64 — without rebuilding the monitor.
+		w.current.Reset()
+		w.current.impl.reseed(w.cfg.Seed + w.index*0x9e3779b97f4a7c15)
+		w.onFlush(res)
+		return
 	}
-	// Standing-query tick on the covered window's final state — before the
-	// monitor resets for the next window.
+	// Sliding mode: the flush path pays only for the previous merge (if it
+	// has not finished), the sub-window snapshot copy and the reset; the
+	// ring merge, HHH extraction, watch tick and callback all run on the
+	// merge goroutine. Results are delivered in window order because jobs
+	// serialize on mergeDone.
+	w.sync()
+	slot := w.index % uint64(w.k)
+	w.ring[slot] = w.current.SnapshotInto(w.ring[slot])
+	w.collectRing(w.k - 1)
+	w.order = append(w.order, w.ring[slot])
+	res.SubWindows = len(w.order)
+	w.index++
+	w.current.Reset()
+	w.current.impl.reseed(w.cfg.Seed + w.index*0x9e3779b97f4a7c15)
+	w.mergePending = true
+	go w.runMerge(res)
+}
+
+// runMerge is the background half of a sliding flush: merge the covered
+// sub-windows, extract and deliver the window result, tick the standing
+// queries, then release the flush path. The goroutine exclusively owns
+// w.order, w.merged and the hub until it signals mergeDone.
+func (w *Windowed) runMerge(res WindowResult) {
+	merged, err := mergeSnapshots(w.merged, w.order)
+	if err != nil {
+		panic("rhhh: windowed merge failed: " + err.Error())
+	}
+	w.merged = merged
+	res.N = merged.N()
+	res.HeavyHitters = slices.Clone(merged.HeavyHitters(w.theta))
 	if w.hub != nil {
 		w.hub.tick()
 	}
-	w.index++
-	// Reset + window-dependent reseed: windows stay statistically
-	// independent and runs reproducible — window i is bit-identical to a
-	// fresh monitor seeded Seed + i·φ64 — without rebuilding the monitor.
-	w.current.Reset()
-	w.current.impl.reseed(w.cfg.Seed + w.index*0x9e3779b97f4a7c15)
 	w.onFlush(res)
+	w.mergeDone <- struct{}{}
 }

@@ -258,6 +258,7 @@ func TestSlidingWindowMatchesMergedSubStreams(t *testing.T) {
 			w.Update(a, netip.Addr{})
 		}
 	}
+	w.Sync() // sliding results are delivered by the background merger
 	if len(results) != k {
 		t.Fatalf("%d sub-windows delivered, want %d", len(results), k)
 	}
@@ -325,6 +326,7 @@ func TestSlidingWindowEvictsOldSubWindows(t *testing.T) {
 	feed(true)  // sub-window 0: heavy
 	feed(false) // sub-window 1: uniform
 	feed(false) // sub-window 2: uniform — slides past sub-window 0
+	w.Sync()    // sliding results are delivered by the background merger
 	if len(results) != 3 {
 		t.Fatalf("%d sub-windows delivered", len(results))
 	}
@@ -374,6 +376,139 @@ func TestSlidingWindowValidation(t *testing.T) {
 	}
 	if _, err := rhhh.NewWindowed(tight, size, 0.5, ok); err == nil {
 		t.Error("tumbling window below ψ accepted")
+	}
+}
+
+// TestSlidingWindowBackgroundMergeProducer runs a producer through many
+// sub-window boundaries with the ring merge on the background goroutine,
+// interleaving on-demand queries and a watch subscription — the -race
+// exercise for the flush/merge overlap. Results must still arrive in order
+// and bit-identical to a synchronously merged reference.
+func TestSlidingWindowBackgroundMergeProducer(t *testing.T) {
+	const k = 3
+	cfg := rhhh.Config{Dims: 1, Epsilon: 0.05, Delta: 0.05, V: 50, Seed: 61}
+	window := uint64(rhhh.Psi(0.05, 0.05, 50))/k + 3000
+
+	var got []rhhh.WindowResult
+	w, err := rhhh.NewSlidingWindowed(cfg, window, k, 0.2, func(r rhhh.WindowResult) {
+		got = append(got, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Watch(rhhh.WatchOptions{Theta: 0.2, OnDelta: func(rhhh.Delta) {}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var want []rhhh.WindowResult
+	ref, err := rhhh.NewSlidingWindowed(cfg, window, k, 0.2, func(r rhhh.WindowResult) {
+		want = append(want, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(62))
+	const windows = 7
+	batch := make([]netip.Addr, 512)
+	total := int(window) * windows
+	for fed := 0; fed < total; {
+		n := len(batch)
+		if total-fed < n {
+			n = total - fed
+		}
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				batch[i] = addr4(7, 7, 7, byte(rng.Intn(256)))
+			} else {
+				batch[i] = addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+			}
+		}
+		w.UpdateBatch(batch[:n], nil)
+		ref.UpdateBatch(batch[:n], nil)
+		if rng.Intn(4) == 0 {
+			_ = w.HeavyHitters(0.2) // on-demand query racing the merger
+		}
+		fed += n
+	}
+	w.Sync()
+	ref.Sync()
+	if len(got) != windows || len(want) != windows {
+		t.Fatalf("%d async vs %d reference windows (want %d)", len(got), len(want), windows)
+	}
+	for i := range want {
+		a, b := got[i], want[i]
+		if a.Index != b.Index || a.N != b.N || a.SubWindows != b.SubWindows || len(a.HeavyHitters) != len(b.HeavyHitters) {
+			t.Fatalf("window %d metadata differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.HeavyHitters {
+			if a.HeavyHitters[j] != b.HeavyHitters[j] {
+				t.Fatalf("window %d result %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestWindowedUpdateWeightedBatchMatchesPerPacket: weighted batches that
+// straddle weight-measured window boundaries must deliver exactly the same
+// windows as per-packet weighted feeding — a heavy packet closes the window
+// at the same position.
+func TestWindowedUpdateWeightedBatchMatchesPerPacket(t *testing.T) {
+	cfg := rhhh.Config{Dims: 2, Epsilon: 0.05, Delta: 0.05, V: 50, Seed: 71}
+	window := uint64(rhhh.Psi(0.05, 0.05, 50)) + 1234
+
+	var perPacket, batched []rhhh.WindowResult
+	wa, err := rhhh.NewWindowed(cfg, window, 0.25, func(r rhhh.WindowResult) { perPacket = append(perPacket, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := rhhh.NewWindowed(cfg, window, 0.25, func(r rhhh.WindowResult) { batched = append(batched, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(72))
+	total := int(window/2) + 321 // weights average ~8, so several windows
+	srcs := make([]netip.Addr, total)
+	dsts := make([]netip.Addr, total)
+	ws := make([]uint64, total)
+	for i := range srcs {
+		srcs[i] = addr4(3, 3, byte(rng.Intn(8)), byte(rng.Intn(256)))
+		dsts[i] = addr4(byte(rng.Intn(8)), 4, 4, byte(rng.Intn(256)))
+		// Mix of zero, unit and heavy weights, including window-sized ones.
+		switch rng.Intn(10) {
+		case 0:
+			ws[i] = 0
+		case 1:
+			ws[i] = window/2 + uint64(rng.Intn(100))
+		default:
+			ws[i] = uint64(1 + rng.Intn(20))
+		}
+	}
+	for i := range srcs {
+		wa.UpdateWeighted(srcs[i], dsts[i], ws[i])
+	}
+	for off := 0; off < total; {
+		n := 100 + rng.Intn(400)
+		if off+n > total {
+			n = total - off
+		}
+		wb.UpdateWeightedBatch(srcs[off:off+n], dsts[off:off+n], ws[off:off+n])
+		off += n
+	}
+	if len(perPacket) != len(batched) || len(perPacket) == 0 {
+		t.Fatalf("%d vs %d windows delivered", len(perPacket), len(batched))
+	}
+	for wi := range perPacket {
+		a, b := perPacket[wi], batched[wi]
+		if a.Index != b.Index || a.N != b.N || len(a.HeavyHitters) != len(b.HeavyHitters) {
+			t.Fatalf("window %d metadata differs: %+v vs %+v", wi, a, b)
+		}
+		for i := range a.HeavyHitters {
+			if a.HeavyHitters[i] != b.HeavyHitters[i] {
+				t.Fatalf("window %d result %d differs", wi, i)
+			}
+		}
 	}
 }
 
