@@ -17,6 +17,7 @@ import (
 	"os"
 	"slices"
 	"sort"
+	"sync"
 	"time"
 
 	"rhhh/internal/core"
@@ -43,6 +44,11 @@ func main() {
 		watchEvy = flag.Uint64("watch-every", 500_000, "dataplane mode: packets between standing-query ticks")
 		watchIvl = flag.Duration("watch-interval", 200*time.Millisecond, "distributed mode: collector tick interval")
 		byBytes  = flag.Bool("bytes", false, "dataplane mode: weight updates by packet length (byte-count heavy hitters)")
+		syncMode = flag.String("sync", "samples", "distributed mode: samples (per-sample stream) or delta (acked generation-delta reports)")
+		repEvery = flag.Uint64("report-every", 1<<16, "delta sync: packets between reports")
+		repTmo   = flag.Duration("report-timeout", 200*time.Millisecond, "delta sync: per-report ack timeout before retransmission")
+		resyncEv = flag.Int("resync-every", 0, "delta sync: force a full report after this many deltas (0 = only when requested)")
+		standby  = flag.Bool("collector-standby", false, "delta sync: fail over to a standby collector restored from a checkpoint at half the run")
 	)
 	flag.Parse()
 
@@ -104,6 +110,20 @@ func main() {
 		}
 	case "distributed":
 		col := vswitch.NewCollector(dom, *epsilon, *delta, v)
+		if *syncMode == "delta" {
+			hook, report = setupDeltaSync(deltaSyncConfig{
+				dom: dom, col: col, v: v,
+				epsilon: *epsilon, delta: *delta, theta: *theta,
+				udp: *udp, seed: *seed,
+				every: *repEvery, timeout: *repTmo, resyncEvery: *resyncEv,
+				standby: *standby, failAfter: *duration / 2,
+				watch: *watch, watchIvl: *watchIvl,
+			})
+			break
+		}
+		if *syncMode != "samples" {
+			fatalf("unknown -sync mode %q (want samples or delta)", *syncMode)
+		}
 		var tr vswitch.Transport
 		if *udp {
 			srv, err := vswitch.ListenUDP("127.0.0.1:0", col)
@@ -298,6 +318,146 @@ func printHHH(dom *hierarchy.Domain[uint64], out []core.Result[uint64], n uint64
 	if len(out) == 0 {
 		fmt.Println("  (none)")
 	}
+}
+
+// deltaSyncConfig carries the -sync delta wiring options.
+type deltaSyncConfig struct {
+	dom            *hierarchy.Domain[uint64]
+	col            *vswitch.Collector
+	v              int
+	epsilon, delta float64
+	theta          float64
+	udp            bool
+	seed           uint64
+	every          uint64
+	timeout        time.Duration
+	resyncEvery    int
+	standby        bool
+	failAfter      time.Duration
+	watch          bool
+	watchIvl       time.Duration
+}
+
+// setupDeltaSync wires the fault-tolerant acked report protocol: a local RHHH
+// engine on the switch, generation-delta reports to the collector (UDP or an
+// in-process link), and optionally a mid-run fail-over to a standby collector
+// restored from a checkpoint (-collector-standby).
+func setupDeltaSync(cfg deltaSyncConfig) (vswitch.Hook, func()) {
+	eng := core.New(cfg.dom, core.Config{Epsilon: cfg.epsilon, Delta: cfg.delta, V: cfg.v, Seed: cfg.seed})
+	var (
+		colMu sync.Mutex
+		live  = cfg.col
+	)
+	var (
+		tr      vswitch.ReportTransport
+		redial  func(*vswitch.Collector) error
+		cleanup func()
+	)
+	if cfg.udp {
+		srv, err := vswitch.ListenUDP("127.0.0.1:0", cfg.col)
+		if err != nil {
+			fatalf("udp listen: %v", err)
+		}
+		utr, err := vswitch.DialUDPReport(srv.Addr())
+		if err != nil {
+			fatalf("udp dial: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "collector listening on %s\n", srv.Addr())
+		tr = utr
+		redial = func(sb *vswitch.Collector) error {
+			srv2, err := vswitch.ListenUDP("127.0.0.1:0", sb)
+			if err != nil {
+				return err
+			}
+			srv.Close()
+			srv = srv2
+			fmt.Fprintf(os.Stderr, "standby collector listening on %s\n", srv2.Addr())
+			return utr.Redial(srv2.Addr())
+		}
+		cleanup = func() {
+			utr.Close()
+			srv.Close()
+		}
+	} else {
+		link := vswitch.NewCollectorLink(cfg.col, vswitch.FaultConfig{Seed: cfg.seed}, vswitch.FaultConfig{Seed: cfg.seed + 1})
+		link.StartPump(time.Millisecond)
+		tr = link
+		redial = func(sb *vswitch.Collector) error {
+			link.SetCollector(sb)
+			return nil
+		}
+		cleanup = func() { link.Close() }
+	}
+	rep := vswitch.NewDeltaReporter(eng, tr, 1, vswitch.ReporterOptions{
+		Every: cfg.every, ResyncEvery: cfg.resyncEvery, Timeout: cfg.timeout, Seed: cfg.seed,
+	})
+	if cfg.watch {
+		if cfg.standby {
+			fatalf("-watch cannot follow the collector across -collector-standby fail-over")
+		}
+		w := cfg.col.Watch(cfg.theta, 0, cfg.watchIvl, func(d vswitch.CollectorDelta) {
+			printWatchEvents(cfg.dom, d.Seq, d.N, d.Admitted, d.Retired, d.Updated)
+		})
+		prev := cleanup
+		cleanup = func() {
+			w.Close()
+			prev()
+		}
+	}
+	if cfg.standby {
+		timer := time.AfterFunc(cfg.failAfter, func() {
+			colMu.Lock()
+			defer colMu.Unlock()
+			ckpt, err := live.AppendCheckpoint(nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vswitchd: checkpoint: %v\n", err)
+				return
+			}
+			sb := vswitch.NewCollector(cfg.dom, cfg.epsilon, cfg.delta, cfg.v)
+			if err := sb.Restore(ckpt); err != nil {
+				fmt.Fprintf(os.Stderr, "vswitchd: standby restore: %v\n", err)
+				return
+			}
+			if err := redial(sb); err != nil {
+				fmt.Fprintf(os.Stderr, "vswitchd: standby redial: %v\n", err)
+				return
+			}
+			live = sb
+			fmt.Fprintf(os.Stderr, "vswitchd: failed over to standby collector (%d byte checkpoint, epoch %d)\n",
+				len(ckpt), sb.Epoch())
+		})
+		prev := cleanup
+		cleanup = func() {
+			timer.Stop()
+			prev()
+		}
+	}
+	report := func() {
+		if err := rep.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "vswitchd: report error: %v\n", err)
+		}
+		if !rep.WaitSynced(2 * time.Second) {
+			fmt.Fprintf(os.Stderr, "vswitchd: reporter did not reach sync before the deadline\n")
+		}
+		colMu.Lock()
+		c := live
+		colMu.Unlock()
+		rst := rep.Stats()
+		fmt.Printf("reporter: reports=%d (full=%d delta=%d) bytes full/delta=%d/%d retransmits=%d resyncs=%d superseded=%d\n",
+			rst.Reports, rst.FullReports, rst.DeltaReports, rst.FullBytes, rst.DeltaBytes,
+			rst.Retransmits, rst.Resyncs, rst.Superseded)
+		cst := c.Stats()
+		fmt.Printf("collector: epoch=%d packets=%d full=%d delta=%d stale=%d resyncReq=%d decodeErr=%d failovers=%d\n",
+			c.Epoch(), c.Packets(), cst.FullReports, cst.DeltaReports, cst.StaleReports,
+			cst.ResyncRequests, cst.DecodeErrors, cst.Failovers)
+		for _, si := range c.Senders() {
+			fmt.Printf("  sender %d: boot=%d seq=%d packets=%d staleness=%d dropped=%d\n",
+				si.Sender, si.Boot, si.LastSeq, si.Packets, si.Staleness, si.Dropped)
+		}
+		printHHH(cfg.dom, c.Output(cfg.theta), c.Packets(), cfg.theta)
+		cleanup()
+	}
+	return rep, report
 }
 
 func fatalf(format string, args ...any) {

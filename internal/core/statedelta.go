@@ -1,0 +1,170 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rhhh/internal/spacesaving"
+)
+
+// Engine snapshot delta encoding, version 1: an engine snapshot expressed
+// relative to a base snapshot both sides share (the sender's last *acked*
+// report in the vswitch protocol). Per-node mutation generations pick which
+// nodes appear at all — a node whose generation still matches the base was
+// never rewritten since, so it is omitted and the receiver keeps its copy —
+// and each included node is entry-delta-coded against the base's node (see
+// spacesaving.DeltaCoder). Layout:
+//
+//	byte    version (1)
+//	uvarint H (must match the base)
+//	uvarint packets, uvarint weight
+//	uvarint number of encoded nodes
+//	nodes × { uvarint node index (strictly ascending), node delta }
+//
+// decode(base, encode(base, es)) reproduces es bit-for-bit, which is what
+// lets a collector fed only deltas stay bit-identical to one fed full state.
+const engineDeltaVersion = 1
+
+// NodeGens records each node's mutation generation into dst (reused when
+// large enough) — the baseline a later AppendDelta call compares against.
+func (es *EngineSnapshot[K]) NodeGens(dst []uint64) []uint64 {
+	if cap(dst) < len(es.Nodes) {
+		dst = make([]uint64, len(es.Nodes))
+	}
+	dst = dst[:len(es.Nodes)]
+	for i := range es.Nodes {
+		dst[i] = es.Nodes[i].Gen()
+	}
+	return dst
+}
+
+// CopyFrom makes es a deep copy of src (reusing buffers). The copy is a
+// rewrite: es and each of its nodes get fresh mutation generations.
+func (es *EngineSnapshot[K]) CopyFrom(src *EngineSnapshot[K]) {
+	if cap(es.Nodes) < len(src.Nodes) {
+		nodes := make([]spacesaving.Snapshot[K], len(src.Nodes))
+		copy(nodes, es.Nodes)
+		es.Nodes = nodes
+	}
+	es.Nodes = es.Nodes[:len(src.Nodes)]
+	for i := range src.Nodes {
+		es.Nodes[i].CopyFrom(&src.Nodes[i])
+	}
+	es.Packets, es.Weight = src.Packets, src.Weight
+	es.V, es.R = src.V, src.R
+	es.Epsilon, es.Delta = src.Epsilon, src.Delta
+	es.gen = nextSnapGen()
+	es.src = nil
+}
+
+// DeltaCodec encodes and applies engine snapshot deltas, retaining all
+// scratch (the per-key coder and the decode staging nodes) across calls. Not
+// safe for concurrent use.
+type DeltaCodec[K comparable] struct {
+	dc      spacesaving.DeltaCoder[K]
+	staged  []spacesaving.Snapshot[K]
+	nodeIdx []int
+}
+
+// AppendDelta appends the delta encoding of es relative to base, using
+// baseGens (the base's per-node generations as recorded by NodeGens at
+// capture time) to pick the changed nodes: node i is encoded iff its
+// generation differs from baseGens[i] or is unknown (0). Returns the extended
+// buffer and the number of nodes encoded. es and base must share the lattice
+// and the carrier must have a key codec.
+func (c *DeltaCodec[K]) AppendDelta(buf []byte, es, base *EngineSnapshot[K], baseGens []uint64) ([]byte, int, error) {
+	putKey, _, ok := keyCodecFor[K]()
+	if !ok {
+		return nil, 0, fmt.Errorf("core: no key codec for %T", *new(K))
+	}
+	if len(es.Nodes) != len(base.Nodes) || len(es.Nodes) != len(baseGens) {
+		return nil, 0, fmt.Errorf("core: delta base shape mismatch: %d nodes vs %d (gens %d)",
+			len(es.Nodes), len(base.Nodes), len(baseGens))
+	}
+	changed := 0
+	for i := range es.Nodes {
+		if g := es.Nodes[i].Gen(); g == 0 || g != baseGens[i] {
+			changed++
+		}
+	}
+	buf = append(buf, engineDeltaVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(es.Nodes)))
+	buf = binary.AppendUvarint(buf, es.Packets)
+	buf = binary.AppendUvarint(buf, es.Weight)
+	buf = binary.AppendUvarint(buf, uint64(changed))
+	for i := range es.Nodes {
+		if g := es.Nodes[i].Gen(); g != 0 && g == baseGens[i] {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(i))
+		buf = c.dc.AppendDelta(buf, &es.Nodes[i], &base.Nodes[i], putKey)
+	}
+	return buf, changed, nil
+}
+
+// ApplyDelta patches es in place with a delta that was encoded against es's
+// current contents, returning the remaining bytes. The apply is atomic: every
+// node is decoded and validated into staging first, so on error es is
+// untouched. Nodes absent from the delta keep their contents (and their
+// generations — downstream per-node merge/index caches stay warm); patched
+// nodes and the snapshot itself get fresh generations.
+func (c *DeltaCodec[K]) ApplyDelta(es *EngineSnapshot[K], b []byte) ([]byte, error) {
+	_, getKey, ok := keyCodecFor[K]()
+	if !ok {
+		return nil, fmt.Errorf("core: no key codec for %T", *new(K))
+	}
+	if len(b) < 1 {
+		return nil, errors.New("core: short engine delta")
+	}
+	if b[0] != engineDeltaVersion {
+		return nil, fmt.Errorf("core: unknown engine delta version %d", b[0])
+	}
+	b = b[1:]
+	var h, packets, weight, count uint64
+	for _, p := range []*uint64{&h, &packets, &weight, &count} {
+		v, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, errors.New("core: truncated engine delta header")
+		}
+		*p, b = v, b[w:]
+	}
+	if h != uint64(len(es.Nodes)) {
+		return nil, fmt.Errorf("core: engine delta has %d nodes, snapshot has %d", h, len(es.Nodes))
+	}
+	if count > h {
+		return nil, fmt.Errorf("core: engine delta encodes %d of %d nodes", count, h)
+	}
+	if cap(c.staged) < int(count) {
+		c.staged = append(c.staged, make([]spacesaving.Snapshot[K], int(count)-len(c.staged))...)
+	}
+	c.staged = c.staged[:count]
+	c.nodeIdx = c.nodeIdx[:0]
+	prev := -1
+	for j := uint64(0); j < count; j++ {
+		idx, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, errors.New("core: truncated engine delta node header")
+		}
+		b = b[w:]
+		if idx >= h || int(idx) <= prev {
+			return nil, fmt.Errorf("core: engine delta node index %d out of order", idx)
+		}
+		prev = int(idx)
+		rest, err := c.dc.DecodeDelta(&c.staged[j], b, &es.Nodes[idx], getKey)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", idx, err)
+		}
+		b = rest
+		c.nodeIdx = append(c.nodeIdx, int(idx))
+	}
+	// All nodes validated: swap the staged copies in (the displaced arrays
+	// become the next call's staging storage).
+	for j, idx := range c.nodeIdx {
+		es.Nodes[idx], c.staged[j] = c.staged[j], es.Nodes[idx]
+	}
+	es.Packets, es.Weight = packets, weight
+	es.gen = nextSnapGen()
+	es.src = nil
+	return b, nil
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"rhhh/internal/fastrand"
+	"rhhh/internal/hierarchy"
+)
+
+// TestEngineDeltaChainBitIdentical drives a live engine, captures snapshots at
+// report boundaries, and maintains a remote replica fed only deltas (each
+// encoded against the replica's current state, as the acked-report protocol
+// does). After every apply the replica must serialize bit-identically to the
+// direct snapshot.
+func TestEngineDeltaChainBitIdentical(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	eng := New(dom, Config{Epsilon: 0.02, Delta: 0.1, V: 2 * dom.Size(), Seed: 11})
+	rng := fastrand.New(5)
+
+	var cur, base EngineSnapshot[uint64]
+	var replica *EngineSnapshot[uint64]
+	var codec DeltaCodec[uint64]
+	var gens []uint64
+
+	eng.SnapshotInto(&base)
+	gens = base.NodeGens(gens)
+
+	for step := 0; step < 60; step++ {
+		// Vary batch sizes so some reports move few lattice nodes.
+		n := 1 + int(rng.Uint64n(uint64(50+step*20)))
+		for i := 0; i < n; i++ {
+			eng.Update(rng.Uint64n(1 << 16))
+		}
+		eng.SnapshotInto(&cur)
+
+		delta, _, err := codec.AppendDelta(nil, &cur, &base, gens)
+		if err != nil {
+			t.Fatalf("step %d: encode: %v", step, err)
+		}
+		if replica == nil {
+			// Protocol bootstrap: the first report is a full snapshot.
+			replica = &EngineSnapshot[uint64]{}
+			replica.CopyFrom(&cur)
+		} else {
+			rest, err := codec.ApplyDelta(replica, delta)
+			if err != nil {
+				t.Fatalf("step %d: apply: %v", step, err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("step %d: %d trailing bytes", step, len(rest))
+			}
+		}
+
+		want, err := cur.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := replica.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(got) {
+			t.Fatalf("step %d: replica diverged from direct snapshot", step)
+		}
+
+		// Ack: the sender's base advances to what the replica now holds.
+		base.CopyFrom(&cur)
+		gens = cur.NodeGens(gens)
+	}
+}
+
+// TestEngineDeltaStaleBase pins the unacked-window case: several reports are
+// built against the same base (acks lost), and any single one of them applied
+// to a replica holding that base reproduces its snapshot exactly.
+func TestEngineDeltaStaleBase(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	eng := New[uint32](dom, Config{Epsilon: 0.05, Delta: 0.2, Seed: 3})
+	rng := fastrand.New(9)
+	for i := 0; i < 2000; i++ {
+		eng.Update(uint32(rng.Uint64n(1 << 12)))
+	}
+	var base EngineSnapshot[uint32]
+	eng.SnapshotInto(&base)
+	gens := base.NodeGens(nil)
+
+	var codec DeltaCodec[uint32]
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 500; i++ {
+			eng.Update(uint32(rng.Uint64n(1 << 12)))
+		}
+		var cur EngineSnapshot[uint32]
+		eng.SnapshotInto(&cur)
+		delta, _, err := codec.AppendDelta(nil, &cur, &base, gens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var replica EngineSnapshot[uint32]
+		replica.CopyFrom(&base)
+		if _, err := codec.ApplyDelta(&replica, delta); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want, _ := cur.AppendBinary(nil)
+		got, _ := replica.AppendBinary(nil)
+		if string(want) != string(got) {
+			t.Fatalf("round %d: stale-base delta diverged", round)
+		}
+	}
+}
+
+// TestEngineDeltaZeroChange: an unchanged engine produces an empty-node delta
+// that still applies cleanly and leaves the replica identical.
+func TestEngineDeltaZeroChange(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	eng := New[uint32](dom, Config{Epsilon: 0.1, Delta: 0.3, Seed: 1})
+	for i := 0; i < 300; i++ {
+		eng.Update(uint32(i % 40))
+	}
+	var cur EngineSnapshot[uint32]
+	eng.SnapshotInto(&cur)
+	gens := cur.NodeGens(nil)
+
+	var codec DeltaCodec[uint32]
+	delta, n, err := codec.AppendDelta(nil, &cur, &cur, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("unchanged snapshot encoded %d nodes", n)
+	}
+	if len(delta) > 16 {
+		t.Fatalf("zero-change delta is %d bytes", len(delta))
+	}
+	var replica EngineSnapshot[uint32]
+	replica.CopyFrom(&cur)
+	if _, err := codec.ApplyDelta(&replica, delta); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := cur.AppendBinary(nil)
+	got, _ := replica.AppendBinary(nil)
+	if string(want) != string(got) {
+		t.Fatal("zero-change apply diverged")
+	}
+}
+
+// TestEngineDeltaRejectsCorruptInput: truncations and header corruption error
+// out without panicking, and a failed apply leaves the replica untouched.
+func TestEngineDeltaRejectsCorruptInput(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	eng := New(dom, Config{Epsilon: 0.05, Delta: 0.2, Seed: 2})
+	rng := fastrand.New(4)
+	for i := 0; i < 3000; i++ {
+		eng.Update(rng.Uint64n(1 << 10))
+	}
+	var base EngineSnapshot[uint64]
+	eng.SnapshotInto(&base)
+	gens := base.NodeGens(nil)
+	for i := 0; i < 1000; i++ {
+		eng.Update(rng.Uint64n(1 << 10))
+	}
+	var cur EngineSnapshot[uint64]
+	eng.SnapshotInto(&cur)
+
+	var codec DeltaCodec[uint64]
+	delta, _, err := codec.AppendDelta(nil, &cur, &base, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var replica EngineSnapshot[uint64]
+	replica.CopyFrom(&base)
+	before, _ := replica.AppendBinary(nil)
+	for cut := 0; cut < len(delta); cut++ {
+		if rest, err := codec.ApplyDelta(&replica, delta[:cut]); err == nil && len(rest) == 0 {
+			t.Fatalf("truncation at %d applied cleanly", cut)
+		}
+	}
+	after, _ := replica.AppendBinary(nil)
+	if string(before) != string(after) {
+		t.Fatal("failed applies mutated the replica")
+	}
+
+	for trial := 0; trial < 2000; trial++ {
+		bad := append([]byte(nil), delta...)
+		bad[rng.Uint64n(uint64(len(bad)))] ^= byte(1 << rng.Uint64n(8))
+		var r EngineSnapshot[uint64]
+		r.CopyFrom(&base)
+		codec.ApplyDelta(&r, bad) // must not panic
+	}
+
+	// Shape mismatch: delta against a different lattice.
+	small := hierarchy.NewIPv4TwoDim(hierarchy.Nibbles)
+	eng2 := New(small, Config{Epsilon: 0.05, Delta: 0.2, Seed: 2})
+	var wrong EngineSnapshot[uint64]
+	eng2.SnapshotInto(&wrong)
+	if _, err := codec.ApplyDelta(&wrong, delta); err == nil {
+		t.Fatal("delta applied across mismatched lattices")
+	}
+}
+
+// TestEngineSnapshotCopyFrom: deep copy, fresh generations, no sharing.
+func TestEngineSnapshotCopyFrom(t *testing.T) {
+	dom := hierarchy.NewIPv4OneDim(hierarchy.Bytes)
+	eng := New[uint32](dom, Config{Epsilon: 0.1, Delta: 0.3, Seed: 8})
+	for i := 0; i < 500; i++ {
+		eng.Update(uint32(i % 30))
+	}
+	src := eng.Snapshot()
+	var dst EngineSnapshot[uint32]
+	dst.CopyFrom(src)
+
+	want, _ := src.AppendBinary(nil)
+	got, _ := dst.AppendBinary(nil)
+	if string(want) != string(got) {
+		t.Fatal("copy differs from source")
+	}
+	for i := range dst.Nodes {
+		if dst.Nodes[i].Gen() == 0 || dst.Nodes[i].Gen() == src.Nodes[i].Gen() {
+			t.Fatalf("node %d: copy did not get a fresh generation", i)
+		}
+		if len(src.Nodes[i].Keys) > 0 {
+			src.Nodes[i].Upper[0]++
+			if dst.Nodes[i].Upper[0] == src.Nodes[i].Upper[0] {
+				t.Fatalf("node %d: copy shares storage", i)
+			}
+			src.Nodes[i].Upper[0]--
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package spacesaving
+
+import (
+	"testing"
+
+	"rhhh/internal/fastrand"
+)
+
+// putU64/getU64 come from snapshot_test.go.
+
+// snapshotsEqual compares every observable field.
+func snapshotsEqual(a, b *Snapshot[uint64]) bool {
+	if a.N != b.N || a.Min != b.Min || a.Cap != b.Cap || len(a.Keys) != len(b.Keys) {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] || a.Upper[i] != b.Upper[i] || a.Lower[i] != b.Lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeltaRoundTrip drives a live summary through skewed traffic, snapshots
+// it at staggered points, and checks that every snapshot delta decodes back
+// bit-for-bit from its base — including bases several reports old, keys that
+// were evicted and re-admitted, and rank churn.
+func TestDeltaRoundTrip(t *testing.T) {
+	rng := fastrand.New(7)
+	s := New[uint64](64)
+	var dc DeltaCoder[uint64]
+	base := s.Snapshot()
+	for step := 0; step < 200; step++ {
+		// Skewed updates with a rotating hot set so ranks churn and keys
+		// evict/readmit across reports.
+		for i := 0; i < 500; i++ {
+			k := rng.Uint64n(40)
+			if rng.Uint64n(10) == 0 {
+				k = 1000 + rng.Uint64n(200) // tail spray forces evictions
+			}
+			if step > 100 {
+				k += 3 // shift the hot set mid-stream
+			}
+			s.Increment(k)
+		}
+		cur := s.Snapshot()
+		delta := dc.AppendDelta(nil, cur, base, putU64)
+		var got Snapshot[uint64]
+		rest, err := dc.DecodeDelta(&got, delta, base, getU64)
+		if err != nil {
+			t.Fatalf("step %d: decode: %v", step, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("step %d: %d trailing bytes", step, len(rest))
+		}
+		if !snapshotsEqual(cur, &got) {
+			t.Fatalf("step %d: delta round trip diverged", step)
+		}
+		// Advance the base only every third report: deltas must also be
+		// correct against stale bases (the unacked-report window).
+		if step%3 == 0 {
+			base = cur
+		}
+	}
+}
+
+// TestDeltaRoundTripEmptyAndIdentity covers the degenerate shapes: empty
+// base, empty target, identical snapshots (all-reference encoding).
+func TestDeltaRoundTripEmptyAndIdentity(t *testing.T) {
+	var dc DeltaCoder[uint64]
+	s := New[uint64](8)
+	empty := s.Snapshot()
+	for i := 0; i < 100; i++ {
+		s.Increment(uint64(i % 5))
+	}
+	full := s.Snapshot()
+
+	cases := []struct {
+		name      string
+		base, cur *Snapshot[uint64]
+	}{
+		{"empty-to-full", empty, full},
+		{"full-to-full", full, full},
+		{"full-to-empty", full, empty},
+		{"empty-to-empty", empty, empty},
+	}
+	for _, tc := range cases {
+		delta := dc.AppendDelta(nil, tc.cur, tc.base, putU64)
+		var got Snapshot[uint64]
+		if _, err := dc.DecodeDelta(&got, delta, tc.base, getU64); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !snapshotsEqual(tc.cur, &got) {
+			t.Fatalf("%s: round trip diverged", tc.name)
+		}
+		if tc.name == "full-to-full" && len(delta) > 5+2*len(full.Keys) {
+			t.Fatalf("identity delta is %d bytes for %d entries — references not compact", len(delta), len(full.Keys))
+		}
+	}
+}
+
+// TestDeltaDecodeRejectsCorruptInput: truncations always error, bit flips
+// either error or decode into a structurally valid snapshot — never panic,
+// never produce an inconsistent one.
+func TestDeltaDecodeRejectsCorruptInput(t *testing.T) {
+	s := New[uint64](32)
+	rng := fastrand.New(3)
+	for i := 0; i < 5000; i++ {
+		s.Increment(rng.Uint64n(50))
+	}
+	base := s.Snapshot()
+	for i := 0; i < 2000; i++ {
+		s.Increment(rng.Uint64n(60))
+	}
+	cur := s.Snapshot()
+	var dc DeltaCoder[uint64]
+	delta := dc.AppendDelta(nil, cur, base, putU64)
+
+	for cut := 0; cut < len(delta); cut++ {
+		var got Snapshot[uint64]
+		if rest, err := dc.DecodeDelta(&got, delta[:cut], base, getU64); err == nil && len(rest) == 0 {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	for trial := 0; trial < 2000; trial++ {
+		bad := append([]byte(nil), delta...)
+		bad[rng.Uint64n(uint64(len(bad)))] ^= byte(1 << rng.Uint64n(8))
+		var got Snapshot[uint64]
+		rest, err := dc.DecodeDelta(&got, bad, base, getU64)
+		if err != nil || len(rest) != 0 {
+			continue
+		}
+		// A surviving decode must still be structurally valid.
+		seen := make(map[uint64]bool)
+		for i := range got.Keys {
+			if seen[got.Keys[i]] {
+				t.Fatal("corrupt delta decoded with duplicate keys")
+			}
+			seen[got.Keys[i]] = true
+			if got.Lower[i] > got.Upper[i] {
+				t.Fatal("corrupt delta decoded with lower > upper")
+			}
+			if i > 0 && got.Upper[i] > got.Upper[i-1] {
+				t.Fatal("corrupt delta decoded unsorted")
+			}
+		}
+	}
+	// Destination must not alias the base.
+	if _, err := dc.DecodeDelta(base, delta, base, getU64); err == nil {
+		t.Fatal("aliased decode accepted")
+	}
+}
+
+// TestDeltaCoderReuse pins that a reused coder (the steady-state path) gives
+// the same bytes and results as a fresh one.
+func TestDeltaCoderReuse(t *testing.T) {
+	s := New[uint64](16)
+	for i := 0; i < 1000; i++ {
+		s.Increment(uint64(i % 20))
+	}
+	base := s.Snapshot()
+	for i := 0; i < 300; i++ {
+		s.Increment(uint64(i % 23))
+	}
+	cur := s.Snapshot()
+
+	var reused DeltaCoder[uint64]
+	var buf []byte
+	for r := 0; r < 5; r++ {
+		buf = reused.AppendDelta(buf[:0], cur, base, putU64)
+		var fresh DeltaCoder[uint64]
+		want := fresh.AppendDelta(nil, cur, base, putU64)
+		if string(buf) != string(want) {
+			t.Fatalf("round %d: reused coder encoded differently", r)
+		}
+		var got Snapshot[uint64]
+		if _, err := reused.DecodeDelta(&got, buf, base, getU64); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if !snapshotsEqual(cur, &got) {
+			t.Fatalf("round %d: reused coder round trip diverged", r)
+		}
+	}
+}
+
+// TestSnapshotCopyFrom: the deep copy matches and does not share storage.
+func TestSnapshotCopyFrom(t *testing.T) {
+	s := New[uint64](8)
+	for i := 0; i < 500; i++ {
+		s.Increment(uint64(i % 6))
+	}
+	src := s.Snapshot()
+	var dst Snapshot[uint64]
+	dst.CopyFrom(src)
+	if !snapshotsEqual(src, &dst) {
+		t.Fatal("copy differs from source")
+	}
+	src.Upper[0]++
+	if dst.Upper[0] == src.Upper[0] {
+		t.Fatal("copy shares storage with source")
+	}
+}

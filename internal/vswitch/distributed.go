@@ -8,6 +8,7 @@ import (
 	"net"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"rhhh/internal/core"
 	"rhhh/internal/fastrand"
@@ -247,11 +248,17 @@ type Collector struct {
 	delta  float64
 	totals map[uint16]uint64 // per-sender latest packet counts (sample mode)
 
-	// Snapshot mode: the latest whole-state snapshot per sender (each
-	// report supersedes the previous — a lost datagram delays state, it
-	// never loses samples). Merged with the sample-fed instances at query
-	// time; all merge scratch is reused across queries.
-	snaps    map[uint16]*core.EngineSnapshot[uint64]
+	// Snapshot mode: per-sender whole-state replicas (each accepted report
+	// supersedes the previous — a lost datagram delays state, it never
+	// loses samples), plus the acked-report protocol state that keeps a
+	// replica consistent under loss, reorder and sender restarts. Merged
+	// with the sample-fed instances at query time; all merge scratch is
+	// reused across queries.
+	senders  map[uint16]*senderState
+	frags    map[uint16]*fragAssembly // lazily built 'F' reassembly buffers
+	epoch    uint32                   // collector incarnation; bumped by Restore (fail-over)
+	stats    CollectorStats
+	dcodec   core.DeltaCodec[uint64]
 	order    []uint16 // scratch: sender ids in deterministic merge order
 	local    core.EngineSnapshot[uint64]
 	merged   core.EngineSnapshot[uint64]
@@ -281,15 +288,16 @@ func NewCollector(dom *hierarchy.Domain[uint64], epsilon, delta float64, v int) 
 		sums[i] = spacesaving.New[uint64](counters)
 	}
 	return &Collector{
-		dom:    dom,
-		sums:   sums,
-		inst:   core.WrapSummaries(sums),
-		v:      v,
-		eps:    epsilon,
-		delta:  delta,
-		totals: make(map[uint16]uint64),
-		snaps:  make(map[uint16]*core.EngineSnapshot[uint64]),
-		ex:     core.NewExtractor[uint64](dom),
+		dom:     dom,
+		sums:    sums,
+		inst:    core.WrapSummaries(sums),
+		v:       v,
+		eps:     epsilon,
+		delta:   delta,
+		totals:  make(map[uint16]uint64),
+		senders: make(map[uint16]*senderState),
+		epoch:   1,
+		ex:      core.NewExtractor[uint64](dom),
 	}
 }
 
@@ -298,6 +306,10 @@ func NewCollector(dom *hierarchy.Domain[uint64], epsilon, delta float64, v int) 
 func (c *Collector) Apply(sender uint16, total uint64, batch []Sample) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.applySamplesLocked(sender, total, batch)
+}
+
+func (c *Collector) applySamplesLocked(sender uint16, total uint64, batch []Sample) {
 	if total > c.totals[sender] {
 		c.totals[sender] = total
 	}
@@ -318,8 +330,8 @@ func (c *Collector) Packets() uint64 {
 	for _, t := range c.totals {
 		n += t
 	}
-	for _, es := range c.snaps {
-		n += es.Packets
+	for _, st := range c.senders {
+		n += st.snap.Packets
 	}
 	return n
 }
@@ -367,13 +379,39 @@ func (c *Collector) OutputInto(dst []core.Result[uint64], theta float64) ([]core
 	return append(dst[:0], out...), n
 }
 
+// refreshLocalLocked re-captures the sample-fed local state into c.local when
+// samples arrived since the last capture; c.mu must be held.
+func (c *Collector) refreshLocalLocked(nTotal uint64) {
+	if !c.localDirty && c.localBuilt {
+		return
+	}
+	if len(c.local.Nodes) != len(c.sums) {
+		c.local.Nodes = make([]spacesaving.Snapshot[uint64], len(c.sums))
+	}
+	for i, s := range c.sums {
+		// The collector's summaries only ever absorb increments, so a
+		// node whose N matches the previous capture is unchanged — keep
+		// its copy and generation, and the merge re-merges only the
+		// nodes this batch of samples touched.
+		if c.localBuilt && c.local.Nodes[i].N == s.N() && c.local.Nodes[i].Gen() != 0 {
+			continue
+		}
+		s.SnapshotInto(&c.local.Nodes[i])
+	}
+	c.local.Packets, c.local.Weight = nTotal, nTotal
+	c.local.V, c.local.R = c.v, 1
+	c.local.Epsilon, c.local.Delta = c.eps, c.delta
+	c.local.Invalidate()
+	c.localDirty, c.localBuilt = false, true
+}
+
 // outputLocked is the query body; c.mu must be held.
 func (c *Collector) outputLocked(theta float64) ([]core.Result[uint64], uint64) {
 	var nTotal uint64
 	for _, t := range c.totals {
 		nTotal += t
 	}
-	if len(c.snaps) == 0 {
+	if len(c.senders) == 0 {
 		n := float64(nTotal)
 		if n == 0 {
 			return nil, 0
@@ -386,34 +424,15 @@ func (c *Collector) outputLocked(theta float64) ([]core.Result[uint64], uint64) 
 	// ascending id order), then run the standard snapshot query. The local
 	// capture is refreshed only when samples arrived since the last query;
 	// the merge and extraction recognize unchanged inputs on their own.
-	if c.localDirty || !c.localBuilt {
-		if len(c.local.Nodes) != len(c.sums) {
-			c.local.Nodes = make([]spacesaving.Snapshot[uint64], len(c.sums))
-		}
-		for i, s := range c.sums {
-			// The collector's summaries only ever absorb increments, so a
-			// node whose N matches the previous capture is unchanged — keep
-			// its copy and generation, and the merge re-merges only the
-			// nodes this batch of samples touched.
-			if c.localBuilt && c.local.Nodes[i].N == s.N() && c.local.Nodes[i].Gen() != 0 {
-				continue
-			}
-			s.SnapshotInto(&c.local.Nodes[i])
-		}
-		c.local.Packets, c.local.Weight = nTotal, nTotal
-		c.local.V, c.local.R = c.v, 1
-		c.local.Epsilon, c.local.Delta = c.eps, c.delta
-		c.local.Invalidate()
-		c.localDirty, c.localBuilt = false, true
-	}
+	c.refreshLocalLocked(nTotal)
 	c.order = c.order[:0]
-	for id := range c.snaps {
+	for id := range c.senders {
 		c.order = append(c.order, id)
 	}
 	slices.Sort(c.order)
 	c.mergeBuf = append(c.mergeBuf[:0], &c.local)
 	for _, id := range c.order {
-		c.mergeBuf = append(c.mergeBuf, c.snaps[id])
+		c.mergeBuf = append(c.mergeBuf, c.senders[id].snap)
 	}
 	merged := c.sm.Merge(&c.merged, c.mergeBuf...)
 	if merged.Weight == 0 {
@@ -422,12 +441,9 @@ func (c *Collector) outputLocked(theta float64) ([]core.Result[uint64], uint64) 
 	return c.ex.ExtractSnapshot(merged, theta), merged.Weight
 }
 
-// ApplySnapshot records sender's whole-state snapshot, replacing any
-// previous one from the same sender (snapshots are cumulative). The
-// snapshot must match the collector's configuration. A sender should use
-// either the sample stream or snapshot reports, not both — mixing would
-// double count its traffic.
-func (c *Collector) ApplySnapshot(sender uint16, es *core.EngineSnapshot[uint64]) error {
+// checkSnapshotConfig validates that a reported snapshot matches the
+// collector's configuration.
+func (c *Collector) checkSnapshotConfig(es *core.EngineSnapshot[uint64]) error {
 	if len(es.Nodes) != c.dom.Size() {
 		return fmt.Errorf("vswitch: snapshot has %d nodes, lattice has %d", len(es.Nodes), c.dom.Size())
 	}
@@ -441,9 +457,38 @@ func (c *Collector) ApplySnapshot(sender uint16, es *core.EngineSnapshot[uint64]
 		return fmt.Errorf("vswitch: snapshot ε=%g δ=%g, collector ε=%g δ=%g",
 			es.Epsilon, es.Delta, c.eps, c.delta)
 	}
+	return nil
+}
+
+// ApplySnapshot records sender's whole-state snapshot, superseding any
+// previous one from the same sender (snapshots are cumulative). A stale
+// snapshot — one carrying fewer absorbed packets than the sender's recorded
+// state, as happens when datagrams arrive out of order — is dropped rather
+// than allowed to regress newer state. The snapshot must match the
+// collector's configuration. A sender should use either the sample stream or
+// snapshot reports, not both — mixing would double count its traffic.
+func (c *Collector) ApplySnapshot(sender uint16, es *core.EngineSnapshot[uint64]) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.snaps[sender] = es
+	return c.applySnapshotLocked(sender, es)
+}
+
+func (c *Collector) applySnapshotLocked(sender uint16, es *core.EngineSnapshot[uint64]) error {
+	if err := c.checkSnapshotConfig(es); err != nil {
+		return err
+	}
+	st := c.senders[sender]
+	if st == nil {
+		st = &senderState{}
+		c.senders[sender] = st
+	} else if st.snap.Packets > es.Packets {
+		st.stale++
+		c.stats.StaleReports++
+		return nil
+	}
+	st.snap = es
+	st.fulls++
+	st.lastMsg = c.stats.Messages
 	return nil
 }
 
@@ -530,14 +575,20 @@ func (t *InProcTransport) Close() error {
 	return t.applyErr
 }
 
-// UDPCollectorServer receives sample datagrams on a UDP socket and applies
-// them to a Collector.
+// UDPCollectorServer receives datagrams — sample batches, snapshot reports,
+// and the acked delta/full report protocol — on a UDP socket, applies them to
+// a Collector, and sends protocol acks back to the reporting switch's source
+// address.
 type UDPCollectorServer struct {
-	conn *net.UDPConn
-	done chan struct{}
+	conn       *net.UDPConn
+	done       chan struct{}
+	readErrors atomic.Uint64
 }
 
-// ListenUDP starts a collector server on addr (e.g. "127.0.0.1:0").
+// ListenUDP starts a collector server on addr (e.g. "127.0.0.1:0"). The read
+// loop survives transient socket errors (counted in ReadErrors) and malformed
+// datagrams (counted in the collector's DecodeErrors); it exits only when the
+// socket is closed.
 func ListenUDP(addr string, c *Collector) (*UDPCollectorServer, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -547,21 +598,28 @@ func ListenUDP(addr string, c *Collector) (*UDPCollectorServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vswitch: listening on %q: %w", addr, err)
 	}
+	// Best effort (the kernel clamps to rmem_max): a fragmented full resync
+	// arrives as a burst of maximum-size datagrams, and the default socket
+	// buffer holds only ~3 of them.
+	_ = conn.SetReadBuffer(4 << 20)
 	s := &UDPCollectorServer{conn: conn, done: make(chan struct{})}
 	go func() {
 		defer close(s.done)
 		buf := make([]byte, 64<<10)
 		for {
-			n, _, err := conn.ReadFromUDP(buf)
+			n, raddr, err := conn.ReadFromUDP(buf)
 			if err != nil {
-				return // closed
-			}
-			if n > 0 && buf[0] == snapMsgMagic {
-				_ = c.ApplySnapshotMsg(buf[:n])
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				s.readErrors.Add(1)
 				continue
 			}
-			if sender, total, batch, err := DecodeBatch(buf[:n]); err == nil {
-				c.Apply(sender, total, batch)
+			ack, _ := c.HandleMessage(buf[:n])
+			if ack != nil && raddr != nil {
+				// Ack loss is the protocol's problem (the sender
+				// retransmits), so a failed write is not fatal here.
+				_, _ = conn.WriteToUDP(ack, raddr)
 			}
 		}
 	}()
@@ -571,7 +629,11 @@ func ListenUDP(addr string, c *Collector) (*UDPCollectorServer, error) {
 // Addr returns the bound address (useful with port 0).
 func (s *UDPCollectorServer) Addr() string { return s.conn.LocalAddr().String() }
 
-// Close stops the server.
+// ReadErrors returns how many transient socket read errors the server has
+// survived.
+func (s *UDPCollectorServer) ReadErrors() uint64 { return s.readErrors.Load() }
+
+// Close stops the server and waits for the read goroutine to exit.
 func (s *UDPCollectorServer) Close() error {
 	err := s.conn.Close()
 	<-s.done

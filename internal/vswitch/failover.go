@@ -1,0 +1,187 @@
+package vswitch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"slices"
+
+	"rhhh/internal/core"
+)
+
+// Collector fail-over: a primary periodically serializes its whole state —
+// per-sender replicas with their protocol positions, per-sender sample
+// totals, and the sample-fed summaries — and a standby restores from the
+// latest checkpoint when the primary dies. The restored collector bumps the
+// epoch, so every switch's next delta report is answered with a resync
+// request (see applyDeltaLocked) and re-seeds the standby with a full report;
+// state the primary absorbed after the checkpoint is re-covered by those
+// fulls, because switch reports are cumulative.
+//
+// Checkpoint format, version 1 (big endian, uvarint where noted):
+//
+//	byte    magic 'C', byte version
+//	u32     epoch
+//	uvarint sample-sender count, then count × { u16 sender, uvarint total }
+//	        in ascending sender order
+//	        local sample-fed state as an engine snapshot
+//	uvarint protocol-sender count, then count × { u16 sender, u32 boot,
+//	        u32 lastSeq, uvarint dropped, engine snapshot } ascending
+//	u32     CRC-32C of everything before it
+const (
+	checkpointMagic   = 'C'
+	checkpointVersion = 1
+)
+
+// AppendCheckpoint appends the collector's serialized state to buf. The
+// checkpoint is self-validating (versioned, checksummed) and restores with
+// Restore on a standby built with the same configuration.
+func (c *Collector) AppendCheckpoint(buf []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var nTotal uint64
+	for _, t := range c.totals {
+		nTotal += t
+	}
+	c.refreshLocalLocked(nTotal)
+
+	start := len(buf)
+	buf = append(buf, checkpointMagic, checkpointVersion)
+	buf = binary.BigEndian.AppendUint32(buf, c.epoch)
+
+	ids := make([]uint16, 0, len(c.totals))
+	for id := range c.totals {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.BigEndian.AppendUint16(buf, id)
+		buf = binary.AppendUvarint(buf, c.totals[id])
+	}
+	var err error
+	if buf, err = c.local.AppendBinary(buf); err != nil {
+		return nil, fmt.Errorf("vswitch: checkpointing local state: %w", err)
+	}
+
+	ids = ids[:0]
+	for id := range c.senders {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		st := c.senders[id]
+		buf = binary.BigEndian.AppendUint16(buf, id)
+		buf = binary.BigEndian.AppendUint32(buf, st.boot)
+		buf = binary.BigEndian.AppendUint32(buf, st.lastSeq)
+		buf = binary.AppendUvarint(buf, st.dropped)
+		if buf, err = st.snap.AppendBinary(buf); err != nil {
+			return nil, fmt.Errorf("vswitch: checkpointing sender %d: %w", id, err)
+		}
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf[start:], castagnoli)), nil
+}
+
+// Restore loads a checkpoint produced by AppendCheckpoint into this
+// collector (typically a freshly built standby with the primary's
+// configuration), replacing any state it held. The collector resumes at the
+// checkpoint's epoch plus one, which makes every switch full-resync into it.
+// On error the collector is unchanged.
+func (c *Collector) Restore(b []byte) error {
+	body, err := verifyFrameCRC(b)
+	if err != nil {
+		return fmt.Errorf("vswitch: checkpoint: %w", err)
+	}
+	if len(body) < 2 || body[0] != checkpointMagic || body[1] != checkpointVersion {
+		return errors.New("vswitch: bad checkpoint magic/version")
+	}
+	body = body[2:]
+	if len(body) < 4 {
+		return errors.New("vswitch: truncated checkpoint")
+	}
+	epoch := binary.BigEndian.Uint32(body)
+	body = body[4:]
+
+	count, w := binary.Uvarint(body)
+	if w <= 0 {
+		return errors.New("vswitch: truncated checkpoint totals")
+	}
+	body = body[w:]
+	totals := make(map[uint16]uint64, count)
+	for i := uint64(0); i < count; i++ {
+		if len(body) < 2 {
+			return errors.New("vswitch: truncated checkpoint totals")
+		}
+		id := binary.BigEndian.Uint16(body)
+		body = body[2:]
+		t, w := binary.Uvarint(body)
+		if w <= 0 {
+			return errors.New("vswitch: truncated checkpoint totals")
+		}
+		body = body[w:]
+		totals[id] = t
+	}
+
+	local, body, err := core.DecodeEngineSnapshot[uint64](body)
+	if err != nil {
+		return fmt.Errorf("vswitch: checkpoint local state: %w", err)
+	}
+	if err := c.checkSnapshotConfig(local); err != nil {
+		return fmt.Errorf("vswitch: checkpoint local state: %w", err)
+	}
+
+	count, w = binary.Uvarint(body)
+	if w <= 0 {
+		return errors.New("vswitch: truncated checkpoint senders")
+	}
+	body = body[w:]
+	senders := make(map[uint16]*senderState, count)
+	for i := uint64(0); i < count; i++ {
+		if len(body) < 2+4+4 {
+			return errors.New("vswitch: truncated checkpoint sender")
+		}
+		id := binary.BigEndian.Uint16(body)
+		boot := binary.BigEndian.Uint32(body[2:])
+		lastSeq := binary.BigEndian.Uint32(body[6:])
+		body = body[10:]
+		dropped, w := binary.Uvarint(body)
+		if w <= 0 {
+			return errors.New("vswitch: truncated checkpoint sender")
+		}
+		body = body[w:]
+		var es *core.EngineSnapshot[uint64]
+		if es, body, err = core.DecodeEngineSnapshot[uint64](body); err != nil {
+			return fmt.Errorf("vswitch: checkpoint sender %d: %w", id, err)
+		}
+		if err := c.checkSnapshotConfig(es); err != nil {
+			return fmt.Errorf("vswitch: checkpoint sender %d: %w", id, err)
+		}
+		if _, dup := senders[id]; dup {
+			return fmt.Errorf("vswitch: checkpoint repeats sender %d", id)
+		}
+		senders[id] = &senderState{snap: es, boot: boot, lastSeq: lastSeq, dropped: dropped}
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("vswitch: %d trailing bytes after checkpoint", len(body))
+	}
+	for i, sn := range local.Nodes {
+		if sn.Len() > c.sums[i].Capacity() {
+			return fmt.Errorf("vswitch: checkpoint node %d has %d entries, capacity %d",
+				i, sn.Len(), c.sums[i].Capacity())
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.totals = totals
+	for i := range c.sums {
+		c.sums[i].LoadSnapshot(&local.Nodes[i])
+	}
+	c.senders = senders
+	c.epoch = epoch + 1
+	c.localDirty, c.localBuilt = true, false
+	c.stats.Failovers++
+	return nil
+}

@@ -1,0 +1,288 @@
+package vswitch
+
+import (
+	"sync"
+	"time"
+
+	"rhhh/internal/fastrand"
+)
+
+// Deterministic fault injection for the report protocol: FaultLink is a
+// unidirectional lossy datagram queue, CollectorLink wires two of them (one
+// per direction) between a DeltaReporter and a Collector. Faults are drawn
+// from a seeded generator and delivery happens only when a pump runs, so a
+// test's entire loss/duplication/reorder/corruption schedule is a pure
+// function of its seeds — the property tests replay the same network
+// misbehavior on every run.
+
+// FaultConfig sets one link direction's fault rates (each in [0,1],
+// evaluated independently per datagram).
+type FaultConfig struct {
+	// Seed drives every fault decision on the link.
+	Seed uint64
+	// Drop discards the datagram; Duplicate enqueues it twice; Reorder
+	// inserts it at a random queue position instead of the tail; Corrupt
+	// flips one random bit (the CRC check must catch it downstream).
+	Drop, Duplicate, Reorder, Corrupt float64
+	// MaxQueue bounds the in-flight queue; the oldest datagram is dropped
+	// on overflow (default 64).
+	MaxQueue int
+}
+
+// FaultStats counts what a link did to its traffic.
+type FaultStats struct {
+	Sent, Delivered                           uint64
+	Dropped, Duplicated, Reordered, Corrupted uint64
+	// QueueDropped counts oldest-first overflow drops (the bounded-queue
+	// policy) and datagrams discarded while partitioned.
+	QueueDropped uint64
+}
+
+// FaultLink is one direction of a faulty datagram path. Send enqueues (with
+// faults applied); Pump delivers to the sink. Safe for concurrent use.
+type FaultLink struct {
+	mu          sync.Mutex
+	cfg         FaultConfig
+	rng         *fastrand.Source
+	queue       [][]byte
+	partitioned bool
+	stats       FaultStats
+	sink        func([]byte)
+}
+
+// NewFaultLink builds a link delivering into sink.
+func NewFaultLink(cfg FaultConfig, sink func([]byte)) *FaultLink {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	return &FaultLink{cfg: cfg, rng: fastrand.New(cfg.Seed), sink: sink}
+}
+
+// SetSink redirects delivery (collector fail-over swaps the handler).
+func (l *FaultLink) SetSink(sink func([]byte)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = sink
+}
+
+// SetPartitioned toggles a full partition: while set, sends are discarded.
+func (l *FaultLink) SetPartitioned(p bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.partitioned = p
+}
+
+// Send applies the fault schedule to one datagram and enqueues the
+// survivors. It never blocks and never fails — loss is the failure mode.
+func (l *FaultLink) Send(frame []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Sent++
+	if l.partitioned {
+		l.stats.QueueDropped++
+		return
+	}
+	if l.cfg.Drop > 0 && l.rng.Float64() < l.cfg.Drop {
+		l.stats.Dropped++
+		return
+	}
+	cp := append([]byte(nil), frame...)
+	if l.cfg.Corrupt > 0 && l.rng.Float64() < l.cfg.Corrupt && len(cp) > 0 {
+		i := l.rng.Uint64n(uint64(len(cp)))
+		cp[i] ^= byte(1 << l.rng.Uint64n(8))
+		l.stats.Corrupted++
+	}
+	n := 1
+	if l.cfg.Duplicate > 0 && l.rng.Float64() < l.cfg.Duplicate {
+		l.stats.Duplicated++
+		n = 2
+	}
+	for ; n > 0; n-- {
+		if l.cfg.Reorder > 0 && len(l.queue) > 0 && l.rng.Float64() < l.cfg.Reorder {
+			at := int(l.rng.Uint64n(uint64(len(l.queue))))
+			l.queue = append(l.queue, nil)
+			copy(l.queue[at+1:], l.queue[at:])
+			l.queue[at] = cp
+			l.stats.Reordered++
+		} else {
+			l.queue = append(l.queue, cp)
+		}
+		if len(l.queue) > l.cfg.MaxQueue {
+			copy(l.queue, l.queue[1:])
+			l.queue = l.queue[:len(l.queue)-1]
+			l.stats.QueueDropped++
+		}
+	}
+}
+
+// Pump delivers the head-of-queue datagram to the sink (outside the lock),
+// reporting whether one was delivered.
+func (l *FaultLink) Pump() bool {
+	l.mu.Lock()
+	if len(l.queue) == 0 {
+		l.mu.Unlock()
+		return false
+	}
+	frame := l.queue[0]
+	copy(l.queue, l.queue[1:])
+	l.queue = l.queue[:len(l.queue)-1]
+	sink := l.sink
+	l.stats.Delivered++
+	l.mu.Unlock()
+	if sink != nil {
+		sink(frame)
+	}
+	return true
+}
+
+// PumpAll drains the queue, returning how many datagrams were delivered.
+func (l *FaultLink) PumpAll() int {
+	n := 0
+	for l.Pump() {
+		n++
+	}
+	return n
+}
+
+// Pending returns the queue depth.
+func (l *FaultLink) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}
+
+// Stats returns a copy of the link's counters.
+func (l *FaultLink) Stats() FaultStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// CollectorLink is a ReportTransport delivering through two FaultLinks: Up
+// carries reports into the collector's HandleMessage, Down carries acks back
+// into a bounded inbox drained by RecvAck. SetCollector swaps the receiving
+// collector mid-stream — the fail-over path in tests and the in-process
+// vswitchd mode.
+type CollectorLink struct {
+	Up, Down *FaultLink
+
+	mu       sync.Mutex
+	col      *Collector
+	inbox    [][]byte
+	maxInbox int
+	ackDrops uint64
+
+	pumpStop chan struct{}
+	pumpDone chan struct{}
+}
+
+// NewCollectorLink wires a link pair around col. up and down configure the
+// two directions (their Seed/fault rates may differ).
+func NewCollectorLink(col *Collector, up, down FaultConfig) *CollectorLink {
+	cl := &CollectorLink{col: col, maxInbox: 16}
+	cl.Up = NewFaultLink(up, func(frame []byte) {
+		cl.mu.Lock()
+		c := cl.col
+		cl.mu.Unlock()
+		// Malformed datagrams are the link's faults arriving as designed;
+		// the collector counts them in DecodeErrors.
+		if ack, _ := c.HandleMessage(frame); ack != nil {
+			cl.Down.Send(ack)
+		}
+	})
+	cl.Down = NewFaultLink(down, func(frame []byte) {
+		cl.mu.Lock()
+		defer cl.mu.Unlock()
+		if len(cl.inbox) >= cl.maxInbox {
+			copy(cl.inbox, cl.inbox[1:])
+			cl.inbox = cl.inbox[:len(cl.inbox)-1]
+			cl.ackDrops++
+		}
+		cl.inbox = append(cl.inbox, frame)
+	})
+	return cl
+}
+
+// SetCollector redirects reports to a new collector (fail-over).
+func (cl *CollectorLink) SetCollector(c *Collector) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.col = c
+}
+
+// SendReport implements ReportTransport.
+func (cl *CollectorLink) SendReport(frame []byte) error {
+	cl.Up.Send(frame)
+	return nil
+}
+
+// RecvAck implements ReportTransport: it pops the oldest pumped ack.
+func (cl *CollectorLink) RecvAck(buf []byte) (int, bool) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if len(cl.inbox) == 0 {
+		return 0, false
+	}
+	n := copy(buf, cl.inbox[0])
+	copy(cl.inbox, cl.inbox[1:])
+	cl.inbox = cl.inbox[:len(cl.inbox)-1]
+	return n, true
+}
+
+// Dropped reports frames lost to the link's own bounded queues (reports
+// overflowing Up, acks overflowing the inbox) — the reporter folds it into
+// its report headers.
+func (cl *CollectorLink) Dropped() uint64 {
+	up := cl.Up.Stats().QueueDropped
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return up + cl.ackDrops
+}
+
+// Pump drives both directions until neither has pending datagrams (an
+// upward delivery can enqueue an ack downward). Returns total deliveries.
+func (cl *CollectorLink) Pump() int {
+	n := 0
+	for {
+		moved := cl.Up.PumpAll() + cl.Down.PumpAll()
+		n += moved
+		if moved == 0 {
+			return n
+		}
+	}
+}
+
+// StartPump pumps continuously on a background goroutine until Close — the
+// mode vswitchd's in-process deployment uses. interval is the poll period
+// when idle (default 1ms).
+func (cl *CollectorLink) StartPump(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	cl.pumpStop = make(chan struct{})
+	cl.pumpDone = make(chan struct{})
+	go func() {
+		defer close(cl.pumpDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-cl.pumpStop:
+				return
+			case <-t.C:
+				cl.Pump()
+			}
+		}
+	}()
+}
+
+// Close stops the background pump (if any) after a final drain.
+func (cl *CollectorLink) Close() error {
+	if cl.pumpStop != nil {
+		close(cl.pumpStop)
+		<-cl.pumpDone
+		cl.pumpStop = nil
+	}
+	cl.Pump()
+	return nil
+}

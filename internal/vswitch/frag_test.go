@@ -1,0 +1,238 @@
+package vswitch
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rhhh/internal/core"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/trace"
+)
+
+// fragTestFrame builds a full 'S' v2 report frame from a freshly fed engine.
+func fragTestFrame(t *testing.T, seed uint64, n int, h ReportHeader) ([]byte, *core.EngineSnapshot[uint64]) {
+	t.Helper()
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	eng := newSyncEngine(dom, 0.05, 0.05, dom.Size(), seed)
+	key := seed
+	for i := 0; i < n; i++ {
+		key = key*6364136223846793005 + 1442695040888963407
+		eng.Update(key)
+	}
+	es := eng.Snapshot()
+	frame, err := EncodeStateMsg(nil, &h, es)
+	if err != nil {
+		t.Fatalf("EncodeStateMsg: %v", err)
+	}
+	return frame, es
+}
+
+// TestFragmentReassembly drives 'F' fragments through the collector shuffled
+// and duplicated: no ack until the report completes, then the reassembled
+// full report applies bit-identically; corrupted fragments are rejected and
+// counted without poisoning the eventual reassembly.
+func TestFragmentReassembly(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	frame, es := fragTestFrame(t, 3, 4000, ReportHeader{Sender: 9, Boot: 5, Seq: 3, Full: true})
+	frags, err := appendFragments(nil, frame, 256)
+	if err != nil {
+		t.Fatalf("appendFragments: %v", err)
+	}
+	if len(frags) < 8 {
+		t.Fatalf("want a many-fragment split, got %d fragments of a %d byte frame", len(frags), len(frame))
+	}
+	for _, fr := range frags {
+		if len(fr) > 256 {
+			t.Fatalf("fragment of %d bytes exceeds the %d limit", len(fr), 256)
+		}
+	}
+
+	// Deterministic shuffle, then duplicate every third fragment.
+	order := make([][]byte, len(frags))
+	copy(order, frags)
+	rng := uint64(99)
+	for i := len(order) - 1; i > 0; i-- {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		j := int(rng % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	col := NewCollector(dom, 0.05, 0.05, dom.Size())
+	var acked bool
+	for i, fr := range order {
+		ack, err := col.HandleMessage(fr)
+		if err != nil {
+			t.Fatalf("fragment %d rejected: %v", i, err)
+		}
+		if ack != nil {
+			if i != len(order)-1 {
+				t.Fatalf("ack before the last unique fragment (%d of %d)", i, len(order))
+			}
+			a, err := DecodeAckMsg(ack)
+			if err != nil || a.Resync || a.Seq != 3 {
+				t.Fatalf("bad completion ack %+v, err %v", a, err)
+			}
+			acked = true
+		}
+		if i%3 == 0 {
+			// Duplicate: must neither complete early nor corrupt the buffer.
+			if ack, err := col.HandleMessage(fr); err != nil || (ack != nil && !acked) {
+				t.Fatalf("duplicate fragment %d: ack %v err %v", i, ack != nil, err)
+			}
+		}
+	}
+	if !acked {
+		t.Fatalf("reassembly never completed")
+	}
+	if got, want := replicaBytes(t, col, 9), snapshotBytes(t, es); !bytes.Equal(got, want) {
+		t.Fatalf("reassembled replica differs from the source snapshot")
+	}
+
+	// A corrupted fragment is rejected at the door and the report still
+	// completes from clean retransmits.
+	frame2, es2 := fragTestFrame(t, 4, 4000, ReportHeader{Sender: 9, Boot: 5, Seq: 4, BaseSeq: 3, Full: true})
+	frags2, err := appendFragments(nil, frame2, 256)
+	if err != nil {
+		t.Fatalf("appendFragments: %v", err)
+	}
+	bad := append([]byte(nil), frags2[1]...)
+	bad[len(bad)/2] ^= 0x40
+	before := col.DecodeErrors()
+	if _, err := col.HandleMessage(bad); err == nil {
+		t.Fatalf("corrupted fragment accepted")
+	}
+	if col.DecodeErrors() != before+1 {
+		t.Fatalf("corrupted fragment not counted: %d -> %d", before, col.DecodeErrors())
+	}
+	for _, fr := range frags2 {
+		if _, err := col.HandleMessage(fr); err != nil {
+			t.Fatalf("clean fragment rejected after corruption: %v", err)
+		}
+	}
+	if got, want := replicaBytes(t, col, 9), snapshotBytes(t, es2); !bytes.Equal(got, want) {
+		t.Fatalf("replica differs after corrupt-then-clean reassembly")
+	}
+}
+
+// TestFragmentSupersede interleaves two fragmented reports from one sender:
+// the newer report's fragments reset the pending assembly, and the stale
+// report — even delivered in full afterwards — is acked without regressing
+// the replica.
+func TestFragmentSupersede(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	frameA, _ := fragTestFrame(t, 5, 4000, ReportHeader{Sender: 2, Boot: 8, Seq: 10, Full: true})
+	frameB, esB := fragTestFrame(t, 6, 4000, ReportHeader{Sender: 2, Boot: 8, Seq: 11, Full: true})
+	fragsA, err := appendFragments(nil, frameA, 512)
+	if err != nil {
+		t.Fatalf("appendFragments(A): %v", err)
+	}
+	fragsB, err := appendFragments(nil, frameB, 512)
+	if err != nil {
+		t.Fatalf("appendFragments(B): %v", err)
+	}
+	col := NewCollector(dom, 0.05, 0.05, dom.Size())
+	for _, fr := range fragsA[:len(fragsA)/2] {
+		if ack, err := col.HandleMessage(fr); err != nil || ack != nil {
+			t.Fatalf("partial A fragment: ack %v err %v", ack != nil, err)
+		}
+	}
+	for i, fr := range fragsB {
+		ack, err := col.HandleMessage(fr)
+		if err != nil {
+			t.Fatalf("B fragment %d rejected: %v", i, err)
+		}
+		if (ack != nil) != (i == len(fragsB)-1) {
+			t.Fatalf("B fragment %d: unexpected ack state", i)
+		}
+	}
+	if got, want := replicaBytes(t, col, 2), snapshotBytes(t, esB); !bytes.Equal(got, want) {
+		t.Fatalf("replica is not B after supersede")
+	}
+	// The stale report assembles fine but is acked as a duplicate.
+	stale := col.Stats().StaleReports
+	var lastAck []byte
+	for _, fr := range fragsA {
+		ack, err := col.HandleMessage(fr)
+		if err != nil {
+			t.Fatalf("late A fragment rejected: %v", err)
+		}
+		if ack != nil {
+			lastAck = ack
+		}
+	}
+	if lastAck == nil {
+		t.Fatalf("stale report never acked")
+	}
+	if a, err := DecodeAckMsg(lastAck); err != nil || a.Resync {
+		t.Fatalf("stale report ack %+v, err %v (want plain ack)", a, err)
+	}
+	if col.Stats().StaleReports != stale+1 {
+		t.Fatalf("stale fragmented report not counted")
+	}
+	if got, want := replicaBytes(t, col, 2), snapshotBytes(t, esB); !bytes.Equal(got, want) {
+		t.Fatalf("stale report regressed the replica")
+	}
+}
+
+// TestAppendFragmentsRejects pins the splitter's guard rails.
+func TestAppendFragmentsRejects(t *testing.T) {
+	frame, _ := fragTestFrame(t, 7, 200, ReportHeader{Sender: 1, Boot: 1, Seq: 1, Full: true})
+	if _, err := appendFragments(nil, frame, fragMsgOverhead); err == nil {
+		t.Fatalf("zero-capacity fragment size accepted")
+	}
+	if _, err := appendFragments(nil, frame[:10], 256); err == nil {
+		t.Fatalf("short frame accepted")
+	}
+	ackFrame := EncodeAckMsg(nil, Ack{Sender: 1, Epoch: 1, Seq: 1})
+	if _, err := appendFragments(nil, append(ackFrame, make([]byte, reportHeaderLen)...), 256); err == nil {
+		t.Fatalf("non-report frame accepted")
+	}
+	huge := make([]byte, maxFragTotal+1)
+	copy(huge, frame[:reportHeaderLen])
+	if _, err := appendFragments(nil, huge, 65507); err == nil {
+		t.Fatalf("over-limit frame accepted")
+	}
+}
+
+// TestDeltaReporterOverUDPOversized runs the protocol over real loopback UDP
+// with an engine whose full state exceeds a UDP datagram, so the resync path
+// only works through fragmentation.
+func TestDeltaReporterOverUDPOversized(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	const eps, del = 0.001, 0.01
+	v := 10 * dom.Size()
+	col := NewCollector(dom, eps, del, v)
+	srv, err := ListenUDP("127.0.0.1:0", col)
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer srv.Close()
+	tr, err := DialUDPReport(srv.Addr())
+	if err != nil {
+		t.Fatalf("DialUDPReport: %v", err)
+	}
+	defer tr.Close()
+
+	eng := newSyncEngine(dom, eps, del, v, 31)
+	rep := NewDeltaReporter(eng, tr, 4, ReporterOptions{
+		Every: 25000, Timeout: 150 * time.Millisecond, Seed: 8, Boot: 77,
+	})
+	gen := trace.NewSynthetic(trace.Config{Seed: 32})
+	for i := 0; i < 200000; i++ {
+		p, _ := gen.Next()
+		rep.OnPacket(p)
+	}
+	if err := rep.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if !rep.WaitSynced(10 * time.Second) {
+		t.Fatalf("no sync with an oversized state: %+v", rep.Stats())
+	}
+	want := snapshotBytes(t, eng.Snapshot())
+	if len(want) <= maxUDPPayload {
+		t.Fatalf("engine state of %d bytes fits a datagram; the test is not exercising fragmentation", len(want))
+	}
+	if got := replicaBytes(t, col, 4); !bytes.Equal(got, want) {
+		t.Fatalf("replica differs from the %d byte engine snapshot", len(want))
+	}
+}

@@ -1,6 +1,11 @@
 package vswitch
 
-import "testing"
+import (
+	"testing"
+
+	"rhhh/internal/core"
+	"rhhh/internal/hierarchy"
+)
 
 // FuzzDecodeBatch throws arbitrary datagrams at the collector's wire
 // decoder: it must never panic and must reject anything EncodeBatch did not
@@ -25,6 +30,121 @@ func FuzzDecodeBatch(f *testing.F) {
 			if enc[i] != b[i] {
 				t.Fatalf("byte %d differs after round trip", i)
 			}
+		}
+	})
+}
+
+// fuzzFrames builds one valid frame of every protocol kind, for corpus seeds.
+func fuzzFrames() (full, delta, ack []byte) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	eng := core.New(dom, core.Config{Epsilon: 0.3, Delta: 0.3, V: dom.Size(), Seed: 9})
+	for i := uint64(0); i < 500; i++ {
+		eng.Update(i<<32 | i*2654435761)
+	}
+	var scratch core.EngineSnapshot[uint64]
+	eng.SnapshotInto(&scratch)
+	h := ReportHeader{Sender: 3, Epoch: 1, Boot: 42, Seq: 7, Full: true}
+	full, err := EncodeStateMsg(nil, &h, &scratch)
+	if err != nil {
+		panic(err)
+	}
+	var base core.EngineSnapshot[uint64]
+	base.CopyFrom(&scratch)
+	for i := uint64(0); i < 100; i++ {
+		eng.Update(i << 16)
+	}
+	eng.SnapshotInto(&scratch)
+	dh := ReportHeader{Sender: 3, Epoch: 1, Boot: 42, Seq: 8, BaseSeq: 7}
+	var codec core.DeltaCodec[uint64]
+	delta, _, err = EncodeDeltaMsg(nil, &dh, &codec, &scratch, &base, base.NodeGens(nil))
+	if err != nil {
+		panic(err)
+	}
+	ack = EncodeAckMsg(nil, Ack{Sender: 3, Epoch: 1, Seq: 8, Resync: true})
+	return full, delta, ack
+}
+
+// FuzzDecodeReportMsg throws arbitrary bytes at the 'D'/'S' v2 frame parser:
+// it must never panic, and anything it accepts must carry a valid CRC (so a
+// truncated frame can never decode).
+func FuzzDecodeReportMsg(f *testing.F) {
+	full, delta, ack := fuzzFrames()
+	f.Add(full)
+	f.Add(delta)
+	f.Add(ack)
+	f.Add(full[:len(full)-5])
+	f.Add(delta[:reportHeaderLen])
+	f.Add(delta[:len(delta)/2])
+	f.Add([]byte{})
+	f.Add([]byte{'D', 1, 0, 0})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, payload, err := DecodeReportMsg(b)
+		if err != nil {
+			return
+		}
+		if len(payload) > len(b) {
+			t.Fatalf("payload longer than frame")
+		}
+		if h.Full {
+			// The payload is a self-contained snapshot encoding; decoding it
+			// may fail but must not panic.
+			_, _, _ = core.DecodeEngineSnapshot[uint64](payload)
+		}
+	})
+}
+
+// FuzzDecodeAckMsg checks the ack parser never panics and is canonical: any
+// accepted frame re-encodes to exactly the input bytes.
+func FuzzDecodeAckMsg(f *testing.F) {
+	_, _, ack := fuzzFrames()
+	f.Add(ack)
+	f.Add(ack[:len(ack)-1])
+	f.Add(ack[:2])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		a, err := DecodeAckMsg(b)
+		if err != nil {
+			return
+		}
+		enc := EncodeAckMsg(nil, a)
+		if string(enc) != string(b) {
+			t.Fatalf("accepted ack is not canonical: % x vs % x", enc, b)
+		}
+	})
+}
+
+// FuzzCollectorHandleMessage drives the full collector dispatch with
+// arbitrary datagrams: never panic, and every rejected datagram is counted
+// in DecodeErrors.
+func FuzzCollectorHandleMessage(f *testing.F) {
+	full, delta, ack := fuzzFrames()
+	f.Add(full)
+	f.Add(delta)
+	f.Add(ack)
+	f.Add(full[:len(full)-3])
+	f.Add(delta[:len(delta)-3])
+	f.Add(EncodeBatch(nil, 1, 99, []Sample{{Node: 2, Key: 7}}))
+	f.Add([]byte{})
+	f.Add([]byte{'S', 1})
+	f.Add([]byte{'S', 2})
+	frags, err := appendFragments(nil, full, 128)
+	if err != nil {
+		f.Fatalf("appendFragments: %v", err)
+	}
+	f.Add(frags[0])
+	f.Add(frags[len(frags)-1])
+	f.Add(frags[0][:len(frags[0])-3])
+	f.Add([]byte{'F', 1, 0, 0})
+
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		col := NewCollector(dom, 0.3, 0.3, dom.Size())
+		before := col.DecodeErrors()
+		_, err := col.HandleMessage(b)
+		if err != nil && col.DecodeErrors() == before {
+			t.Fatalf("HandleMessage error %v not counted in DecodeErrors", err)
 		}
 	})
 }
