@@ -95,6 +95,9 @@ func BenchmarkFig5UpdateSpeed(b *testing.B) {
 			{"10-RHHH-batch", func(b *testing.B) {
 				benchUpdateBatches(b, keys1, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: 10 * h, Seed: 1}).UpdateBatch)
 			}},
+			{"10-RHHH-batch-CHK", func(b *testing.B) {
+				benchUpdateBatches(b, keys1, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: 10 * h, Seed: 1, Backend: core.CHKBackend}).UpdateBatch)
+			}},
 			{"MST", func(b *testing.B) { benchUpdates(b, keys1, mst.New(dom, eps).Update) }},
 			{"FullAncestry", func(b *testing.B) { benchUpdates(b, keys1, ancestry.New(dom, eps, ancestry.Full).Update) }},
 			{"PartialAncestry", func(b *testing.B) { benchUpdates(b, keys1, ancestry.New(dom, eps, ancestry.Partial).Update) }},
@@ -122,6 +125,9 @@ func BenchmarkFig5UpdateSpeed(b *testing.B) {
 			}},
 			{"10-RHHH-batch", func(b *testing.B) {
 				benchUpdateBatches(b, keys2, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: 10 * h, Seed: 1}).UpdateBatch)
+			}},
+			{"10-RHHH-batch-CHK", func(b *testing.B) {
+				benchUpdateBatches(b, keys2, core.New(dom, core.Config{Epsilon: eps, Delta: delta, V: 10 * h, Seed: 1, Backend: core.CHKBackend}).UpdateBatch)
 			}},
 			{"MST", func(b *testing.B) { benchUpdates(b, keys2, mst.New(dom, eps).Update) }},
 			{"FullAncestry", func(b *testing.B) { benchUpdates(b, keys2, ancestry.New(dom, eps, ancestry.Full).Update) }},
@@ -313,6 +319,9 @@ func BenchmarkAblationBackends(b *testing.B) {
 	})
 	b.Run("Heap", func(b *testing.B) {
 		benchUpdates(b, keys, core.New(dom, core.Config{Epsilon: 0.001, Delta: 0.001, Seed: 1, Backend: core.HeapBackend}).Update)
+	})
+	b.Run("CHK", func(b *testing.B) {
+		benchUpdates(b, keys, core.New(dom, core.Config{Epsilon: 0.001, Delta: 0.001, Seed: 1, Backend: core.CHKBackend}).Update)
 	})
 }
 

@@ -41,6 +41,7 @@ func main() {
 		watch    = flag.Bool("watch", false, "log standing-query events (admitted/retired/updated HHH prefixes) during replay (RHHH only)")
 		watchEvy = flag.Uint64("watch-every", 100_000, "packets between standing-query ticks")
 		watchK   = flag.Int("watch-k", 0, "auto-tune the watch threshold to track the top k keys instead of -theta")
+		backend  = flag.String("backend", "ss", "RHHH counter backend: ss (Space Saving stream-summary), chk (Cuckoo Heavy Keeper), heap")
 	)
 	flag.Parse()
 
@@ -72,6 +73,16 @@ func main() {
 		cfg.Algorithm = rhhh.PartialAncestry
 	default:
 		fatalf("unknown algorithm %q", *algo)
+	}
+	switch *backend {
+	case "ss":
+		cfg.Backend = rhhh.StreamSummary
+	case "chk":
+		cfg.Backend = rhhh.CuckooHeavyKeeper
+	case "heap":
+		cfg.Backend = rhhh.HeapSpaceSaving
+	default:
+		fatalf("unknown backend %q", *backend)
 	}
 	if *algo == "10-rhhh" {
 		// Build a probe monitor to learn H, then rebuild with V=10H.

@@ -49,8 +49,19 @@ func main() {
 		repTmo   = flag.Duration("report-timeout", 200*time.Millisecond, "delta sync: per-report ack timeout before retransmission")
 		resyncEv = flag.Int("resync-every", 0, "delta sync: force a full report after this many deltas (0 = only when requested)")
 		standby  = flag.Bool("collector-standby", false, "delta sync: fail over to a standby collector restored from a checkpoint at half the run")
+		backend  = flag.String("backend", "ss", "counter backend: ss (Space Saving stream-summary) or chk (Cuckoo Heavy Keeper)")
 	)
 	flag.Parse()
+
+	var engBackend core.Backend
+	switch *backend {
+	case "ss":
+		engBackend = core.SpaceSavingBackend
+	case "chk":
+		engBackend = core.CHKBackend
+	default:
+		fatalf("unknown backend %q (want ss or chk)", *backend)
+	}
 
 	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
 	h := dom.Size()
@@ -73,7 +84,7 @@ func main() {
 	case "off":
 		report = func() { fmt.Println("no measurement configured (-mode off)") }
 	case "dataplane":
-		eng := core.New(dom, core.Config{Epsilon: *epsilon, Delta: *delta, V: v, Seed: *seed})
+		eng := core.New(dom, core.Config{Epsilon: *epsilon, Delta: *delta, V: v, Seed: *seed, Backend: engBackend})
 		if *ckpt != "" {
 			if restored, err := restoreEngine(eng, *ckpt); err != nil {
 				fatalf("restoring checkpoint: %v", err)
@@ -118,6 +129,7 @@ func main() {
 				every: *repEvery, timeout: *repTmo, resyncEvery: *resyncEv,
 				standby: *standby, failAfter: *duration / 2,
 				watch: *watch, watchIvl: *watchIvl,
+				backend: engBackend,
 			})
 			break
 		}
@@ -336,6 +348,7 @@ type deltaSyncConfig struct {
 	failAfter      time.Duration
 	watch          bool
 	watchIvl       time.Duration
+	backend        core.Backend
 }
 
 // setupDeltaSync wires the fault-tolerant acked report protocol: a local RHHH
@@ -343,7 +356,7 @@ type deltaSyncConfig struct {
 // in-process link), and optionally a mid-run fail-over to a standby collector
 // restored from a checkpoint (-collector-standby).
 func setupDeltaSync(cfg deltaSyncConfig) (vswitch.Hook, func()) {
-	eng := core.New(cfg.dom, core.Config{Epsilon: cfg.epsilon, Delta: cfg.delta, V: cfg.v, Seed: cfg.seed})
+	eng := core.New(cfg.dom, core.Config{Epsilon: cfg.epsilon, Delta: cfg.delta, V: cfg.v, Seed: cfg.seed, Backend: cfg.backend})
 	var (
 		colMu sync.Mutex
 		live  = cfg.col

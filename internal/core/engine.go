@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rhhh/internal/chk"
 	"rhhh/internal/fastrand"
 	"rhhh/internal/hierarchy"
 	"rhhh/internal/spacesaving"
@@ -15,11 +16,14 @@ type Backend int
 
 // Available backends. SpaceSavingBackend is the paper's choice and the
 // default; HeapBackend trades O(1) for O(log c) but handles weighted streams
-// without bucket walks; CountMinBackend requires a key hash and exists for
-// the sketch ablation (use NewWithInstances + CountMinInstances).
+// without bucket walks; CHKBackend stores counters directly in a cuckoo
+// table with exponential-decay eviction (probabilistic accuracy, no bucket
+// list — see internal/chk); CountMinBackend requires a key hash and exists
+// for the sketch ablation (use NewWithInstances + CountMinInstances).
 const (
 	SpaceSavingBackend Backend = iota
 	HeapBackend
+	CHKBackend
 )
 
 // Config parameterizes an RHHH engine.
@@ -59,9 +63,11 @@ type Engine[K comparable] struct {
 	inst []Instance[K]
 	// ss mirrors inst with the concrete Space Saving summaries when every
 	// instance uses the stream-summary backend; the update path then calls
-	// Increment directly instead of through the Instance interface. Heap and
-	// Count-Min backends keep interface dispatch (ss == nil).
+	// Increment directly instead of through the Instance interface. chk is
+	// the same mirror for the Cuckoo Heavy Keeper backend. Heap and
+	// Count-Min backends keep interface dispatch (both mirrors nil).
 	ss   []*spacesaving.Summary[K]
+	chk  []*chk.Sketch[K]
 	mask func(k K, node int) K // devirtualized dom.Masker()
 	rng  *fastrand.Source
 
@@ -126,6 +132,8 @@ func New[K comparable](dom *hierarchy.Domain[K], cfg Config) *Engine[K] {
 		inst = SpaceSavingInstances(dom, counters)
 	case HeapBackend:
 		inst = HeapInstances(dom, counters)
+	case CHKBackend:
+		inst = CHKInstances(dom, counters, cfg.Seed)
 	default:
 		panic(fmt.Sprintf("core: unknown backend %d", cfg.Backend))
 	}
@@ -175,7 +183,8 @@ func NewWithInstances[K comparable](dom *hierarchy.Domain[K], cfg Config, inst [
 		psi:     stats.Z(deltaS/2) * float64(v) / (cfg.Epsilon * cfg.Epsilon) / float64(r),
 	}
 	// Devirtualize the backend when every node runs the stream-summary
-	// Space Saving instance (the default and the paper's configuration).
+	// Space Saving instance (the default and the paper's configuration), or
+	// the Cuckoo Heavy Keeper sketch.
 	ss := make([]*spacesaving.Summary[K], len(inst))
 	for i, in := range inst {
 		a, ok := in.(ssInstance[K])
@@ -186,6 +195,18 @@ func NewWithInstances[K comparable](dom *hierarchy.Domain[K], cfg Config, inst [
 		ss[i] = a.s
 	}
 	e.ss = ss
+	if ss == nil {
+		ck := make([]*chk.Sketch[K], len(inst))
+		for i, in := range inst {
+			a, ok := in.(chkInstance[K])
+			if !ok {
+				ck = nil
+				break
+			}
+			ck[i] = a.c
+		}
+		e.chk = ck
+	}
 	if ss != nil {
 		total := 0
 		for _, s := range ss {
@@ -222,6 +243,11 @@ func ssCounters(epsilon float64) int { return CountersFor(epsilon) }
 
 // Domain returns the engine's lattice domain.
 func (e *Engine[K]) Domain() *hierarchy.Domain[K] { return e.dom }
+
+// Snapshottable reports whether the engine's backend supports SnapshotInto
+// and LoadSnapshot (the Space Saving and CHK backends do; interface-only
+// backends such as the heap and Count-Min do not).
+func (e *Engine[K]) Snapshottable() bool { return e.ss != nil || e.chk != nil }
 
 // N returns the number of packets processed.
 func (e *Engine[K]) N() uint64 { return e.packets }
@@ -261,6 +287,8 @@ func (e *Engine[K]) Update(k K) {
 		node := int(e.rng.Uint64n(e.h))
 		if e.ss != nil {
 			e.ss[node].Increment(e.mask(k, node))
+		} else if e.chk != nil {
+			e.chk[node].Increment(e.mask(k, node))
 		} else {
 			e.inst[node].Increment(e.mask(k, node))
 		}
@@ -272,6 +300,8 @@ func (e *Engine[K]) Update(k K) {
 			node := int(d)
 			if e.ss != nil {
 				e.ss[node].Increment(e.mask(k, node))
+			} else if e.chk != nil {
+				e.chk[node].Increment(e.mask(k, node))
 			} else {
 				e.inst[node].Increment(e.mask(k, node))
 			}
@@ -283,6 +313,8 @@ func (e *Engine[K]) Update(k K) {
 			node := int(d)
 			if e.ss != nil {
 				e.ss[node].Increment(e.mask(k, node))
+			} else if e.chk != nil {
+				e.chk[node].Increment(e.mask(k, node))
 			} else {
 				e.inst[node].Increment(e.mask(k, node))
 			}
@@ -306,6 +338,8 @@ func (e *Engine[K]) UpdateWeighted(k K, w uint64) {
 		node := int(e.rng.Uint64n(e.h))
 		if e.ss != nil {
 			e.ss[node].IncrementBy(e.mask(k, node), w)
+		} else if e.chk != nil {
+			e.chk[node].IncrementBy(e.mask(k, node), w)
 		} else {
 			e.inst[node].IncrementBy(e.mask(k, node), w)
 		}
@@ -317,6 +351,8 @@ func (e *Engine[K]) UpdateWeighted(k K, w uint64) {
 			node := int(d)
 			if e.ss != nil {
 				e.ss[node].IncrementBy(e.mask(k, node), w)
+			} else if e.chk != nil {
+				e.chk[node].IncrementBy(e.mask(k, node), w)
 			} else {
 				e.inst[node].IncrementBy(e.mask(k, node), w)
 			}
@@ -455,6 +491,24 @@ func (e *Engine[K]) applyGrouped(weighted bool) {
 	// After the scatter pass each node's group is contiguous in grpKey, in
 	// arrival order.
 	if e.ss == nil {
+		if e.chk != nil {
+			// CHK has no resolve/apply split to drive: its update is already
+			// two bucket probes with no list surgery, so the node-grouped
+			// order alone delivers the cache locality the kernel buys the
+			// stream summary.
+			for j := 0; j < n; j++ {
+				if weighted {
+					e.chk[e.grpNode[j]].IncrementBy(e.grpKey[j], e.grpW[j])
+				} else {
+					e.chk[e.grpNode[j]].Increment(e.grpKey[j])
+				}
+			}
+			return
+		}
+		// Interface fallback: Heap and Count-Min backends take the batched
+		// entry points too, degrading to per-sample dispatch with the same
+		// node grouping and identical state transitions as the sequential
+		// path (TestUpdateBatchInterfaceBackends pins this).
 		for j := 0; j < n; j++ {
 			in := e.inst[e.grpNode[j]]
 			if weighted {
@@ -489,7 +543,7 @@ func (e *Engine[K]) applyGrouped(weighted bool) {
 		}
 		slots := e.planSlot[:end-win]
 		hashes := e.planHash[:end-win]
-		spacesaving.ResolveAcross(e.ss, e.grpNode[win:end], e.grpKey[win:end], slots, hashes)
+		mayDup := spacesaving.ResolveAcross(e.ss, e.grpNode[win:end], e.grpKey[win:end], slots, hashes)
 		for i := win; i < end; {
 			nd := e.grpNode[i]
 			j := i + 1
@@ -497,9 +551,9 @@ func (e *Engine[K]) applyGrouped(weighted bool) {
 				j++
 			}
 			if weighted {
-				e.ss[nd].ApplyWeightedPlanned(e.grpKey[i:j], e.grpW[i:j], slots[i-win:j-win], hashes[i-win:j-win], true)
+				e.ss[nd].ApplyWeightedPlanned(e.grpKey[i:j], e.grpW[i:j], slots[i-win:j-win], hashes[i-win:j-win], mayDup)
 			} else {
-				e.ss[nd].ApplyPlanned(e.grpKey[i:j], slots[i-win:j-win], hashes[i-win:j-win], true)
+				e.ss[nd].ApplyPlanned(e.grpKey[i:j], slots[i-win:j-win], hashes[i-win:j-win], mayDup)
 			}
 			i = j
 		}
@@ -544,6 +598,11 @@ func (e *Engine[K]) EstimateFrequency(key K, node int) (lower, upper float64) {
 // and reproducible without reallocating the engine.
 func (e *Engine[K]) Reseed(seed uint64) {
 	e.rng.Seed(seed)
+	// CHK sketches hold per-node decay RNGs; restart them from the same
+	// derivation New used so the whole engine replays bit-identically.
+	for i, c := range e.chk {
+		c.Reseed(chkNodeSeed(seed, i))
+	}
 	e.epoch++
 	if e.useSkip {
 		e.nextSample = e.packets + 1 + e.geo.Next(e.rng)

@@ -24,3 +24,7 @@ func (e *Engine[K]) ForceKernelApply() { e.directApply = false }
 
 // UsesDirectApply reports whether batches bypass the two-phase kernel.
 func (e *Engine[K]) UsesDirectApply() bool { return e.directApply }
+
+// UsesCHKBackend reports whether the update path calls the concrete CHK
+// sketches without interface dispatch.
+func (e *Engine[K]) UsesCHKBackend() bool { return e.chk != nil }

@@ -12,6 +12,8 @@
 package core
 
 import (
+	"rhhh/internal/chk"
+	"rhhh/internal/fastrand"
 	"rhhh/internal/hierarchy"
 	"rhhh/internal/sketch"
 	"rhhh/internal/spacesaving"
@@ -61,6 +63,20 @@ func (a heapInstance[K]) Candidates(fn func(K, uint64, uint64)) {
 	a.h.ForEach(func(k K, count, err uint64) { fn(k, count, count-err) })
 }
 
+// chkInstance adapts chk.Sketch to Instance. CHK keeps point estimates, so
+// both bounds are the slot count (err = 0); accuracy is probabilistic
+// rather than Definition-4 guaranteed (see internal/chk).
+type chkInstance[K comparable] struct{ c *chk.Sketch[K] }
+
+func (a chkInstance[K]) Increment(k K)               { a.c.Increment(k) }
+func (a chkInstance[K]) IncrementBy(k K, w uint64)   { a.c.IncrementBy(k, w) }
+func (a chkInstance[K]) Bounds(k K) (uint64, uint64) { return a.c.Bounds(k) }
+func (a chkInstance[K]) Updates() uint64             { return a.c.N() }
+func (a chkInstance[K]) Reset()                      { a.c.Reset() }
+func (a chkInstance[K]) Candidates(fn func(K, uint64, uint64)) {
+	a.c.ForEach(func(k K, count uint64) { fn(k, count, count) })
+}
+
 // cmInstance adapts sketch.CountMin to Instance.
 type cmInstance[K comparable] struct{ c *sketch.CountMin[K] }
 
@@ -100,6 +116,29 @@ func HeapInstances[K comparable](dom *hierarchy.Domain[K], counters int) []Insta
 	out := make([]Instance[K], dom.Size())
 	for i := range out {
 		out[i] = heapInstance[K]{spacesaving.NewHeap[K](counters)}
+	}
+	return out
+}
+
+// chkNodeSeed derives node i's sketch seed from the engine seed: a seeded
+// splitmix walk, so New and Reseed agree and distinct nodes get independent
+// decay streams.
+func chkNodeSeed(seed uint64, i int) uint64 {
+	src := fastrand.New(seed ^ 0x6368_6b5f_6e6f_6465) // "chk_node"
+	var s uint64
+	for j := 0; j <= i; j++ {
+		s = src.Uint64()
+	}
+	return s
+}
+
+// CHKInstances builds one Cuckoo Heavy Keeper sketch per lattice node, each
+// with at least the given number of counters (rounded up to the table
+// geometry) and a decay RNG derived from seed.
+func CHKInstances[K comparable](dom *hierarchy.Domain[K], counters int, seed uint64) []Instance[K] {
+	out := make([]Instance[K], dom.Size())
+	for i := range out {
+		out[i] = chkInstance[K]{chk.New[K](counters, chkNodeSeed(seed, i))}
 	}
 	return out
 }

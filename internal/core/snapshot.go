@@ -75,8 +75,8 @@ func (es *EngineSnapshot[K]) Invalidate() {
 // and leaves dst's mutation generation unchanged, so downstream query
 // caches recognize the state as identical.
 func (e *Engine[K]) SnapshotInto(dst *EngineSnapshot[K]) *EngineSnapshot[K] {
-	if e.ss == nil {
-		panic("core: snapshots require the Space Saving backend")
+	if e.ss == nil && e.chk == nil {
+		panic("core: snapshots require the Space Saving or CHK backend")
 	}
 	if dst == nil {
 		dst = &EngineSnapshot[K]{}
@@ -88,18 +88,27 @@ func (e *Engine[K]) SnapshotInto(dst *EngineSnapshot[K]) *EngineSnapshot[K] {
 	// node whose N matches the previous capture is unchanged and its copy
 	// (and mutation generation) can be kept — a query after a small traffic
 	// delta then re-merges and re-indexes only the touched nodes.
-	sameSrc := dst.src == e && dst.srcEpoch == e.epoch && len(dst.Nodes) == len(e.ss)
-	if cap(dst.Nodes) < len(e.ss) {
-		nodes := make([]spacesaving.Snapshot[K], len(e.ss))
+	sameSrc := dst.src == e && dst.srcEpoch == e.epoch && len(dst.Nodes) == len(e.inst)
+	if cap(dst.Nodes) < len(e.inst) {
+		nodes := make([]spacesaving.Snapshot[K], len(e.inst))
 		copy(nodes, dst.Nodes)
 		dst.Nodes = nodes
 	}
-	dst.Nodes = dst.Nodes[:len(e.ss)]
-	for i, s := range e.ss {
-		if sameSrc && dst.Nodes[i].N == s.N() && dst.Nodes[i].Gen() != 0 {
-			continue
+	dst.Nodes = dst.Nodes[:len(e.inst)]
+	for i := range e.inst {
+		if e.ss != nil {
+			s := e.ss[i]
+			if sameSrc && dst.Nodes[i].N == s.N() && dst.Nodes[i].Gen() != 0 {
+				continue
+			}
+			s.SnapshotInto(&dst.Nodes[i])
+		} else {
+			c := e.chk[i]
+			if sameSrc && dst.Nodes[i].N == c.N() && dst.Nodes[i].Gen() != 0 {
+				continue
+			}
+			c.SnapshotInto(&dst.Nodes[i])
 		}
-		s.SnapshotInto(&dst.Nodes[i])
 	}
 	dst.Packets = e.packets
 	dst.Weight = e.Weight()
@@ -180,11 +189,11 @@ func (es *EngineSnapshot[K]) SuggestTheta(dom *hierarchy.Domain[K], k int) float
 // guarantees carry over but bit-for-bit reproducibility across a restart is
 // not preserved.
 func (e *Engine[K]) LoadSnapshot(es *EngineSnapshot[K]) error {
-	if e.ss == nil {
-		return errors.New("core: snapshots require the Space Saving backend")
+	if e.ss == nil && e.chk == nil {
+		return errors.New("core: snapshots require the Space Saving or CHK backend")
 	}
-	if len(es.Nodes) != len(e.ss) {
-		return fmt.Errorf("core: snapshot has %d lattice nodes, engine has %d", len(es.Nodes), len(e.ss))
+	if len(es.Nodes) != len(e.inst) {
+		return fmt.Errorf("core: snapshot has %d lattice nodes, engine has %d", len(es.Nodes), len(e.inst))
 	}
 	if es.V != int(e.v) || es.R != e.r {
 		return fmt.Errorf("core: snapshot V=%d R=%d, engine V=%d R=%d", es.V, es.R, e.v, e.r)
@@ -193,13 +202,23 @@ func (e *Engine[K]) LoadSnapshot(es *EngineSnapshot[K]) error {
 		return fmt.Errorf("core: snapshot ε=%g δ=%g, engine ε=%g δ=%g", es.Epsilon, es.Delta, e.epsilon, e.delta)
 	}
 	for i := range es.Nodes {
-		if es.Nodes[i].Len() > e.ss[i].Capacity() {
+		var nodeCap int
+		if e.ss != nil {
+			nodeCap = e.ss[i].Capacity()
+		} else {
+			nodeCap = e.chk[i].Capacity()
+		}
+		if es.Nodes[i].Len() > nodeCap {
 			return fmt.Errorf("core: node %d snapshot has %d keys, engine capacity %d",
-				i, es.Nodes[i].Len(), e.ss[i].Capacity())
+				i, es.Nodes[i].Len(), nodeCap)
 		}
 	}
 	for i := range es.Nodes {
-		e.ss[i].LoadSnapshot(&es.Nodes[i])
+		if e.ss != nil {
+			e.ss[i].LoadSnapshot(&es.Nodes[i])
+		} else if err := e.chk[i].LoadSnapshot(&es.Nodes[i]); err != nil {
+			return fmt.Errorf("core: node %d: %w", i, err)
+		}
 	}
 	e.packets = es.Packets
 	e.extraW = int64(es.Weight) - int64(es.Packets)

@@ -55,16 +55,18 @@ func AblationBackends(cfg SpeedConfig) []Table {
 	}
 	t := Table{
 		Title:   "Ablation: RHHH backend update speed (2D bytes)",
-		Headers: []string{"epsilon", "SpaceSaving Mpps", "Heap Mpps", "CountMin Mpps"},
+		Headers: []string{"epsilon", "SpaceSaving Mpps", "CHK Mpps", "Heap Mpps", "CountMin Mpps"},
 	}
 	for _, eps := range cfg.Epsilons {
 		ss := core.New(dom, core.Config{Epsilon: eps, Delta: cfg.Delta, Seed: cfg.Seed})
+		ck := core.New(dom, core.Config{Epsilon: eps, Delta: cfg.Delta, Seed: cfg.Seed, Backend: core.CHKBackend})
 		hp := core.New(dom, core.Config{Epsilon: eps, Delta: cfg.Delta, Seed: cfg.Seed, Backend: core.HeapBackend})
 		cm := core.NewWithInstances(dom,
 			core.Config{Epsilon: eps, Delta: cfg.Delta, Seed: cfg.Seed},
 			core.CountMinInstances(dom, eps, cfg.Delta, sketch.Hash64))
 		t.Add(fmtF(eps),
 			timeUpdates(keys, ss.Update),
+			timeUpdates(keys, ck.Update),
 			timeUpdates(keys, hp.Update),
 			timeUpdates(keys, cm.Update))
 	}

@@ -1,0 +1,302 @@
+package spacesaving
+
+// Differential tests for the batched-eviction apply path (evictRun) and the
+// lazy bucket-coalescing discipline. The existing kernel differentials in
+// ref_test.go exercise these through random schedules; the tests here force
+// the specific shapes the batch path special-cases: maximal runs of planned
+// misses against one min bucket, cascades that drain several count levels in
+// a single chunk, runs broken by hits and by weight changes, and chunks that
+// repeat unmonitored keys (the mayDup fallback that must bypass evictRun).
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// evictRegimes are the five capacity/skew regimes of the kernel
+// differentials, re-used with adversarial eviction-heavy schedules.
+var evictRegimes = []struct {
+	name     string
+	capacity int
+	keyRange uint64
+}{
+	{"HeavyChurn", 64, 1 << 12},
+	{"SteadyState", 256, 300},
+	{"BelowCapacity", 1024, 200},
+	{"CapacityOne", 1, 1 << 8},
+	{"SkewedZipf", 128, 1 << 16},
+}
+
+// TestBatchedEvictionFreshRuns drives chunks made entirely of never-seen
+// keys — every chunk entry is a planned miss, so at capacity the whole chunk
+// retires through evictRun, draining the min bucket level by level — and
+// compares full state against the sequential reference after every chunk.
+func TestBatchedEvictionFreshRuns(t *testing.T) {
+	for _, tc := range evictRegimes {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New[uint64](tc.capacity)
+			ref := newRefSummary[uint64](tc.capacity)
+			next := uint64(1) << 32 // disjoint from every other draw
+			for round := 0; round < 4; round++ {
+				for _, n := range chunkSizes {
+					keys := make([]uint64, n)
+					for i := range keys {
+						keys[i] = next
+						next++
+					}
+					s.IncrementBatch(keys)
+					incrementBatchRef(ref, keys)
+					mustMatchRef(t, tc.name, s, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedEvictionSameBucket pins the worst case the batch path exists
+// for: a summary whose counters all share one min bucket (equal counts), hit
+// with repeated all-miss chunks — each chunk empties and re-forms the min
+// bucket several times over, exercising the level cascade and the eager
+// min-bucket removal inside evictRun.
+func TestBatchedEvictionSameBucket(t *testing.T) {
+	const capacity = 48
+	s := New[uint64](capacity)
+	ref := newRefSummary[uint64](capacity)
+	seed := make([]uint64, capacity)
+	for i := range seed {
+		seed[i] = uint64(i)
+	}
+	s.IncrementBatch(seed)
+	incrementBatchRef(ref, seed)
+	mustMatchRef(t, "seed", s, ref)
+
+	next := uint64(1) << 40
+	for round := 0; round < 32; round++ {
+		// 3×capacity fresh keys per chunk: the min level (and each level it
+		// cascades into) is evicted wholesale multiple times per chunk.
+		keys := make([]uint64, 3*capacity)
+		for i := range keys {
+			keys[i] = next
+			next++
+		}
+		s.IncrementBatch(keys)
+		incrementBatchRef(ref, keys)
+		mustMatchRef(t, "sameBucket", s, ref)
+	}
+}
+
+// TestBatchedEvictionBrokenRuns interleaves planned hits into eviction-heavy
+// chunks so miss runs start and stop mid-chunk, and the hits bump keys whose
+// buckets the surrounding evictions are mutating (including keys the same
+// chunk just admitted by eviction — stale planned hits).
+func TestBatchedEvictionBrokenRuns(t *testing.T) {
+	const capacity = 32
+	rng := rand.New(rand.NewPCG(21, 43))
+	s := New[uint64](capacity)
+	ref := newRefSummary[uint64](capacity)
+	hot := make([]uint64, capacity)
+	for i := range hot {
+		hot[i] = uint64(i)
+	}
+	s.IncrementBatch(hot)
+	incrementBatchRef(ref, hot)
+
+	next := uint64(1) << 48
+	for round := 0; round < 64; round++ {
+		n := 60 + rng.IntN(10)
+		keys := make([]uint64, n)
+		for i := range keys {
+			switch rng.IntN(3) {
+			case 0: // monitored hit, breaks the current miss run
+				keys[i] = hot[rng.IntN(len(hot))]
+			case 1: // hit on a key admitted earlier in this same chunk
+				if i > 0 {
+					keys[i] = keys[rng.IntN(i)]
+				} else {
+					keys[i] = hot[0]
+				}
+			default: // fresh miss, extends the run
+				keys[i] = next
+				next++
+			}
+		}
+		s.IncrementBatch(keys)
+		incrementBatchRef(ref, keys)
+		mustMatchRef(t, "brokenRuns", s, ref)
+	}
+}
+
+// TestBatchedEvictionWeighted drives the weighted batch path through
+// equal-weight runs (batched), weight changes mid-run (run splits), zero
+// weights inside runs, and large weights that cascade across count levels.
+func TestBatchedEvictionWeighted(t *testing.T) {
+	const capacity = 40
+	rng := rand.New(rand.NewPCG(5, 17))
+	s := New[uint64](capacity)
+	ref := newRefSummary[uint64](capacity)
+	next := uint64(1) << 52
+	for round := 0; round < 48; round++ {
+		n := 60 + rng.IntN(10)
+		keys := make([]uint64, n)
+		ws := make([]uint64, n)
+		runW := uint64(1 + rng.IntN(5))
+		for i := range keys {
+			keys[i] = next
+			next++
+			switch rng.IntN(10) {
+			case 0:
+				ws[i] = 0
+			case 1:
+				ws[i] = 1 + rng.Uint64N(5_000)
+			case 2:
+				runW = uint64(1 + rng.IntN(5)) // new equal-weight run
+				ws[i] = runW
+			default:
+				ws[i] = runW
+			}
+			if rng.IntN(4) == 0 { // some monitored / duplicate hits
+				keys[i] = rng.Uint64N(uint64(capacity))
+			}
+		}
+		s.IncrementBatchWeighted(keys, ws)
+		incrementBatchWeightedRef(ref, keys, ws)
+		mustMatchRef(t, "weighted", s, ref)
+	}
+}
+
+// TestBatchedEvictionDuplicateMisses repeats unmonitored keys within one
+// chunk: planDup forces the per-miss fallback (lookup before insert), which
+// must coexist with the lazy coalescing discipline and stay bit-identical.
+func TestBatchedEvictionDuplicateMisses(t *testing.T) {
+	const capacity = 24
+	rng := rand.New(rand.NewPCG(3, 99))
+	s := New[uint64](capacity)
+	ref := newRefSummary[uint64](capacity)
+	next := uint64(1) << 56
+	for round := 0; round < 64; round++ {
+		n := 60 + rng.IntN(10)
+		keys := make([]uint64, n)
+		for i := range keys {
+			if i > 0 && rng.IntN(3) == 0 {
+				keys[i] = keys[rng.IntN(i)] // duplicate an earlier chunk key
+			} else {
+				keys[i] = next
+				next++
+			}
+		}
+		s.IncrementBatch(keys)
+		incrementBatchRef(ref, keys)
+		mustMatchRef(t, "dupMisses", s, ref)
+	}
+}
+
+// TestApplyPlannedMayDupModes replays identical streams through ApplyPlanned
+// with mayDup forced true (per-miss fallback path) and forced false (batched
+// eviction path) on two summaries; both must match the sequential reference.
+// Valid only for streams that genuinely repeat no unmonitored key in-chunk —
+// guaranteed here by making every chunk's keys pairwise distinct.
+func TestApplyPlannedMayDupModes(t *testing.T) {
+	const capacity = 32
+	sTrue := New[uint64](capacity)
+	sFalse := New[uint64](capacity)
+	ref := newRefSummary[uint64](capacity)
+	var slots [BatchChunk]int32
+	var hashes [BatchChunk]uint32
+	next := uint64(1) << 36
+	rng := rand.New(rand.NewPCG(8, 8))
+	for round := 0; round < 64; round++ {
+		keys := make([]uint64, BatchChunk)
+		perm := rng.Perm(capacity) // low keys without replacement
+		lo := 0
+		for i := range keys {
+			if rng.IntN(2) == 0 && lo < len(perm) {
+				keys[i] = uint64(perm[lo]) // often monitored, never repeated
+				lo++
+			} else {
+				keys[i] = next // fresh, never repeated
+				next++
+			}
+		}
+		for _, s := range []*Summary[uint64]{sTrue, sFalse} {
+			s.Resolve(keys)
+			copy(slots[:], s.planSlot[:len(keys)])
+			copy(hashes[:], s.planHash[:len(keys)])
+			s.ApplyPlanned(keys, slots[:len(keys)], hashes[:len(keys)], s == sTrue)
+		}
+		incrementBatchRef(ref, keys)
+		mustMatchRef(t, "mayDup=true", sTrue, ref)
+		mustMatchRef(t, "mayDup=false", sFalse, ref)
+	}
+}
+
+// TestResolveAcrossMayDup checks the window duplicate detection: a repeated
+// unmonitored (node, key) pair must report mayDup, and the same key on
+// different nodes must not force it.
+func TestResolveAcrossMayDup(t *testing.T) {
+	mk := func() []*Summary[uint64] {
+		sums := make([]*Summary[uint64], 2)
+		for i := range sums {
+			sums[i] = New[uint64](4)
+			for k := uint64(0); k < 4; k++ {
+				sums[i].Increment(k)
+			}
+		}
+		return sums
+	}
+	var slots [BatchChunk]int32
+	var hashes [BatchChunk]uint32
+
+	sums := mk()
+	nodes := []int32{0, 0, 1, 1}
+	keys := []uint64{100, 100, 200, 201}
+	if !ResolveAcross(sums, nodes, keys, slots[:4], hashes[:4]) {
+		t.Fatal("repeated unmonitored (node, key) must report mayDup")
+	}
+
+	sums = mk()
+	keys = []uint64{100, 101, 100, 102} // same key, different nodes
+	if ResolveAcross(sums, nodes, keys, slots[:4], hashes[:4]) {
+		t.Fatal("same key on different nodes must not report mayDup")
+	}
+
+	sums = mk()
+	keys = []uint64{0, 1, 2, 3} // all monitored: no misses at all
+	if ResolveAcross(sums, nodes, keys, slots[:4], hashes[:4]) {
+		t.Fatal("all-hit window must not report mayDup")
+	}
+}
+
+// TestLazyCoalesceSweep checks that no empty bucket survives an apply: after
+// any batch, walking the bucket chain from min must find strictly ascending
+// counts and a non-empty head at every bucket.
+func TestLazyCoalesceSweep(t *testing.T) {
+	const capacity = 32
+	rng := rand.New(rand.NewPCG(13, 37))
+	s := New[uint64](capacity)
+	next := uint64(1) << 44
+	for round := 0; round < 128; round++ {
+		n := 1 + rng.IntN(2*BatchChunk)
+		keys := make([]uint64, n)
+		for i := range keys {
+			if rng.IntN(2) == 0 {
+				keys[i] = rng.Uint64N(capacity)
+			} else {
+				keys[i] = next
+				next++
+			}
+		}
+		s.IncrementBatch(keys)
+		var lastCount uint64
+		seen := 0
+		for b := s.min; b != nilIdx; b = s.buckets[b].next {
+			if s.buckets[b].head == nilIdx {
+				t.Fatalf("round %d: empty bucket (count %d) survived the sweep", round, s.buckets[b].count)
+			}
+			if seen > 0 && s.buckets[b].count <= lastCount {
+				t.Fatalf("round %d: bucket counts not ascending: %d after %d", round, s.buckets[b].count, lastCount)
+			}
+			lastCount = s.buckets[b].count
+			seen++
+		}
+	}
+}

@@ -79,6 +79,59 @@ func BenchmarkUpdateKernel(b *testing.B) {
 		}
 	})
 
+	// Eviction isolation: the same kernel split with the miss rate pinned at
+	// the extremes, so the eviction path's cost is measured directly rather
+	// than inferred from the steady-state mix.
+	//
+	//   - ApplyHitOnly: a key space under capacity — after warmup every
+	//     update is a planned hit and the apply phase is pure bump work.
+	//     ResolveApply minus Resolve is then the no-evict apply floor.
+	//   - Evict: a key space 64× capacity — after warmup essentially every
+	//     update misses and the apply phase is pure eviction, batched through
+	//     evictRun. Minus Resolve, this is the eviction floor the batched
+	//     detach pass is attacking.
+	//   - EvictSequential: the same all-miss workload through per-key
+	//     Increment — the serial bucket-surgery baseline the batch replaces.
+	hitKeys := mkKeys(1<<14, capacity-1)
+	missKeys := mkKeys(1<<16, 64*capacity)
+	missMask := len(missKeys) - 1
+	b.Run("ApplyHitOnly", func(b *testing.B) {
+		s := fill(hitKeys)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += BatchChunk {
+			off := i & mask
+			end := off + BatchChunk
+			if end > len(hitKeys) {
+				end = len(hitKeys)
+			}
+			s.Resolve(hitKeys[off:end])
+			s.Apply(hitKeys[off:end])
+		}
+	})
+	b.Run("Evict", func(b *testing.B) {
+		s := fill(missKeys)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += BatchChunk {
+			off := i & missMask
+			end := off + BatchChunk
+			if end > len(missKeys) {
+				end = len(missKeys)
+			}
+			s.Resolve(missKeys[off:end])
+			s.Apply(missKeys[off:end])
+		}
+	})
+	b.Run("EvictSequential", func(b *testing.B) {
+		s := fill(missKeys)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Increment(missKeys[i&missMask])
+		}
+	})
+
 	// Cross-node variants at the RHHH engine's shape: 25 summaries (the 2D
 	// byte lattice), each update hitting a random node — the access pattern
 	// whose memory latency the windowed kernel overlaps. The spread between
@@ -148,14 +201,14 @@ func BenchmarkUpdateKernel(b *testing.B) {
 			if end > len(keys) {
 				end = len(keys)
 			}
-			ResolveAcross(sums, nd[off:end], keys[off:end], slots[:end-off], hashes[:end-off])
+			mayDup := ResolveAcross(sums, nd[off:end], keys[off:end], slots[:end-off], hashes[:end-off])
 			for j := off; j < end; {
 				n := nd[j]
 				k := j + 1
 				for k < end && nd[k] == n {
 					k++
 				}
-				sums[n].ApplyPlanned(keys[j:k], slots[j-off:k-off], hashes[j-off:k-off], true)
+				sums[n].ApplyPlanned(keys[j:k], slots[j-off:k-off], hashes[j-off:k-off], mayDup)
 				j = k
 			}
 		}

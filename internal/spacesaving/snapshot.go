@@ -57,6 +57,14 @@ func (sn *Snapshot[K]) Gen() uint64 { return sn.gen }
 // place; the tracked mutators stamp a fresh generation on their own.
 func (sn *Snapshot[K]) Invalidate() { sn.gen = 0 }
 
+// Stamp issues the snapshot a fresh mutation generation, marking it as
+// rewritten-and-current. It is for alternative backend implementations
+// (internal/chk) that fill the exported fields directly but want downstream
+// generation-keyed caches — the merge skips, the delta encoder — to track
+// the snapshot exactly as if a tracked mutator had produced it. Plain
+// in-place mutators should call Invalidate instead.
+func (sn *Snapshot[K]) Stamp() { sn.gen = snapGenCounter.Add(1) }
+
 // Len returns the number of monitored keys in the snapshot.
 func (sn *Snapshot[K]) Len() int { return len(sn.Keys) }
 

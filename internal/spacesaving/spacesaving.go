@@ -115,7 +115,41 @@ type Summary[K comparable] struct {
 	planHash []uint32
 	planDup  bool
 
+	// Lazy bucket coalescing (Apply only): while lazy is set, a bump that
+	// empties a bucket defers the unlink instead of doing list surgery
+	// inline. Emptied buckets keep their count and chain position — a later
+	// bump to the same count reuses them exactly where a fresh bucket would
+	// have been inserted — and applyEnd sweeps the still-empty ones.
+	// deferred is the dirty set; defMark (parallel to buckets) dedups it and
+	// is cleared by any eager removeBucket so the sweep never unlinks twice.
+	lazy     bool
+	deferred []int32
+	defMark  []uint8
+
+	// Duplicate-miss detection scratch: a small epoch-stamped open-addressed
+	// table (miss hash → plan index) giving Resolve/ResolveAcross an exact
+	// planDup answer in O(1) per miss — no quadratic scan, no conservative
+	// bound that would shut the batched-eviction path off on the all-miss
+	// chunks it exists for. ResolveAcross borrows the first window summary's
+	// table for the whole window (single-threaded like every other use).
+	dupIdx   []int32
+	dupStamp []uint32
+	dupEpoch uint32
+
 	warmSink uint64 // defeats dead-load elimination of the resolve loads
+}
+
+// dupTabSize is the duplicate-detection table size: double BatchChunk, so
+// the table never exceeds 50% load and linear probing stays short.
+const dupTabSize = 2 * BatchChunk
+
+// dupReset starts a new detection round, clearing stamps on epoch wrap.
+func (s *Summary[K]) dupReset() {
+	s.dupEpoch++
+	if s.dupEpoch == 0 {
+		clear(s.dupStamp)
+		s.dupEpoch = 1
+	}
 }
 
 // fpOf derives a non-zero fingerprint byte from a key hash.
@@ -186,6 +220,10 @@ func New[K comparable](capacity int) *Summary[K] {
 		hash:     hashFuncFor[K](),
 		planSlot: make([]int32, BatchChunk),
 		planHash: make([]uint32, BatchChunk),
+		deferred: make([]int32, 0, BatchChunk),
+		defMark:  make([]uint8, 0, capacity+1),
+		dupIdx:   make([]int32, dupTabSize),
+		dupStamp: make([]uint32, dupTabSize),
 	}
 	return s
 }
@@ -338,6 +376,9 @@ func (s *Summary[K]) insertOrEvict(k K, h uint32, w uint64) {
 		s.attach(c, w)
 		return
 	}
+	if s.lazy {
+		s.coalesceMin() // deferred empties may be parked at the front
+	}
 	c := s.buckets[s.min].head
 	minCount := s.buckets[s.min].count
 	s.indexDelete(c)
@@ -379,25 +420,27 @@ func (s *Summary[K]) Resolve(keys []K) {
 	}
 	// Duplicate-miss detection: a planned miss only goes stale when the same
 	// key was admitted earlier in the chunk, i.e. the chunk repeats an
-	// unmonitored key. The quadratic scan is bounded and runs over misses
-	// only; past the bound we conservatively assume a duplicate.
+	// unmonitored key. Each miss probes the epoch-stamped table once — exact
+	// detection in O(misses), with no bound that would disable the batched
+	// eviction path on all-miss chunks.
 	s.planDup = false
 	if misses > 1 {
-		if misses > 16 {
-			s.planDup = true
-		} else {
-		dupScan:
-			for i := 1; i < len(keys); i++ {
-				if s.planSlot[i] != nilIdx {
-					continue
-				}
-				for j := 0; j < i; j++ {
-					if s.planSlot[j] == nilIdx && keys[j] == keys[i] {
-						s.planDup = true
-						break dupScan
-					}
-				}
+		s.dupReset()
+	dupScan:
+		for i, k := range keys {
+			if s.planSlot[i] != nilIdx {
+				continue
 			}
+			pos := s.planHash[i] & (dupTabSize - 1)
+			for s.dupStamp[pos] == s.dupEpoch {
+				if keys[s.dupIdx[pos]] == k {
+					s.planDup = true
+					break dupScan
+				}
+				pos = (pos + 1) & (dupTabSize - 1)
+			}
+			s.dupStamp[pos] = s.dupEpoch
+			s.dupIdx[pos] = int32(i)
 		}
 	}
 	if misses > 0 && s.min != nilIdx {
@@ -439,14 +482,27 @@ func (s *Summary[K]) ApplyWeighted(keys []K, ws []uint64) {
 // and hashes are parallel to keys. mayDup tells Apply whether the chunk may
 // repeat an unmonitored key; passing true is always safe and only costs a
 // warm re-lookup per planned miss after the chunk's first admission.
+//
+// Apply runs with lazy bucket coalescing: buckets emptied by a bump stay in
+// the chain (count intact, invisible to every observable) until the end of
+// the chunk, so per-sample unlink/relink surgery stays out of the hot loop.
+// When the chunk provably repeats no unmonitored key (mayDup false), runs of
+// consecutive planned misses at capacity are retired by evictRun — one walk
+// of the min-bucket chain per count level instead of per-victim surgery.
+// Both disciplines are bit-identical to the sequential path on every
+// observable (N, Len, MinCount, the ForEach sequence).
 func (s *Summary[K]) ApplyPlanned(keys []K, slots []int32, hashes []uint32, mayDup bool) {
+	s.lazy = true
 	dirty := false // a planned-miss key was admitted during this chunk
-	for i, k := range keys {
-		s.n++
+	n := len(keys)
+	for i := 0; i < n; {
+		k := keys[i]
 		c := slots[i]
 		if c != nilIdx {
+			s.n++
 			if s.hot[c].key == k {
 				s.bump(c, s.buckets[s.hot[c].bkt].count+1)
+				i++
 				continue
 			}
 			// Stale hit: a detach swap moved the key, or an eviction removed
@@ -457,35 +513,60 @@ func (s *Summary[K]) ApplyPlanned(keys []K, slots []int32, hashes []uint32, mayD
 			} else {
 				s.insertOrEvict(k, h, 1)
 			}
+			i++
+			continue
+		}
+		if !mayDup && s.used == s.capacity {
+			// Batched eviction: every following planned miss is a distinct,
+			// still-unmonitored key (no duplicate can have admitted it), so
+			// the whole run evicts in one pass.
+			j := i + 1
+			for j < n && slots[j] == nilIdx {
+				j++
+			}
+			s.n += uint64(j - i)
+			s.evictRun(keys[i:j], hashes[i:j], 1)
+			i = j
 			continue
 		}
 		// Planned miss: still a miss unless this chunk admitted the same key
 		// earlier, which requires both an admission and a duplicated miss.
+		s.n++
 		h := hashes[i]
 		if dirty && mayDup {
 			if c = s.lookup(k, h); c != nilIdx {
 				s.bump(c, s.buckets[s.hot[c].bkt].count+1)
+				i++
 				continue
 			}
 		}
 		s.insertOrEvict(k, h, 1)
 		dirty = true
+		i++
 	}
+	s.applyEnd()
 }
 
-// ApplyWeightedPlanned is ApplyWeighted with a caller-held plan.
+// ApplyWeightedPlanned is ApplyWeighted with a caller-held plan. Runs of
+// consecutive equal-weight planned misses batch through evictRun like
+// ApplyPlanned's unit runs.
 func (s *Summary[K]) ApplyWeightedPlanned(keys []K, ws []uint64, slots []int32, hashes []uint32, mayDup bool) {
+	s.lazy = true
 	dirty := false
-	for i, k := range keys {
+	n := len(keys)
+	for i := 0; i < n; {
 		w := ws[i]
 		if w == 0 {
+			i++
 			continue
 		}
-		s.n += w
+		k := keys[i]
 		c := slots[i]
 		if c != nilIdx {
+			s.n += w
 			if s.hot[c].key == k {
 				s.bump(c, s.buckets[s.hot[c].bkt].count+w)
+				i++
 				continue
 			}
 			h := hashes[i]
@@ -494,18 +575,123 @@ func (s *Summary[K]) ApplyWeightedPlanned(keys []K, ws []uint64, slots []int32, 
 			} else {
 				s.insertOrEvict(k, h, w)
 			}
+			i++
 			continue
 		}
+		if !mayDup && s.used == s.capacity {
+			j := i + 1
+			for j < n && slots[j] == nilIdx && ws[j] == w {
+				j++
+			}
+			s.n += uint64(j-i) * w
+			s.evictRun(keys[i:j], hashes[i:j], w)
+			i = j
+			continue
+		}
+		s.n += w
 		h := hashes[i]
 		if dirty && mayDup {
 			if c = s.lookup(k, h); c != nilIdx {
 				s.bump(c, s.buckets[s.hot[c].bkt].count+w)
+				i++
 				continue
 			}
 		}
 		s.insertOrEvict(k, h, w)
 		dirty = true
+		i++
 	}
+	s.applyEnd()
+}
+
+// evictRun admits a run of distinct, currently-unmonitored keys, each
+// carrying weight w, against a summary at capacity — the batched equivalent
+// of calling insertOrEvict per key. Victims pop off the min-bucket chain in
+// order (the exact victims the sequential path would pick), each takeover is
+// one index delete + one index insert, and the chain splice into the
+// count-m+w target bucket happens once per count level instead of once per
+// victim. When a level drains the min bucket the next level restarts from
+// the new minimum, reproducing the sequential cascade.
+func (s *Summary[K]) evictRun(keys []K, hashes []uint32, w uint64) {
+	for i := 0; i < len(keys); {
+		s.coalesceMin()
+		b0 := s.min
+		m := s.buckets[b0].count
+		newCount := m + w
+		// Locate or create the target bucket, exactly where the sequential
+		// bump's walk from the min bucket would land it.
+		prev := b0
+		b := s.buckets[b0].next
+		for b != nilIdx && s.buckets[b].count < newCount {
+			prev = b
+			b = s.buckets[b].next
+		}
+		if b == nilIdx || s.buckets[b].count != newCount {
+			b = s.newBucket(newCount, prev, b)
+		}
+		// Pop victims off the min chain, assigning run keys in stream order;
+		// pushCounter is LIFO, so threading each victim in front of the
+		// previous one reproduces the sequential chain exactly.
+		head := s.buckets[b].head
+		c := s.buckets[b0].head
+		for c != nilIdx && i < len(keys) {
+			next := s.hot[c].next
+			s.indexDelete(c)
+			s.hot[c].key = keys[i]
+			s.cold[c].err = m
+			s.indexInsert(c, hashes[i])
+			s.hot[c].bkt = b
+			s.hot[c].next = head
+			head = c
+			c = next
+			i++
+		}
+		s.buckets[b].head = head
+		s.buckets[b0].head = c
+		if c == nilIdx {
+			s.removeBucket(b0)
+		}
+	}
+}
+
+// coalesceMin eagerly unlinks lazily-deferred empty buckets sitting at the
+// front of the chain, so the eviction path always sees the true minimum.
+func (s *Summary[K]) coalesceMin() {
+	for s.min != nilIdx && s.buckets[s.min].head == nilIdx {
+		s.removeBucket(s.min)
+	}
+}
+
+// deferCoalesce queues an emptied bucket for the end-of-chunk sweep.
+func (s *Summary[K]) deferCoalesce(b int32) {
+	if s.defMark[b] == 0 {
+		s.defMark[b] = 1
+		s.deferred = append(s.deferred, b)
+	}
+}
+
+// applyEnd leaves lazy mode: deferred buckets that are still empty (and not
+// already eagerly removed or refilled at their count) are unlinked now. The
+// common nothing-deferred case must stay inline in the Apply loops, so the
+// sweep itself is split out.
+func (s *Summary[K]) applyEnd() {
+	s.lazy = false
+	if len(s.deferred) != 0 {
+		s.sweepDeferred()
+	}
+}
+
+// sweepDeferred unlinks the still-empty deferred buckets.
+func (s *Summary[K]) sweepDeferred() {
+	for _, b := range s.deferred {
+		if s.defMark[b] != 0 {
+			s.defMark[b] = 0
+			if s.buckets[b].head == nilIdx {
+				s.removeBucket(b)
+			}
+		}
+	}
+	s.deferred = s.deferred[:0]
 }
 
 // ResolveAcross plans one update per sample across many summaries at once —
@@ -528,7 +714,13 @@ func (s *Summary[K]) ApplyWeightedPlanned(keys []K, ws []uint64, slots []int32, 
 //
 // Read-only, like Resolve. Samples that need the stash or see fingerprint
 // collisions fall back to the full lookup inside the confirm level.
-func ResolveAcross[K comparable](sums []*Summary[K], nodes []int32, keys []K, slots []int32, hashes []uint32) {
+//
+// The returned mayDup reports whether the window may repeat an unmonitored
+// (node, key) pair — the per-window analogue of Resolve's planDup, computed
+// with the same bounded scan. Passing it to ApplyPlanned lets a duplicate-
+// free window (the overwhelmingly common case) take the batched-eviction
+// path.
+func ResolveAcross[K comparable](sums []*Summary[K], nodes []int32, keys []K, slots []int32, hashes []uint32) (mayDup bool) {
 	n := len(keys)
 	if n > BatchChunk {
 		panic("spacesaving: ResolveAcross window exceeds BatchChunk")
@@ -569,6 +761,7 @@ func ResolveAcross[K comparable](sums []*Summary[K], nodes []int32, keys []K, sl
 		}
 	}
 	// Level 3: load the candidate refs and confirm against the hot slab.
+	misses := 0
 	for i := 0; i < n; i++ {
 		switch cand[i] {
 		case candSlow:
@@ -583,6 +776,34 @@ func ResolveAcross[K comparable](sums []*Summary[K], nodes []int32, keys []K, sl
 			} else {
 				slots[i] = nilIdx // lone fingerprint collision: certain miss
 			}
+		}
+		if slots[i] == nilIdx {
+			misses++
+		}
+	}
+	// Duplicate-miss detection, as in Resolve but keyed on (node, key): each
+	// miss probes the borrowed epoch-stamped table once, so only misses pay
+	// and the answer is exact. Per-summary hash seeds differ, so the node is
+	// folded into the probe hash but equality still compares both fields.
+	if misses > 1 {
+		s0 := sums[0] // one fixed table across windows, so its lines stay hot
+		s0.dupReset()
+	dupScan:
+		for i := 0; i < n; i++ {
+			if slots[i] != nilIdx {
+				continue
+			}
+			pos := (hashes[i] ^ uint32(nodes[i])*0x9e3779b1) & (dupTabSize - 1)
+			for s0.dupStamp[pos] == s0.dupEpoch {
+				j := s0.dupIdx[pos]
+				if nodes[j] == nodes[i] && keys[j] == keys[i] {
+					mayDup = true
+					break dupScan
+				}
+				pos = (pos + 1) & (dupTabSize - 1)
+			}
+			s0.dupStamp[pos] = s0.dupEpoch
+			s0.dupIdx[pos] = int32(i)
 		}
 	}
 	// Level 4: warm the lines the apply phase will write — the hit buckets,
@@ -604,6 +825,7 @@ func ResolveAcross[K comparable](sums []*Summary[K], nodes []int32, keys []K, sl
 	if n > 0 {
 		sums[nodes[0]].warmSink += warm
 	}
+	return mayDup
 }
 
 // IncrementBatch adds one occurrence of each key, in order — equivalent to
@@ -703,6 +925,9 @@ func (s *Summary[K]) Reset() {
 	s.min = nilIdx
 	s.freeBkt = nilIdx
 	s.n = 0
+	s.lazy = false
+	s.deferred = s.deferred[:0]
+	s.defMark = s.defMark[:0]
 	for i := range s.fps {
 		s.fps[i] = 0
 	}
@@ -755,7 +980,11 @@ func (s *Summary[K]) bump(c int32, newCount uint64) {
 	}
 	s.pushCounter(b, carrier)
 	if s.buckets[old].head == nilIdx {
-		s.removeBucket(old)
+		if s.lazy {
+			s.deferCoalesce(old)
+		} else {
+			s.removeBucket(old)
+		}
 	}
 }
 
@@ -816,6 +1045,7 @@ func (s *Summary[K]) newBucket(count uint64, prev, next int32) int32 {
 		s.freeBkt = s.buckets[b].next
 	} else {
 		s.buckets = append(s.buckets, bucket{})
+		s.defMark = append(s.defMark, 0)
 		b = int32(len(s.buckets) - 1)
 	}
 	s.buckets[b] = bucket{count: count, head: nilIdx, prev: prev, next: next}
@@ -830,8 +1060,10 @@ func (s *Summary[K]) newBucket(count uint64, prev, next int32) int32 {
 	return b
 }
 
-// removeBucket unlinks an empty bucket and recycles it.
+// removeBucket unlinks an empty bucket and recycles it. Clearing the defer
+// mark keeps a pending lazy sweep from unlinking the same bucket twice.
 func (s *Summary[K]) removeBucket(b int32) {
+	s.defMark[b] = 0
 	prev, next := s.buckets[b].prev, s.buckets[b].next
 	if prev != nilIdx {
 		s.buckets[prev].next = next

@@ -72,3 +72,65 @@ func TestEngineHookBytesMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineHookCHKBackend: the datapath hook drives a CHK-backed engine
+// identically to sequential weighted updates — the vswitch surface runs on
+// the alternative counter backend unchanged.
+func TestEngineHookCHKBackend(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	cfg := core.Config{
+		Epsilon: 0.02, Delta: 0.05, V: 10 * dom.Size(), Seed: 33,
+		Backend: core.CHKBackend,
+	}
+
+	r := fastrand.New(34)
+	const n = 60_000
+	packets := make([]trace.Packet, n)
+	for i := range packets {
+		packets[i] = pkt(uint32(r.Uint64n(1<<12)), uint32(r.Uint64n(1<<12)), 80, 443, trace.ProtoTCP)
+		packets[i].Length = 64 + int(r.Uint64n(1400))
+	}
+
+	ref := core.New(dom, cfg)
+	for _, p := range packets {
+		ref.UpdateWeighted(p.Key2(), uint64(p.Length))
+	}
+	var refSnap, gotSnap core.EngineSnapshot[uint64]
+	ref.SnapshotInto(&refSnap)
+
+	for _, batched := range []bool{false, true} {
+		eng := core.New(dom, cfg)
+		hook := NewEngineHookBytes(eng)
+		if batched {
+			for off := 0; off < n; {
+				sz := 1 + int(r.Uint64n(500))
+				if off+sz > n {
+					sz = n - off
+				}
+				hook.OnBatch(packets[off : off+sz])
+				off += sz
+			}
+		} else {
+			for _, p := range packets {
+				hook.OnPacket(p)
+			}
+		}
+		if eng.Weight() != ref.Weight() || eng.N() != ref.N() {
+			t.Fatalf("chk batched=%v: N/Weight (%d,%d) vs ref (%d,%d)",
+				batched, eng.N(), eng.Weight(), ref.N(), ref.Weight())
+		}
+		eng.SnapshotInto(&gotSnap)
+		for nd := range refSnap.Nodes {
+			a, b := &refSnap.Nodes[nd], &gotSnap.Nodes[nd]
+			if a.N != b.N || len(a.Keys) != len(b.Keys) {
+				t.Fatalf("chk batched=%v node %d: (N=%d,len=%d) vs ref (N=%d,len=%d)",
+					batched, nd, b.N, len(b.Keys), a.N, len(a.Keys))
+			}
+			for i := range a.Keys {
+				if a.Keys[i] != b.Keys[i] || a.Upper[i] != b.Upper[i] || a.Lower[i] != b.Lower[i] {
+					t.Fatalf("chk batched=%v node %d entry %d differs", batched, nd, i)
+				}
+			}
+		}
+	}
+}

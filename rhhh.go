@@ -97,6 +97,38 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Backend selects the per-lattice-node counter structure of the RHHH
+// engine (ignored by the deterministic algorithms).
+type Backend int
+
+// StreamSummary is the paper's Space Saving Stream-Summary (default):
+// deterministic over-estimates with the Definition 4 (ε, δ) guarantee, O(1)
+// updates through a bucket list. CuckooHeavyKeeper stores counters directly
+// in a cuckoo table with exponential-decay eviction (after "Cuckoo Heavy
+// Keeper", arXiv 2412.12873): no bucket list and a cheaper eviction path,
+// at the price of probabilistic under-estimates — heavy-hitter recall is
+// empirical rather than guaranteed (see internal/chk). HeapSpaceSaving is
+// the O(log c) heap variant of Space Saving; it supports neither snapshots
+// nor Watch (Monitor.Snapshot panics, Watch errors).
+const (
+	StreamSummary Backend = iota
+	CuckooHeavyKeeper
+	HeapSpaceSaving
+)
+
+func (b Backend) String() string {
+	switch b {
+	case StreamSummary:
+		return "stream-summary"
+	case CuckooHeavyKeeper:
+		return "chk"
+	case HeapSpaceSaving:
+		return "heap"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
 // Config parameterizes a Monitor. Zero values get sensible defaults where a
 // default exists; Epsilon and Delta must be set explicitly (for RHHH) since
 // they determine memory and convergence.
@@ -123,6 +155,9 @@ type Config struct {
 	Seed uint64
 	// Algorithm selects the implementation (default RHHH).
 	Algorithm Algorithm
+	// Backend selects the RHHH engine's counter structure (default
+	// StreamSummary; see Backend).
+	Backend Backend
 }
 
 // HeavyHitter is one reported prefix.
@@ -386,6 +421,9 @@ func (im *impl[K]) watch(opts WatchOptions) (*Subscription, error) {
 		if !ok {
 			return nil, errors.New("rhhh: Watch requires the RHHH algorithm")
 		}
+		if !eng.Snapshottable() {
+			return nil, errors.New("rhhh: Watch requires a snapshot-capable backend (StreamSummary or CuckooHeavyKeeper)")
+		}
 		im.hub = newWatchHub(im.dom, im.split, im.v6, func() *core.EngineSnapshot[K] {
 			return eng.SnapshotInto(&im.hubSnap)
 		})
@@ -415,9 +453,20 @@ func build[K comparable](
 		if v < dom.Size() {
 			return nil, fmt.Errorf("rhhh: V=%d below hierarchy size H=%d", cfg.V, dom.Size())
 		}
+		var backend core.Backend
+		switch cfg.Backend {
+		case StreamSummary:
+			backend = core.SpaceSavingBackend
+		case CuckooHeavyKeeper:
+			backend = core.CHKBackend
+		case HeapSpaceSaving:
+			backend = core.HeapBackend
+		default:
+			return nil, fmt.Errorf("rhhh: unknown backend %d", int(cfg.Backend))
+		}
 		eng := core.New(dom, core.Config{
 			Epsilon: cfg.Epsilon, Delta: cfg.Delta,
-			V: v, R: cfg.R, Seed: cfg.Seed,
+			V: v, R: cfg.R, Seed: cfg.Seed, Backend: backend,
 		})
 		im.alg = eng
 		im.psiV = eng.Psi()
