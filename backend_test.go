@@ -136,6 +136,7 @@ func TestCHKSharded(t *testing.T) {
 	}
 	defer s.Close()
 	feedHeavy(200_000, 8, s.Update)
+	s.Sync()
 	if s.N() != 200_000 {
 		t.Fatalf("N = %d", s.N())
 	}

@@ -199,7 +199,11 @@ func TestMonitorBatchSurfacesZeroAlloc(t *testing.T) {
 		t.Errorf("Monitor.UpdateWeightedBatch allocates %v/op", n)
 	}
 
-	s, err := rhhh.NewSharded(rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01, V: 250, Seed: 4}, 4)
+	// A huge publication cadence pins the between-publication hot path: a
+	// worker batch must allocate nothing (publication costs are amortized
+	// and measured separately in TestShardedWarmQueryZeroAlloc).
+	s, err := rhhh.NewShardedOptions(rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01, V: 250, Seed: 4}, 4,
+		rhhh.ShardedOptions{PublishPackets: 1 << 62, PublishBatches: 1 << 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,11 +211,11 @@ func TestMonitorBatchSurfacesZeroAlloc(t *testing.T) {
 		s.UpdateBatch(srcs, dsts)
 		s.UpdateWeightedBatch(srcs, dsts, ws)
 	}
-	if n := testing.AllocsPerRun(100, func() { s.Shard(0).UpdateBatch(srcs, dsts) }); n != 0 {
-		t.Errorf("Shard.UpdateBatch allocates %v/op", n)
+	if n := testing.AllocsPerRun(100, func() { s.Worker(0).UpdateBatch(srcs, dsts) }); n != 0 {
+		t.Errorf("Worker.UpdateBatch allocates %v/op", n)
 	}
-	if n := testing.AllocsPerRun(100, func() { s.Shard(0).UpdateWeightedBatch(srcs, dsts, ws) }); n != 0 {
-		t.Errorf("Shard.UpdateWeightedBatch allocates %v/op", n)
+	if n := testing.AllocsPerRun(100, func() { s.Worker(0).UpdateWeightedBatch(srcs, dsts, ws) }); n != 0 {
+		t.Errorf("Worker.UpdateWeightedBatch allocates %v/op", n)
 	}
 	if n := testing.AllocsPerRun(100, func() { s.UpdateBatch(srcs, dsts) }); n != 0 {
 		t.Errorf("Sharded.UpdateBatch allocates %v/op", n)
@@ -253,11 +257,13 @@ func TestShardedUpdateWeightedBatchMatchesUpdate(t *testing.T) {
 		b.UpdateWeightedBatch(srcs[i:i+1000], dsts[i:i+1000], ws[i:i+1000])
 	}
 
+	a.Sync()
+	b.Sync()
 	if a.N() != b.N() {
 		t.Fatalf("N %d vs %d", a.N(), b.N())
 	}
 	for i := 0; i < shards; i++ {
-		if an, bn := a.Shard(i).N(), b.Shard(i).N(); an != bn {
+		if an, bn := a.Worker(i).N(), b.Worker(i).N(); an != bn {
 			t.Fatalf("shard %d: N %d vs %d — batch routing diverged", i, an, bn)
 		}
 	}
@@ -302,11 +308,13 @@ func TestShardedUpdateBatchMatchesUpdate(t *testing.T) {
 		b.UpdateBatch(srcs[i:i+1000], dsts[i:i+1000])
 	}
 
+	a.Sync()
+	b.Sync()
 	if a.N() != b.N() {
 		t.Fatalf("N %d vs %d", a.N(), b.N())
 	}
 	for i := 0; i < shards; i++ {
-		if an, bn := a.Shard(i).N(), b.Shard(i).N(); an != bn {
+		if an, bn := a.Worker(i).N(), b.Worker(i).N(); an != bn {
 			t.Fatalf("shard %d: N %d vs %d — batch routing diverged", i, an, bn)
 		}
 	}

@@ -10,6 +10,9 @@ package rhhh_test
 import (
 	"fmt"
 	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -364,11 +367,13 @@ func BenchmarkOutput(b *testing.B) {
 // records (0 allocs/op once warm; see BENCH_query.json for history).
 func BenchmarkShardedHeavyHitters(b *testing.B) {
 	s := filledSharded(b)
+	w := s.Worker(0)
 	src, dst := v4addr(0x0a010101), v4addr(0x14020202)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Shard(0).Update(src, dst)
+		w.Update(src, dst)
+		w.Sync() // publish so the query sees the packet (no shortcut)
 		_ = s.HeavyHitters(0.05)
 	}
 }
@@ -405,6 +410,7 @@ func filledSharded(b *testing.B) *rhhh.Sharded {
 	for i := 0; i < 40; i++ { // ~330k packets across the shards
 		s.UpdateBatch(srcs, dsts)
 	}
+	s.Sync()
 	return s
 }
 
@@ -476,11 +482,13 @@ func BenchmarkWatchTick(b *testing.B) {
 	b.Run("Busy", func(b *testing.B) {
 		s := build(b)
 		defer s.Close()
+		w := s.Worker(0)
 		src, dst := v4addr(0x0a010101), v4addr(0x14020202)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			s.Shard(0).Update(src, dst)
+			w.Update(src, dst)
+			w.Sync() // publish so the tick sees the packet
 			s.TickWatch()
 		}
 	})
@@ -493,6 +501,185 @@ func BenchmarkWatchTick(b *testing.B) {
 			s.TickWatch()
 		}
 	})
+}
+
+// scaleStream is one producer's prebuilt packet ring for the scaling
+// benchmark. Each worker gets a distinct segment of the chicago16 trace so
+// the per-worker streams are disjoint, as they would be under RSS.
+type scaleStream struct {
+	srcs, dsts []netip.Addr
+}
+
+func scaleStreams(n int) []scaleStream {
+	gen := trace.NewSynthetic(trace.Profile("chicago16"))
+	out := make([]scaleStream, n)
+	for wi := range out {
+		srcs := make([]netip.Addr, 8192)
+		dsts := make([]netip.Addr, 8192)
+		for i := range srcs {
+			p, _ := gen.Next()
+			srcs[i] = v4addr(p.SrcIP.IPv4())
+			dsts[i] = v4addr(p.DstIP.IPv4())
+		}
+		out[wi] = scaleStream{srcs: srcs, dsts: dsts}
+	}
+	return out
+}
+
+// scaleWorkerCounts is 1/2/4/NumCPU, deduplicated and sorted.
+func scaleWorkerCounts() []int {
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	sort.Ints(counts)
+	out := counts[:1]
+	for _, c := range counts[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BenchmarkShardedScaling contrasts the PR 7 mutex ingest path (every batch
+// serialized through a per-shard lock, queries pausing shards to capture)
+// with the shared-nothing publication path (lock-free thread-local engines,
+// epoch-versioned snapshots) at 1/2/4/NumCPU producing goroutines. b.N
+// packets are split across the workers, so ns/op is aggregate wall time per
+// packet: on a multicore host it falls with worker count on the LockFree
+// side; on any host the per-packet delta is the synchronization overhead the
+// refactor removed. PerPacket is the worst case for the mutex path (one
+// Lock/Unlock per packet); Batch256 amortizes the lock DPDK-style. Busy runs
+// a query goroutine hammering HeavyHitters(θ=0.05) throughout — on the mutex
+// path every query pauses each shard in turn, on the lock-free path it only
+// reads published snapshots. Medians are recorded in BENCH_scale.json.
+func BenchmarkShardedScaling(b *testing.B) {
+	cfg := rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01, V: 250, Seed: 1}
+	counts := scaleWorkerCounts()
+	streams := scaleStreams(counts[len(counts)-1])
+	const prefillRounds = 6 // ~49k packets per worker: summaries full, eviction path live
+
+	produce := func(per int, st scaleStream, batch bool,
+		update func(src, dst netip.Addr), updateBatch func(srcs, dsts []netip.Addr)) {
+		mask := len(st.srcs) - 1
+		if batch {
+			const burst = 256
+			for i := 0; i < per; i += burst {
+				off := i & mask
+				updateBatch(st.srcs[off:off+burst], st.dsts[off:off+burst])
+			}
+			return
+		}
+		for i := 0; i < per; i++ {
+			update(st.srcs[i&mask], st.dsts[i&mask])
+		}
+	}
+
+	runLockFree := func(b *testing.B, workers int, batch, busy bool) {
+		s, err := rhhh.NewSharded(cfg, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for wi := 0; wi < workers; wi++ {
+			w := s.Worker(wi)
+			for r := 0; r < prefillRounds; r++ {
+				w.UpdateBatch(streams[wi].srcs, streams[wi].dsts)
+			}
+		}
+		s.Sync()
+		per := (b.N + workers - 1) / workers
+		done := make(chan struct{})
+		var wg, qwg sync.WaitGroup
+		if busy {
+			qwg.Add(1)
+			go func() {
+				defer qwg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					_ = s.HeavyHitters(0.05)
+				}
+			}()
+		}
+		b.ResetTimer()
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w := s.Worker(wi)
+				produce(per, streams[wi], batch, w.Update, w.UpdateBatch)
+			}(wi)
+		}
+		wg.Wait()
+		b.StopTimer()
+		close(done)
+		qwg.Wait()
+	}
+
+	runMutex := func(b *testing.B, workers int, batch, busy bool) {
+		s, err := rhhh.NewLockedShardedForTest(cfg, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for wi := 0; wi < workers; wi++ {
+			sh := s.Shard(wi)
+			for r := 0; r < prefillRounds; r++ {
+				sh.UpdateBatch(streams[wi].srcs, streams[wi].dsts)
+			}
+		}
+		per := (b.N + workers - 1) / workers
+		done := make(chan struct{})
+		var wg, qwg sync.WaitGroup
+		if busy {
+			qwg.Add(1)
+			go func() {
+				defer qwg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					_ = s.HeavyHitters(0.05)
+				}
+			}()
+		}
+		b.ResetTimer()
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				sh := s.Shard(wi)
+				produce(per, streams[wi], batch, sh.Update, sh.UpdateBatch)
+			}(wi)
+		}
+		wg.Wait()
+		b.StopTimer()
+		close(done)
+		qwg.Wait()
+	}
+
+	for _, mode := range []struct {
+		name string
+		run  func(b *testing.B, workers int, batch, busy bool)
+	}{{"Mutex", runMutex}, {"LockFree", runLockFree}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for _, w := range counts {
+				b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+					for _, shape := range []struct {
+						name  string
+						batch bool
+					}{{"PerPacket", false}, {"Batch256", true}} {
+						b.Run(shape.name, func(b *testing.B) {
+							b.Run("Idle", func(b *testing.B) { mode.run(b, w, shape.batch, false) })
+							b.Run("Busy", func(b *testing.B) { mode.run(b, w, shape.batch, true) })
+						})
+					}
+				})
+			}
+		})
+	}
 }
 
 func v4addr(v uint32) netip.Addr {

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|r-updates|backends|worstcase|recall|space|weighted|converge|all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|r-updates|backends|worstcase|recall|space|weighted|converge|scale|all")
 		quick    = flag.Bool("quick", false, "scale stream lengths down for a fast smoke run")
 		epsilon  = flag.Float64("epsilon", 0, "override ε (default: per-figure)")
 		delta    = flag.Float64("delta", 0, "override δ")
@@ -33,8 +35,27 @@ func main() {
 		udp      = flag.Bool("udp", false, "run Figure 8 over real loopback UDP")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed     = flag.Uint64("seed", 0, "override the experiment seed")
+		workers  = flag.String("workers", "", "scale sweep: comma-separated producer counts (default 1,2,4,NumCPU)")
+		busy     = flag.Bool("busy", false, "scale sweep: run a concurrent HeavyHitters query load during each measurement")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhhbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hhhbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	sweep := experiments.SweepConfig{Epsilon: *epsilon, Delta: *delta, Theta: *theta, Seed: *seed}
 	if *quick {
@@ -71,6 +92,24 @@ func main() {
 		ovs.VMultipliers = []int{1, 2, 5, 10}
 	}
 
+	scale := experiments.ScalingConfig{
+		Packets: *packets, Epsilon: *epsilon, Delta: *delta, Theta: *theta,
+		Busy: *busy, Seed: *seed,
+	}
+	if *workers != "" {
+		for _, s := range strings.Split(*workers, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "hhhbench: -workers: bad count %q\n", s)
+				os.Exit(2)
+			}
+			scale.Workers = append(scale.Workers, w)
+		}
+	}
+	if *quick && scale.Packets == 0 {
+		scale.Packets = 100_000
+	}
+
 	run := func(name string, f func() []experiments.Table) {
 		start := time.Now()
 		tables := f()
@@ -100,9 +139,10 @@ func main() {
 		"space":     func() { run("space", func() []experiments.Table { return experiments.AblationSpace(speed) }) },
 		"weighted":  func() { run("weighted", func() []experiments.Table { return experiments.AblationWeighted(sweep) }) },
 		"converge":  func() { run("converge", func() []experiments.Table { return experiments.AblationConvergence(sweep) }) },
+		"scale":     func() { run("scale", func() []experiments.Table { return experiments.ScalingSweep(scale) }) },
 	}
 
-	order := []string{"2", "3", "4", "5", "6", "7", "8", "r-updates", "backends", "worstcase", "recall", "space", "weighted", "converge"}
+	order := []string{"2", "3", "4", "5", "6", "7", "8", "r-updates", "backends", "worstcase", "recall", "space", "weighted", "converge", "scale"}
 	switch *fig {
 	case "all":
 		for _, k := range order {

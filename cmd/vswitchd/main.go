@@ -18,6 +18,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rhhh/internal/core"
@@ -50,6 +51,7 @@ func main() {
 		resyncEv = flag.Int("resync-every", 0, "delta sync: force a full report after this many deltas (0 = only when requested)")
 		standby  = flag.Bool("collector-standby", false, "delta sync: fail over to a standby collector restored from a checkpoint at half the run")
 		backend  = flag.String("backend", "ss", "counter backend: ss (Space Saving stream-summary) or chk (Cuckoo Heavy Keeper)")
+		workers  = flag.Int("workers", 1, "dataplane mode: shared-nothing ingest workers (multi-queue RSS simulation; each owns a datapath and an engine, queries merge published snapshots)")
 	)
 	flag.Parse()
 
@@ -77,6 +79,25 @@ func main() {
 		Spread:   1 << 15,
 	}}
 	packets := netgen.Prebuild(trace.NewSynthetic(cfg), 1<<18)
+
+	if *workers < 1 {
+		fatalf("-workers must be at least 1")
+	}
+	if *workers > 1 {
+		if *mode != "dataplane" {
+			fatalf("-workers > 1 requires -mode dataplane")
+		}
+		if *ckpt != "" {
+			fatalf("-checkpoint is not supported with -workers > 1 (per-worker engines have no single restore point)")
+		}
+		runMultiQueue(multiQueueConfig{
+			dom: dom, packets: packets, workers: *workers,
+			epsilon: *epsilon, delta: *delta, v: v, seed: *seed, backend: engBackend,
+			byBytes: *byBytes, theta: *theta, duration: *duration,
+			watch: *watch, watchIvl: *watchIvl,
+		})
+		return
+	}
 
 	var hook vswitch.Hook = vswitch.NopHook{}
 	var report func()
@@ -186,6 +207,196 @@ func main() {
 	fmt.Printf("throughput: %.2f Mpps (%d packets; emc hits %.1f%%)\n",
 		res.Mpps(), st.Received, 100*float64(st.EMCHits)/float64(st.Received))
 	report()
+}
+
+// multiQueueConfig carries the -workers > 1 dataplane wiring.
+type multiQueueConfig struct {
+	dom            *hierarchy.Domain[uint64]
+	packets        []trace.Packet
+	workers        int
+	epsilon, delta float64
+	v              int
+	seed           uint64
+	backend        core.Backend
+	byBytes        bool
+	theta          float64
+	duration       time.Duration
+	watch          bool
+	watchIvl       time.Duration
+}
+
+// mqPublishEvery is the per-worker publication cadence in packets — the same
+// default the library's Sharded workers use: cheap enough to amortize to
+// ~a nanosecond per packet, frequent enough that reports lag ingest by well
+// under a millisecond at dataplane rates.
+const mqPublishEvery = 16384
+
+// mqWorker is one multi-queue ingest worker: a private datapath (own EMC
+// over the shared flow table) feeding a private RHHH engine, publishing
+// immutable epoch-versioned snapshots through an atomic cell. The report and
+// watch sides only ever load published snapshots — no lock is ever taken
+// against a worker.
+type mqWorker struct {
+	eng  *core.Engine[uint64]
+	dp   *vswitch.Datapath
+	pkts []trace.Packet
+	cell atomic.Pointer[core.EngineSnapshot[uint64]]
+	prev *core.EngineSnapshot[uint64] // producer-goroutine only
+}
+
+// publish captures the engine into a fresh immutable epoch (sharing
+// unchanged node buffers with the previous one) and makes it the worker's
+// published snapshot. Producer-goroutine only.
+func (w *mqWorker) publish() {
+	w.prev = w.eng.PublishSnapshot(w.prev)
+	w.cell.Store(w.prev)
+}
+
+// mqPublishHook wraps the engine hook with the publication cadence.
+type mqPublishHook struct {
+	*vswitch.EngineHook
+	w    *mqWorker
+	next uint64
+}
+
+func (h *mqPublishHook) OnPacket(p trace.Packet) {
+	h.EngineHook.OnPacket(p)
+	h.maybePublish()
+}
+
+func (h *mqPublishHook) OnBatch(ps []trace.Packet) {
+	h.EngineHook.OnBatch(ps)
+	h.maybePublish()
+}
+
+func (h *mqPublishHook) maybePublish() {
+	if h.w.eng.N() < h.next {
+		return
+	}
+	for h.next <= h.w.eng.N() {
+		h.next += mqPublishEvery
+	}
+	h.w.publish()
+}
+
+// rssPartition splits the prebuilt packets onto n queues by flow hash, the
+// way NIC receive-side scaling pins a flow to one queue: every packet of a
+// flow lands on the same worker, so per-worker streams are disjoint
+// sub-streams and the merged result is exact.
+func rssPartition(packets []trace.Packet, n int) [][]trace.Packet {
+	parts := make([][]trace.Packet, n)
+	per := len(packets)/n + 1
+	for i := range parts {
+		parts[i] = make([]trace.Packet, 0, per)
+	}
+	for _, p := range packets {
+		q := (p.Key2() * 0x9e3779b97f4a7c15) >> 32 % uint64(n)
+		parts[q] = append(parts[q], p)
+	}
+	return parts
+}
+
+// mqLoadSnaps loads every worker's latest published snapshot.
+func mqLoadSnaps(ws []*mqWorker, dst []*core.EngineSnapshot[uint64]) []*core.EngineSnapshot[uint64] {
+	dst = dst[:0]
+	for _, w := range ws {
+		dst = append(dst, w.cell.Load())
+	}
+	return dst
+}
+
+// runMultiQueue is the shared-nothing dataplane: one ingest goroutine per
+// worker drives its RSS partition through a private datapath and engine for
+// the configured duration, while the optional -watch ticker and the final
+// report merge the workers' published snapshots with a core.SnapshotMerger —
+// never pausing or locking a producer.
+func runMultiQueue(cfg multiQueueConfig) {
+	var ft vswitch.FlowTable
+	ft.Add(vswitch.Rule{Priority: 0, Match: vswitch.Match{}, Action: vswitch.Action{OutPort: 1}})
+
+	parts := rssPartition(cfg.packets, cfg.workers)
+	ws := make([]*mqWorker, cfg.workers)
+	for i := range ws {
+		eng := core.New(cfg.dom, core.Config{
+			Epsilon: cfg.epsilon, Delta: cfg.delta, V: cfg.v,
+			Seed: cfg.seed + uint64(i)*0x9e3779b97f4a7c15, Backend: cfg.backend,
+		})
+		engHook := vswitch.NewEngineHook(eng)
+		if cfg.byBytes {
+			engHook = vswitch.NewEngineHookBytes(eng)
+		}
+		w := &mqWorker{eng: eng, pkts: parts[i]}
+		w.dp = vswitch.NewDatapath(&ft, vswitch.NewEMC(8192, cfg.seed+uint64(i)), &mqPublishHook{
+			EngineHook: engHook, w: w, next: mqPublishEvery,
+		})
+		w.publish() // epoch 0: readers always find a snapshot
+		ws[i] = w
+	}
+
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	if cfg.watch {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			var (
+				sm     core.SnapshotMerger[uint64]
+				merged core.EngineSnapshot[uint64]
+				snaps  []*core.EngineSnapshot[uint64]
+				seq    uint64
+			)
+			differ := core.NewDiffer[uint64]()
+			t := time.NewTicker(cfg.watchIvl)
+			defer t.Stop()
+			for {
+				select {
+				case <-watchDone:
+					return
+				case <-t.C:
+					snaps = mqLoadSnaps(ws, snaps)
+					m := sm.Merge(&merged, snaps...)
+					seq++
+					if d := differ.Diff(m.Output(cfg.dom, cfg.theta), 0); !d.Empty() {
+						printWatchEvents(cfg.dom, seq, m.Weight, d.Admitted, d.Retired, d.Updated)
+					}
+				}
+			}
+		}()
+	}
+
+	results := make([]netgen.Result, cfg.workers)
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w *mqWorker) {
+			defer wg.Done()
+			results[i] = netgen.RunFor(w.pkts, cfg.duration, func(p trace.Packet) { w.dp.Process(p) })
+			w.publish() // final sync: everything absorbed becomes visible
+		}(i, w)
+	}
+	wg.Wait()
+	close(watchDone)
+	watchWG.Wait()
+
+	var total netgen.Result
+	var received, emcHits uint64
+	for i, w := range ws {
+		total.Packets += results[i].Packets
+		if results[i].Elapsed > total.Elapsed {
+			total.Elapsed = results[i].Elapsed
+		}
+		st := w.dp.Stats()
+		received += st.Received
+		emcHits += st.EMCHits
+	}
+	fmt.Printf("mode=dataplane workers=%d V=%d (H=%d) duration=%v\n",
+		cfg.workers, cfg.v, cfg.dom.Size(), total.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.2f Mpps aggregate (%d packets; emc hits %.1f%%)\n",
+		total.Mpps(), received, 100*float64(emcHits)/float64(received))
+
+	var sm core.SnapshotMerger[uint64]
+	m := sm.Merge(nil, mqLoadSnaps(ws, nil)...)
+	printHHH(cfg.dom, m.Output(cfg.dom, cfg.theta), m.Weight, cfg.theta)
 }
 
 // watchLogHook wraps the dataplane hook with a packet-count-driven standing

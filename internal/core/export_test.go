@@ -28,3 +28,7 @@ func (e *Engine[K]) UsesDirectApply() bool { return e.directApply }
 // UsesCHKBackend reports whether the update path calls the concrete CHK
 // sketches without interface dispatch.
 func (e *Engine[K]) UsesCHKBackend() bool { return e.chk != nil }
+
+// Gen exposes the snapshot's mutation generation to the publication and
+// merger-skip tests.
+func (es *EngineSnapshot[K]) Gen() uint64 { return es.gen }

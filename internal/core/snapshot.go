@@ -122,6 +122,75 @@ func (e *Engine[K]) SnapshotInto(dst *EngineSnapshot[K]) *EngineSnapshot[K] {
 // Snapshot returns a freshly allocated snapshot of the engine.
 func (e *Engine[K]) Snapshot() *EngineSnapshot[K] { return e.SnapshotInto(nil) }
 
+// PublishSnapshot captures the engine's state as an immutable snapshot
+// suitable for lock-free publication through an atomic pointer: the returned
+// snapshot (and everything it references) is never mutated by a later call,
+// so readers may hold it indefinitely while the single producer goroutine
+// keeps updating the engine and publishing newer epochs. Reclamation is the
+// garbage collector's job — no reference counting, no buffer reuse.
+//
+// prev is the previously published snapshot (nil for the first publication).
+// When the engine is unchanged since prev was captured, prev itself is
+// returned, so idle publications allocate nothing and keep every downstream
+// generation-keyed query cache warm. Otherwise a new snapshot is allocated
+// whose unchanged nodes alias prev's node buffers (per-node summary weights
+// are monotone, so an equal N at the same engine epoch means identical
+// contents — the same invariant SnapshotInto relies on), and only changed
+// nodes are freshly copied. Sharing keeps the per-node mutation generations,
+// which is what lets SnapshotMerger and the Extractor re-merge and re-index
+// only the touched nodes even though every publication is a fresh pointer.
+//
+// prev must itself have come from PublishSnapshot (or be nil): passing a
+// snapshot that is later rewritten in place (e.g. a SnapshotInto buffer)
+// would mutate state aliased by the returned snapshot.
+func (e *Engine[K]) PublishSnapshot(prev *EngineSnapshot[K]) *EngineSnapshot[K] {
+	if e.ss == nil && e.chk == nil {
+		panic("core: snapshots require the Space Saving or CHK backend")
+	}
+	if prev != nil && prev.src == e && prev.srcEpoch == e.epoch &&
+		prev.Packets == e.packets && prev.Weight == e.Weight() {
+		return prev
+	}
+	samePrev := prev != nil && prev.src == e && prev.srcEpoch == e.epoch &&
+		len(prev.Nodes) == len(e.inst)
+	dst := &EngineSnapshot[K]{Nodes: make([]spacesaving.Snapshot[K], len(e.inst))}
+	for i := range e.inst {
+		var n uint64
+		if e.ss != nil {
+			n = e.ss[i].N()
+		} else {
+			n = e.chk[i].N()
+		}
+		if samePrev && prev.Nodes[i].N == n && prev.Nodes[i].Gen() != 0 {
+			// Unchanged node: alias prev's buffers and keep its generation.
+			dst.Nodes[i] = prev.Nodes[i]
+			continue
+		}
+		// Presize the fresh arrays to the node's counter capacity so the
+		// copy is three allocations, not O(log n) append growth steps.
+		if e.ss != nil {
+			nodeCap := e.ss[i].Capacity()
+			dst.Nodes[i].Keys = make([]K, 0, nodeCap)
+			dst.Nodes[i].Upper = make([]uint64, 0, nodeCap)
+			dst.Nodes[i].Lower = make([]uint64, 0, nodeCap)
+			e.ss[i].SnapshotInto(&dst.Nodes[i])
+		} else {
+			nodeCap := e.chk[i].Capacity()
+			dst.Nodes[i].Keys = make([]K, 0, nodeCap)
+			dst.Nodes[i].Upper = make([]uint64, 0, nodeCap)
+			dst.Nodes[i].Lower = make([]uint64, 0, nodeCap)
+			e.chk[i].SnapshotInto(&dst.Nodes[i])
+		}
+	}
+	dst.Packets = e.packets
+	dst.Weight = e.Weight()
+	dst.V, dst.R = int(e.v), e.r
+	dst.Epsilon, dst.Delta = e.epsilon, e.delta
+	dst.gen = nextSnapGen()
+	dst.src, dst.srcEpoch = e, e.epoch
+	return dst
+}
+
 // Output answers the HHH query from the snapshot, exactly as the engine it
 // was taken from would have at capture time: same candidate order, same
 // bounds, same V/r scaling and sampling correction, hence bit-identical
@@ -238,16 +307,21 @@ func (e *Engine[K]) LoadSnapshot(es *EngineSnapshot[K]) error {
 type SnapshotMerger[K comparable] struct {
 	mergers []spacesaving.Merger[K]
 
-	// Unchanged-input skip: the previous call's destination and input
-	// identities/generations. A repeat merge of the same unchanged inputs
-	// into the same (untouched) destination is a no-op that keeps the
-	// destination's generation, so downstream query caches stay warm. The
-	// per-node generations refine the skip: when only some nodes' inputs
-	// changed (a small traffic delta between queries), only those nodes are
-	// re-merged.
+	// Unchanged-input skip: the previous call's destination identity and
+	// input generations. A repeat merge of unchanged inputs into the same
+	// (untouched) destination is a no-op that keeps the destination's
+	// generation, so downstream query caches stay warm. Inputs are matched
+	// by generation alone, not pointer identity: a nonzero generation is
+	// drawn once and stamped on exactly one capture, so equal generations
+	// mean identical contents even across distinct snapshot pointers — this
+	// is what lets PublishSnapshot's fresh-pointer-per-epoch publications
+	// (which alias unchanged node buffers and keep their generations) reuse
+	// the merge. The destination keeps its pointer check because it is
+	// written in place. The per-node generations refine the skip: when only
+	// some nodes' inputs changed (a small traffic delta between queries),
+	// only those nodes are re-merged.
 	lastDst        *EngineSnapshot[K]
 	lastDstGen     uint64
-	lastIn         []*EngineSnapshot[K]
 	lastGen        []uint64
 	lastNodeGen    []uint64 // input node generations, input-major: [i*h+node]
 	lastDstNodeGen []uint64
@@ -290,20 +364,15 @@ func (sm *SnapshotMerger[K]) Merge(dst *EngineSnapshot[K], snaps ...*EngineSnaps
 	}
 	sm.mergers = sm.mergers[:h]
 	// Per-node skip: when this merge repeats the previous call's shape (same
-	// destination, untouched since, same inputs), a node whose input
+	// destination, untouched since, same input count), a node whose input
 	// generations all match the previous call still holds the right merged
 	// result — keep it (and its generation) and re-merge only changed nodes.
+	// Input pointers are deliberately not compared: generations alone
+	// identify content (see the field comment), so republished snapshots
+	// sharing unchanged node buffers still hit the skip.
 	partial := dst == sm.lastDst && dst.gen == sm.lastDstGen && dst.gen != 0 &&
-		len(snaps) == len(sm.lastIn) &&
+		len(snaps) == len(sm.lastGen) &&
 		len(sm.lastNodeGen) == len(snaps)*h && len(sm.lastDstNodeGen) == h
-	if partial {
-		for i, s := range snaps {
-			if s != sm.lastIn[i] {
-				partial = false
-				break
-			}
-		}
-	}
 	if cap(sm.lastNodeGen) < len(snaps)*h {
 		sm.lastNodeGen = make([]uint64, len(snaps)*h)
 	}
@@ -343,7 +412,6 @@ func (sm *SnapshotMerger[K]) Merge(dst *EngineSnapshot[K], snaps ...*EngineSnaps
 	dst.gen = nextSnapGen()
 	dst.src = nil
 	sm.lastDst, sm.lastDstGen = dst, dst.gen
-	sm.lastIn = append(sm.lastIn[:0], snaps...)
 	sm.lastGen = sm.lastGen[:0]
 	for _, s := range snaps {
 		sm.lastGen = append(sm.lastGen, s.gen)
@@ -366,14 +434,15 @@ func (sm *SnapshotMerger[K]) nodeUnchanged(node, h int, snaps []*EngineSnapshot[
 }
 
 // unchanged reports whether this merge would reproduce the merger's previous
-// result: same destination (not rewritten by anyone since), same inputs,
-// every input generation unchanged and known.
+// result: same destination (not rewritten by anyone since), every input
+// generation unchanged and known. Inputs are matched by generation, not
+// pointer — see the field comment.
 func (sm *SnapshotMerger[K]) unchanged(dst *EngineSnapshot[K], snaps []*EngineSnapshot[K]) bool {
-	if dst != sm.lastDst || dst.gen != sm.lastDstGen || dst.gen == 0 || len(snaps) != len(sm.lastIn) {
+	if dst != sm.lastDst || dst.gen != sm.lastDstGen || dst.gen == 0 || len(snaps) != len(sm.lastGen) {
 		return false
 	}
 	for i, s := range snaps {
-		if s != sm.lastIn[i] || s.gen != sm.lastGen[i] || s.gen == 0 {
+		if s.gen != sm.lastGen[i] || s.gen == 0 {
 			return false
 		}
 	}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rhhh"
+	"rhhh/internal/trace"
+)
+
+// ScalingConfig parameterizes the shared-nothing ingest scaling sweep:
+// aggregate update throughput of the lock-free published-snapshot workers
+// (rhhh.Sharded) against a mutex-per-shard reference at increasing producer
+// counts. On a single-core host the interesting number is the per-packet
+// synchronization overhead the lock-free path removes; on a multicore host
+// the aggregate Mpps additionally scales with the worker count.
+type ScalingConfig struct {
+	// Workers holds the producer counts to sweep (default 1, 2, 4 and
+	// NumCPU, deduplicated).
+	Workers []int
+	// Packets per worker per measurement (default 1<<20).
+	Packets int
+	// Epsilon/Delta/V for the monitors (default 0.01 / 0.01 / 250).
+	Epsilon float64
+	Delta   float64
+	V       int
+	// Theta is the busy-query threshold (default 0.05).
+	Theta float64
+	// Busy runs a goroutine hammering HeavyHitters(Theta) throughout each
+	// measurement: on the mutex path every query locks each shard in turn;
+	// on the lock-free path it only merges published snapshots.
+	Busy bool
+	Seed uint64
+}
+
+func (c ScalingConfig) withDefaults() ScalingConfig {
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, runtime.NumCPU()}
+	}
+	sort.Ints(c.Workers)
+	uniq := c.Workers[:1]
+	for _, w := range c.Workers[1:] {
+		if w != uniq[len(uniq)-1] {
+			uniq = append(uniq, w)
+		}
+	}
+	c.Workers = uniq
+	if c.Packets == 0 {
+		c.Packets = 1 << 20
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.01
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.01
+	}
+	if c.V == 0 {
+		c.V = 250
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5CA1E
+	}
+	return c
+}
+
+// scalingStream is one producer's prebuilt address ring: a distinct segment
+// of the chicago16 trace per worker, disjoint as under NIC RSS.
+type scalingStream struct {
+	srcs, dsts []netip.Addr
+}
+
+func scalingStreams(n int) []scalingStream {
+	gen := trace.NewSynthetic(trace.Profile("chicago16"))
+	out := make([]scalingStream, n)
+	for wi := range out {
+		srcs := make([]netip.Addr, 8192)
+		dsts := make([]netip.Addr, 8192)
+		for i := range srcs {
+			p, _ := gen.Next()
+			srcs[i] = scalingAddr(p.SrcIP.IPv4())
+			dsts[i] = scalingAddr(p.DstIP.IPv4())
+		}
+		out[wi] = scalingStream{srcs: srcs, dsts: dsts}
+	}
+	return out
+}
+
+func scalingAddr(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// scalingDrive pushes per packets from the stream ring through one producer,
+// per-packet or in DPDK-style bursts of 256.
+func scalingDrive(per int, st scalingStream, batch bool,
+	update func(src, dst netip.Addr), updateBatch func(srcs, dsts []netip.Addr)) {
+	mask := len(st.srcs) - 1
+	if batch {
+		const burst = 256
+		for i := 0; i < per; i += burst {
+			off := i & mask
+			updateBatch(st.srcs[off:off+burst], st.dsts[off:off+burst])
+		}
+		return
+	}
+	for i := 0; i < per; i++ {
+		update(st.srcs[i&mask], st.dsts[i&mask])
+	}
+}
+
+// mutexShards is the pre-refactor ingest shape rebuilt from the public API:
+// one monitor per producer, every update serialized through that producer's
+// mutex, and queries locking each shard in turn to capture and merge.
+type mutexShards struct {
+	mus   []sync.Mutex
+	ms    []*rhhh.Monitor
+	snaps []*rhhh.Snapshot
+}
+
+func newMutexShards(cfg ScalingConfig, n int) (*mutexShards, error) {
+	s := &mutexShards{
+		mus:   make([]sync.Mutex, n),
+		ms:    make([]*rhhh.Monitor, n),
+		snaps: make([]*rhhh.Snapshot, n),
+	}
+	for i := range s.ms {
+		m, err := rhhh.New(rhhh.Config{
+			Dims: 2, Epsilon: cfg.Epsilon, Delta: cfg.Delta, V: cfg.V,
+			Seed: cfg.Seed + uint64(i)*0x9e3779b97f4a7c15,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.ms[i] = m
+	}
+	return s, nil
+}
+
+func (s *mutexShards) update(wi int) func(src, dst netip.Addr) {
+	return func(src, dst netip.Addr) {
+		s.mus[wi].Lock()
+		s.ms[wi].Update(src, dst)
+		s.mus[wi].Unlock()
+	}
+}
+
+func (s *mutexShards) updateBatch(wi int) func(srcs, dsts []netip.Addr) {
+	return func(srcs, dsts []netip.Addr) {
+		s.mus[wi].Lock()
+		s.ms[wi].UpdateBatch(srcs, dsts)
+		s.mus[wi].Unlock()
+	}
+}
+
+func (s *mutexShards) heavyHitters(theta float64) ([]rhhh.HeavyHitter, error) {
+	for i, m := range s.ms {
+		s.mus[i].Lock()
+		s.snaps[i] = m.SnapshotInto(s.snaps[i])
+		s.mus[i].Unlock()
+	}
+	merged, err := s.snaps[0].Merge(s.snaps[1:]...)
+	if err != nil {
+		return nil, err
+	}
+	return merged.HeavyHitters(theta), nil
+}
+
+// scalingMeasure runs one (mode, workers, shape) point and returns aggregate
+// Mpps: workers goroutines each drive cfg.Packets packets, optionally under
+// a concurrent query load.
+func scalingMeasure(cfg ScalingConfig, workers int, streams []scalingStream, batch, lockFree bool) (float64, error) {
+	var (
+		update      func(wi int) func(src, dst netip.Addr)
+		updateBatch func(wi int) func(srcs, dsts []netip.Addr)
+		query       func() error
+	)
+	if lockFree {
+		s, err := rhhh.NewSharded(rhhh.Config{
+			Dims: 2, Epsilon: cfg.Epsilon, Delta: cfg.Delta, V: cfg.V, Seed: cfg.Seed,
+		}, workers)
+		if err != nil {
+			return 0, err
+		}
+		update = func(wi int) func(src, dst netip.Addr) { return s.Worker(wi).Update }
+		updateBatch = func(wi int) func(srcs, dsts []netip.Addr) { return s.Worker(wi).UpdateBatch }
+		query = func() error { _ = s.HeavyHitters(cfg.Theta); return nil }
+	} else {
+		s, err := newMutexShards(cfg, workers)
+		if err != nil {
+			return 0, err
+		}
+		update = s.update
+		updateBatch = s.updateBatch
+		query = func() error { _, err := s.heavyHitters(cfg.Theta); return err }
+	}
+
+	// Warm every producer past the fill phase so eviction is on the
+	// measured path, then time the drive.
+	for wi := 0; wi < workers; wi++ {
+		for r := 0; r < 6; r++ {
+			updateBatch(wi)(streams[wi].srcs, streams[wi].dsts)
+		}
+	}
+
+	done := make(chan struct{})
+	var qwg sync.WaitGroup
+	var qerr error
+	if cfg.Busy {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := query(); err != nil {
+					qerr = err
+					return
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			scalingDrive(cfg.Packets, streams[wi], batch, update(wi), updateBatch(wi))
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(done)
+	qwg.Wait()
+	if qerr != nil {
+		return 0, qerr
+	}
+	return float64(workers) * float64(cfg.Packets) / elapsed.Seconds() / 1e6, nil
+}
+
+// ScalingSweep contrasts the mutex-per-shard ingest path with the
+// shared-nothing published-snapshot path across producer counts — one table
+// per producer shape (per-packet and 256-packet bursts). Columns report
+// aggregate Mpps, the lock-free/mutex ratio at each width, and how the
+// lock-free side scales relative to its own single-worker point.
+func ScalingSweep(cfg ScalingConfig) []Table {
+	cfg = cfg.withDefaults()
+	streams := scalingStreams(cfg.Workers[len(cfg.Workers)-1])
+	load := "idle queries"
+	if cfg.Busy {
+		load = "busy queries"
+	}
+	var tables []Table
+	for _, shape := range []struct {
+		name  string
+		batch bool
+	}{{"per-packet", false}, {"batch-256", true}} {
+		t := Table{
+			Title: fmt.Sprintf("Shared-nothing ingest scaling — %s, %s (GOMAXPROCS=%d)",
+				shape.name, load, runtime.GOMAXPROCS(0)),
+			Headers: []string{"workers", "mutex Mpps", "lock-free Mpps", "lock-free/mutex", "scaling vs W1"},
+		}
+		var base float64
+		for _, w := range cfg.Workers {
+			mu, err := scalingMeasure(cfg, w, streams, shape.batch, false)
+			if err != nil {
+				panic(err)
+			}
+			lf, err := scalingMeasure(cfg, w, streams, shape.batch, true)
+			if err != nil {
+				panic(err)
+			}
+			if base == 0 {
+				base = lf
+			}
+			t.Add(w, mu, lf, lf/mu, lf/base)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

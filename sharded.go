@@ -5,38 +5,54 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rhhh/internal/core"
 	"rhhh/internal/hierarchy"
 )
 
-// Sharded spreads measurement across several independent RHHH monitors —
-// the multi-queue deployment: modern NICs hash flows onto receive queues,
-// and one shard per queue/core updates with only its own (uncontended)
-// shard lock. Queries are pause-free: HeavyHitters briefly captures a
-// snapshot of each shard in turn — blocking that shard for one O(H·1/ε)
-// copy, never all shards at once — and then merges and extracts entirely
-// outside the shard locks, against a snapshot set whose buffers and merge
-// scratch are reused across queries. The union keeps the paper's guarantees
-// with N equal to the combined stream length (see Snapshot and
+// Sharded spreads measurement across several shared-nothing RHHH workers —
+// the multi-queue deployment: modern NICs hash flows onto receive queues, and
+// one worker per queue/core updates a private engine with no locks and no
+// atomic read-modify-write operations on the hot path. Each worker
+// periodically publishes an immutable, epoch-versioned snapshot of its engine
+// through an atomic pointer (every PublishPackets packets or PublishBatches
+// batch calls, or immediately on Sync); queries and standing watches load the
+// latest published snapshot set and merge it with a reusable
+// core.SnapshotMerger without ever touching a producer — no shard pause, no
+// capture phase against live engines. The union keeps the paper's guarantees
+// with N equal to the combined stream weight (see Snapshot and
 // core.SnapshotMerger).
 //
-// Give every producing goroutine its own shard via Shard(i); producers on
-// different shards never contend, and HeavyHitters may run concurrently
-// with all of them.
+// Bounded staleness: a query observes every packet up to each worker's most
+// recent publication, so it lags each producer by less than one publication
+// interval (PublishPackets packets per worker, default 16384); a producer that
+// calls Sync, and any worker that has reached a cadence boundary, is observed
+// exactly. Between two publications of the same worker, queries are perfectly
+// repeatable. Results at any published epoch set are bit-identical to a
+// sequential merge of the per-worker streams truncated at those epochs.
+//
+// Give every producing goroutine its own worker via Worker(i); producers on
+// different workers never contend, and queries may run concurrently with all
+// of them.
 type Sharded struct {
-	cfg    Config
-	shards []*Shard
+	cfg     Config
+	workers []*Worker
 
-	// aggMu serializes queries (capture, merge and extract all reuse the
-	// aggregator's scratch); producers never take it — a query holds only
-	// one shard lock at a time, and only for that shard's snapshot copy.
+	// aggMu serializes queries (merge and extract reuse the aggregator's
+	// scratch); producers never take it — they only publish through their
+	// own atomic cell.
 	aggMu sync.Mutex
 	agg   shardAgg
 
-	// Per-call scratch for UpdateBatch routing (single-goroutine use, like
-	// Update).
+	// routerBusy guards the routed convenience entry points (Update,
+	// UpdateBatch, ... on Sharded itself), whose routing scratch and worker
+	// cadence state are single-goroutine: a second concurrent router is
+	// detected and rejected instead of corrupting worker state.
+	routerBusy atomic.Int32
+
+	// Routing scratch for the batched convenience entry points.
 	srcBuf, dstBuf [][]netip.Addr
 	wBuf           [][]uint64
 
@@ -50,63 +66,164 @@ type Sharded struct {
 	watchClosed bool
 }
 
-// Shard is one producer's handle: a monitor plus the lock that coordinates
-// its updates with snapshot capture. Each shard is single-producer: give
-// every producing goroutine its own.
-type Shard struct {
-	mu sync.Mutex
-	m  *Monitor
+// ShardedOptions tunes a Sharded's publication cadence. The zero value means
+// defaults.
+type ShardedOptions struct {
+	// PublishPackets makes a worker republish after absorbing this many
+	// packets since its previous publication (0 means the default, 16384).
+	// Smaller values tighten the query staleness bound; larger values
+	// amortize the publication copy over more traffic.
+	PublishPackets uint64
+	// PublishBatches makes a worker republish after this many batch calls
+	// since its previous publication even when the packet watermark has not
+	// been reached (0 means the default, 64), so small trickling batches
+	// still surface promptly.
+	PublishBatches int
 }
 
-// Update records one packet on this shard.
-func (sh *Shard) Update(src, dst netip.Addr) {
-	sh.mu.Lock()
-	sh.m.Update(src, dst)
-	sh.mu.Unlock()
+const (
+	defaultPublishPackets = 16384
+	defaultPublishBatches = 64
+)
+
+// Worker is one producer's handle: a private monitor plus the atomic cell its
+// publications go through. A worker is strictly single-producer — give every
+// producing goroutine its own — and its update path takes no locks and
+// performs no atomic read-modify-write operations; the only synchronization
+// is one atomic pointer store per publication, amortized over the cadence.
+type Worker struct {
+	m    *Monitor
+	cell *pubCell
+
+	// Owner-goroutine cadence state, unsynchronized by design.
+	count      uint64 // packets absorbed since construction
+	batches    int    // batch calls since the last publication
+	nextPub    uint64 // publish when count reaches this watermark
+	pubPackets uint64
+	pubBatches int
+
+	// publish captures the worker's engine into a publication slot sharing
+	// unchanged node buffers with prev and recycling buffers no reader can
+	// still observe (see core.PubRing); installed by the carrier-typed
+	// aggregator.
+	publish func(prev any) (snap any, weight uint64)
 }
 
-// UpdateWeighted records one packet carrying weight w on this shard.
-func (sh *Shard) UpdateWeighted(src, dst netip.Addr, w uint64) {
-	sh.mu.Lock()
-	sh.m.UpdateWeighted(src, dst, w)
-	sh.mu.Unlock()
+// pubCell is one worker's publication slot, padded onto its own cache lines
+// so a worker's publications and the query side's loads never false-share
+// with a neighboring worker's.
+type pubCell struct {
+	_ [64]byte
+	v atomic.Value // *pubState, never nil after construction
+	_ [48]byte
 }
 
-// UpdateBatch records a batch of packets on this shard in one call,
-// amortizing the lock over the whole batch (the preferred producer shape).
-func (sh *Shard) UpdateBatch(srcs, dsts []netip.Addr) {
-	sh.mu.Lock()
-	sh.m.UpdateBatch(srcs, dsts)
-	sh.mu.Unlock()
+// pubState is one published epoch: the carrier-typed publication slot plus
+// the epoch counter and published stream weight. A pubState is immutable;
+// the slot it points to stays readable while this state is current or one
+// epoch behind, and beyond that only under a reader pin (see core.PubSlot).
+type pubState struct {
+	snap   any // *core.PubSlot[K]
+	epoch  uint64
+	weight uint64
+}
+
+// Update records one packet on this worker.
+func (w *Worker) Update(src, dst netip.Addr) {
+	w.m.Update(src, dst)
+	w.count++
+	if w.count >= w.nextPub {
+		w.Sync()
+	}
+}
+
+// UpdateWeighted records one packet carrying weight wt on this worker.
+func (w *Worker) UpdateWeighted(src, dst netip.Addr, wt uint64) {
+	w.m.UpdateWeighted(src, dst, wt)
+	w.count++
+	if w.count >= w.nextPub {
+		w.Sync()
+	}
+}
+
+// UpdateBatch records a batch of packets on this worker in one call — the
+// preferred producer shape: the engine's batch kernel amortizes memory-level
+// parallelism over the batch and the publication cadence over many batches.
+func (w *Worker) UpdateBatch(srcs, dsts []netip.Addr) {
+	w.m.UpdateBatch(srcs, dsts)
+	w.count += uint64(len(srcs))
+	w.batches++
+	if w.count >= w.nextPub || w.batches >= w.pubBatches {
+		w.Sync()
+	}
 }
 
 // UpdateWeightedBatch records a batch of packets carrying per-packet weights
-// on this shard in one call.
-func (sh *Shard) UpdateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
-	sh.mu.Lock()
-	sh.m.UpdateWeightedBatch(srcs, dsts, ws)
-	sh.mu.Unlock()
+// on this worker in one call.
+func (w *Worker) UpdateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
+	w.m.UpdateWeightedBatch(srcs, dsts, ws)
+	w.count += uint64(len(srcs))
+	w.batches++
+	if w.count >= w.nextPub || w.batches >= w.pubBatches {
+		w.Sync()
+	}
 }
 
-// N returns this shard's stream weight.
-func (sh *Shard) N() uint64 {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.m.N()
+// Sync publishes the worker's current state immediately, making everything it
+// has absorbed visible to queries, snapshots and watches. Only the owning
+// producer goroutine may call it (it is part of the single-producer surface);
+// an idle Sync — nothing absorbed since the last publication — is nearly free
+// and publishes nothing new.
+func (w *Worker) Sync() {
+	prev := w.cell.v.Load().(*pubState)
+	snap, weight := w.publish(prev.snap)
+	w.batches = 0
+	w.nextPub = w.count + w.pubPackets
+	if snap == prev.snap {
+		return // unchanged: keep the published epoch
+	}
+	w.cell.v.Store(&pubState{snap: snap, epoch: prev.epoch + 1, weight: weight})
 }
 
-// NewSharded builds n independently seeded shards. Only Algorithm RHHH with
-// the default (Space Saving) backend supports merging.
+// N returns the worker's live stream weight. Owner-goroutine read, like the
+// update methods; other goroutines observe the worker only through its
+// publications (Sharded.N sums those).
+func (w *Worker) N() uint64 { return w.m.N() }
+
+// Epoch returns the worker's published epoch number, which increments on
+// every publication that changed state. Safe from any goroutine.
+func (w *Worker) Epoch() uint64 { return w.cell.v.Load().(*pubState).epoch }
+
+// PublishedN returns the stream weight of the worker's latest publication.
+// Safe from any goroutine.
+func (w *Worker) PublishedN() uint64 { return w.cell.v.Load().(*pubState).weight }
+
+// NewSharded builds n shared-nothing workers with the default publication
+// cadence. Only Algorithm RHHH with a mergeable backend (Space Saving or
+// CHK) supports sharding.
 func NewSharded(cfg Config, n int) (*Sharded, error) {
+	return NewShardedOptions(cfg, n, ShardedOptions{})
+}
+
+// NewShardedOptions is NewSharded with an explicit publication cadence.
+func NewShardedOptions(cfg Config, n int, opts ShardedOptions) (*Sharded, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("rhhh: need at least one shard, got %d", n)
 	}
 	if cfg.Algorithm != RHHH {
 		return nil, fmt.Errorf("rhhh: sharding requires the RHHH algorithm, got %v", cfg.Algorithm)
 	}
-	s := &Sharded{cfg: cfg, shards: make([]*Shard, n)}
+	pubPackets := opts.PublishPackets
+	if pubPackets == 0 {
+		pubPackets = defaultPublishPackets
+	}
+	pubBatches := opts.PublishBatches
+	if pubBatches == 0 {
+		pubBatches = defaultPublishBatches
+	}
+	s := &Sharded{cfg: cfg, workers: make([]*Worker, n)}
 	monitors := make([]*Monitor, n)
-	for i := range s.shards {
+	for i := range s.workers {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
 		m, err := New(c)
@@ -114,9 +231,15 @@ func NewSharded(cfg Config, n int) (*Sharded, error) {
 			return nil, err
 		}
 		monitors[i] = m
-		s.shards[i] = &Shard{m: m}
+		s.workers[i] = &Worker{
+			m:          m,
+			cell:       &pubCell{},
+			pubPackets: pubPackets,
+			pubBatches: pubBatches,
+			nextPub:    pubPackets,
+		}
 	}
-	// All shards share the same concrete impl type; dispatch on the first.
+	// All workers share the same concrete impl type; dispatch on the first.
 	switch im := monitors[0].impl.(type) {
 	case *impl[uint32]:
 		s.agg = newAggState(im, monitors)
@@ -129,62 +252,83 @@ func NewSharded(cfg Config, n int) (*Sharded, error) {
 	default:
 		return nil, fmt.Errorf("rhhh: unknown shard implementation %T", monitors[0].impl)
 	}
+	for i, w := range s.workers {
+		w.publish = s.agg.publisher(i)
+		snap, weight := w.publish(nil)
+		w.cell.v.Store(&pubState{snap: snap, weight: weight})
+	}
 	return s, nil
 }
 
-// Shards returns the number of shards.
-func (s *Sharded) Shards() int { return len(s.shards) }
+// Workers returns the number of workers.
+func (s *Sharded) Workers() int { return len(s.workers) }
 
-// Shard returns shard i's handle; each producing goroutine must use its own
-// shard.
-func (s *Sharded) Shard(i int) *Shard { return s.shards[i] }
+// Shards returns the number of workers (historical name).
+func (s *Sharded) Shards() int { return len(s.workers) }
 
-// N returns the combined stream weight across shards.
+// Worker returns worker i's handle; each producing goroutine must own its
+// worker exclusively.
+func (s *Sharded) Worker(i int) *Worker { return s.workers[i] }
+
+// Sync publishes every worker's current state. Because Sync on a worker is an
+// owner-goroutine operation, Sharded.Sync is safe only when the caller owns
+// all workers (the routed single-goroutine mode) or every producer is
+// quiescent with a happens-before edge to the caller (e.g. after
+// sync.WaitGroup.Wait). Producers that keep running should call their own
+// Worker.Sync instead.
+func (s *Sharded) Sync() {
+	s.routeEnter()
+	defer s.routeExit()
+	for _, w := range s.workers {
+		w.Sync()
+	}
+}
+
+// N returns the combined published stream weight: the sum of every worker's
+// latest publication. It lags live producers by their bounded publication
+// staleness (see the type comment); after Sync it is exact.
 func (s *Sharded) N() uint64 {
 	var n uint64
-	for _, sh := range s.shards {
-		n += sh.N()
+	for _, w := range s.workers {
+		n += w.PublishedN()
 	}
 	return n
 }
 
 // Psi returns the convergence bound for the combined stream (identical to a
-// single shard's: ψ depends on V and ε, not on how the stream is split).
-func (s *Sharded) Psi() float64 { return s.shards[0].m.Psi() }
+// single worker's: ψ depends on V and ε, not on how the stream is split).
+func (s *Sharded) Psi() float64 { return s.workers[0].m.Psi() }
 
-// Converged reports whether the combined N has passed ψ.
+// Converged reports whether the combined published N has passed ψ.
 func (s *Sharded) Converged() bool { return float64(s.N()) >= s.Psi() }
 
-// HeavyHitters answers the HHH query over the union stream. Safe to call
-// while shards update concurrently: each shard is paused only for its own
-// snapshot copy, and the merge and extraction run outside all shard locks
-// on reused buffers. Concurrent HeavyHitters calls serialize with each
-// other.
+// HeavyHitters answers the HHH query over the union stream as of each
+// worker's latest publication. Producers are never touched: the query loads
+// the published snapshot set and merges and extracts on reused buffers.
+// Concurrent HeavyHitters calls serialize with each other.
 //
 // The returned slice is the aggregator's reusable query buffer: treat it as
 // read-only, valid until the next HeavyHitters call — copy it (e.g. with
 // slices.Clone) to retain or reorder results. A warm query allocates
-// nothing, and when no shard absorbed traffic since the previous query at
-// the same θ the whole pipeline short-circuits to the retained result.
+// nothing, and when no worker published between queries at the same θ the
+// whole pipeline short-circuits to the retained result.
 func (s *Sharded) HeavyHitters(theta float64) []HeavyHitter {
 	if !(theta > 0 && theta <= 1) {
 		panic("rhhh: theta must be in (0, 1]")
 	}
 	s.aggMu.Lock()
 	defer s.aggMu.Unlock()
-	s.agg.refresh(s.shards)
-	return s.agg.query(theta)
+	return s.agg.query(s.workers, theta)
 }
 
-// Snapshot captures and merges all shards into one standalone Snapshot —
-// queryable, mergeable with other snapshots, and serializable. Like
-// HeavyHitters, it never pauses more than one shard at a time.
+// Snapshot merges every worker's latest publication into one standalone
+// Snapshot — queryable, mergeable with other snapshots, and serializable.
+// Like HeavyHitters, it never touches a producer.
 func (s *Sharded) Snapshot() *Snapshot {
 	s.aggMu.Lock()
 	defer s.aggMu.Unlock()
-	s.agg.refresh(s.shards)
 	return &Snapshot{
-		impl: s.agg.freshSnapshot(),
+		impl: s.agg.freshSnapshot(s.workers),
 		dims: s.cfg.Dims,
 		gran: s.cfg.Granularity,
 		ipv6: s.cfg.IPv6,
@@ -193,30 +337,34 @@ func (s *Sharded) Snapshot() *Snapshot {
 
 // shardAgg is the carrier-typed aggregator behind the query path.
 type shardAgg interface {
-	refresh(shards []*Shard)
-	query(theta float64) []HeavyHitter
-	freshSnapshot() snapCore
+	query(workers []*Worker, theta float64) []HeavyHitter
+	freshSnapshot(workers []*Worker) snapCore
 	watchHub(s *Sharded) watchCtl
+	publisher(i int) func(prev any) (snap any, weight uint64)
 }
 
-// aggState implements shardAgg over carrier type K with reusable per-shard
-// snapshot buffers, a reusable merger, and a reusable extractor+converter —
-// a warm query allocates nothing across capture, merge, extraction and
-// rendering. When no shard absorbed traffic between queries the capture and
-// merge are recognized as unchanged and the extraction short-circuits to
-// the retained result.
+// aggState implements shardAgg over carrier type K with a reusable merger and
+// a reusable extractor+converter — a warm query allocates nothing across
+// collect, merge, extraction and rendering. Because publications carry
+// per-node mutation generations (unchanged nodes share buffers and
+// generations across epochs), a query after a small traffic delta re-merges
+// and re-indexes only the touched nodes, and a query with no new publications
+// short-circuits entirely.
 type aggState[K comparable] struct {
 	im      *impl[K]
 	engines []*core.Engine[K]
-	bufs    []core.EngineSnapshot[K]
+	pinned  []*core.PubSlot[K]
 	ptrs    []*core.EngineSnapshot[K]
 	sm      core.SnapshotMerger[K]
 	merged  core.EngineSnapshot[K]
 	ex      *core.Extractor[K]
 	conv    converter[K]
 
-	// Watch-path merge scratch, separate from the query path's so the two
-	// destinations keep their own unchanged-merge caches warm.
+	// Watch-path collect+merge scratch, separate from the query path's so
+	// the two destinations keep their own unchanged-merge caches warm; the
+	// watch hub serializes captures on its own lock.
+	wpinned []*core.PubSlot[K]
+	wptrs   []*core.EngineSnapshot[K]
 	wsm     core.SnapshotMerger[K]
 	wmerged core.EngineSnapshot[K]
 }
@@ -225,8 +373,10 @@ func newAggState[K comparable](first *impl[K], monitors []*Monitor) *aggState[K]
 	a := &aggState[K]{
 		im:      first,
 		engines: make([]*core.Engine[K], len(monitors)),
-		bufs:    make([]core.EngineSnapshot[K], len(monitors)),
-		ptrs:    make([]*core.EngineSnapshot[K], len(monitors)),
+		pinned:  make([]*core.PubSlot[K], 0, len(monitors)),
+		ptrs:    make([]*core.EngineSnapshot[K], 0, len(monitors)),
+		wpinned: make([]*core.PubSlot[K], 0, len(monitors)),
+		wptrs:   make([]*core.EngineSnapshot[K], 0, len(monitors)),
 		ex:      core.NewExtractor(first.dom),
 	}
 	for i, m := range monitors {
@@ -235,57 +385,99 @@ func newAggState[K comparable](first *impl[K], monitors []*Monitor) *aggState[K]
 			panic("rhhh: sharding requires the RHHH engine")
 		}
 		a.engines[i] = eng
-		a.ptrs[i] = &a.bufs[i]
 	}
 	return a
 }
 
-// refresh captures every shard into the snapshot buffers, holding each
-// shard's lock only for its own copy.
-func (a *aggState[K]) refresh(shards []*Shard) {
-	for i, sh := range shards {
-		sh.mu.Lock()
-		a.engines[i].SnapshotInto(&a.bufs[i])
-		sh.mu.Unlock()
+// publisher returns worker i's publish closure: a capture of its engine into
+// the worker's publication ring, sharing unchanged node buffers with the
+// previous publication and recycling buffers no reader can still observe.
+func (a *aggState[K]) publisher(i int) func(prev any) (any, uint64) {
+	ring := core.NewPubRing(a.engines[i])
+	return func(prev any) (any, uint64) {
+		var p *core.PubSlot[K]
+		if prev != nil {
+			p = prev.(*core.PubSlot[K])
+		}
+		slot := ring.Publish(p)
+		return slot, slot.Snapshot().Weight
 	}
 }
 
-// query merges the captured snapshot set (reusing all merge scratch) and
-// runs the Output procedure, entirely outside the shard locks.
-func (a *aggState[K]) query(theta float64) []HeavyHitter {
+// pinPubs pins every worker's latest published snapshot and collects the
+// snapshot pointers (reused scratch, allocation-free once grown). The
+// pin-then-verify handshake per worker: load the cell, pin the slot, re-load
+// — if the published epoch advanced by 2 or more in between, the ring may
+// already be recycling that slot's buffers, so unpin and retry. Callers must
+// unpinPubs as soon as they are done reading (the merge copies everything it
+// needs).
+func pinPubs[K comparable](workers []*Worker, slots []*core.PubSlot[K], ptrs []*core.EngineSnapshot[K]) ([]*core.PubSlot[K], []*core.EngineSnapshot[K]) {
+	slots, ptrs = slots[:0], ptrs[:0]
+	for _, w := range workers {
+		for {
+			st := w.cell.v.Load().(*pubState)
+			slot := st.snap.(*core.PubSlot[K])
+			slot.Pin()
+			if w.cell.v.Load().(*pubState).epoch-st.epoch < 2 {
+				slots = append(slots, slot)
+				ptrs = append(ptrs, slot.Snapshot())
+				break
+			}
+			slot.Unpin()
+		}
+	}
+	return slots, ptrs
+}
+
+func unpinPubs[K comparable](slots []*core.PubSlot[K]) {
+	for _, s := range slots {
+		s.Unpin()
+	}
+}
+
+// query merges the latest published snapshot set (reusing all merge scratch)
+// and runs the Output procedure — entirely against pinned publications,
+// never against live engines. The pins are released right after the merge:
+// the merged destination owns all of its buffers.
+func (a *aggState[K]) query(workers []*Worker, theta float64) []HeavyHitter {
+	a.pinned, a.ptrs = pinPubs(workers, a.pinned, a.ptrs)
 	merged := a.sm.Merge(&a.merged, a.ptrs...)
+	unpinPubs(a.pinned)
 	return a.conv.convert(a.im.dom, a.im.split, a.ex.ExtractSnapshot(merged, theta))
 }
 
-// freshSnapshot merges the captured set into a newly allocated snapshot
-// state (it escapes to the caller, so no buffers are shared with the
-// aggregator).
-func (a *aggState[K]) freshSnapshot() snapCore {
+// freshSnapshot merges the latest published set into a newly allocated
+// snapshot state (it escapes to the caller, so no buffers are shared with the
+// aggregator or the publication rings).
+func (a *aggState[K]) freshSnapshot(workers []*Worker) snapCore {
+	a.pinned, a.ptrs = pinPubs(workers, a.pinned, a.ptrs)
 	var sm core.SnapshotMerger[K]
 	es := sm.Merge(nil, a.ptrs...)
+	unpinPubs(a.pinned)
 	return &snapState[K]{es: *es, dom: a.im.dom, split: a.im.split}
 }
 
-// watchHub builds the sharded watch hub: each capture pauses one shard at a
-// time for its snapshot copy (exactly like HeavyHitters) and merges outside
-// all shard locks, under the aggregator lock so watches and queries
-// serialize on the shared per-shard capture buffers.
+// watchHub builds the sharded watch hub: each capture pins the latest
+// published snapshot set and merges it on the hub's own scratch — producers
+// are never paused, and the watch driver no longer contends with queries.
+// Captures serialize on the hub lock.
 func (a *aggState[K]) watchHub(s *Sharded) watchCtl {
 	return newWatchHub(a.im.dom, a.im.split, a.im.v6, func() *core.EngineSnapshot[K] {
-		s.aggMu.Lock()
-		defer s.aggMu.Unlock()
-		a.refresh(s.shards)
-		return a.wsm.Merge(&a.wmerged, a.ptrs...)
+		a.wpinned, a.wptrs = pinPubs(s.workers, a.wpinned, a.wptrs)
+		merged := a.wsm.Merge(&a.wmerged, a.wptrs...)
+		unpinPubs(a.wpinned)
+		return merged
 	})
 }
 
 // Watch registers a standing query over the union stream: a driver goroutine
-// (started by the first Watch) captures the shards on the tick interval —
-// the smallest WatchOptions.Interval across live subscriptions, 100ms by
-// default — and delivers HHH set deltas to the subscription. Producers are
-// never paused for more than one shard's snapshot copy, identical to
-// HeavyHitters. Close the subscription to unregister, or Close the Sharded
-// to stop the driver and end every subscription.
+// (started by the first Watch) reads the published epochs on the tick
+// interval — the smallest WatchOptions.Interval across live subscriptions,
+// 100ms by default — and delivers HHH set deltas to the subscription.
+// Producers are never paused; a tick observes each worker's latest
+// publication (the same bounded staleness as HeavyHitters). Close the
+// subscription to unregister, or Close the Sharded to stop the driver and end
+// every subscription.
 func (s *Sharded) Watch(opts WatchOptions) (*Subscription, error) {
 	s.watchMu.Lock()
 	defer s.watchMu.Unlock()
@@ -360,26 +552,45 @@ func (s *Sharded) Close() error {
 	return nil
 }
 
-// Update is a convenience for single-goroutine use: it routes the packet to
-// a shard by address hash. Concurrent producers should call
-// Shard(i).Update directly instead.
+// routeEnter claims the routed single-goroutine surface (Update, UpdateBatch,
+// UpdateWeighted, UpdateWeightedBatch and Sync on Sharded itself). The
+// routing scratch and worker cadence state behind those entry points are
+// deliberately unsynchronized, so a second concurrent router is a data race:
+// it is detected here and rejected loudly instead of corrupting state.
+func (s *Sharded) routeEnter() {
+	if !s.routerBusy.CompareAndSwap(0, 1) {
+		panic("rhhh: concurrent routed update on Sharded — the routed entry points are single-goroutine; give each producing goroutine its own Worker")
+	}
+}
+
+func (s *Sharded) routeExit() { s.routerBusy.Store(0) }
+
+// Update is a convenience for single-goroutine use: it routes the packet to a
+// worker by address hash. Concurrent producers should call Worker(i).Update
+// directly instead; concurrent routed calls panic.
 func (s *Sharded) Update(src, dst netip.Addr) {
+	s.routeEnter()
+	defer s.routeExit()
 	h := hashAddrPair(src, dst)
-	s.shards[h%uint64(len(s.shards))].Update(src, dst)
+	s.workers[h%uint64(len(s.workers))].Update(src, dst)
 }
 
 // UpdateWeighted is a convenience for single-goroutine use: it routes the
-// weighted packet to a shard by address hash. Concurrent producers should
-// call Shard(i).UpdateWeighted directly instead.
+// weighted packet to a worker by address hash. Concurrent producers should
+// call Worker(i).UpdateWeighted directly instead; concurrent routed calls
+// panic.
 func (s *Sharded) UpdateWeighted(src, dst netip.Addr, w uint64) {
+	s.routeEnter()
+	defer s.routeExit()
 	h := hashAddrPair(src, dst)
-	s.shards[h%uint64(len(s.shards))].UpdateWeighted(src, dst, w)
+	s.workers[h%uint64(len(s.workers))].UpdateWeighted(src, dst, w)
 }
 
-// UpdateBatch routes a batch of packets to their shards and feeds each
-// shard its sub-batch in one call, preserving per-shard arrival order. For
+// UpdateBatch routes a batch of packets to their workers and feeds each
+// worker its sub-batch in one call, preserving per-worker arrival order. For
 // one-dimensional monitors pass dsts == nil. Single-goroutine use, like
-// Update; concurrent producers should call Shard(i).UpdateBatch directly.
+// Update: concurrent producers should call Worker(i).UpdateBatch directly;
+// concurrent routed calls panic.
 func (s *Sharded) UpdateBatch(srcs, dsts []netip.Addr) {
 	if dsts == nil {
 		if s.cfg.Dims == 2 {
@@ -388,9 +599,11 @@ func (s *Sharded) UpdateBatch(srcs, dsts []netip.Addr) {
 	} else if len(dsts) != len(srcs) {
 		panic("rhhh: UpdateBatch srcs/dsts length mismatch")
 	}
+	s.routeEnter()
+	defer s.routeExit()
 	if s.srcBuf == nil {
-		s.srcBuf = make([][]netip.Addr, len(s.shards))
-		s.dstBuf = make([][]netip.Addr, len(s.shards))
+		s.srcBuf = make([][]netip.Addr, len(s.workers))
+		s.dstBuf = make([][]netip.Addr, len(s.workers))
 	}
 	for i := range s.srcBuf {
 		s.srcBuf[i] = s.srcBuf[i][:0]
@@ -401,22 +614,22 @@ func (s *Sharded) UpdateBatch(srcs, dsts []netip.Addr) {
 		if dsts != nil {
 			dst = dsts[i]
 		}
-		shard := hashAddrPair(src, dst) % uint64(len(s.shards))
+		shard := hashAddrPair(src, dst) % uint64(len(s.workers))
 		s.srcBuf[shard] = append(s.srcBuf[shard], src)
 		s.dstBuf[shard] = append(s.dstBuf[shard], dst)
 	}
-	for i, sh := range s.shards {
+	for i, w := range s.workers {
 		if len(s.srcBuf[i]) != 0 {
-			sh.UpdateBatch(s.srcBuf[i], s.dstBuf[i])
+			w.UpdateBatch(s.srcBuf[i], s.dstBuf[i])
 		}
 	}
 }
 
-// UpdateWeightedBatch routes a batch of weighted packets to their shards and
-// feeds each shard its sub-batch in one call, preserving per-shard arrival
+// UpdateWeightedBatch routes a batch of weighted packets to their workers and
+// feeds each worker its sub-batch in one call, preserving per-worker arrival
 // order. For one-dimensional monitors pass dsts == nil; ws must be the same
-// length as srcs. Single-goroutine use, like UpdateBatch; concurrent
-// producers should call Shard(i).UpdateWeightedBatch directly.
+// length as srcs. Single-goroutine use, like UpdateBatch; concurrent routed
+// calls panic.
 func (s *Sharded) UpdateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
 	if dsts == nil {
 		if s.cfg.Dims == 2 {
@@ -428,12 +641,14 @@ func (s *Sharded) UpdateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
 	if len(ws) != len(srcs) {
 		panic("rhhh: UpdateWeightedBatch srcs/weights length mismatch")
 	}
+	s.routeEnter()
+	defer s.routeExit()
 	if s.srcBuf == nil {
-		s.srcBuf = make([][]netip.Addr, len(s.shards))
-		s.dstBuf = make([][]netip.Addr, len(s.shards))
+		s.srcBuf = make([][]netip.Addr, len(s.workers))
+		s.dstBuf = make([][]netip.Addr, len(s.workers))
 	}
 	if s.wBuf == nil {
-		s.wBuf = make([][]uint64, len(s.shards))
+		s.wBuf = make([][]uint64, len(s.workers))
 	}
 	for i := range s.srcBuf {
 		s.srcBuf[i] = s.srcBuf[i][:0]
@@ -445,14 +660,14 @@ func (s *Sharded) UpdateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
 		if dsts != nil {
 			dst = dsts[i]
 		}
-		shard := hashAddrPair(src, dst) % uint64(len(s.shards))
+		shard := hashAddrPair(src, dst) % uint64(len(s.workers))
 		s.srcBuf[shard] = append(s.srcBuf[shard], src)
 		s.dstBuf[shard] = append(s.dstBuf[shard], dst)
 		s.wBuf[shard] = append(s.wBuf[shard], ws[i])
 	}
-	for i, sh := range s.shards {
+	for i, w := range s.workers {
 		if len(s.srcBuf[i]) != 0 {
-			sh.UpdateWeightedBatch(s.srcBuf[i], s.dstBuf[i], s.wBuf[i])
+			w.UpdateWeightedBatch(s.srcBuf[i], s.dstBuf[i], s.wBuf[i])
 		}
 	}
 }

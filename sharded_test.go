@@ -24,7 +24,7 @@ func TestShardedConcurrentUpdatesFindAggregates(t *testing.T) {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			m := s.Shard(shard)
+			m := s.Worker(shard)
 			rng := rand.New(rand.NewSource(int64(shard + 10)))
 			victim := addr4(203, 0, 113, 50)
 			for j := 0; j < perShard; j++ {
@@ -38,6 +38,7 @@ func TestShardedConcurrentUpdatesFindAggregates(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	s.Sync() // producers are quiescent: publish their tails
 
 	if !s.Converged() {
 		t.Fatalf("combined N=%d below ψ=%v", s.N(), s.Psi())
@@ -71,20 +72,21 @@ func TestShardedHashRouting(t *testing.T) {
 			addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))),
 		)
 	}
+	s.Sync()
 	if s.N() != n {
 		t.Fatalf("N = %d", s.N())
 	}
 	// The hash must spread load roughly evenly.
-	for i := 0; i < s.Shards(); i++ {
-		share := float64(s.Shard(i).N()) / n
+	for i := 0; i < s.Workers(); i++ {
+		share := float64(s.Worker(i).N()) / n
 		if share < 0.2 || share > 0.5 {
 			t.Errorf("shard %d got %.1f%% of traffic", i, share*100)
 		}
 	}
 	// Same flow always routes to the same shard (flow affinity).
-	before := make([]uint64, s.Shards())
+	before := make([]uint64, s.Workers())
 	for i := range before {
-		before[i] = s.Shard(i).N()
+		before[i] = s.Worker(i).N()
 	}
 	src, dst := addr4(1, 2, 3, 4), addr4(5, 6, 7, 8)
 	for i := 0; i < 100; i++ {
@@ -92,7 +94,7 @@ func TestShardedHashRouting(t *testing.T) {
 	}
 	moved := 0
 	for i := range before {
-		if d := s.Shard(i).N() - before[i]; d > 0 {
+		if d := s.Worker(i).N() - before[i]; d > 0 {
 			moved++
 			if d != 100 {
 				t.Errorf("shard %d got %d of the flow's 100 packets", i, d)
@@ -125,11 +127,12 @@ func TestSharded1D(t *testing.T) {
 	n := int(s.Psi()) + 50000
 	for i := 0; i < n; i++ {
 		if rng.Intn(2) == 0 {
-			s.Shard(i%2).Update(addr4(9, 9, 9, byte(rng.Intn(256))), netip.Addr{})
+			s.Worker(i%2).Update(addr4(9, 9, 9, byte(rng.Intn(256))), netip.Addr{})
 		} else {
-			s.Shard(i%2).Update(addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))), netip.Addr{})
+			s.Worker(i%2).Update(addr4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))), netip.Addr{})
 		}
 	}
+	s.Sync()
 	hits := s.HeavyHitters(0.3)
 	found := false
 	for _, h := range hits {

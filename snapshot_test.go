@@ -250,6 +250,7 @@ func TestShardedSnapshotMatchesHeavyHitters(t *testing.T) {
 			addr4(2, 2, byte(rng.Intn(8)), byte(rng.Intn(256))),
 		)
 	}
+	s.Sync()
 	snap := s.Snapshot()
 	snapEqualHH(t, "sharded snapshot", s.HeavyHitters(0.1), snap.HeavyHitters(0.1))
 	if snap.N() != s.N() {
@@ -273,7 +274,7 @@ func TestShardedQueriesDuringConcurrentUpdates(t *testing.T) {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			sh := s.Shard(shard)
+			sh := s.Worker(shard)
 			rng := rand.New(rand.NewSource(int64(shard + 20)))
 			victim := addr4(203, 0, 113, 50)
 			srcs := make([]netip.Addr, 0, 64)
@@ -305,6 +306,7 @@ func TestShardedQueriesDuringConcurrentUpdates(t *testing.T) {
 	for {
 		select {
 		case <-done:
+			s.Sync() // producers done (wg.Wait happened-before): publish tails
 			hits := s.HeavyHitters(0.2)
 			found := false
 			for _, h := range hits {

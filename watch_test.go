@@ -153,6 +153,7 @@ func TestWatchDeltaReplaySharded(t *testing.T) {
 		for n := 200 + rng.IntN(800); n > 0; n-- {
 			s.Update(watchAddr(rng), watchAddr(rng))
 		}
+		s.Sync() // publish so the tick and the query see this burst
 		s.TickWatch()
 		state.mustEqualFull(t, s.HeavyHitters(theta), "sharded tick")
 	}
@@ -489,9 +490,9 @@ func TestWatchShardedLifecycleRace(t *testing.T) {
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	for i := 0; i < s.Shards(); i++ {
+	for i := 0; i < s.Workers(); i++ {
 		wg.Add(1)
-		go func(sh *rhhh.Shard, seed uint64) {
+		go func(sh *rhhh.Worker, seed uint64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewPCG(seed, 99))
 			for {
@@ -504,7 +505,7 @@ func TestWatchShardedLifecycleRace(t *testing.T) {
 					sh.Update(watchAddr(rng), watchAddr(rng))
 				}
 			}
-		}(s.Shard(i), uint64(i))
+		}(s.Worker(i), uint64(i))
 	}
 	for g := 0; g < 2; g++ {
 		wg.Add(1)
