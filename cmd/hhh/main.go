@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
+	"net/http"
 	"net/netip"
 	"os"
 	"slices"
@@ -19,6 +20,7 @@ import (
 
 	"rhhh"
 	"rhhh/internal/hierarchy"
+	"rhhh/internal/telemetry"
 	"rhhh/internal/trace"
 )
 
@@ -42,6 +44,7 @@ func main() {
 		watchEvy = flag.Uint64("watch-every", 100_000, "packets between standing-query ticks")
 		watchK   = flag.Int("watch-k", 0, "auto-tune the watch threshold to track the top k keys instead of -theta")
 		backend  = flag.String("backend", "ss", "RHHH counter backend: ss (Space Saving stream-summary), chk (Cuckoo Heavy Keeper), heap")
+		metrics  = flag.String("metrics-addr", "", "optional listen address for Prometheus /metrics during the replay (RHHH only; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -105,6 +108,24 @@ func main() {
 		} else if restored {
 			fmt.Fprintf(os.Stderr, "hhh: restored N=%d from %s\n", mon.N(), *ckpt)
 		}
+	}
+
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		if err := mon.Instrument(reg); err != nil {
+			fatalf("%v", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_, _ = reg.WritePrometheus(w)
+		})
+		go func() {
+			fmt.Fprintf(os.Stderr, "hhh: metrics on http://%s/metrics\n", *metrics)
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "hhh: metrics server: %v\n", err)
+			}
+		}()
 	}
 
 	if *watch {

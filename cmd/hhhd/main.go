@@ -1,0 +1,227 @@
+// Command hhhd is the long-running hierarchical heavy hitters daemon: a
+// sharded RHHH monitor fed by per-worker traffic sources, exposing the
+// operational endpoints a deployment scrapes and queries:
+//
+//	GET /metrics   Prometheus text exposition of the full telemetry catalogue
+//	GET /healthz   liveness plus the published N / convergence state
+//	GET /query     heavy hitters as JSON (?theta= overrides the default)
+//	GET /snapshot  the merged engine snapshot, binary (restorable, mergeable)
+//	GET /watch     standing-query deltas as server-sent events
+//
+// The built-in feeder replays the synthetic CAIDA stand-in profiles, one
+// independent source per worker — the self-contained mode CI smoke tests
+// and load experiments use. With -n 0 the feeders run until shutdown.
+//
+// Profiling: -debug-addr serves net/http/pprof on a separate listener, kept
+// off the operational port so scrapes never contend with profile captures.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"net/netip"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"rhhh"
+	"rhhh/internal/hierarchy"
+	"rhhh/internal/trace"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9120", "HTTP listen address for the operational endpoints")
+		debugAddr = flag.String("debug-addr", "", "optional listen address for net/http/pprof (empty = disabled)")
+		workers   = flag.Int("workers", max(2, runtime.GOMAXPROCS(0)/2), "sharded ingest workers (one feeder goroutine each)")
+		profile   = flag.String("profile", "chicago16", "synthetic profile: "+fmt.Sprint(trace.ProfileNames()))
+		n         = flag.Uint64("n", 0, "total packets to feed (0 = run until shutdown)")
+		rate      = flag.Uint64("rate", 0, "total feed rate in packets/second (0 = unthrottled)")
+		dims      = flag.Int("dims", 2, "hierarchy dimensions: 1 or 2")
+		gran      = flag.String("gran", "bytes", "granularity: bytes|nibbles|bits")
+		epsilon   = flag.Float64("epsilon", 0.001, "estimation error ε")
+		delta     = flag.Float64("delta", 0.001, "failure probability δ")
+		theta     = flag.Float64("theta", 0.01, "default HHH threshold θ for /query and /watch")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+		vParam    = flag.Int("v", 0, "RHHH performance parameter V (0 = H, e.g. 10*H for 10-RHHH)")
+		backend   = flag.String("backend", "ss", "counter backend: ss|chk|heap")
+	)
+	flag.Parse()
+
+	cfg := rhhh.Config{
+		Dims:    *dims,
+		Epsilon: *epsilon, Delta: *delta, Seed: *seed, V: *vParam,
+		Algorithm: rhhh.RHHH,
+	}
+	switch *gran {
+	case "bytes":
+		cfg.Granularity = rhhh.Byte
+	case "nibbles":
+		cfg.Granularity = rhhh.Nibble
+	case "bits":
+		cfg.Granularity = rhhh.Bit
+	default:
+		fatalf("unknown granularity %q", *gran)
+	}
+	switch *backend {
+	case "ss":
+		cfg.Backend = rhhh.StreamSummary
+	case "chk":
+		cfg.Backend = rhhh.CuckooHeavyKeeper
+	case "heap":
+		cfg.Backend = rhhh.HeapSpaceSaving
+	default:
+		fatalf("unknown backend %q", *backend)
+	}
+	if *workers < 1 {
+		fatalf("-workers must be positive")
+	}
+
+	mon, err := rhhh.NewSharded(cfg, *workers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// Instrument before the feeders start: the per-worker hookup relies on
+	// the goroutine-start happens-before edge (see Sharded.Instrument).
+	srv := newServer(mon, *theta)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var wg sync.WaitGroup
+	for i := 0; i < *workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			feed(ctx, mon.Worker(i), feederConfig{
+				profile: *profile,
+				seed:    *seed + uint64(i)*0x9e3779b97f4a7c15,
+				n:       perWorker(*n, *workers, i),
+				rate:    *rate / uint64(*workers),
+			})
+		}(i)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: newMux(srv)}
+	go func() {
+		fmt.Fprintf(os.Stderr, "hhhd: serving on http://%s (workers=%d profile=%s)\n", *addr, *workers, *profile)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatalf("%v", err)
+		}
+	}()
+	if *debugAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			fmt.Fprintf(os.Stderr, "hhhd: pprof on http://%s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "hhhd: pprof server: %v\n", err)
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "hhhd: shutting down")
+	wg.Wait() // feeders observe ctx and stop; their workers quiesce
+	sdCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(sdCtx)
+	_ = mon.Close()
+}
+
+// perWorker splits a total packet budget across workers (worker 0 absorbs
+// the remainder); 0 stays 0 (unlimited).
+func perWorker(n uint64, workers, i int) uint64 {
+	if n == 0 {
+		return 0
+	}
+	share := n / uint64(workers)
+	if i == 0 {
+		share += n % uint64(workers)
+	}
+	return share
+}
+
+type feederConfig struct {
+	profile string
+	seed    uint64
+	n       uint64 // 0 = unlimited
+	rate    uint64 // packets/second for this feeder, 0 = unthrottled
+}
+
+// feedBatch is the feeder's batch size: large enough to amortize the routed
+// batch path, small enough for sub-millisecond rate-control granularity.
+const feedBatch = 256
+
+// feed replays one synthetic source into one worker until the budget is
+// spent or ctx is canceled, then publishes the worker's final state.
+func feed(ctx context.Context, w *rhhh.Worker, fc feederConfig) {
+	tc := trace.Profile(fc.profile)
+	tc.Seed = fc.seed
+	src := trace.NewSynthetic(tc)
+	srcs := make([]netip.Addr, 0, feedBatch)
+	dsts := make([]netip.Addr, 0, feedBatch)
+	var sent uint64
+	var interval time.Duration
+	if fc.rate > 0 {
+		interval = time.Duration(uint64(time.Second) * feedBatch / fc.rate)
+	}
+	next := time.Now()
+	for ctx.Err() == nil && (fc.n == 0 || sent < fc.n) {
+		batch := uint64(feedBatch)
+		if fc.n != 0 && fc.n-sent < batch {
+			batch = fc.n - sent
+		}
+		srcs, dsts = srcs[:0], dsts[:0]
+		for range batch {
+			p, ok := src.Next()
+			if !ok {
+				break
+			}
+			srcs = append(srcs, toNetip(p.SrcIP, p.V6))
+			dsts = append(dsts, toNetip(p.DstIP, p.V6))
+		}
+		if len(srcs) == 0 {
+			break
+		}
+		w.UpdateBatch(srcs, dsts)
+		sent += uint64(len(srcs))
+		if interval > 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-ctx.Done():
+				case <-time.After(d):
+				}
+			} else {
+				next = time.Now() // fell behind; don't accumulate debt
+			}
+		}
+	}
+	w.Sync()
+}
+
+// toNetip converts the internal 128-bit address form to netip. IPv4
+// addresses live in the top 32 bits (see hierarchy.AddrFromIPv4).
+func toNetip(a hierarchy.Addr, v6 bool) netip.Addr {
+	b := a.Bytes16()
+	if v6 {
+		return netip.AddrFrom16(b)
+	}
+	return netip.AddrFrom4([4]byte{b[0], b[1], b[2], b[3]})
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hhhd: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,292 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"rhhh"
+	"rhhh/internal/telemetry"
+)
+
+// server holds the daemon's query surfaces. The monitor's query methods
+// return reused aggregator buffers, so qmu serializes every handler that
+// reads one (queries render their JSON while holding it).
+type server struct {
+	reg   *telemetry.Registry
+	mon   *rhhh.Sharded
+	theta float64 // default query threshold
+	start time.Time
+
+	qmu     sync.Mutex
+	snapBuf []byte // reused /snapshot encode target
+}
+
+// catalogueEntry documents one exposed metric family: the golden test
+// asserts the live /metrics output matches this list, and the README's
+// observability table is generated from the same data.
+type catalogueEntry struct {
+	Name  string
+	Type  string // counter | gauge | histogram
+	Layer string // which subsystem owns the publication
+	Help  string
+}
+
+// metricCatalogue is every family a fully instrumented Sharded monitor plus
+// the daemon itself exposes. Keep it in sync with the Register methods in
+// internal/telemetry/stats.go and newServer below.
+var metricCatalogue = []catalogueEntry{
+	{"rhhh_engine_packets_total", "counter", "engine", "Packets ingested by the update path."},
+	{"rhhh_engine_weight_total", "counter", "engine", "Total weight ingested by the update path."},
+	{"rhhh_engine_samples_total", "counter", "engine", "Sampled updates forwarded to a lattice node."},
+	{"rhhh_engine_batches_total", "counter", "engine", "Batch kernel invocations."},
+	{"rhhh_counter_evictions_total", "counter", "backend", "Space Saving minimum-counter takeovers."},
+	{"rhhh_counter_decays_total", "counter", "backend", "CHK probabilistic decay decrements."},
+	{"rhhh_counter_takeovers_total", "counter", "backend", "CHK decayed-slot takeovers."},
+	{"rhhh_counter_occupied", "gauge", "backend", "Monitored keys across all lattice nodes."},
+	{"rhhh_counter_slots", "gauge", "backend", "Counter slots across all lattice nodes."},
+	{"rhhh_counter_stash_depth", "gauge", "backend", "Cuckoo stash entries across all lattice nodes."},
+	{"rhhh_worker_publications_total", "counter", "sharded", "Snapshots published by the worker."},
+	{"rhhh_worker_syncs_total", "counter", "sharded", "Explicit worker Sync barriers."},
+	{"rhhh_worker_epoch", "gauge", "sharded", "Epoch of the worker's last published snapshot."},
+	{"rhhh_pubring_slots", "gauge", "sharded", "Publication-ring slots currently allocated."},
+	{"rhhh_worker_publish_age_seconds", "gauge", "sharded", "Seconds since the worker's last snapshot publication."},
+	{"rhhh_queries_total", "counter", "query", "Heavy-hitter query and snapshot evaluations."},
+	{"rhhh_query_pin_retries_total", "counter", "query", "Publication-pin retries against racing publications."},
+	{"rhhh_query_hits", "gauge", "query", "Result size of the last heavy-hitters query."},
+	{"rhhh_watch_ticks_total", "counter", "watch", "Standing-query delta-computation ticks."},
+	{"rhhh_watch_deliveries_total", "counter", "watch", "Watch deltas delivered to subscribers."},
+	{"rhhh_watch_drops_total", "counter", "watch", "Watch deltas dropped on full subscriber buffers."},
+	{"rhhh_watch_subscriptions", "gauge", "watch", "Live watch subscriptions."},
+	{"rhhh_watch_differ_entries", "gauge", "watch", "Tracked entries across subscription differs."},
+	{"rhhh_watch_tick_seconds", "histogram", "watch", "Wall time of a standing-query tick."},
+	{"hhhd_uptime_seconds", "gauge", "daemon", "Seconds since the daemon started."},
+	{"hhhd_published_packets", "gauge", "daemon", "Combined published stream weight (N)."},
+	{"hhhd_converged", "gauge", "daemon", "Whether the published N passed the psi convergence bound."},
+}
+
+// newServer instruments mon with a fresh registry, adds the daemon-level
+// gauges, and returns the server.
+func newServer(mon *rhhh.Sharded, theta float64) *server {
+	s := &server{
+		reg:   telemetry.NewRegistry(),
+		mon:   mon,
+		theta: theta,
+		start: time.Now(),
+	}
+	mon.Instrument(s.reg)
+	s.reg.GaugeFunc("hhhd_uptime_seconds", "", "Seconds since the daemon started.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	s.reg.GaugeFunc("hhhd_published_packets", "", "Combined published stream weight (N).", func() float64 {
+		return float64(mon.N())
+	})
+	s.reg.GaugeFunc("hhhd_converged", "", "Whether the published N passed the psi convergence bound.", func() float64 {
+		if mon.Converged() {
+			return 1
+		}
+		return 0
+	})
+	return s
+}
+
+// newMux wires the operational endpoints.
+func newMux(s *server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /watch", s.handleWatch)
+	return mux
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.reg.WritePrometheus(w)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok n=%d psi=%.0f converged=%v workers=%d uptime=%s\n",
+		s.mon.N(), s.mon.Psi(), s.mon.Converged(), s.mon.Workers(),
+		time.Since(s.start).Round(time.Second))
+}
+
+// queryResponse is the /query JSON shape.
+type queryResponse struct {
+	Theta     float64       `json:"theta"`
+	N         uint64        `json:"n"`
+	Threshold float64       `json:"threshold"`
+	Converged bool          `json:"converged"`
+	Count     int           `json:"count"`
+	Hits      []queryResult `json:"hits"`
+}
+
+type queryResult struct {
+	Src   string  `json:"src"`
+	Dst   string  `json:"dst,omitempty"`
+	Text  string  `json:"text"`
+	Lower float64 `json:"lower"`
+	Upper float64 `json:"upper"`
+	Cond  float64 `json:"cond"`
+	Level int     `json:"level"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	theta := s.theta
+	if q := r.URL.Query().Get("theta"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || !(v > 0 && v <= 1) {
+			http.Error(w, "theta must be a number in (0, 1]", http.StatusBadRequest)
+			return
+		}
+		theta = v
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	hits := s.mon.HeavyHitters(theta)
+	n := s.mon.N()
+	resp := queryResponse{
+		Theta:     theta,
+		N:         n,
+		Threshold: theta * float64(n),
+		Converged: s.mon.Converged(),
+		Count:     len(hits),
+		Hits:      make([]queryResult, len(hits)),
+	}
+	for i, h := range hits {
+		qr := queryResult{
+			Src: h.Src.String(), Text: h.Text,
+			Lower: h.Lower, Upper: h.Upper, Cond: h.Cond, Level: h.Level,
+		}
+		if h.Dst.IsValid() {
+			qr.Dst = h.Dst.String()
+		}
+		resp.Hits[i] = qr
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	s.qmu.Lock()
+	snap := s.mon.Snapshot()
+	data, err := snap.MarshalBinary()
+	if err == nil {
+		s.snapBuf = append(s.snapBuf[:0], data...)
+		data = s.snapBuf
+	}
+	s.qmu.Unlock()
+	if err != nil {
+		http.Error(w, "snapshot: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="hhh.snapshot"`)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// watchEvent is the /watch SSE data payload: one standing-query delta.
+type watchEvent struct {
+	Seq      uint64   `json:"seq"`
+	N        uint64   `json:"n"`
+	Theta    float64  `json:"theta"`
+	Dropped  uint64   `json:"dropped,omitempty"`
+	Admitted []string `json:"admitted,omitempty"`
+	Retired  []string `json:"retired,omitempty"`
+	Updated  []string `json:"updated,omitempty"`
+}
+
+// handleWatch streams standing-query deltas as server-sent events. Query
+// parameters: theta (default: the daemon's -theta), k (auto-tune to top-k,
+// overrides theta), min_delta (update hysteresis, stream units), interval
+// (tick interval, Go duration). The stream ends when the client disconnects.
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	opts := rhhh.WatchOptions{Theta: s.theta}
+	q := r.URL.Query()
+	if v := q.Get("theta"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(t > 0 && t <= 1) {
+			http.Error(w, "theta must be a number in (0, 1]", http.StatusBadRequest)
+			return
+		}
+		opts.Theta = t
+	}
+	if v := q.Get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k <= 0 {
+			http.Error(w, "k must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		opts.Theta, opts.AutoThetaK = 0, k
+	}
+	if v := q.Get("min_delta"); v != "" {
+		md, err := strconv.ParseFloat(v, 64)
+		if err != nil || md < 0 {
+			http.Error(w, "min_delta must be a non-negative number", http.StatusBadRequest)
+			return
+		}
+		opts.MinDelta = md
+	}
+	if v := q.Get("interval"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			http.Error(w, "interval must be a positive duration", http.StatusBadRequest)
+			return
+		}
+		opts.Interval = d
+	}
+	sub, err := s.mon.Watch(opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case d, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			ev := watchEvent{Seq: d.Seq, N: d.N, Theta: d.Theta, Dropped: d.Dropped}
+			for _, h := range d.Admitted {
+				ev.Admitted = append(ev.Admitted, h.Text)
+			}
+			for _, h := range d.Retired {
+				ev.Retired = append(ev.Retired, h.Text)
+			}
+			for _, h := range d.Updated {
+				ev.Updated = append(ev.Updated, h.Text)
+			}
+			if _, err := fmt.Fprintf(w, "event: delta\ndata: "); err != nil {
+				return
+			}
+			if err := enc.Encode(ev); err != nil { // Encode appends the \n
+				return
+			}
+			if _, err := fmt.Fprintf(w, "\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
+	"net/http"
 	"os"
 	"slices"
 	"sort"
@@ -24,6 +25,7 @@ import (
 	"rhhh/internal/core"
 	"rhhh/internal/hierarchy"
 	"rhhh/internal/netgen"
+	"rhhh/internal/telemetry"
 	"rhhh/internal/trace"
 	"rhhh/internal/vswitch"
 )
@@ -52,8 +54,18 @@ func main() {
 		standby  = flag.Bool("collector-standby", false, "delta sync: fail over to a standby collector restored from a checkpoint at half the run")
 		backend  = flag.String("backend", "ss", "counter backend: ss (Space Saving stream-summary) or chk (Cuckoo Heavy Keeper)")
 		workers  = flag.Int("workers", 1, "dataplane mode: shared-nothing ingest workers (multi-queue RSS simulation; each owns a datapath and an engine, queries merge published snapshots)")
+		metrics  = flag.String("metrics-addr", "", "optional listen address for Prometheus /metrics (empty = disabled)")
 	)
 	flag.Parse()
+
+	// reg stays nil (telemetry.Disabled) without -metrics-addr: every
+	// Instrument call below is then a no-op and the hot paths keep their
+	// uninstrumented branches.
+	reg := telemetry.Disabled
+	if *metrics != "" {
+		reg = telemetry.NewRegistry()
+		serveMetrics(*metrics, reg)
+	}
 
 	var engBackend core.Backend
 	switch *backend {
@@ -94,7 +106,7 @@ func main() {
 			dom: dom, packets: packets, workers: *workers,
 			epsilon: *epsilon, delta: *delta, v: v, seed: *seed, backend: engBackend,
 			byBytes: *byBytes, theta: *theta, duration: *duration,
-			watch: *watch, watchIvl: *watchIvl,
+			watch: *watch, watchIvl: *watchIvl, reg: reg,
 		})
 		return
 	}
@@ -132,6 +144,14 @@ func main() {
 				differ: core.NewDiffer[uint64](),
 			}
 		}
+		if reg != nil {
+			st := &telemetry.EngineStats{}
+			st.Register(reg, "")
+			hook = &telemetryHook{
+				inner: hook, eng: eng, st: st,
+				every: mqPublishEvery, next: eng.N() + mqPublishEvery,
+			}
+		}
 		report = func() {
 			if *ckpt != "" {
 				if err := writeEngineCheckpoint(eng, *ckpt); err != nil {
@@ -142,6 +162,7 @@ func main() {
 		}
 	case "distributed":
 		col := vswitch.NewCollector(dom, *epsilon, *delta, v)
+		col.Instrument(reg)
 		if *syncMode == "delta" {
 			hook, report = setupDeltaSync(deltaSyncConfig{
 				dom: dom, col: col, v: v,
@@ -150,7 +171,7 @@ func main() {
 				every: *repEvery, timeout: *repTmo, resyncEvery: *resyncEv,
 				standby: *standby, failAfter: *duration / 2,
 				watch: *watch, watchIvl: *watchIvl,
-				backend: engBackend,
+				backend: engBackend, reg: reg,
 			})
 			break
 		}
@@ -223,6 +244,7 @@ type multiQueueConfig struct {
 	duration       time.Duration
 	watch          bool
 	watchIvl       time.Duration
+	reg            *telemetry.Registry
 }
 
 // mqPublishEvery is the per-worker publication cadence in packets — the same
@@ -242,14 +264,20 @@ type mqWorker struct {
 	pkts []trace.Packet
 	cell atomic.Pointer[core.EngineSnapshot[uint64]]
 	prev *core.EngineSnapshot[uint64] // producer-goroutine only
+	tm   *telemetry.EngineStats       // nil without -metrics-addr
 }
 
 // publish captures the engine into a fresh immutable epoch (sharing
 // unchanged node buffers with the previous one) and makes it the worker's
-// published snapshot. Producer-goroutine only.
+// published snapshot. Producer-goroutine only. Telemetry rides the same
+// cadence: counters are owner-plain on the hot path and only stored to the
+// scrape-visible cells here.
 func (w *mqWorker) publish() {
 	w.prev = w.eng.PublishSnapshot(w.prev)
 	w.cell.Store(w.prev)
+	if w.tm != nil {
+		w.eng.TelemetryInto(w.tm)
+	}
 }
 
 // mqPublishHook wraps the engine hook with the publication cadence.
@@ -326,6 +354,10 @@ func runMultiQueue(cfg multiQueueConfig) {
 			engHook = vswitch.NewEngineHookBytes(eng)
 		}
 		w := &mqWorker{eng: eng, pkts: parts[i]}
+		if cfg.reg != nil {
+			w.tm = &telemetry.EngineStats{}
+			w.tm.Register(cfg.reg, fmt.Sprintf(`{worker="%d"}`, i))
+		}
 		w.dp = vswitch.NewDatapath(&ft, vswitch.NewEMC(8192, cfg.seed+uint64(i)), &mqPublishHook{
 			EngineHook: engHook, w: w, next: mqPublishEvery,
 		})
@@ -459,6 +491,64 @@ func printWatchEvents(dom *hierarchy.Domain[uint64], seq, n uint64, admitted, re
 	}
 }
 
+// telemetryHook wraps the dataplane hook chain with a packet-count-driven
+// telemetry publication: every `every` packets it stores the engine's plain
+// counters into the scrape-visible cells, keeping the per-packet cost to one
+// branch on N.
+type telemetryHook struct {
+	inner vswitch.Hook
+	eng   *core.Engine[uint64]
+	st    *telemetry.EngineStats
+	every uint64
+	next  uint64
+}
+
+func (h *telemetryHook) OnPacket(p trace.Packet) {
+	h.inner.OnPacket(p)
+	h.maybePublish()
+}
+
+func (h *telemetryHook) OnBatch(ps []trace.Packet) {
+	if bh, ok := h.inner.(vswitch.BatchHook); ok {
+		bh.OnBatch(ps)
+	} else {
+		for _, p := range ps {
+			h.inner.OnPacket(p)
+		}
+	}
+	h.maybePublish()
+}
+
+func (h *telemetryHook) maybePublish() {
+	if h.eng.N() < h.next {
+		return
+	}
+	for h.next <= h.eng.N() {
+		h.next += h.every
+	}
+	h.eng.TelemetryInto(h.st)
+}
+
+// serveMetrics starts the Prometheus exposition listener in the background:
+// vswitchd's datapath loops are synchronous, so the scrape surface gets its
+// own goroutine for the lifetime of the process.
+func serveMetrics(addr string, reg *telemetry.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	go func() {
+		fmt.Fprintf(os.Stderr, "vswitchd: metrics on http://%s/metrics\n", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "vswitchd: metrics server: %v\n", err)
+		}
+	}()
+}
+
 // checkpointHook wraps the dataplane EngineHook with periodic snapshot
 // checkpoints, so long measurements survive a restart (restore with the
 // same -checkpoint flag).
@@ -560,6 +650,7 @@ type deltaSyncConfig struct {
 	watch          bool
 	watchIvl       time.Duration
 	backend        core.Backend
+	reg            *telemetry.Registry
 }
 
 // setupDeltaSync wires the fault-tolerant acked report protocol: a local RHHH
@@ -615,6 +706,7 @@ func setupDeltaSync(cfg deltaSyncConfig) (vswitch.Hook, func()) {
 	rep := vswitch.NewDeltaReporter(eng, tr, 1, vswitch.ReporterOptions{
 		Every: cfg.every, ResyncEvery: cfg.resyncEvery, Timeout: cfg.timeout, Seed: cfg.seed,
 	})
+	rep.Instrument(cfg.reg)
 	if cfg.watch {
 		if cfg.standby {
 			fatalf("-watch cannot follow the collector across -collector-standby fail-over")

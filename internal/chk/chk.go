@@ -100,6 +100,12 @@ type Sketch[K comparable] struct {
 	stash    []stashEntry[K]
 	perm     []int32 // ForEach scratch: occupied slot order
 	displace bool    // some key has been decayed out or taken over
+
+	// Lifetime decay-competition counters (they survive Reset so published
+	// telemetry stays monotone). Owned by the updating goroutine; readers
+	// go through the publication path.
+	decays    uint64 // successful decay decrements
+	takeovers uint64 // slots decayed to zero and taken over
 }
 
 // seededHashFor builds the key-hash function for seed: integer carriers get
@@ -165,6 +171,15 @@ func (s *Sketch[K]) N() uint64 { return s.n }
 
 // Len returns the number of monitored keys.
 func (s *Sketch[K]) Len() int { return s.used + len(s.stash) }
+
+// Decays returns the lifetime count of successful decay decrements.
+func (s *Sketch[K]) Decays() uint64 { return s.decays }
+
+// Takeovers returns the lifetime count of decayed-to-zero slot takeovers.
+func (s *Sketch[K]) Takeovers() uint64 { return s.takeovers }
+
+// StashLen returns the number of overflow counters parked in the stash.
+func (s *Sketch[K]) StashLen() int { return len(s.stash) }
 
 // MinCount bounds (heuristically) the count of an unmonitored key: zero
 // while every key ever seen is still monitored — then the bound is exact —
@@ -292,8 +307,10 @@ func (s *Sketch[K]) decay(i1, i2 int, k K, h uint32, w uint64) {
 			remaining -= trials
 		}
 		s.counts[vi]--
+		s.decays++
 		s.displace = true
 		if s.counts[vi] == 0 {
+			s.takeovers++
 			// The successful unit both decrements and takes the slot over;
 			// the remaining weight lands on the now-monitored key.
 			s.keys[vi] = k

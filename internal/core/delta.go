@@ -62,6 +62,10 @@ func NewDiffer[K comparable]() *Differ[K] {
 	return &Differ[K]{hash: extHashFor[K](), tab: make([]int32, 64), mask: 63}
 }
 
+// Len returns the size of the last reported set (the entries the differ is
+// tracking for the next Diff).
+func (d *Differ[K]) Len() int { return len(d.state[d.live]) }
+
 // cls sentinel values; non-negative entries are live-slab indices of
 // survivors kept at their last reported values.
 const (

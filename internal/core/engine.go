@@ -74,6 +74,8 @@ type Engine[K comparable] struct {
 	v, h    uint64
 	r       int
 	packets uint64 // number of Update/UpdateWeighted calls
+	samples uint64 // sampled updates forwarded to a lattice node
+	batches uint64 // UpdateBatch/UpdateWeightedBatch calls
 	// extraW tracks stream weight beyond one unit per packet, so the unit
 	// Update path maintains a single counter; total weight is
 	// packets + extraW (extraW is negative when zero-weight packets occur).
@@ -284,6 +286,7 @@ func (e *Engine[K]) Update(k K) {
 		if e.packets < e.nextSample {
 			return
 		}
+		e.samples++
 		node := int(e.rng.Uint64n(e.h))
 		if e.ss != nil {
 			e.ss[node].Increment(e.mask(k, node))
@@ -297,6 +300,7 @@ func (e *Engine[K]) Update(k K) {
 	}
 	if e.r == 1 {
 		if d := e.rng.Uint64n(e.v); d < e.h {
+			e.samples++
 			node := int(d)
 			if e.ss != nil {
 				e.ss[node].Increment(e.mask(k, node))
@@ -310,6 +314,7 @@ func (e *Engine[K]) Update(k K) {
 	}
 	for i := 0; i < e.r; i++ {
 		if d := e.rng.Uint64n(e.v); d < e.h {
+			e.samples++
 			node := int(d)
 			if e.ss != nil {
 				e.ss[node].Increment(e.mask(k, node))
@@ -335,6 +340,7 @@ func (e *Engine[K]) UpdateWeighted(k K, w uint64) {
 		if e.packets < e.nextSample {
 			return
 		}
+		e.samples++
 		node := int(e.rng.Uint64n(e.h))
 		if e.ss != nil {
 			e.ss[node].IncrementBy(e.mask(k, node), w)
@@ -348,6 +354,7 @@ func (e *Engine[K]) UpdateWeighted(k K, w uint64) {
 	}
 	for i := 0; i < e.r; i++ {
 		if d := e.rng.Uint64n(e.v); d < e.h {
+			e.samples++
 			node := int(d)
 			if e.ss != nil {
 				e.ss[node].IncrementBy(e.mask(k, node), w)
@@ -453,7 +460,9 @@ func (e *Engine[K]) UpdateWeightedBatch(keys []K, ws []uint64) {
 // across nodes, and the per-run applies then replay the window's plan
 // against warm lines.
 func (e *Engine[K]) applyGrouped(weighted bool) {
+	e.batches++
 	n := len(e.batchNode)
+	e.samples += uint64(n)
 	if n == 0 {
 		return
 	}

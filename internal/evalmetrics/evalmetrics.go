@@ -2,7 +2,7 @@
 // the accuracy error ratio of Figure 2, the coverage error percentage of
 // Figure 3, and the false positive ratio of Figure 4, given an algorithm's
 // output and the exact oracle.
-package metrics
+package evalmetrics
 
 import (
 	"math"

@@ -1,14 +1,14 @@
-package metrics_test
+package evalmetrics_test
 
 import (
 	"testing"
 
 	"rhhh/internal/baseline/mst"
 	"rhhh/internal/core"
+	"rhhh/internal/evalmetrics"
 	"rhhh/internal/exact"
 	"rhhh/internal/fastrand"
 	"rhhh/internal/hierarchy"
-	"rhhh/internal/metrics"
 )
 
 func ip4(a, b, c, d byte) uint32 {
@@ -45,45 +45,45 @@ func TestMetricsOnDeterministicBaseline(t *testing.T) {
 	}
 	out := alg.Output(0.1)
 
-	if r := metrics.AccuracyErrorRatio(out, oracle, 0.005); r != 0 {
+	if r := evalmetrics.AccuracyErrorRatio(out, oracle, 0.005); r != 0 {
 		t.Errorf("MST accuracy error ratio = %v, want 0", r)
 	}
-	if r := metrics.CoverageErrorRatio(out, oracle, 0.1); r != 0 {
+	if r := evalmetrics.CoverageErrorRatio(out, oracle, 0.1); r != 0 {
 		t.Errorf("MST coverage error ratio = %v, want 0", r)
 	}
 	ex := oracle.HHH(0.1)
-	if r := metrics.Recall(out, ex); r != 1 {
+	if r := evalmetrics.Recall(out, ex); r != 1 {
 		t.Errorf("MST recall = %v, want 1", r)
 	}
 	// FPR is allowed to be positive (approximate HHH admits supersets) but
 	// must be bounded well below 1 on this strongly structured stream.
-	if r := metrics.FalsePositiveRatio(out, ex); r > 0.8 {
+	if r := evalmetrics.FalsePositiveRatio(out, ex); r > 0.8 {
 		t.Errorf("MST FPR = %v suspiciously high", r)
 	}
 }
 
 func TestFalsePositiveRatioCorners(t *testing.T) {
 	var empty []core.Result[uint32]
-	if r := metrics.FalsePositiveRatio(empty, nil); r != 0 {
+	if r := evalmetrics.FalsePositiveRatio(empty, nil); r != 0 {
 		t.Errorf("empty output FPR = %v", r)
 	}
 	out := []core.Result[uint32]{{Key: 1, Node: 0}}
-	if r := metrics.FalsePositiveRatio(out, nil); r != 1 {
+	if r := evalmetrics.FalsePositiveRatio(out, nil); r != 1 {
 		t.Errorf("all-false output FPR = %v, want 1", r)
 	}
 	ex := []exact.Result[uint32]{{Key: 1, Node: 0}}
-	if r := metrics.FalsePositiveRatio(out, ex); r != 0 {
+	if r := evalmetrics.FalsePositiveRatio(out, ex); r != 0 {
 		t.Errorf("all-true output FPR = %v, want 0", r)
 	}
 }
 
 func TestRecallCorners(t *testing.T) {
-	if r := metrics.Recall[uint32](nil, nil); r != 1 {
+	if r := evalmetrics.Recall[uint32](nil, nil); r != 1 {
 		t.Errorf("recall with empty exact set = %v, want 1", r)
 	}
 	ex := []exact.Result[uint32]{{Key: 1, Node: 0}, {Key: 2, Node: 0}}
 	out := []core.Result[uint32]{{Key: 1, Node: 0}}
-	if r := metrics.Recall(out, ex); r != 0.5 {
+	if r := evalmetrics.Recall(out, ex); r != 0.5 {
 		t.Errorf("recall = %v, want 0.5", r)
 	}
 }
@@ -98,11 +98,11 @@ func TestAccuracyErrorCountsDeviations(t *testing.T) {
 	out := []core.Result[uint32]{{
 		Key: ip4(1, 1, 1, 1), Node: dom.FullNode(), Upper: 2000, Lower: 900,
 	}}
-	if r := metrics.AccuracyErrorRatio(out, oracle, 0.01); r != 1 {
+	if r := evalmetrics.AccuracyErrorRatio(out, oracle, 0.01); r != 1 {
 		t.Errorf("ratio = %v, want 1 (estimate off by 1000 > 10)", r)
 	}
 	out[0].Upper = 1005
-	if r := metrics.AccuracyErrorRatio(out, oracle, 0.01); r != 0 {
+	if r := evalmetrics.AccuracyErrorRatio(out, oracle, 0.01); r != 0 {
 		t.Errorf("ratio = %v, want 0 (estimate within εN)", r)
 	}
 }

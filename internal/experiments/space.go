@@ -4,9 +4,9 @@ import (
 	"rhhh/internal/baseline/ancestry"
 	"rhhh/internal/baseline/mst"
 	"rhhh/internal/core"
+	"rhhh/internal/evalmetrics"
 	"rhhh/internal/exact"
 	"rhhh/internal/hierarchy"
-	"rhhh/internal/metrics"
 	"rhhh/internal/trace"
 )
 
@@ -74,10 +74,10 @@ func AblationWeighted(cfg SweepConfig) []Table {
 		Headers: []string{"algorithm", "recall", "false-positive ratio", "outputs", "exact HHHs"},
 	}
 	outR := eng.Output(cfg.Theta)
-	t.Add("RHHH (weighted)", metrics.Recall(outR, exactSet),
-		metrics.FalsePositiveRatio(outR, exactSet), len(outR), len(exactSet))
+	t.Add("RHHH (weighted)", evalmetrics.Recall(outR, exactSet),
+		evalmetrics.FalsePositiveRatio(outR, exactSet), len(outR), len(exactSet))
 	outM := ms.Output(cfg.Theta)
-	t.Add("MST (weighted)", metrics.Recall(outM, exactSet),
-		metrics.FalsePositiveRatio(outM, exactSet), len(outM), len(exactSet))
+	t.Add("MST (weighted)", evalmetrics.Recall(outM, exactSet),
+		evalmetrics.FalsePositiveRatio(outM, exactSet), len(outM), len(exactSet))
 	return []Table{t}
 }

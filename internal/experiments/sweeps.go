@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"rhhh/internal/core"
+	"rhhh/internal/evalmetrics"
 	"rhhh/internal/exact"
 	"rhhh/internal/hierarchy"
-	"rhhh/internal/metrics"
 	"rhhh/internal/trace"
 )
 
@@ -106,10 +106,10 @@ func runSweep[K comparable](cfg SweepConfig, dom *hierarchy.Domain[K], mkAlgs fu
 					Profile:   profile,
 					Algorithm: a.name,
 					N:         n,
-					Accuracy:  metrics.AccuracyErrorRatio(out, oracle, 2*cfg.Epsilon),
-					Coverage:  metrics.CoverageErrorRatio(out, oracle, cfg.Theta),
-					FPR:       metrics.FalsePositiveRatio(out, exactSet),
-					Recall:    metrics.Recall(out, exactSet),
+					Accuracy:  evalmetrics.AccuracyErrorRatio(out, oracle, 2*cfg.Epsilon),
+					Coverage:  evalmetrics.CoverageErrorRatio(out, oracle, cfg.Theta),
+					FPR:       evalmetrics.FalsePositiveRatio(out, exactSet),
+					Recall:    evalmetrics.Recall(out, exactSet),
 					Outputs:   len(out),
 				}
 				if a.psi > 0 {

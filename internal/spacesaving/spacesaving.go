@@ -137,6 +137,12 @@ type Summary[K comparable] struct {
 	dupEpoch uint32
 
 	warmSink uint64 // defeats dead-load elimination of the resolve loads
+
+	// evictions counts minimum-counter takeovers over the summary's
+	// lifetime (it survives Reset so published telemetry stays monotone).
+	// Owned by the updating goroutine like all other state; readers go
+	// through the publication path, never this field.
+	evictions uint64
 }
 
 // dupTabSize is the duplicate-detection table size: double BatchChunk, so
@@ -236,6 +242,12 @@ func (s *Summary[K]) N() uint64 { return s.n }
 
 // Len returns the number of currently monitored keys.
 func (s *Summary[K]) Len() int { return s.used }
+
+// Evictions returns the lifetime count of minimum-counter takeovers.
+func (s *Summary[K]) Evictions() uint64 { return s.evictions }
+
+// StashLen returns the number of slots parked in the cuckoo-index stash.
+func (s *Summary[K]) StashLen() int { return len(s.stash) }
 
 // MinCount returns the smallest tracked count, or 0 while the table has
 // spare capacity (an unseen key then provably has frequency 0).
@@ -381,6 +393,7 @@ func (s *Summary[K]) insertOrEvict(k K, h uint32, w uint64) {
 	}
 	c := s.buckets[s.min].head
 	minCount := s.buckets[s.min].count
+	s.evictions++
 	s.indexDelete(c)
 	s.hot[c].key = k
 	s.cold[c].err = minCount
@@ -636,6 +649,7 @@ func (s *Summary[K]) evictRun(keys []K, hashes []uint32, w uint64) {
 		c := s.buckets[b0].head
 		for c != nilIdx && i < len(keys) {
 			next := s.hot[c].next
+			s.evictions++
 			s.indexDelete(c)
 			s.hot[c].key = keys[i]
 			s.cold[c].err = m

@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a minimal parser for the Prometheus text exposition format,
+// used by the golden tests (here and in cmd/hhhd) to validate what the
+// registry renders: every registered series present, HELP/TYPE lines
+// well-formed, histogram buckets cumulative. It is intentionally strict
+// about the subset the registry emits rather than lenient about the full
+// format.
+
+// ParsedSample is one sample line: metric name (with _bucket/_sum/_count
+// suffixes intact), sorted rendered labels, and the value.
+type ParsedSample struct {
+	Name   string
+	Labels string // canonical form: sorted `a="b",c="d"` without braces
+	Value  float64
+}
+
+// ParsedFamily is one # HELP/# TYPE block and its samples.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// ParseProm parses a text exposition. It enforces the structure the
+// registry guarantees: every sample preceded by its family's HELP and TYPE
+// lines, TYPE one of counter/gauge/histogram, sample names matching the
+// family (allowing histogram suffixes), and float-parsable values.
+func ParseProm(text string) (map[string]*ParsedFamily, error) {
+	fams := make(map[string]*ParsedFamily)
+	var cur *ParsedFamily
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			if _, dup := fams[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			cur = &ParsedFamily{Name: name, Help: help}
+			fams[name] = cur
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || cur == nil || name != cur.Name {
+				return nil, fmt.Errorf("line %d: TYPE not immediately after its HELP: %q", lineNo, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, fmt.Errorf("line %d: bad TYPE %q", lineNo, typ)
+			}
+			if cur.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			cur.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if cur == nil || !sampleBelongs(s.Name, cur) {
+			return nil, fmt.Errorf("line %d: sample %s outside its family block", lineNo, s.Name)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	for name, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s: missing TYPE", name)
+		}
+		if len(f.Samples) == 0 {
+			return nil, fmt.Errorf("family %s: no samples", name)
+		}
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+func sampleBelongs(sample string, f *ParsedFamily) bool {
+	if f.Type == "histogram" {
+		return sample == f.Name+"_bucket" || sample == f.Name+"_sum" || sample == f.Name+"_count"
+	}
+	return sample == f.Name
+}
+
+// parseSample splits `name{a="b",c="d"} value` (labels optional).
+func parseSample(line string) (ParsedSample, error) {
+	var s ParsedSample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return s, fmt.Errorf("malformed labels in %q", line)
+		}
+		s.Name = line[:i]
+		raw := line[i+1 : j]
+		canon, err := canonLabels(raw)
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels = canon
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		s.Name = name
+		rest = val
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	if i := strings.IndexByte(rest, ' '); i >= 0 { // value [timestamp]
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil && rest != "+Inf" {
+		return s, fmt.Errorf("bad value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// canonLabels validates `a="b",c="d"` pairs and returns them sorted.
+func canonLabels(raw string) (string, error) {
+	if raw == "" {
+		return "", nil
+	}
+	var pairs []string
+	for _, pair := range strings.Split(raw, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return "", fmt.Errorf("malformed label pair %q", pair)
+		}
+		pairs = append(pairs, pair)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ","), nil
+}
+
+// checkHistogram validates cumulative bucket monotonicity, the +Inf
+// terminal bucket, and _count == +Inf count for every label set.
+func checkHistogram(f *ParsedFamily) error {
+	type hist struct {
+		last    float64
+		lastLE  float64
+		infSeen bool
+		inf     float64
+		count   float64
+		hasCnt  bool
+	}
+	byLabels := make(map[string]*hist)
+	get := func(labels string) *hist {
+		h := byLabels[labels]
+		if h == nil {
+			h = &hist{lastLE: -1}
+			byLabels[labels] = h
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, rest := "", s.Labels
+			var kept []string
+			for _, pair := range strings.Split(rest, ",") {
+				if v, ok := strings.CutPrefix(pair, `le="`); ok {
+					le = strings.TrimSuffix(v, `"`)
+				} else if pair != "" {
+					kept = append(kept, pair)
+				}
+			}
+			if le == "" {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			h := get(strings.Join(kept, ","))
+			if le == "+Inf" {
+				h.infSeen = true
+				h.inf = s.Value
+				if s.Value < h.last {
+					return fmt.Errorf("%s: +Inf bucket %v below prior bucket %v", f.Name, s.Value, h.last)
+				}
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, le)
+			}
+			if bound <= h.lastLE {
+				return fmt.Errorf("%s: le bounds not increasing (%v after %v)", f.Name, bound, h.lastLE)
+			}
+			if s.Value < h.last {
+				return fmt.Errorf("%s: bucket counts not cumulative (%v after %v)", f.Name, s.Value, h.last)
+			}
+			if h.infSeen {
+				return fmt.Errorf("%s: finite bucket after +Inf", f.Name)
+			}
+			h.lastLE = bound
+			h.last = s.Value
+		case f.Name + "_count":
+			h := get(s.Labels)
+			h.count = s.Value
+			h.hasCnt = true
+		}
+	}
+	for labels, h := range byLabels {
+		if !h.infSeen {
+			return fmt.Errorf("%s{%s}: missing +Inf bucket", f.Name, labels)
+		}
+		if !h.hasCnt {
+			return fmt.Errorf("%s{%s}: missing _count", f.Name, labels)
+		}
+		if h.count != h.inf {
+			return fmt.Errorf("%s{%s}: _count %v != +Inf bucket %v", f.Name, labels, h.count, h.inf)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the sample with the given name and canonical sorted
+// labels, for test assertions.
+func Lookup(fams map[string]*ParsedFamily, family, sample, labels string) (ParsedSample, bool) {
+	f, ok := fams[family]
+	if !ok {
+		return ParsedSample{}, false
+	}
+	for _, s := range f.Samples {
+		if s.Name == sample && s.Labels == labels {
+			return s, true
+		}
+	}
+	return ParsedSample{}, false
+}

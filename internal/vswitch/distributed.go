@@ -271,6 +271,11 @@ type Collector struct {
 	ex         *core.Extractor[uint64]
 	localDirty bool
 	localBuilt bool
+
+	// Scrape scratch for the per-sender telemetry collectors (telemetry.go):
+	// the sorted id slice and the cached rendered label sets.
+	tmOrder  []uint16
+	tmLabels map[uint16]string
 }
 
 // NewCollector builds a collector matching the sampler's configuration

@@ -138,6 +138,7 @@ type DeltaReporter struct {
 	pollCtr uint32
 	ackBuf  [ackMsgLen]byte
 	stats   ReporterStats
+	tm      *ReporterTelemetry // nil when uninstrumented; published per tick
 	sendErr error
 }
 
@@ -224,6 +225,9 @@ func (r *DeltaReporter) tick(force bool) {
 		for r.next <= r.eng.N() {
 			r.next += r.opts.Every
 		}
+	}
+	if r.tm != nil {
+		r.publishTelemetry()
 	}
 }
 

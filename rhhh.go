@@ -40,6 +40,7 @@ import (
 	"rhhh/internal/core"
 	"rhhh/internal/hierarchy"
 	"rhhh/internal/stats"
+	"rhhh/internal/telemetry"
 )
 
 // Granularity is the prefix step of the hierarchy.
@@ -207,6 +208,7 @@ type monImpl interface {
 	vParam() int
 	watch(opts WatchOptions) (*Subscription, error)
 	tickWatch()
+	instrument(reg *telemetry.Registry) error
 }
 
 // New validates cfg and builds a Monitor.
@@ -363,6 +365,19 @@ func (m *Monitor) Algorithm() Algorithm { return m.cfg.Algorithm }
 // Reset clears all measurement state, keeping the configuration.
 func (m *Monitor) Reset() { m.impl.reset() }
 
+// Instrument registers the monitor's telemetry (engine counters, backend
+// occupancy, standing-query stats) with reg. The update path publishes its
+// counters every telemetryPublishPackets packets — the uninstrumented cost
+// is one predictable branch per update. Call it before feeding traffic; the
+// monitor is single-threaded, so the hookup shares its owner's ordering.
+// Only the RHHH algorithm is instrumentable. A nil reg is a no-op.
+func (m *Monitor) Instrument(reg *telemetry.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	return m.impl.instrument(reg)
+}
+
 // toAddr converts a netip.Addr to the internal 128-bit form, validating the
 // family. The zero Addr maps to the zero value (used for the ignored
 // dimension).
@@ -411,6 +426,43 @@ type impl[K comparable] struct {
 	// subscriptions, hubSnap is the reused capture buffer its ticks read.
 	hub     *watchHub[K]
 	hubSnap core.EngineSnapshot[K]
+
+	// Telemetry state installed by instrument (tm nil when uninstrumented):
+	// the update path republishes the engine block when packets reaches
+	// tmNext, amortizing the O(H) backend walk over the publish interval.
+	tm      *telemetry.EngineStats
+	tmEng   *core.Engine[K]
+	tmNext  uint64
+	tmEvery uint64
+	watchTM *telemetry.WatchStats
+}
+
+// telemetryPublishPackets is the monitor-level telemetry publish cadence.
+const telemetryPublishPackets = 4096
+
+func (im *impl[K]) instrument(reg *telemetry.Registry) error {
+	eng, ok := im.alg.(*core.Engine[K])
+	if !ok {
+		return errors.New("rhhh: telemetry requires the RHHH algorithm")
+	}
+	im.tm = &telemetry.EngineStats{}
+	im.tm.Register(reg, "")
+	im.tmEng = eng
+	im.tmEvery = telemetryPublishPackets
+	im.tmNext = im.packets + im.tmEvery
+	eng.TelemetryInto(im.tm)
+	im.watchTM = &telemetry.WatchStats{}
+	im.watchTM.Register(reg, "")
+	if im.hub != nil {
+		im.hub.instrument(im.watchTM)
+	}
+	return nil
+}
+
+// publishTelemetry refreshes the engine block and re-arms the watermark.
+func (im *impl[K]) publishTelemetry() {
+	im.tmEng.TelemetryInto(im.tm)
+	im.tmNext = im.packets + im.tmEvery
 }
 
 // watch lazily builds the monitor-level hub (capture = engine snapshot into
@@ -427,6 +479,9 @@ func (im *impl[K]) watch(opts WatchOptions) (*Subscription, error) {
 		im.hub = newWatchHub(im.dom, im.split, im.v6, func() *core.EngineSnapshot[K] {
 			return eng.SnapshotInto(&im.hubSnap)
 		})
+		if im.watchTM != nil {
+			im.hub.instrument(im.watchTM)
+		}
 	}
 	return im.hub.register(opts)
 }
@@ -495,6 +550,9 @@ func (im *impl[K]) update(src, dst hierarchy.Addr, w uint64) {
 	} else {
 		im.alg.UpdateWeighted(k, w)
 	}
+	if im.tm != nil && im.packets >= im.tmNext {
+		im.publishTelemetry()
+	}
 }
 
 func (im *impl[K]) updateBatch(srcs, dsts []netip.Addr) {
@@ -510,10 +568,13 @@ func (im *impl[K]) updateBatch(srcs, dsts []netip.Addr) {
 	im.packets += uint64(len(buf))
 	if im.batch != nil {
 		im.batch(buf)
-		return
+	} else {
+		for _, k := range buf {
+			im.alg.Update(k)
+		}
 	}
-	for _, k := range buf {
-		im.alg.Update(k)
+	if im.tm != nil && im.packets >= im.tmNext {
+		im.publishTelemetry()
 	}
 }
 
@@ -530,10 +591,13 @@ func (im *impl[K]) updateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
 	im.packets += uint64(len(buf))
 	if im.batchW != nil {
 		im.batchW(buf, ws)
-		return
+	} else {
+		for i, k := range buf {
+			im.alg.UpdateWeighted(k, ws[i])
+		}
 	}
-	for i, k := range buf {
-		im.alg.UpdateWeighted(k, ws[i])
+	if im.tm != nil && im.packets >= im.tmNext {
+		im.publishTelemetry()
 	}
 }
 

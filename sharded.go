@@ -10,6 +10,7 @@ import (
 
 	"rhhh/internal/core"
 	"rhhh/internal/hierarchy"
+	"rhhh/internal/telemetry"
 )
 
 // Sharded spreads measurement across several shared-nothing RHHH workers —
@@ -64,6 +65,11 @@ type Sharded struct {
 	watchWake   chan struct{}
 	watchDone   chan struct{}
 	watchClosed bool
+
+	// Telemetry blocks installed by Instrument (nil when uninstrumented):
+	// qtm is owned by aggMu holders, watchTM by the watch hub.
+	qtm     *telemetry.QueryStats
+	watchTM *telemetry.WatchStats
 }
 
 // ShardedOptions tunes a Sharded's publication cadence. The zero value means
@@ -105,8 +111,17 @@ type Worker struct {
 	// publish captures the worker's engine into a publication slot sharing
 	// unchanged node buffers with prev and recycling buffers no reader can
 	// still observe (see core.PubRing); installed by the carrier-typed
-	// aggregator.
-	publish func(prev any) (snap any, weight uint64)
+	// aggregator along with the producer-only ring/engine telemetry hooks.
+	publish   func(prev any) (snap any, weight uint64)
+	ringSlots func() int
+	engTelem  func(*telemetry.EngineStats)
+
+	// Telemetry block installed by Sharded.Instrument before producers
+	// start; nil means uninstrumented. syncs/pubs are the owner-side live
+	// counts published into tm at each Sync.
+	tm    *telemetry.WorkerStats
+	syncs uint64
+	pubs  uint64
 }
 
 // pubCell is one worker's publication slot, padded onto its own cache lines
@@ -180,9 +195,32 @@ func (w *Worker) Sync() {
 	w.batches = 0
 	w.nextPub = w.count + w.pubPackets
 	if snap == prev.snap {
+		if w.tm != nil {
+			w.syncs++
+			w.publishTelemetry(prev.epoch)
+		}
 		return // unchanged: keep the published epoch
 	}
 	w.cell.v.Store(&pubState{snap: snap, epoch: prev.epoch + 1, weight: weight})
+	if w.tm != nil {
+		w.syncs++
+		w.pubs++
+		w.publishTelemetry(prev.epoch + 1)
+	}
+}
+
+// publishTelemetry stores the worker's owner-side counters and its engine's
+// aggregates into the telemetry block. Producer-goroutine only; runs once
+// per Sync, so its O(H) engine walk is amortized over the publication
+// cadence.
+func (w *Worker) publishTelemetry(epoch uint64) {
+	tm := w.tm
+	tm.Syncs.Store(w.syncs)
+	tm.Publications.Store(w.pubs)
+	tm.Epoch.Store(epoch)
+	tm.RingSlots.Store(uint64(w.ringSlots()))
+	tm.LastPublish.Store(uint64(time.Now().UnixNano()))
+	w.engTelem(&tm.Engine)
 }
 
 // N returns the worker's live stream weight. Owner-goroutine read, like the
@@ -253,11 +291,44 @@ func NewShardedOptions(cfg Config, n int, opts ShardedOptions) (*Sharded, error)
 		return nil, fmt.Errorf("rhhh: unknown shard implementation %T", monitors[0].impl)
 	}
 	for i, w := range s.workers {
-		w.publish = s.agg.publisher(i)
+		w.publish, w.ringSlots, w.engTelem = s.agg.publisher(i)
 		snap, weight := w.publish(nil)
 		w.cell.v.Store(&pubState{snap: snap, weight: weight})
 	}
 	return s, nil
+}
+
+// Instrument registers the sharded monitor's telemetry — one worker block
+// per worker (labeled worker="i"), the query-path block, and the standing-
+// query block — with reg. Call it after construction and before any
+// producer goroutine starts: the per-worker hookup is unsynchronized by
+// design (the producer sees it through the happens-before edge of its own
+// goroutine start). A nil reg (telemetry.Disabled) leaves the monitor
+// uninstrumented. Worker counters surface at each publication boundary;
+// call Worker.Sync (or let the cadence fire) to refresh them.
+func (s *Sharded) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for i, w := range s.workers {
+		tm := &telemetry.WorkerStats{}
+		tm.Register(reg, fmt.Sprintf(`{worker="%d"}`, i))
+		w.tm = tm
+		// Seed the gauges so occupancy/slots are live before first traffic.
+		w.publishTelemetry(w.Epoch())
+	}
+	s.aggMu.Lock()
+	s.qtm = &telemetry.QueryStats{}
+	s.qtm.Register(reg, "")
+	s.agg.instrument(s.qtm)
+	s.aggMu.Unlock()
+	s.watchMu.Lock()
+	s.watchTM = &telemetry.WatchStats{}
+	s.watchTM.Register(reg, "")
+	if s.hub != nil {
+		s.hub.instrument(s.watchTM)
+	}
+	s.watchMu.Unlock()
 }
 
 // Workers returns the number of workers.
@@ -340,7 +411,8 @@ type shardAgg interface {
 	query(workers []*Worker, theta float64) []HeavyHitter
 	freshSnapshot(workers []*Worker) snapCore
 	watchHub(s *Sharded) watchCtl
-	publisher(i int) func(prev any) (snap any, weight uint64)
+	publisher(i int) (pub func(prev any) (snap any, weight uint64), ringSlots func() int, engTelem func(*telemetry.EngineStats))
+	instrument(q *telemetry.QueryStats)
 }
 
 // aggState implements shardAgg over carrier type K with a reusable merger and
@@ -367,7 +439,15 @@ type aggState[K comparable] struct {
 	wptrs   []*core.EngineSnapshot[K]
 	wsm     core.SnapshotMerger[K]
 	wmerged core.EngineSnapshot[K]
+
+	// qtm is the query-path telemetry block (nil when uninstrumented),
+	// mutated only under the owning Sharded's aggMu — except the watch
+	// capture closure's pin-retry accounting, which uses the cell's atomic
+	// Add under the hub lock.
+	qtm *telemetry.QueryStats
 }
+
+func (a *aggState[K]) instrument(q *telemetry.QueryStats) { a.qtm = q }
 
 func newAggState[K comparable](first *impl[K], monitors []*Monitor) *aggState[K] {
 	a := &aggState[K]{
@@ -392,9 +472,10 @@ func newAggState[K comparable](first *impl[K], monitors []*Monitor) *aggState[K]
 // publisher returns worker i's publish closure: a capture of its engine into
 // the worker's publication ring, sharing unchanged node buffers with the
 // previous publication and recycling buffers no reader can still observe.
-func (a *aggState[K]) publisher(i int) func(prev any) (any, uint64) {
+func (a *aggState[K]) publisher(i int) (func(prev any) (any, uint64), func() int, func(*telemetry.EngineStats)) {
 	ring := core.NewPubRing(a.engines[i])
-	return func(prev any) (any, uint64) {
+	eng := a.engines[i]
+	pub := func(prev any) (any, uint64) {
 		var p *core.PubSlot[K]
 		if prev != nil {
 			p = prev.(*core.PubSlot[K])
@@ -402,6 +483,7 @@ func (a *aggState[K]) publisher(i int) func(prev any) (any, uint64) {
 		slot := ring.Publish(p)
 		return slot, slot.Snapshot().Weight
 	}
+	return pub, ring.Slots, eng.TelemetryInto
 }
 
 // pinPubs pins every worker's latest published snapshot and collects the
@@ -411,8 +493,9 @@ func (a *aggState[K]) publisher(i int) func(prev any) (any, uint64) {
 // already be recycling that slot's buffers, so unpin and retry. Callers must
 // unpinPubs as soon as they are done reading (the merge copies everything it
 // needs).
-func pinPubs[K comparable](workers []*Worker, slots []*core.PubSlot[K], ptrs []*core.EngineSnapshot[K]) ([]*core.PubSlot[K], []*core.EngineSnapshot[K]) {
+func pinPubs[K comparable](workers []*Worker, slots []*core.PubSlot[K], ptrs []*core.EngineSnapshot[K]) ([]*core.PubSlot[K], []*core.EngineSnapshot[K], int) {
 	slots, ptrs = slots[:0], ptrs[:0]
+	retries := 0
 	for _, w := range workers {
 		for {
 			st := w.cell.v.Load().(*pubState)
@@ -424,9 +507,10 @@ func pinPubs[K comparable](workers []*Worker, slots []*core.PubSlot[K], ptrs []*
 				break
 			}
 			slot.Unpin()
+			retries++
 		}
 	}
-	return slots, ptrs
+	return slots, ptrs, retries
 }
 
 func unpinPubs[K comparable](slots []*core.PubSlot[K]) {
@@ -440,20 +524,32 @@ func unpinPubs[K comparable](slots []*core.PubSlot[K]) {
 // never against live engines. The pins are released right after the merge:
 // the merged destination owns all of its buffers.
 func (a *aggState[K]) query(workers []*Worker, theta float64) []HeavyHitter {
-	a.pinned, a.ptrs = pinPubs(workers, a.pinned, a.ptrs)
+	var retries int
+	a.pinned, a.ptrs, retries = pinPubs(workers, a.pinned, a.ptrs)
 	merged := a.sm.Merge(&a.merged, a.ptrs...)
 	unpinPubs(a.pinned)
-	return a.conv.convert(a.im.dom, a.im.split, a.ex.ExtractSnapshot(merged, theta))
+	res := a.conv.convert(a.im.dom, a.im.split, a.ex.ExtractSnapshot(merged, theta))
+	if a.qtm != nil {
+		a.qtm.Queries.Add(1)
+		a.qtm.PinRetries.Add(uint64(retries))
+		a.qtm.Hits.Store(uint64(len(res)))
+	}
+	return res
 }
 
 // freshSnapshot merges the latest published set into a newly allocated
 // snapshot state (it escapes to the caller, so no buffers are shared with the
 // aggregator or the publication rings).
 func (a *aggState[K]) freshSnapshot(workers []*Worker) snapCore {
-	a.pinned, a.ptrs = pinPubs(workers, a.pinned, a.ptrs)
+	var retries int
+	a.pinned, a.ptrs, retries = pinPubs(workers, a.pinned, a.ptrs)
 	var sm core.SnapshotMerger[K]
 	es := sm.Merge(nil, a.ptrs...)
 	unpinPubs(a.pinned)
+	if a.qtm != nil {
+		a.qtm.Queries.Add(1)
+		a.qtm.PinRetries.Add(uint64(retries))
+	}
 	return &snapState[K]{es: *es, dom: a.im.dom, split: a.im.split}
 }
 
@@ -463,9 +559,13 @@ func (a *aggState[K]) freshSnapshot(workers []*Worker) snapCore {
 // Captures serialize on the hub lock.
 func (a *aggState[K]) watchHub(s *Sharded) watchCtl {
 	return newWatchHub(a.im.dom, a.im.split, a.im.v6, func() *core.EngineSnapshot[K] {
-		a.wpinned, a.wptrs = pinPubs(s.workers, a.wpinned, a.wptrs)
+		var retries int
+		a.wpinned, a.wptrs, retries = pinPubs(s.workers, a.wpinned, a.wptrs)
 		merged := a.wsm.Merge(&a.wmerged, a.wptrs...)
 		unpinPubs(a.wpinned)
+		if retries != 0 && a.qtm != nil {
+			a.qtm.PinRetries.Add(uint64(retries))
+		}
 		return merged
 	})
 }
@@ -486,6 +586,9 @@ func (s *Sharded) Watch(opts WatchOptions) (*Subscription, error) {
 	}
 	if s.hub == nil {
 		s.hub = s.agg.watchHub(s)
+		if s.watchTM != nil {
+			s.hub.instrument(s.watchTM)
+		}
 	}
 	sub, err := s.hub.register(opts)
 	if err != nil {

@@ -1,0 +1,169 @@
+package rhhh_test
+
+// Allocation pins and the overhead benchmark for the production telemetry
+// layer: instrumentation must keep the hot paths at zero allocations and
+// within noise of the uninstrumented baseline (the watermark publish is the
+// only added work, amortized over thousands of packets).
+
+import (
+	"net/netip"
+	"testing"
+
+	"rhhh"
+	"rhhh/internal/telemetry"
+	"rhhh/internal/trace"
+)
+
+func obsStreams(n int) (srcs, dsts []netip.Addr) {
+	gen := trace.NewSynthetic(trace.Profile("chicago16"))
+	srcs = make([]netip.Addr, n)
+	dsts = make([]netip.Addr, n)
+	for i := range srcs {
+		p, _ := gen.Next()
+		srcs[i] = v4addr(p.SrcIP.IPv4())
+		dsts[i] = v4addr(p.DstIP.IPv4())
+	}
+	return srcs, dsts
+}
+
+// TestInstrumentedUpdateZeroAlloc pins the instrumented ingest paths at
+// zero allocations per operation: the AllocsPerRun windows are long enough
+// to cross the telemetry publish watermark repeatedly, so the amortized
+// TelemetryInto is included in the pin.
+func TestInstrumentedUpdateZeroAlloc(t *testing.T) {
+	srcs, dsts := obsStreams(256)
+	cfg := rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01, V: 250, Seed: 4}
+
+	m := rhhh.MustNew(cfg)
+	if err := m.Instrument(telemetry.NewRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ { // warm: summaries allocated, eviction path live
+		m.UpdateBatch(srcs, dsts)
+	}
+	if n := testing.AllocsPerRun(100, func() { m.UpdateBatch(srcs, dsts) }); n != 0 {
+		t.Errorf("instrumented Monitor.UpdateBatch allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { m.Update(srcs[0], dsts[0]) }); n != 0 {
+		t.Errorf("instrumented Monitor.Update allocates %v/op", n)
+	}
+
+	// A huge publication cadence pins the between-publication worker path,
+	// exactly like the uninstrumented pin in batch_test.go: publication
+	// itself allocates (a fresh pubState per changed epoch) with or without
+	// telemetry and is amortized over the cadence.
+	s, err := rhhh.NewShardedOptions(cfg, 2,
+		rhhh.ShardedOptions{PublishPackets: 1 << 62, PublishBatches: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Instrument(telemetry.NewRegistry())
+	for i := 0; i < 40; i++ {
+		s.Worker(0).UpdateBatch(srcs, dsts)
+	}
+	if n := testing.AllocsPerRun(100, func() { s.Worker(0).UpdateBatch(srcs, dsts) }); n != 0 {
+		t.Errorf("instrumented Worker.UpdateBatch allocates %v/op", n)
+	}
+	// An idle Sync republishes nothing but still runs the full telemetry
+	// publication (counter stores + the O(H) engine walk): must be alloc-free.
+	s.Worker(0).Sync()
+	if n := testing.AllocsPerRun(100, func() { s.Worker(0).Sync() }); n != 0 {
+		t.Errorf("instrumented idle Worker.Sync allocates %v/op", n)
+	}
+}
+
+// TestInstrumentedWatchTickZeroAlloc is TestWatchTickZeroAlloc with the
+// telemetry layer live: the tick-latency observation and counter stores
+// must not break the zero-allocation tick.
+func TestInstrumentedWatchTickZeroAlloc(t *testing.T) {
+	m := rhhh.MustNew(rhhh.Config{
+		Dims: 1, Granularity: rhhh.Byte,
+		Epsilon: 0.01, Delta: 0.01, Seed: 4,
+	})
+	if err := m.Instrument(telemetry.NewRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	heavy := netip.MustParseAddr("10.1.2.3")
+	sub, err := m.Watch(rhhh.WatchOptions{
+		Theta:    0.5,
+		MinDelta: 1e15,
+		OnDelta:  func(rhhh.Delta) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	for i := 0; i < 200_000; i++ {
+		m.Update(heavy, netip.Addr{})
+	}
+	m.Tick()
+	m.Tick()
+	if n := testing.AllocsPerRun(100, func() { m.Tick() }); n != 0 {
+		t.Errorf("instrumented idle watch tick allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		m.Update(heavy, netip.Addr{})
+		m.Tick()
+	}); n != 0 {
+		t.Errorf("instrumented busy watch tick allocates %v per run", n)
+	}
+}
+
+// TestInstrumentedScrapeZeroAlloc pins a steady-state scrape of a fully
+// instrumented sharded monitor — every worker block, the query block and
+// the watch block — at zero allocations per pass.
+func TestInstrumentedScrapeZeroAlloc(t *testing.T) {
+	srcs, dsts := obsStreams(256)
+	s, err := rhhh.NewSharded(rhhh.Config{Dims: 2, Epsilon: 0.01, Delta: 0.01, V: 250, Seed: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reg := telemetry.NewRegistry()
+	s.Instrument(reg)
+	for w := 0; w < 2; w++ {
+		for i := 0; i < 10; i++ {
+			s.Worker(w).UpdateBatch(srcs, dsts)
+		}
+		s.Worker(w).Sync()
+	}
+	s.HeavyHitters(0.05)   // exercise the query block too
+	dst := reg.Gather(nil) // warm: buffer reaches steady-state size
+	if len(dst) == 0 {
+		t.Fatal("empty exposition")
+	}
+	allocs := testing.AllocsPerRun(100, func() { dst = reg.Gather(dst[:0]) })
+	if allocs != 0 {
+		t.Errorf("steady-state scrape allocates %v per pass, want 0", allocs)
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the full cost of the instrumentation
+// on the batched 2D ingest path: the Disabled leg runs the uninstrumented
+// branch (one nil check per batch), the Instrumented leg adds the watermark
+// countdown and the amortized O(H) publish every 4096 packets. Recorded in
+// BENCH_obs.json; the acceptance bound is 2%.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	srcs, dsts := obsStreams(8192)
+	for _, tc := range []struct {
+		name string
+		inst bool
+	}{{"Disabled", false}, {"Instrumented", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := rhhh.MustNew(rhhh.Config{Dims: 2, Epsilon: 0.001, Delta: 0.001, V: 250, Seed: 1})
+			if tc.inst {
+				if err := m.Instrument(telemetry.NewRegistry()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			const burst = 256
+			mask := len(srcs) - 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i += burst {
+				off := i & mask
+				m.UpdateBatch(srcs[off:off+burst], dsts[off:off+burst])
+			}
+		})
+	}
+}

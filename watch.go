@@ -9,6 +9,7 @@ import (
 
 	"rhhh/internal/core"
 	"rhhh/internal/hierarchy"
+	"rhhh/internal/telemetry"
 )
 
 // This file implements standing queries: instead of polling HeavyHitters and
@@ -129,6 +130,7 @@ type watchCtl interface {
 	tick()
 	closeHub()
 	minInterval() time.Duration
+	instrument(tm *telemetry.WatchStats)
 }
 
 // watchHub drives the standing-query subscriptions of one query surface:
@@ -143,6 +145,22 @@ type watchHub[K comparable] struct {
 	subs    []*subState[K]
 	seq     uint64
 	closed  bool
+
+	// tm is the hub's telemetry block (nil when uninstrumented); all its
+	// owner-side state — including the tick-latency histogram — is mutated
+	// only under mu, which serializes every tick. delivered counts deltas
+	// handed to subscribers across the hub's lifetime.
+	tm        *telemetry.WatchStats
+	delivered uint64
+}
+
+// instrument attaches the telemetry block. Hub counters surface at each
+// tick; the subscription gauge refreshes on register/remove as well.
+func (h *watchHub[K]) instrument(tm *telemetry.WatchStats) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.tm = tm
+	tm.Subs.Store(uint64(len(h.subs)))
 }
 
 // subState is the per-subscription workspace: its own Extractor (so the
@@ -187,6 +205,9 @@ func (h *watchHub[K]) register(opts WatchOptions) (*Subscription, error) {
 		st.sub.ch = make(chan Delta, opts.Buffer)
 	}
 	h.subs = append(h.subs, st)
+	if h.tm != nil {
+		h.tm.Subs.Store(uint64(len(h.subs)))
+	}
 	return st.sub, nil
 }
 
@@ -229,6 +250,9 @@ func (h *watchHub[K]) remove(sub *Subscription) {
 			if sub.ch != nil {
 				close(sub.ch)
 			}
+			if h.tm != nil {
+				h.tm.Subs.Store(uint64(len(h.subs)))
+			}
 			return
 		}
 	}
@@ -247,6 +271,9 @@ func (h *watchHub[K]) closeHub() {
 		}
 	}
 	h.subs = nil
+	if h.tm != nil {
+		h.tm.Subs.Store(0)
+	}
 }
 
 // minInterval returns the smallest requested tick interval across live
@@ -276,6 +303,10 @@ func (h *watchHub[K]) tick() {
 	if h.closed || len(h.subs) == 0 {
 		return
 	}
+	var t0 time.Time
+	if h.tm != nil {
+		t0 = time.Now()
+	}
 	es := h.capture()
 	h.seq++
 	for _, st := range h.subs {
@@ -291,6 +322,7 @@ func (h *watchHub[K]) tick() {
 		if d.Empty() {
 			continue
 		}
+		h.delivered++
 		st.deliver(Delta{
 			Seq:      h.seq,
 			N:        es.Weight,
@@ -301,6 +333,27 @@ func (h *watchHub[K]) tick() {
 			Updated:  st.convU.convert(h.dom, h.split, d.Updated),
 		})
 	}
+	if h.tm != nil {
+		h.publishTelemetry(t0)
+	}
+}
+
+// publishTelemetry surfaces the tick's counters and latency. Runs under
+// h.mu (the histogram's owner serialization) on every instrumented tick.
+func (h *watchHub[K]) publishTelemetry(t0 time.Time) {
+	var differs, drops uint64
+	for _, st := range h.subs {
+		differs += uint64(st.differ.Len())
+		drops += st.dropped
+	}
+	tm := h.tm
+	tm.Ticks.Store(h.seq)
+	tm.Deliveries.Store(h.delivered)
+	tm.Drops.Store(drops)
+	tm.Subs.Store(uint64(len(h.subs)))
+	tm.DifferEntries.Store(differs)
+	tm.TickLatency.ObserveSince(t0)
+	tm.TickLatency.Publish()
 }
 
 // filter keeps only results inside the subscription's prefix filters,

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net/netip"
 	"slices"
+	"time"
 
 	"rhhh/internal/core"
 	"rhhh/internal/hierarchy"
+	"rhhh/internal/telemetry"
 )
 
 // Windowed measures hierarchical heavy hitters over windows of a fixed
@@ -69,6 +71,12 @@ type Windowed struct {
 	// completed (sub-)window (from the merge goroutine when sliding).
 	hub         watchCtl
 	watchClosed bool
+
+	// Telemetry, installed by Instrument. Flushes and FlushLatency are owned
+	// by the producer; MergeLatency by the merge goroutine, serialized between
+	// jobs through the mergeDone handshake. watchTM instruments the hub.
+	wtm     *telemetry.WindowStats
+	watchTM *telemetry.WatchStats
 }
 
 // WindowResult is one completed window's output.
@@ -317,6 +325,24 @@ func (w *Windowed) collectRing(limit int) {
 	}
 }
 
+// Instrument registers the window-rotation telemetry (flush count, flush and
+// merge latency, standing-query stats) with reg. Call it before feeding
+// traffic; a nil reg is a no-op.
+func (w *Windowed) Instrument(reg *telemetry.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	w.sync()
+	w.wtm = &telemetry.WindowStats{}
+	w.wtm.Register(reg, "")
+	w.watchTM = &telemetry.WatchStats{}
+	w.watchTM.Register(reg, "")
+	if w.hub != nil {
+		w.hub.instrument(w.watchTM)
+	}
+	return nil
+}
+
 // Watch registers a standing query ticked on each completed (sub-)window,
 // before the window result is delivered: deltas compare the HHH set of
 // consecutive covered windows (the union of the last k sub-windows when
@@ -336,6 +362,9 @@ func (w *Windowed) Watch(opts WatchOptions) (*Subscription, error) {
 			return nil, err
 		}
 		w.hub = hub
+		if w.watchTM != nil {
+			w.hub.instrument(w.watchTM)
+		}
 	}
 	return w.hub.register(opts)
 }
@@ -389,6 +418,15 @@ func windowedHub[K comparable](w *Windowed, im *impl[K]) (watchCtl, error) {
 }
 
 func (w *Windowed) flush() {
+	var t0 time.Time
+	if w.wtm != nil {
+		t0 = time.Now()
+		defer func() {
+			w.wtm.Flushes.Add(1)
+			w.wtm.FlushLatency.ObserveSince(t0)
+			w.wtm.FlushLatency.Publish()
+		}()
+	}
 	res := WindowResult{Index: w.index, SubWindows: 1}
 	if w.k == 1 {
 		res.N = w.current.N()
@@ -430,6 +468,10 @@ func (w *Windowed) flush() {
 // queries, then release the flush path. The goroutine exclusively owns
 // w.order, w.merged and the hub until it signals mergeDone.
 func (w *Windowed) runMerge(res WindowResult) {
+	var t0 time.Time
+	if w.wtm != nil {
+		t0 = time.Now()
+	}
 	merged, err := mergeSnapshots(w.merged, w.order)
 	if err != nil {
 		panic("rhhh: windowed merge failed: " + err.Error())
@@ -439,6 +481,10 @@ func (w *Windowed) runMerge(res WindowResult) {
 	res.HeavyHitters = slices.Clone(merged.HeavyHitters(w.theta))
 	if w.hub != nil {
 		w.hub.tick()
+	}
+	if w.wtm != nil {
+		w.wtm.MergeLatency.ObserveSince(t0)
+		w.wtm.MergeLatency.Publish()
 	}
 	w.onFlush(res)
 	w.mergeDone <- struct{}{}
