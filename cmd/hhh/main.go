@@ -15,11 +15,15 @@ import (
 	"net/http"
 	"net/netip"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"slices"
 	"sort"
+	"syscall"
 
 	"rhhh"
 	"rhhh/internal/hierarchy"
+	"rhhh/internal/resilience"
 	"rhhh/internal/telemetry"
 	"rhhh/internal/trace"
 )
@@ -160,9 +164,26 @@ func main() {
 		src = &trace.Limit{Src: trace.NewSynthetic(trace.Profile(*profile)), N: *n}
 	}
 
+	// SIGINT/SIGTERM end the replay early but cleanly: the loop breaks at
+	// the next signal check, then the normal exit path runs — final tick,
+	// final checkpoint, results printout — so an interrupted replay still
+	// leaves a durable checkpoint and a report.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigC)
+
 	var count uint64
 	var snapBuf *rhhh.Snapshot
+replay:
 	for {
+		if count%4096 == 0 {
+			select {
+			case <-sigC:
+				fmt.Fprintln(os.Stderr, "hhh: interrupted, draining")
+				break replay
+			default:
+			}
+		}
 		p, ok := src.Next()
 		if !ok {
 			break
@@ -263,19 +284,23 @@ func restoreCheckpoint(mon *rhhh.Monitor, path string) (bool, error) {
 	return true, nil
 }
 
-// writeCheckpoint atomically replaces the checkpoint file (write to a
-// sibling temp file, then rename), so a crash mid-write never corrupts the
-// last good checkpoint.
+// writeCheckpoint atomically replaces the checkpoint file: fsynced temp
+// write, rename, directory sync, so a crash or power loss mid-write never
+// corrupts — or silently drops — the last good checkpoint.
 func writeCheckpoint(snap *rhhh.Snapshot, path string) error {
 	data, err := snap.MarshalBinary()
 	if err != nil {
 		return err
 	}
+	fsys := resilience.OSFS{}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := fsys.WriteFile(tmp, data); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 func fatalf(format string, args ...any) {

@@ -26,12 +26,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"rhhh"
 	"rhhh/internal/hierarchy"
+	"rhhh/internal/resilience"
 	"rhhh/internal/trace"
 )
 
@@ -51,6 +52,16 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "RNG seed")
 		vParam    = flag.Int("v", 0, "RHHH performance parameter V (0 = H, e.g. 10*H for 10-RHHH)")
 		backend   = flag.String("backend", "ss", "counter backend: ss|chk|heap")
+
+		queryLimit  = flag.Int("query-limit", 16, "max concurrent /query + /snapshot requests; excess shed with 503")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-request deadline on /query and /snapshot")
+		watchWrite  = flag.Duration("watch-write-timeout", 5*time.Second, "per-write deadline on /watch SSE streams; slow clients are dropped")
+		degradeLag  = flag.Duration("degrade-lag", 2*time.Second, "publication-age watermark engaging the adaptive-degrade ladder (0 = disabled)")
+		degradeSamp = flag.Bool("degrade-sampling", false, "let the degrade ladder also thin feeder intake (weight-compensated) on top of widening publication cadence")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for crash-safe incremental checkpoints (empty = disabled)")
+		ckptEvery   = flag.Duration("checkpoint-every", 5*time.Second, "interval between incremental checkpoints")
+		ckptFullEvr = flag.Int("checkpoint-full-every", 16, "journal segments between full checkpoints")
+		drainTO     = flag.Duration("drain-timeout", 10*time.Second, "hard deadline for the graceful shutdown sequence")
 	)
 	flag.Parse()
 
@@ -87,25 +98,98 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+
+	// Checkpointing: open the store and restore the last durable state
+	// before any feeder runs (Restore requires the pre-producer window).
+	var ckpt *rhhh.Checkpointer
+	if *ckptDir != "" {
+		store, err := resilience.OpenStore(*ckptDir, nil)
+		if err != nil {
+			fatalf("opening checkpoint store: %v", err)
+		}
+		ckpt = rhhh.NewCheckpointer(mon, store, *ckptFullEvr)
+		restored, err := ckpt.Restore()
+		if err != nil {
+			fatalf("restoring checkpoint: %v", err)
+		}
+		if restored {
+			gen, seq := store.Generation()
+			fmt.Fprintf(os.Stderr, "hhhd: restored checkpoint generation %d (+%d segments), n=%d\n", gen, seq, mon.N())
+		}
+	}
+
 	// Instrument before the feeders start: the per-worker hookup relies on
 	// the goroutine-start happens-before edge (see Sharded.Instrument).
-	srv := newServer(mon, *theta)
+	srv := newServer(mon, *theta, serverOptions{
+		queryLimit: *queryLimit,
+		reqTimeout: *reqTimeout,
+		watchWrite: *watchWrite,
+		ckpt:       ckpt,
+	})
+	// Library-internal supervision (windowed merges, vswitch transports)
+	// shares the daemon's counters and escalation hook.
+	resilience.Default.Stats = srv.resPolicy.Stats
+	resilience.Default.OnGiveUp = srv.resPolicy.OnGiveUp
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var wg sync.WaitGroup
+	// Feeders run supervised: a panic in the replay path is captured and
+	// the feeder restarted with backoff instead of silently starving its
+	// worker. fed ticks once per batch — the degrade controller's signal
+	// that intake is active; thin > 1 makes feeders keep only every k-th
+	// batch at weight k (unbiased, weight-compensated degrade sampling).
+	var fed atomic.Uint64
+	var thin atomic.Uint32
+	feederDone := make([]<-chan struct{}, *workers)
 	for i := 0; i < *workers; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			feed(ctx, mon.Worker(i), feederConfig{
-				profile: *profile,
-				seed:    *seed + uint64(i)*0x9e3779b97f4a7c15,
-				n:       perWorker(*n, *workers, i),
-				rate:    *rate / uint64(*workers),
-			})
-		}(i)
+		fc := feederConfig{
+			profile: *profile,
+			seed:    *seed + uint64(i)*0x9e3779b97f4a7c15,
+			n:       perWorker(*n, *workers, i),
+			rate:    *rate / uint64(*workers),
+			fed:     &fed,
+			thin:    &thin,
+		}
+		if *n != 0 && fc.n == 0 {
+			// A bounded budget smaller than the worker count leaves this
+			// feeder with nothing: don't start it — a zero share must not
+			// read as "unlimited".
+			done := make(chan struct{})
+			close(done)
+			feederDone[i] = done
+			continue
+		}
+		w := mon.Worker(i)
+		feederDone[i] = srv.resPolicy.Go(fmt.Sprintf("hhhd/feeder-%d", i), ctx.Done(), func() {
+			feed(ctx, w, fc)
+		})
+	}
+
+	// The degrade controller watches publication age while intake is
+	// advancing and works the cadence levers when it crosses the watermark.
+	degradeStop := make(chan struct{})
+	degradeDone := startDegrade(srv, mon, degradeStop, *degradeLag, *degradeSamp, &fed, &thin)
+
+	// The checkpoint loop writes an incremental checkpoint every interval;
+	// failures are counted and retried next tick, never fatal.
+	ckptStop := make(chan struct{})
+	var ckptDone <-chan struct{}
+	if ckpt != nil {
+		ckptDone = srv.resPolicy.Go("hhhd/checkpoint", ckptStop, func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ckptStop:
+					return
+				case <-tick.C:
+					if _, err := ckpt.Checkpoint(); err != nil {
+						fmt.Fprintf(os.Stderr, "hhhd: checkpoint: %v\n", err)
+					}
+				}
+			}
+		})
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: newMux(srv)}
@@ -131,12 +215,99 @@ func main() {
 	}
 
 	<-ctx.Done()
-	fmt.Fprintln(os.Stderr, "hhhd: shutting down")
-	wg.Wait() // feeders observe ctx and stop; their workers quiesce
+	// Graceful drain, under one hard deadline: stop intake and drain the
+	// workers, write a final checkpoint of the quiesced state, then close
+	// the HTTP surfaces (draining /healthz + ended /watch streams let the
+	// load balancer and SSE clients move on immediately).
+	fmt.Fprintln(os.Stderr, "hhhd: draining")
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainTO)
+	defer drainCancel()
+	srv.beginDrain()
+	drained := true
+	for _, d := range feederDone {
+		select {
+		case <-d:
+		case <-drainCtx.Done():
+			drained = false
+		}
+		if !drained {
+			fmt.Fprintln(os.Stderr, "hhhd: drain deadline hit; abandoning feeders")
+			break
+		}
+	}
+	close(degradeStop)
+	<-degradeDone
+	if ckpt != nil {
+		close(ckptStop)
+		select {
+		case <-ckptDone:
+		case <-drainCtx.Done():
+		}
+		if drained {
+			// The workers are quiesced and synced: capture the final state.
+			if _, err := ckpt.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "hhhd: final checkpoint: %v\n", err)
+			}
+		}
+	}
 	sdCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(sdCtx)
 	_ = mon.Close()
+}
+
+// startDegrade runs the adaptive-degrade control loop on a supervised
+// goroutine. Lag is defined as the monitor's maximum publication age, but
+// only while intake is advancing (fed ticking) — an idle daemon publishes
+// nothing and must not read as overloaded. Each level widens the
+// publication cadence 2×; with sampling degrade enabled it also thins
+// feeder intake (weight-compensated) by the same factor.
+func startDegrade(srv *server, mon *rhhh.Sharded, stop <-chan struct{}, watermark time.Duration, sampling bool, fed *atomic.Uint64, thin *atomic.Uint32) <-chan struct{} {
+	if watermark <= 0 {
+		done := make(chan struct{})
+		close(done)
+		return done
+	}
+	srv.degrader.Watermark = watermark
+	srv.degrader.OnChange = func(old, new int) {
+		mon.SetPublishScale(1 << uint(new))
+		if sampling {
+			thin.Store(1 << uint(new))
+		}
+		// Reflect the ladder on /healthz, without clobbering failing or
+		// draining states the supervisor/shutdown own.
+		if st, _ := srv.health.Get(); st == resilience.HealthOK || st == resilience.HealthDegraded {
+			if new > 0 {
+				srv.health.Set(resilience.HealthDegraded, fmt.Sprintf("ingest lag over watermark: degrade level %d", new))
+			} else {
+				srv.health.Set(resilience.HealthOK, "")
+			}
+		}
+		fmt.Fprintf(os.Stderr, "hhhd: degrade level %d -> %d\n", old, new)
+	}
+	period := watermark / 4
+	if period < 50*time.Millisecond {
+		period = 50 * time.Millisecond
+	}
+	return srv.resPolicy.Go("hhhd/degrade", stop, func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		lastFed := fed.Load()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				cur := fed.Load()
+				var lag time.Duration
+				if cur != lastFed {
+					lag = mon.MaxPublishAge(now)
+				}
+				lastFed = cur
+				srv.degrader.Observe(now, lag)
+			}
+		}
+	})
 }
 
 // perWorker splits a total packet budget across workers (worker 0 absorbs
@@ -157,6 +328,11 @@ type feederConfig struct {
 	seed    uint64
 	n       uint64 // 0 = unlimited
 	rate    uint64 // packets/second for this feeder, 0 = unthrottled
+	// fed ticks once per fed batch — the degrade controller's evidence
+	// that intake is active. thin > 1 keeps only every thin-th batch, at
+	// weight thin, so degraded estimates stay unbiased. Both may be nil.
+	fed  *atomic.Uint64
+	thin *atomic.Uint32
 }
 
 // feedBatch is the feeder's batch size: large enough to amortize the routed
@@ -171,7 +347,8 @@ func feed(ctx context.Context, w *rhhh.Worker, fc feederConfig) {
 	src := trace.NewSynthetic(tc)
 	srcs := make([]netip.Addr, 0, feedBatch)
 	dsts := make([]netip.Addr, 0, feedBatch)
-	var sent uint64
+	var weights []uint64
+	var sent, skipped uint64
 	var interval time.Duration
 	if fc.rate > 0 {
 		interval = time.Duration(uint64(time.Second) * feedBatch / fc.rate)
@@ -194,8 +371,31 @@ func feed(ctx context.Context, w *rhhh.Worker, fc feederConfig) {
 		if len(srcs) == 0 {
 			break
 		}
-		w.UpdateBatch(srcs, dsts)
+		k := uint64(1)
+		if fc.thin != nil {
+			if t := fc.thin.Load(); t > 1 {
+				k = uint64(t)
+			}
+		}
+		if k > 1 && (sent+skipped)/feedBatch%k != 0 {
+			// Degrade sampling: drop this batch; a kept batch carries the
+			// dropped ones' weight so published estimates stay unbiased.
+			skipped += uint64(len(srcs))
+		} else if k > 1 {
+			for len(weights) < len(srcs) {
+				weights = append(weights, 0)
+			}
+			for i := range srcs {
+				weights[i] = k
+			}
+			w.UpdateWeightedBatch(srcs, dsts, weights[:len(srcs)])
+		} else {
+			w.UpdateBatch(srcs, dsts)
+		}
 		sent += uint64(len(srcs))
+		if fc.fed != nil {
+			fc.fed.Add(1)
+		}
 		if interval > 0 {
 			next = next.Add(interval)
 			if d := time.Until(next); d > 0 {

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rhhh"
+)
+
+// overloadServer builds a daemon with a tiny admission gate and short
+// request deadline, behind a real HTTP listener.
+func overloadServer(t *testing.T, o serverOptions) (*server, *httptest.Server) {
+	t.Helper()
+	mon, err := rhhh.NewSharded(rhhh.Config{Dims: 1, Epsilon: 0.01, Delta: 0.01, Seed: 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(mon, 0.05, o)
+	heavy := netip.MustParseAddr("10.1.2.3")
+	for range 64 {
+		mon.Worker(0).Update(heavy, heavy)
+	}
+	mon.Worker(0).Sync()
+	ts := httptest.NewServer(newMux(srv))
+	t.Cleanup(func() {
+		ts.Close()
+		_ = mon.Close()
+	})
+	return srv, ts
+}
+
+// TestOverloadSheds pins the bounded-latency contract: with the query mutex
+// wedged and the gate full, excess /query requests get an immediate 503 +
+// Retry-After instead of queuing, the shed counter and healthz stay
+// observable, and every request completes in bounded time.
+func TestOverloadSheds(t *testing.T) {
+	srv, ts := overloadServer(t, serverOptions{queryLimit: 2, reqTimeout: 300 * time.Millisecond})
+
+	srv.qmu.Lock() // wedge the query surface
+	unlocked := make(chan struct{})
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		srv.qmu.Unlock()
+		close(unlocked)
+	}()
+
+	const clients = 20
+	var wg sync.WaitGroup
+	var shed503, slow atomic.Uint64
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := ts.Client().Get(ts.URL + "/query")
+			if time.Since(t0) > 5*time.Second {
+				slow.Add(1)
+			}
+			if err != nil {
+				return // admitted request whose deadline killed the write
+			}
+			defer resp.Body.Close()
+			_, _ = io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "" {
+				shed503.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("overload burst took %v, want bounded", d)
+	}
+	if slow.Load() != 0 {
+		t.Fatalf("%d requests exceeded the latency bound", slow.Load())
+	}
+	// At most queryLimit requests were admitted; the rest must carry the
+	// shed signature.
+	if got := shed503.Load(); got < clients-2 {
+		t.Fatalf("shed 503s = %d, want >= %d", got, clients-2)
+	}
+	if srv.gate.Sheds() < clients-2 {
+		t.Fatalf("gate shed counter = %d, want >= %d", srv.gate.Sheds(), clients-2)
+	}
+
+	// The observability surfaces are never gated: both respond while the
+	// query path is wedged (the mutex is unlocked by now, but the gate
+	// slots may still be held).
+	for _, ep := range []string{"/healthz", "/metrics"} {
+		resp, err := ts.Client().Get(ts.URL + ep)
+		if err != nil {
+			t.Fatalf("%s under overload: %v", ep, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	<-unlocked
+	// Recovered: a fresh query succeeds.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/query")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query path did not recover after overload")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWatchSlowClientDropped pins the SSE write-deadline path: a client that
+// cannot absorb writes is disconnected (counted) instead of parking the
+// handler in Write forever.
+func TestWatchSlowClientDropped(t *testing.T) {
+	srv, ts := overloadServer(t, serverOptions{watchWrite: time.Nanosecond})
+	resp, err := ts.Client().Get(ts.URL + "/watch?theta=0.2&interval=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The first event write happens against an already-expired deadline, so
+	// the handler must drop us: the body ends and the counter moves.
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, resp.Body)
+		done <- err
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not end for a slow client")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.sseDrops.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow-client drop not counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWatchEndsOnDrain pins that beginDrain terminates live SSE streams so
+// server shutdown is never held open by a connected watcher.
+func TestWatchEndsOnDrain(t *testing.T) {
+	srv, ts := overloadServer(t, serverOptions{})
+	resp, err := ts.Client().Get(ts.URL + "/watch?theta=0.2&interval=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil { // stream is live
+		t.Fatalf("first read: %v", err)
+	}
+	srv.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, resp.Body)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not end the SSE stream")
+	}
+}
+
+// TestConcurrentLoadNoLeak hammers every endpoint — parallel queries,
+// metrics scrapes, SSE churn — then drains and closes, asserting the
+// goroutine count returns to baseline. CI runs this under -race.
+func TestConcurrentLoadNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		mon, err := rhhh.NewSharded(rhhh.Config{Dims: 1, Epsilon: 0.01, Delta: 0.01, Seed: 7}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := newServer(mon, 0.05, serverOptions{queryLimit: 4, reqTimeout: 2 * time.Second})
+		heavy := netip.MustParseAddr("10.1.2.3")
+		for range 64 {
+			mon.Worker(0).Update(heavy, heavy)
+		}
+		mon.Worker(0).Sync()
+		ts := httptest.NewServer(newMux(srv))
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					resp, err := ts.Client().Get(ts.URL + "/query?theta=0.2")
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					resp, err = ts.Client().Get(ts.URL + "/metrics")
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}()
+		}
+		// SSE churn: short-lived watch subscriptions opening and closing
+		// while queries run.
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					resp, err := ts.Client().Get(ts.URL + "/watch?theta=0.2&interval=5ms")
+					if err != nil {
+						continue
+					}
+					buf := make([]byte, 256)
+					_, _ = resp.Body.Read(buf)
+					resp.Body.Close()
+				}
+			}()
+		}
+		time.Sleep(300 * time.Millisecond)
+		// Shutdown mid-request: drain while the load is still running.
+		srv.beginDrain()
+		close(stop)
+		wg.Wait()
+		ts.Close()
+		if err := mon.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

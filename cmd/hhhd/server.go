@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rhhh"
+	"rhhh/internal/resilience"
 	"rhhh/internal/telemetry"
 )
 
@@ -23,6 +24,35 @@ type server struct {
 
 	qmu     sync.Mutex
 	snapBuf []byte // reused /snapshot encode target
+
+	// Resilience surfaces. The gate bounds concurrent /query + /snapshot
+	// work (excess sheds with 503 + Retry-After), health backs /healthz,
+	// the degrader is driven by main's control loop, and resPolicy
+	// supervises every daemon-owned background goroutine (feeders, watch
+	// driver, degrade controller, checkpoint loop).
+	gate       *resilience.Gate
+	health     *resilience.Health
+	degrader   *resilience.Degrader
+	resStats   resilience.Stats
+	resPolicy  *resilience.Policy
+	reqTimeout time.Duration
+	watchWrite time.Duration
+	retryAfter time.Duration
+	shutdown   chan struct{}  // closed by beginDrain: ends every /watch stream
+	sseDrops   telemetry.Cell // /watch clients dropped on a failed or timed-out write
+
+	ckpt      *rhhh.Checkpointer   // nil when checkpointing is disabled
+	ckptStats resilience.StoreStats // placeholder registered when ckpt == nil
+}
+
+// serverOptions tunes the resilience surfaces; zero values pick the
+// defaults noted per field.
+type serverOptions struct {
+	queryLimit int                // concurrent /query + /snapshot admissions (16)
+	reqTimeout time.Duration      // per-request deadline (10s)
+	watchWrite time.Duration      // per-SSE-write deadline (5s)
+	retryAfter time.Duration      // Retry-After hint on shed (1s)
+	ckpt       *rhhh.Checkpointer // optional checkpoint store to instrument
 }
 
 // catalogueEntry documents one exposed metric family: the golden test
@@ -66,18 +96,76 @@ var metricCatalogue = []catalogueEntry{
 	{"hhhd_uptime_seconds", "gauge", "daemon", "Seconds since the daemon started."},
 	{"hhhd_published_packets", "gauge", "daemon", "Combined published stream weight (N)."},
 	{"hhhd_converged", "gauge", "daemon", "Whether the published N passed the psi convergence bound."},
+	{"hhhd_watch_client_drops_total", "counter", "daemon", "Slow or gone /watch clients dropped on a failed or timed-out write."},
+	{"hhh_resilience_panics_total", "counter", "resilience", "Panics captured in supervised goroutines."},
+	{"hhh_resilience_restarts_total", "counter", "resilience", "Supervised goroutine restarts after a captured panic."},
+	{"hhh_resilience_giveups_total", "counter", "resilience", "Supervised goroutines abandoned after exhausting restarts."},
+	{"hhh_resilience_supervised", "gauge", "resilience", "Supervised goroutines currently running."},
+	{"hhh_resilience_admitted_total", "counter", "resilience", "Requests admitted by the gate."},
+	{"hhh_resilience_shed_total", "counter", "resilience", "Requests shed by the admission gate (503)."},
+	{"hhh_resilience_inflight", "gauge", "resilience", "Requests currently admitted by the gate."},
+	{"hhh_resilience_health_state", "gauge", "resilience", "Health state: 0 ok, 1 degraded, 2 failing, 3 draining."},
+	{"hhh_resilience_degrade_level", "gauge", "resilience", "Current adaptive-degrade level (0 = full fidelity)."},
+	{"hhh_resilience_degrade_steps_total", "counter", "resilience", "Degrade-ladder step-ups."},
+	{"hhh_resilience_checkpoint_fulls_total", "counter", "resilience", "Full checkpoints durably written."},
+	{"hhh_resilience_checkpoint_segments_total", "counter", "resilience", "Incremental journal segments durably written."},
+	{"hhh_resilience_checkpoint_failures_total", "counter", "resilience", "Checkpoint writes that failed without corrupting state."},
+	{"hhh_resilience_checkpoint_bytes_total", "counter", "resilience", "Checkpoint payload bytes durably written."},
+	{"hhh_resilience_checkpoint_generation", "gauge", "resilience", "Current checkpoint generation."},
 }
 
 // newServer instruments mon with a fresh registry, adds the daemon-level
-// gauges, and returns the server.
-func newServer(mon *rhhh.Sharded, theta float64) *server {
-	s := &server{
-		reg:   telemetry.NewRegistry(),
-		mon:   mon,
-		theta: theta,
-		start: time.Now(),
+// gauges and the resilience surfaces, and returns the server. The monitor's
+// background goroutines are re-pointed at the server's supervision policy.
+func newServer(mon *rhhh.Sharded, theta float64, o serverOptions) *server {
+	if o.queryLimit <= 0 {
+		o.queryLimit = 16
 	}
+	if o.reqTimeout <= 0 {
+		o.reqTimeout = 10 * time.Second
+	}
+	if o.watchWrite <= 0 {
+		o.watchWrite = 5 * time.Second
+	}
+	if o.retryAfter <= 0 {
+		o.retryAfter = time.Second
+	}
+	s := &server{
+		reg:        telemetry.NewRegistry(),
+		mon:        mon,
+		theta:      theta,
+		start:      time.Now(),
+		gate:       resilience.NewGate(o.queryLimit),
+		health:     &resilience.Health{},
+		degrader:   &resilience.Degrader{},
+		reqTimeout: o.reqTimeout,
+		watchWrite: o.watchWrite,
+		retryAfter: o.retryAfter,
+		shutdown:   make(chan struct{}),
+		ckpt:       o.ckpt,
+	}
+	s.resPolicy = &resilience.Policy{
+		Stats: &s.resStats,
+		OnGiveUp: func(name string, v any) {
+			// A goroutine the supervisor abandoned is an unrecoverable loss
+			// of function: surface it on /healthz instead of limping silently.
+			s.health.Set(resilience.HealthFailing, fmt.Sprintf("supervised goroutine %s gave up: %v", name, v))
+		},
+	}
+	mon.SetResiliencePolicy(s.resPolicy)
 	mon.Instrument(s.reg)
+	s.resStats.Register(s.reg, "")
+	s.gate.Register(s.reg, "")
+	s.health.Register(s.reg, "")
+	s.degrader.Register(s.reg, "")
+	if s.ckpt != nil {
+		s.ckpt.Instrument(s.reg)
+	} else {
+		// Register a zeroed block so the exposition (and its golden test)
+		// is identical whether or not checkpointing is enabled.
+		s.ckptStats.Register(s.reg, "")
+	}
+	s.reg.Counter("hhhd_watch_client_drops_total", "", "Slow or gone /watch clients dropped on a failed or timed-out write.", &s.sseDrops)
 	s.reg.GaugeFunc("hhhd_uptime_seconds", "", "Seconds since the daemon started.", func() float64 {
 		return time.Since(s.start).Seconds()
 	})
@@ -93,15 +181,27 @@ func newServer(mon *rhhh.Sharded, theta float64) *server {
 	return s
 }
 
-// newMux wires the operational endpoints.
+// newMux wires the operational endpoints. The query surfaces sit behind the
+// shared admission gate and a per-request deadline; /metrics and /healthz
+// stay ungated so overload never blinds the operator.
 func newMux(s *server) *http.ServeMux {
+	guard := func(h http.HandlerFunc) http.Handler {
+		return s.gate.Limit(s.retryAfter, resilience.WithDeadline(s.reqTimeout, h))
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.Handle("GET /query", guard(s.handleQuery))
+	mux.Handle("GET /snapshot", guard(s.handleSnapshot))
 	mux.HandleFunc("GET /watch", s.handleWatch)
 	return mux
+}
+
+// beginDrain flips /healthz to the terminal draining state and ends every
+// live /watch stream so HTTP shutdown is not held open by SSE clients.
+func (s *server) beginDrain() {
+	s.health.Set(resilience.HealthDraining, "shutdown in progress")
+	close(s.shutdown)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -109,11 +209,50 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_, _ = s.reg.WritePrometheus(w)
 }
 
+// healthResponse is the /healthz JSON shape: the resilience state machine
+// (ok → degraded → failing, draining once shutdown starts) plus the
+// operational numbers the old plaintext form carried.
+type healthResponse struct {
+	State         string  `json:"state"`
+	Reason        string  `json:"reason,omitempty"`
+	N             uint64  `json:"n"`
+	Psi           float64 `json:"psi"`
+	Converged     bool    `json:"converged"`
+	Workers       int     `json:"workers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	DegradeLevel  int     `json:"degrade_level"`
+	ShedTotal     uint64  `json:"shed_total"`
+	PanicsTotal   uint64  `json:"panics_total"`
+	CheckpointGen uint64  `json:"checkpoint_generation,omitempty"`
+	CheckpointSeq uint32  `json:"checkpoint_segments,omitempty"`
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok n=%d psi=%.0f converged=%v workers=%d uptime=%s\n",
-		s.mon.N(), s.mon.Psi(), s.mon.Converged(), s.mon.Workers(),
-		time.Since(s.start).Round(time.Second))
+	state, reason := s.health.Get()
+	resp := healthResponse{
+		State:         state.String(),
+		Reason:        reason,
+		N:             s.mon.N(),
+		Psi:           s.mon.Psi(),
+		Converged:     s.mon.Converged(),
+		Workers:       s.mon.Workers(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		DegradeLevel:  s.degrader.Level(),
+		ShedTotal:     s.gate.Sheds(),
+		PanicsTotal:   s.resStats.Panics.Load(),
+	}
+	if s.ckpt != nil {
+		resp.CheckpointGen, resp.CheckpointSeq = s.ckpt.Store().Generation()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// ok and degraded still serve traffic; failing and draining tell the
+	// load balancer to stop sending it.
+	if state == resilience.HealthFailing || state == resilience.HealthDraining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
 }
 
 // queryResponse is the /query JSON shape.
@@ -148,6 +287,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
+	// The gate bounds how many requests queue on qmu; the deadline bounds
+	// how long one waits there. A request whose deadline expired while
+	// queued is answered without doing the (already too late) query work.
+	if r.Context().Err() != nil {
+		http.Error(w, "request deadline exceeded while queued", http.StatusServiceUnavailable)
+		return
+	}
 	hits := s.mon.HeavyHitters(theta)
 	n := s.mon.N()
 	resp := queryResponse{
@@ -174,8 +320,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(resp)
 }
 
-func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.qmu.Lock()
+	if r.Context().Err() != nil {
+		s.qmu.Unlock()
+		http.Error(w, "request deadline exceeded while queued", http.StatusServiceUnavailable)
+		return
+	}
 	snap := s.mon.Snapshot()
 	data, err := snap.MarshalBinary()
 	if err == nil {
@@ -254,14 +405,24 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sub.Close()
+	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 	enc := json.NewEncoder(w)
+	// drop disconnects a client that cannot keep up (or is gone): without
+	// the per-write deadline a stalled TCP peer would park this handler in
+	// Write forever, holding the subscription and its differ state alive.
+	drop := func() {
+		s.sseDrops.Add(1)
+	}
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.shutdown:
+			// Draining: end the stream so server shutdown can finish.
 			return
 		case d, ok := <-sub.Events():
 			if !ok {
@@ -277,16 +438,24 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			for _, h := range d.Updated {
 				ev.Updated = append(ev.Updated, h.Text)
 			}
+			_ = rc.SetWriteDeadline(time.Now().Add(s.watchWrite))
 			if _, err := fmt.Fprintf(w, "event: delta\ndata: "); err != nil {
+				drop()
 				return
 			}
 			if err := enc.Encode(ev); err != nil { // Encode appends the \n
+				drop()
 				return
 			}
 			if _, err := fmt.Fprintf(w, "\n"); err != nil {
+				drop()
 				return
 			}
-			fl.Flush()
+			if err := rc.Flush(); err != nil {
+				drop()
+				return
+			}
+			_ = rc.SetWriteDeadline(time.Time{})
 		}
 	}
 }

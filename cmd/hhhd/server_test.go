@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rhhh"
+	"rhhh/internal/resilience"
 	"rhhh/internal/telemetry"
 )
 
@@ -24,7 +25,7 @@ func testServer(t *testing.T) (*server, *rhhh.Sharded) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(mon, 0.05)
+	srv := newServer(mon, 0.05, serverOptions{})
 	heavy := netip.MustParseAddr("10.1.2.3")
 	srcs := make([]netip.Addr, 0, 4096)
 	for i := range 4096 {
@@ -106,11 +107,37 @@ func TestMetricsCatalogue(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	srv, _ := testServer(t)
+	srv, mon := testServer(t)
 	rec := httptest.NewRecorder()
 	srv.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
-	if rec.Code != 200 || !strings.HasPrefix(rec.Body.String(), "ok ") {
+	if rec.Code != 200 {
 		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+	var hr healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatalf("healthz is not JSON: %v (%q)", err, rec.Body.String())
+	}
+	if hr.State != "ok" || hr.N != mon.N() || hr.Workers != 2 || hr.DegradeLevel != 0 {
+		t.Fatalf("unexpected healthz: %+v", hr)
+	}
+
+	// The state machine drives the status code: failing and draining are
+	// 503 so a load balancer stops routing, and draining is sticky.
+	srv.health.Set(resilience.HealthFailing, "test")
+	rec = httptest.NewRecorder()
+	srv.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("failing healthz code = %d, want 503", rec.Code)
+	}
+	srv.beginDrain()
+	srv.health.Set(resilience.HealthOK, "nope")
+	rec = httptest.NewRecorder()
+	srv.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != 503 || hr.State != "draining" {
+		t.Fatalf("draining healthz = %d %+v, want sticky 503 draining", rec.Code, hr)
 	}
 }
 

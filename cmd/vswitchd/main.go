@@ -10,21 +10,26 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io/fs"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"rhhh/internal/core"
 	"rhhh/internal/hierarchy"
 	"rhhh/internal/netgen"
+	"rhhh/internal/resilience"
 	"rhhh/internal/telemetry"
 	"rhhh/internal/trace"
 	"rhhh/internal/vswitch"
@@ -57,6 +62,12 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "optional listen address for Prometheus /metrics (empty = disabled)")
 	)
 	flag.Parse()
+
+	// SIGTERM/SIGINT drain the run gracefully: the drive loop stops at the
+	// next pass boundary, then the normal exit path runs — final
+	// checkpoint, report, transport teardown — instead of dying mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	// reg stays nil (telemetry.Disabled) without -metrics-addr: every
 	// Instrument call below is then a no-op and the hot paths keep their
@@ -106,7 +117,7 @@ func main() {
 			dom: dom, packets: packets, workers: *workers,
 			epsilon: *epsilon, delta: *delta, v: v, seed: *seed, backend: engBackend,
 			byBytes: *byBytes, theta: *theta, duration: *duration,
-			watch: *watch, watchIvl: *watchIvl, reg: reg,
+			watch: *watch, watchIvl: *watchIvl, reg: reg, stop: ctx.Done(),
 		})
 		return
 	}
@@ -222,7 +233,10 @@ func main() {
 	ft.Add(vswitch.Rule{Priority: 0, Match: vswitch.Match{}, Action: vswitch.Action{OutPort: 1}})
 	dp := vswitch.NewDatapath(&ft, vswitch.NewEMC(8192, *seed), hook)
 
-	res := netgen.RunFor(packets, *duration, func(p trace.Packet) { dp.Process(p) })
+	res := netgen.RunForStop(packets, *duration, ctx.Done(), func(p trace.Packet) { dp.Process(p) })
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "vswitchd: interrupted, draining")
+	}
 	st := dp.Stats()
 	fmt.Printf("mode=%s V=%d (H=%d) duration=%v\n", *mode, v, h, res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput: %.2f Mpps (%d packets; emc hits %.1f%%)\n",
@@ -245,6 +259,7 @@ type multiQueueConfig struct {
 	watch          bool
 	watchIvl       time.Duration
 	reg            *telemetry.Registry
+	stop           <-chan struct{} // graceful drain: ends the drive early
 }
 
 // mqPublishEvery is the per-worker publication cadence in packets — the same
@@ -402,7 +417,7 @@ func runMultiQueue(cfg multiQueueConfig) {
 		wg.Add(1)
 		go func(i int, w *mqWorker) {
 			defer wg.Done()
-			results[i] = netgen.RunFor(w.pkts, cfg.duration, func(p trace.Packet) { w.dp.Process(p) })
+			results[i] = netgen.RunForStop(w.pkts, cfg.duration, cfg.stop, func(p trace.Packet) { w.dp.Process(p) })
 			w.publish() // final sync: everything absorbed becomes visible
 		}(i, w)
 	}
@@ -541,9 +556,16 @@ func serveMetrics(addr string, reg *telemetry.Registry) {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	// Header/write timeouts bound what a stuck or malicious scraper can
+	// hold: the exposition is small, so generous limits are still tight.
+	srv := &http.Server{
+		Addr: addr, Handler: mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      10 * time.Second,
+	}
 	go func() {
 		fmt.Fprintf(os.Stderr, "vswitchd: metrics on http://%s/metrics\n", addr)
-		if err := http.ListenAndServe(addr, mux); err != nil {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "vswitchd: metrics server: %v\n", err)
 		}
 	}()
@@ -605,7 +627,10 @@ func restoreEngine(eng *core.Engine[uint64], path string) (bool, error) {
 	return true, nil
 }
 
-// writeEngineCheckpoint atomically replaces the checkpoint file.
+// writeEngineCheckpoint atomically replaces the checkpoint file: fsynced
+// temp write, rename, directory sync — the same durability discipline as
+// the resilience checkpoint store, so a crash (or power loss) mid-write
+// never costs the last good checkpoint.
 func writeEngineCheckpoint(eng *core.Engine[uint64], path string) error {
 	var es core.EngineSnapshot[uint64]
 	eng.SnapshotInto(&es)
@@ -613,11 +638,15 @@ func writeEngineCheckpoint(eng *core.Engine[uint64], path string) error {
 	if err != nil {
 		return err
 	}
+	fsys := resilience.OSFS{}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := fsys.WriteFile(tmp, data); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 func printHHH(dom *hierarchy.Domain[uint64], out []core.Result[uint64], n uint64, theta float64) {

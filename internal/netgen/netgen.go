@@ -95,9 +95,23 @@ func RunBatched(batches [][]trace.Packet, rounds int, sink func([]trace.Packet))
 // least d has elapsed, checking the clock once per pass to keep timer
 // overhead out of the loop.
 func RunFor(packets []trace.Packet, d time.Duration, sink func(trace.Packet)) Result {
+	return RunForStop(packets, d, nil, sink)
+}
+
+// RunForStop is RunFor with a cooperative stop channel: closing stop ends
+// the drive at the next pass boundary — the graceful-drain hook for a
+// daemon's signal handler. The check costs one non-blocking select per pass
+// over the prebuilt packets, nothing on the per-packet path. stop may be
+// nil.
+func RunForStop(packets []trace.Packet, d time.Duration, stop <-chan struct{}, sink func(trace.Packet)) Result {
 	start := time.Now()
 	var n uint64
 	for time.Since(start) < d {
+		select {
+		case <-stop:
+			return Result{Packets: n, Elapsed: time.Since(start)}
+		default:
+		}
 		for _, p := range packets {
 			sink(p)
 		}

@@ -1,0 +1,95 @@
+package resilience
+
+import (
+	"time"
+
+	"rhhh/internal/telemetry"
+)
+
+// Degrader is the adaptive degradation ladder: a periodic Observe call
+// feeds it the current ingest lag and the shed count, and it answers with
+// a degrade level 0..MaxLevel. Levels step up immediately when lag crosses
+// the watermark (one watermark per level: lag ≥ 2^(L-1) × watermark →
+// level L) and step down one level at a time after Hold of sustained
+// relief — asymmetric on purpose, so a flapping input cannot oscillate the
+// cadence levers.
+//
+// The caller owns the mapping from level to levers (publication-cadence
+// scale, intake thinning); Degrader owns only the decision. Observe must
+// be called from one goroutine; Level may be read from any.
+type Degrader struct {
+	// Watermark is the lag at which level 1 engages. Required.
+	Watermark time.Duration
+	// MaxLevel caps the ladder (0 = default 3).
+	MaxLevel int
+	// Hold is how long relief must persist before stepping down one
+	// level (0 = default 5s).
+	Hold time.Duration
+	// OnChange runs on every level transition, on the Observe goroutine.
+	OnChange func(old, new int)
+
+	level     int
+	calmSince time.Time
+	levelCell telemetry.Cell
+	stepsCell telemetry.Cell
+}
+
+// Level returns the last published degrade level. Safe from any goroutine.
+func (d *Degrader) Level() int { return int(d.levelCell.Load()) }
+
+// Observe feeds one control-loop sample: the current ingest lag (however
+// the caller defines it — publication age while intake is active, feeder
+// schedule shortfall). It returns the new level. Note shed counts are
+// deliberately not an input: shedding is the bounded-latency mechanism
+// working, not a reason to trade ingest accuracy.
+func (d *Degrader) Observe(now time.Time, lag time.Duration) int {
+	maxLevel := d.MaxLevel
+	if maxLevel <= 0 {
+		maxLevel = 3
+	}
+	hold := d.Hold
+	if hold <= 0 {
+		hold = 5 * time.Second
+	}
+
+	// Target level from the lag: watermark → 1, 2× → 2, 4× → 3.
+	target := 0
+	if d.Watermark > 0 && lag >= d.Watermark {
+		target = 1
+		for th := 2 * d.Watermark; lag >= th && target < maxLevel; th *= 2 {
+			target++
+		}
+	}
+
+	switch {
+	case target > d.level:
+		d.stepsCell.Add(uint64(target - d.level))
+		d.setLevel(target)
+		d.calmSince = time.Time{}
+	case target < d.level:
+		if d.calmSince.IsZero() {
+			d.calmSince = now
+		} else if now.Sub(d.calmSince) >= hold {
+			d.setLevel(d.level - 1)
+			d.calmSince = now
+		}
+	default:
+		d.calmSince = time.Time{}
+	}
+	return d.level
+}
+
+func (d *Degrader) setLevel(l int) {
+	old := d.level
+	d.level = l
+	d.levelCell.Store(uint64(l))
+	if d.OnChange != nil {
+		d.OnChange(old, l)
+	}
+}
+
+// Register exposes the ladder under the hhh_resilience_* names.
+func (d *Degrader) Register(r *telemetry.Registry, labels string) {
+	r.Gauge("hhh_resilience_degrade_level", labels, "Current adaptive-degrade level (0 = full fidelity).", &d.levelCell)
+	r.Counter("hhh_resilience_degrade_steps_total", labels, "Degrade-ladder step-ups.", &d.stepsCell)
+}

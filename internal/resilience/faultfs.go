@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+)
+
+// ErrInjected is the error returned by FaultFS-injected failures.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// FaultFS wraps an FS and injects write-path faults with a seeded
+// probability — the checkpoint half of the chaos harness. Injected
+// failures model the real crash surface:
+//
+//   - WriteFile: fail after persisting only a random prefix (short write /
+//     disk full), leaving a partial file behind like a real ENOSPC would.
+//   - Rename: fail, leaving the durable name untouched.
+//   - SyncDir: fail after the rename, modeling "renamed but maybe not
+//     durable".
+//
+// Read-side operations are never failed: recovery must always be able to
+// examine whatever the faults left behind. Safe for concurrent use.
+type FaultFS struct {
+	Inner FS
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rate     float64
+	injected uint64
+}
+
+// NewFaultFS wraps inner (nil = the real filesystem) with seeded fault
+// injection at the given per-operation probability.
+func NewFaultFS(inner FS, seed uint64, rate float64) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{
+		Inner: inner,
+		rng:   rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		rate:  rate,
+	}
+}
+
+// SetRate changes the injection probability (0 disables).
+func (f *FaultFS) SetRate(rate float64) {
+	f.mu.Lock()
+	f.rate = rate
+	f.mu.Unlock()
+}
+
+// Injected returns how many faults have been injected.
+func (f *FaultFS) Injected() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// trip decides one injection; frac is the random prefix fraction for short
+// writes.
+func (f *FaultFS) trip() (fail bool, frac float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rate > 0 && f.rng.Float64() < f.rate {
+		f.injected++
+		return true, f.rng.Float64()
+	}
+	return false, 0
+}
+
+func (f *FaultFS) MkdirAll(dir string) error            { return f.Inner.MkdirAll(dir) }
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.Inner.ReadFile(path) }
+func (f *FaultFS) Remove(path string) error             { return f.Inner.Remove(path) }
+
+func (f *FaultFS) WriteFile(path string, data []byte) error {
+	if fail, frac := f.trip(); fail {
+		// Persist a prefix, then report failure — the partial file stays.
+		_ = f.Inner.WriteFile(path, data[:int(frac*float64(len(data)))])
+		return ErrInjected
+	}
+	return f.Inner.WriteFile(path, data)
+}
+
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	if fail, _ := f.trip(); fail {
+		return ErrInjected
+	}
+	return f.Inner.Rename(oldPath, newPath)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if fail, _ := f.trip(); fail {
+		// The rename already happened; modeling a lost dir entry would
+		// require deleting the file, which a later crash-free run would
+		// observe anyway — keep the file and just report the failure.
+		return ErrInjected
+	}
+	return f.Inner.SyncDir(dir)
+}

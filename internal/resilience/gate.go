@@ -1,0 +1,90 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rhhh/internal/telemetry"
+)
+
+// Gate is a concurrency-limited admission gate for request handling: at
+// most limit requests run at once, excess requests are shed immediately.
+// Shedding instead of queuing is what keeps the admitted requests' latency
+// bounded under overload — the queue lives at the client, visible through
+// 503 + Retry-After.
+type Gate struct {
+	slots    chan struct{}
+	admitted telemetry.Cell
+	sheds    telemetry.Cell
+}
+
+// NewGate returns a gate admitting up to limit concurrent requests
+// (limit < 1 is clamped to 1).
+func NewGate(limit int) *Gate {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Gate{slots: make(chan struct{}, limit)}
+}
+
+// Acquire claims a slot without blocking, reporting whether admission
+// succeeded. Every Acquire()==true must be paired with Release.
+func (g *Gate) Acquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return true
+	default:
+		g.sheds.Add(1)
+		return false
+	}
+}
+
+// Release returns a slot claimed by Acquire.
+func (g *Gate) Release() { <-g.slots }
+
+// Sheds returns the number of requests shed so far.
+func (g *Gate) Sheds() uint64 { return g.sheds.Load() }
+
+// InFlight returns the number of currently admitted requests.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Register wires the gate's counters under the hhh_resilience_* names;
+// labels should identify the protected surface (`{endpoint="query"}`).
+func (g *Gate) Register(r *telemetry.Registry, labels string) {
+	r.Counter("hhh_resilience_admitted_total", labels, "Requests admitted by the gate.", &g.admitted)
+	r.Counter("hhh_resilience_shed_total", labels, "Requests shed by the admission gate (503).", &g.sheds)
+	r.GaugeFunc("hhh_resilience_inflight", labels, "Requests currently admitted by the gate.", func() float64 {
+		return float64(g.InFlight())
+	})
+}
+
+// Limit wraps h with the gate: shed requests get 503 with a Retry-After
+// hint instead of queuing behind the admitted ones.
+func (g *Gate) Limit(retryAfter time.Duration, h http.Handler) http.Handler {
+	retry := strconv.Itoa(int(max(1, int64(retryAfter/time.Second))))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !g.Acquire() {
+			w.Header().Set("Retry-After", retry)
+			http.Error(w, "overloaded, request shed", http.StatusServiceUnavailable)
+			return
+		}
+		defer g.Release()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// WithDeadline wraps h with a per-request deadline: the request context is
+// canceled and the connection's write deadline set so a stuck handler or a
+// stalled client cannot hold the request slot past d.
+func WithDeadline(d time.Duration, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		rc := http.NewResponseController(w)
+		_ = rc.SetWriteDeadline(time.Now().Add(d))
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

@@ -1,0 +1,70 @@
+package resilience
+
+import (
+	"sync"
+
+	"rhhh/internal/telemetry"
+)
+
+// HealthState is the daemon's coarse operational state, exposed by
+// /healthz and as a gauge. Transitions: ok ↔ degraded (the degrade ladder
+// stepping up and down), ok/degraded → failing (a supervised goroutine
+// gave up, or overload beyond the ladder), any → draining (shutdown began;
+// terminal).
+type HealthState int32
+
+const (
+	HealthOK HealthState = iota
+	HealthDegraded
+	HealthFailing
+	HealthDraining
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	case HealthFailing:
+		return "failing"
+	default:
+		return "draining"
+	}
+}
+
+// Health is the state machine behind /healthz: a state plus the reason it
+// was entered. Draining is sticky — once shutdown starts, degrade/recover
+// transitions no longer apply.
+type Health struct {
+	mu     sync.Mutex
+	state  HealthState
+	reason string
+	cell   telemetry.Cell
+}
+
+// Set moves to state (recording why). Returns false if the transition was
+// refused because the health is already draining.
+func (h *Health) Set(state HealthState, reason string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state == HealthDraining && state != HealthDraining {
+		return false
+	}
+	h.state, h.reason = state, reason
+	h.cell.Store(uint64(state))
+	return true
+}
+
+// Get returns the current state and the reason it was entered.
+func (h *Health) Get() (HealthState, string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state, h.reason
+}
+
+// Register exposes the state as the hhh_resilience_health_state gauge
+// (0 ok, 1 degraded, 2 failing, 3 draining).
+func (h *Health) Register(r *telemetry.Registry, labels string) {
+	r.Gauge("hhh_resilience_health_state", labels, "Health state: 0 ok, 1 degraded, 2 failing, 3 draining.", &h.cell)
+}

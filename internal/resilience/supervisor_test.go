@@ -1,0 +1,227 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func quiet(t *testing.T) func(string, ...any) {
+	return func(format string, args ...any) { t.Logf("resilience: "+format, args...) }
+}
+
+func TestGoRestartsAfterPanic(t *testing.T) {
+	var stats Stats
+	var runs atomic.Int32
+	p := &Policy{Backoff: time.Millisecond, Logf: quiet(t), Stats: &stats}
+	done := p.Go("test", nil, func() {
+		if runs.Add(1) < 3 {
+			panic("boom")
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervised goroutine did not finish")
+	}
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("body ran %d times, want 3", got)
+	}
+	if got := stats.Panics.Load(); got != 2 {
+		t.Fatalf("Panics = %d, want 2", got)
+	}
+	if got := stats.Restarts.Load(); got != 2 {
+		t.Fatalf("Restarts = %d, want 2", got)
+	}
+	if got := stats.GiveUps.Load(); got != 0 {
+		t.Fatalf("GiveUps = %d, want 0", got)
+	}
+	if got := stats.Supervised.Load(); got != 0 {
+		t.Fatalf("Supervised = %d, want 0 after exit", got)
+	}
+}
+
+func TestGoGivesUpAfterMaxRestarts(t *testing.T) {
+	var stats Stats
+	var gaveUp atomic.Bool
+	p := &Policy{
+		Backoff:     time.Microsecond,
+		MaxRestarts: 3,
+		Logf:        quiet(t),
+		Stats:       &stats,
+		OnGiveUp:    func(name string, v any) { gaveUp.Store(true) },
+	}
+	done := p.Go("test", nil, func() { panic("always") })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor did not give up")
+	}
+	if !gaveUp.Load() {
+		t.Fatal("OnGiveUp did not fire")
+	}
+	if got := stats.GiveUps.Load(); got != 1 {
+		t.Fatalf("GiveUps = %d, want 1", got)
+	}
+	// MaxRestarts=3 allows 3 restarts: 4 runs, 4 panics.
+	if got := stats.Panics.Load(); got != 4 {
+		t.Fatalf("Panics = %d, want 4", got)
+	}
+}
+
+func TestGoBackoffGrows(t *testing.T) {
+	var times []time.Time
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	p := &Policy{Backoff: 20 * time.Millisecond, MaxRestarts: 2, Logf: quiet(t)}
+	done := p.Go("test", nil, func() {
+		<-mu
+		times = append(times, time.Now())
+		mu <- struct{}{}
+		panic("boom")
+	})
+	<-done
+	<-mu
+	if len(times) != 3 {
+		t.Fatalf("body ran %d times, want 3", len(times))
+	}
+	gap1, gap2 := times[1].Sub(times[0]), times[2].Sub(times[1])
+	if gap1 < 20*time.Millisecond {
+		t.Fatalf("first restart after %v, want >= 20ms", gap1)
+	}
+	if gap2 < 40*time.Millisecond {
+		t.Fatalf("second restart after %v, want >= 40ms (doubled)", gap2)
+	}
+}
+
+func TestGoStopPreventsRestart(t *testing.T) {
+	var runs atomic.Int32
+	stop := make(chan struct{})
+	p := &Policy{Backoff: time.Hour, Logf: quiet(t)} // restart would take an hour
+	done := p.Go("test", stop, func() {
+		runs.Add(1)
+		panic("boom")
+	})
+	time.Sleep(10 * time.Millisecond) // let the body panic and enter backoff
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not end the backoff wait")
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("body ran %d times, want 1", got)
+	}
+}
+
+func TestProtectCapturesPanic(t *testing.T) {
+	var stats Stats
+	var captured atomic.Bool
+	p := &Policy{
+		Logf:    quiet(t),
+		Stats:   &stats,
+		OnPanic: func(name string, v any, stack []byte) { captured.Store(true) },
+	}
+	if !p.Protect("test", func() { panic("boom") }) {
+		t.Fatal("Protect did not report the panic")
+	}
+	if !captured.Load() {
+		t.Fatal("OnPanic did not fire")
+	}
+	if p.Protect("test", func() {}) {
+		t.Fatal("Protect reported a panic for a clean body")
+	}
+	if got := stats.Panics.Load(); got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+}
+
+func TestNilPolicyUsesDefault(t *testing.T) {
+	var p *Policy
+	old := Default.Logf
+	Default.Logf = func(string, ...any) {}
+	defer func() { Default.Logf = old }()
+	if !p.Protect("test", func() { panic("boom") }) {
+		t.Fatal("nil policy Protect did not capture")
+	}
+	done := p.Go("test", nil, func() {})
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("nil policy Go did not run")
+	}
+}
+
+func TestDegraderLadder(t *testing.T) {
+	d := &Degrader{Watermark: time.Second, MaxLevel: 3, Hold: 10 * time.Second}
+	now := time.Unix(0, 0)
+	if got := d.Observe(now, 0); got != 0 {
+		t.Fatalf("level = %d at no lag, want 0", got)
+	}
+	if got := d.Observe(now, 1500*time.Millisecond); got != 1 {
+		t.Fatalf("level = %d at 1.5x watermark, want 1", got)
+	}
+	if got := d.Observe(now, 5*time.Second); got != 3 {
+		t.Fatalf("level = %d at 5x watermark, want 3", got)
+	}
+	// Relief must hold before stepping down, then steps one at a time.
+	if got := d.Observe(now.Add(time.Second), 0); got != 3 {
+		t.Fatalf("level = %d immediately after relief, want 3 (hold)", got)
+	}
+	if got := d.Observe(now.Add(12*time.Second), 0); got != 2 {
+		t.Fatalf("level = %d after hold, want 2", got)
+	}
+	if got := d.Observe(now.Add(13*time.Second), 0); got != 2 {
+		t.Fatalf("level = %d one second into the next hold, want 2", got)
+	}
+	if got := d.Observe(now.Add(23*time.Second), 0); got != 1 {
+		t.Fatalf("level = %d after the second hold, want 1", got)
+	}
+	// A lag spike mid-recovery jumps straight back up.
+	if got := d.Observe(now.Add(24*time.Second), 3*time.Second); got != 2 {
+		t.Fatalf("level = %d on renewed 3x lag, want 2", got)
+	}
+	if d.Level() != 2 {
+		t.Fatalf("Level() = %d, want 2", d.Level())
+	}
+}
+
+func TestHealthDrainingIsSticky(t *testing.T) {
+	var h Health
+	if st, _ := h.Get(); st != HealthOK {
+		t.Fatalf("zero state = %v, want ok", st)
+	}
+	h.Set(HealthDegraded, "lag")
+	if st, why := h.Get(); st != HealthDegraded || why != "lag" {
+		t.Fatalf("state = %v %q, want degraded lag", st, why)
+	}
+	h.Set(HealthDraining, "shutdown")
+	if h.Set(HealthOK, "recovered") {
+		t.Fatal("Set(ok) after draining was accepted")
+	}
+	if st, _ := h.Get(); st != HealthDraining {
+		t.Fatalf("state = %v, want draining", st)
+	}
+}
+
+func TestGateShedsOverLimit(t *testing.T) {
+	g := NewGate(2)
+	if !g.Acquire() || !g.Acquire() {
+		t.Fatal("gate refused admission under the limit")
+	}
+	if g.Acquire() {
+		t.Fatal("gate admitted over the limit")
+	}
+	if got := g.Sheds(); got != 1 {
+		t.Fatalf("Sheds = %d, want 1", got)
+	}
+	g.Release()
+	if !g.Acquire() {
+		t.Fatal("gate refused admission after a release")
+	}
+	g.Release()
+	g.Release()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+}

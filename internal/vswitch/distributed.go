@@ -9,8 +9,10 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rhhh/internal/core"
+	"rhhh/internal/resilience"
 	"rhhh/internal/fastrand"
 	"rhhh/internal/hierarchy"
 	"rhhh/internal/spacesaving"
@@ -586,8 +588,11 @@ func (t *InProcTransport) Close() error {
 // address.
 type UDPCollectorServer struct {
 	conn       *net.UDPConn
-	done       chan struct{}
+	done       <-chan struct{}
 	readErrors atomic.Uint64
+	// closeTimeout bounds how long Close waits for the read loop (and the
+	// in-flight handler it may be running) to join.
+	closeTimeout time.Duration
 }
 
 // ListenUDP starts a collector server on addr (e.g. "127.0.0.1:0"). The read
@@ -607,9 +612,13 @@ func ListenUDP(addr string, c *Collector) (*UDPCollectorServer, error) {
 	// arrives as a burst of maximum-size datagrams, and the default socket
 	// buffer holds only ~3 of them.
 	_ = conn.SetReadBuffer(4 << 20)
-	s := &UDPCollectorServer{conn: conn, done: make(chan struct{})}
-	go func() {
-		defer close(s.done)
+	s := &UDPCollectorServer{conn: conn, closeTimeout: 5 * time.Second}
+	// The read loop runs supervised: a panic in message handling is
+	// captured and the loop restarted on the same socket (the sender's
+	// retransmit covers the lost datagram). The supervisor's done channel
+	// is the join handle Close waits on — it closes only when the loop,
+	// including any in-flight handler call, has returned for good.
+	s.done = resilience.Default.Go("vswitch/udp-collector", nil, func() {
 		buf := make([]byte, 64<<10)
 		for {
 			n, raddr, err := conn.ReadFromUDP(buf)
@@ -627,7 +636,7 @@ func ListenUDP(addr string, c *Collector) (*UDPCollectorServer, error) {
 				_, _ = conn.WriteToUDP(ack, raddr)
 			}
 		}
-	}()
+	})
 	return s, nil
 }
 
@@ -638,10 +647,23 @@ func (s *UDPCollectorServer) Addr() string { return s.conn.LocalAddr().String() 
 // survived.
 func (s *UDPCollectorServer) ReadErrors() uint64 { return s.readErrors.Load() }
 
-// Close stops the server and waits for the read goroutine to exit.
+// SetCloseTimeout bounds how long Close waits for in-flight handling to
+// join (default 5s). Call before Close.
+func (s *UDPCollectorServer) SetCloseTimeout(d time.Duration) { s.closeTimeout = d }
+
+// Close stops the server and joins the read goroutine — including any
+// in-flight HandleMessage call — so the caller may tear down the collector
+// the instant Close returns. The wait is bounded by the close timeout; a
+// handler stuck past it is reported instead of hanging shutdown forever.
 func (s *UDPCollectorServer) Close() error {
 	err := s.conn.Close()
-	<-s.done
+	t := time.NewTimer(s.closeTimeout)
+	defer t.Stop()
+	select {
+	case <-s.done:
+	case <-t.C:
+		return fmt.Errorf("vswitch: collector read loop did not exit within %v", s.closeTimeout)
+	}
 	return err
 }
 

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"rhhh/internal/resilience"
 )
 
 // UDPReportTransport carries the acked report protocol over UDP: reports go
@@ -24,7 +26,7 @@ type UDPReportTransport struct {
 	mu       sync.Mutex
 	addr     string
 	conn     *net.UDPConn
-	readDone chan struct{}
+	readDone <-chan struct{}
 	closed   bool
 
 	inMu     sync.Mutex
@@ -62,14 +64,17 @@ func (t *UDPReportTransport) redialLocked(addr string) error {
 	}
 	t.addr = addr
 	t.conn = conn
-	t.readDone = make(chan struct{})
-	go t.readAcks(conn, t.readDone)
+	// The ack reader runs supervised: a panic is captured and the reader
+	// restarted on the same socket instead of silently wedging the ack
+	// path (the reporter would retransmit forever). The returned channel
+	// closes when the reader exits for good — the join handle Close and
+	// Redial wait on.
+	t.readDone = resilience.Default.Go("vswitch/udp-ack-reader", nil, func() { t.readAcks(conn) })
 	return nil
 }
 
 // readAcks drains ack datagrams into the bounded inbox until conn closes.
-func (t *UDPReportTransport) readAcks(conn *net.UDPConn, done chan struct{}) {
-	defer close(done)
+func (t *UDPReportTransport) readAcks(conn *net.UDPConn) {
 	buf := make([]byte, 512)
 	for {
 		n, err := conn.Read(buf)

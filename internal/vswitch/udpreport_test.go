@@ -3,6 +3,7 @@ package vswitch
 import (
 	"bytes"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -151,5 +152,85 @@ func TestUDPCollectorServerRobust(t *testing.T) {
 	}
 	if err := srv2.Close(); err != nil {
 		t.Fatalf("Close again: %v", err)
+	}
+}
+
+// TestUDPCollectorCloseJoinsHandlers pins the bounded-join contract of
+// UDPCollectorServer.Close: once Close returns, the read loop — including
+// any in-flight HandleMessage call — has exited, so the caller may tear the
+// collector down immediately. The test blasts datagrams at the server while
+// closing it, then mutates collector state without synchronization; under
+// -race (CI runs this leg) a handler surviving Close shows up as a data
+// race against that write.
+func TestUDPCollectorCloseJoinsHandlers(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	for round := 0; round < 8; round++ {
+		col := NewCollector(dom, 0.05, 0.05, 10*dom.Size())
+		srv, err := ListenUDP("127.0.0.1:0", col)
+		if err != nil {
+			t.Fatalf("round %d: ListenUDP: %v", round, err)
+		}
+		conn, err := net.Dial("udp", srv.Addr())
+		if err != nil {
+			t.Fatalf("round %d: dial: %v", round, err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A mix of garbage (exercises the decode-error path) and valid
+			// batches (exercises the full handle+ack path) keeps handlers
+			// in flight right up to the close.
+			valid := EncodeBatch(nil, 3, 1, []Sample{{Node: 1, Key: 0x0a000001}})
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					_, _ = conn.Write([]byte("not a vswitch frame, just noise"))
+				} else {
+					_, _ = conn.Write(valid)
+				}
+			}
+		}()
+		time.Sleep(time.Millisecond) // let some handlers actually run
+		start := time.Now()
+		if err := srv.Close(); err != nil {
+			t.Fatalf("round %d: Close: %v", round, err)
+		}
+		if d := time.Since(start); d > 3*time.Second {
+			t.Fatalf("round %d: Close took %v, want a bounded prompt join", round, d)
+		}
+		// Unsynchronized write: only legal if no handler can still be
+		// running. The happens-before edge is the supervisor's done channel
+		// Close waits on.
+		col.stats.Messages = 0
+		close(stop)
+		wg.Wait()
+		conn.Close()
+	}
+}
+
+// TestUDPCollectorCloseTimeoutBounded pins that a wedged read loop cannot
+// hang shutdown forever: with the join handle never closing, Close reports
+// an error after the configured timeout instead of blocking.
+func TestUDPCollectorCloseTimeoutBounded(t *testing.T) {
+	dom := hierarchy.NewIPv4TwoDim(hierarchy.Bytes)
+	col := NewCollector(dom, 0.05, 0.05, 10*dom.Size())
+	srv, err := ListenUDP("127.0.0.1:0", col)
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	srv.SetCloseTimeout(30 * time.Millisecond)
+	srv.done = make(chan struct{}) // simulate a handler stuck past the deadline
+	start := time.Now()
+	if err := srv.Close(); err == nil {
+		t.Fatalf("Close with a stuck read loop returned nil, want timeout error")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Close took %v, want ~30ms bound", d)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"rhhh/internal/core"
 	"rhhh/internal/hierarchy"
+	"rhhh/internal/resilience"
 	"rhhh/internal/telemetry"
 )
 
@@ -58,13 +59,20 @@ type Sharded struct {
 	wBuf           [][]uint64
 
 	// Standing-query driver state (see Watch): the hub holds subscriptions,
-	// the goroutine behind watchDone ticks it on the capture interval.
+	// the supervised goroutine behind watchDone ticks it on the capture
+	// interval. resPolicy supervises the driver (nil = resilience.Default).
 	watchMu     sync.Mutex
 	hub         watchCtl
 	watchStop   chan struct{}
 	watchWake   chan struct{}
-	watchDone   chan struct{}
+	watchDone   <-chan struct{}
 	watchClosed bool
+	resPolicy   *resilience.Policy
+
+	// pubScale widens every worker's publication cadence by the stored
+	// factor (0 and 1 are neutral) — the degrade ladder's cadence lever.
+	// Workers read it once per Sync, never on the packet path.
+	pubScale atomic.Uint32
 
 	// Telemetry blocks installed by Instrument (nil when uninstrumented):
 	// qtm is owned by aggMu holders, watchTM by the watch hub.
@@ -101,12 +109,17 @@ type Worker struct {
 	m    *Monitor
 	cell *pubCell
 
-	// Owner-goroutine cadence state, unsynchronized by design.
-	count      uint64 // packets absorbed since construction
-	batches    int    // batch calls since the last publication
-	nextPub    uint64 // publish when count reaches this watermark
-	pubPackets uint64
-	pubBatches int
+	// Owner-goroutine cadence state, unsynchronized by design. The
+	// effective cadence is the configured pubPackets/pubBatches times the
+	// owning Sharded's publication scale, re-read at each Sync — so the
+	// degrade ladder can widen the cadence without touching the hot path.
+	count       uint64 // packets absorbed since construction
+	batches     int    // batch calls since the last publication
+	nextPub     uint64 // publish when count reaches this watermark
+	pubPackets  uint64
+	pubBatches  int
+	curBatches  int            // pubBatches × scale, recomputed at Sync
+	scale       *atomic.Uint32 // the Sharded's pubScale
 
 	// publish captures the worker's engine into a publication slot sharing
 	// unchanged node buffers with prev and recycling buffers no reader can
@@ -122,6 +135,11 @@ type Worker struct {
 	tm    *telemetry.WorkerStats
 	syncs uint64
 	pubs  uint64
+
+	// lastPub is the wall clock of the last state-changing publication
+	// (unix nanos, 0 = never) — always maintained, telemetry or not, so
+	// Sharded.MaxPublishAge can feed the degrade controller.
+	lastPub atomic.Int64
 }
 
 // pubCell is one worker's publication slot, padded onto its own cache lines
@@ -168,7 +186,7 @@ func (w *Worker) UpdateBatch(srcs, dsts []netip.Addr) {
 	w.m.UpdateBatch(srcs, dsts)
 	w.count += uint64(len(srcs))
 	w.batches++
-	if w.count >= w.nextPub || w.batches >= w.pubBatches {
+	if w.count >= w.nextPub || w.batches >= w.curBatches {
 		w.Sync()
 	}
 }
@@ -179,7 +197,7 @@ func (w *Worker) UpdateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
 	w.m.UpdateWeightedBatch(srcs, dsts, ws)
 	w.count += uint64(len(srcs))
 	w.batches++
-	if w.count >= w.nextPub || w.batches >= w.pubBatches {
+	if w.count >= w.nextPub || w.batches >= w.curBatches {
 		w.Sync()
 	}
 }
@@ -193,7 +211,14 @@ func (w *Worker) Sync() {
 	prev := w.cell.v.Load().(*pubState)
 	snap, weight := w.publish(prev.snap)
 	w.batches = 0
-	w.nextPub = w.count + w.pubPackets
+	k := uint64(1)
+	if w.scale != nil {
+		if sc := w.scale.Load(); sc > 1 {
+			k = uint64(sc)
+		}
+	}
+	w.nextPub = w.count + w.pubPackets*k
+	w.curBatches = w.pubBatches * int(k)
 	if snap == prev.snap {
 		if w.tm != nil {
 			w.syncs++
@@ -202,6 +227,7 @@ func (w *Worker) Sync() {
 		return // unchanged: keep the published epoch
 	}
 	w.cell.v.Store(&pubState{snap: snap, epoch: prev.epoch + 1, weight: weight})
+	w.lastPub.Store(time.Now().UnixNano())
 	if w.tm != nil {
 		w.syncs++
 		w.pubs++
@@ -274,7 +300,9 @@ func NewShardedOptions(cfg Config, n int, opts ShardedOptions) (*Sharded, error)
 			cell:       &pubCell{},
 			pubPackets: pubPackets,
 			pubBatches: pubBatches,
+			curBatches: pubBatches,
 			nextPub:    pubPackets,
+			scale:      &s.pubScale,
 		}
 	}
 	// All workers share the same concrete impl type; dispatch on the first.
@@ -329,6 +357,47 @@ func (s *Sharded) Instrument(reg *telemetry.Registry) {
 		s.hub.instrument(s.watchTM)
 	}
 	s.watchMu.Unlock()
+}
+
+// SetResiliencePolicy installs the supervision policy for the standing-
+// query driver (and any future owned goroutines). Call before the first
+// Watch; nil means resilience.Default.
+func (s *Sharded) SetResiliencePolicy(p *resilience.Policy) {
+	s.watchMu.Lock()
+	s.resPolicy = p
+	s.watchMu.Unlock()
+}
+
+// SetPublishScale widens every worker's publication cadence by k (0 and 1
+// restore the configured cadence): the degrade ladder's lever. Workers
+// pick the new scale up at their next Sync — one atomic load per
+// publication, nothing on the packet path. Safe from any goroutine.
+func (s *Sharded) SetPublishScale(k uint32) { s.pubScale.Store(k) }
+
+// PublishScale returns the current publication-cadence scale (1 when
+// neutral).
+func (s *Sharded) PublishScale() uint32 {
+	if k := s.pubScale.Load(); k > 1 {
+		return k
+	}
+	return 1
+}
+
+// MaxPublishAge returns the age of the stalest worker publication — the
+// ingest-lag signal the degrade controller watches. Workers that have
+// never published traffic report zero (an idle daemon is not lagging).
+func (s *Sharded) MaxPublishAge(now time.Time) time.Duration {
+	var maxAge time.Duration
+	for _, w := range s.workers {
+		last := w.lastPub.Load()
+		if last == 0 {
+			continue
+		}
+		if age := now.Sub(time.Unix(0, last)); age > maxAge {
+			maxAge = age
+		}
+	}
+	return maxAge
 }
 
 // Workers returns the number of workers.
@@ -413,6 +482,15 @@ type shardAgg interface {
 	watchHub(s *Sharded) watchCtl
 	publisher(i int) (pub func(prev any) (snap any, weight uint64), ringSlots func() int, engTelem func(*telemetry.EngineStats))
 	instrument(q *telemetry.QueryStats)
+
+	// Incremental-checkpoint surface (see Checkpointer): append encodes
+	// the merged published state — full, or delta against the last
+	// committed base; commit advances the base after the bytes are
+	// durable; apply loads a recovered full+journal into worker 0's
+	// engine. All three run under the Sharded's aggMu.
+	appendCheckpoint(workers []*Worker, buf []byte, wantFull bool) (out []byte, wroteFull bool, err error)
+	commitCheckpoint()
+	applyCheckpoint(full []byte, segs [][]byte) error
 }
 
 // aggState implements shardAgg over carrier type K with a reusable merger and
@@ -439,6 +517,19 @@ type aggState[K comparable] struct {
 	wptrs   []*core.EngineSnapshot[K]
 	wsm     core.SnapshotMerger[K]
 	wmerged core.EngineSnapshot[K]
+
+	// Checkpoint scratch, owned by aggMu holders. ckptMerged is a third
+	// merge destination (nothing else overwrites it between an append and
+	// its commit, which bracket a disk write outside the lock); ckptBase /
+	// ckptGens are the last durably committed state — the delta-encoding
+	// base, advanced only by commitCheckpoint so a failed write never
+	// moves it.
+	ckptSM     core.SnapshotMerger[K]
+	ckptMerged core.EngineSnapshot[K]
+	ckptBase   core.EngineSnapshot[K]
+	ckptGens   []uint64
+	ckptCodec  core.DeltaCodec[K]
+	ckptHasBase bool
 
 	// qtm is the query-path telemetry block (nil when uninstrumented),
 	// mutated only under the owning Sharded's aggMu — except the watch
@@ -553,6 +644,76 @@ func (a *aggState[K]) freshSnapshot(workers []*Worker) snapCore {
 	return &snapState[K]{es: *es, dom: a.im.dom, split: a.im.split}
 }
 
+// appendCheckpoint captures the merged published state into the private
+// checkpoint scratch and encodes it — the full engine-snapshot codec, or
+// (when a committed base exists and the caller wants an increment) the
+// generation-delta codec against that base. The base is deliberately not
+// advanced here: the caller writes the bytes to disk first and commits
+// only on durable success, so a failed write leaves the delta chain
+// anchored at the last state that is actually recoverable.
+func (a *aggState[K]) appendCheckpoint(workers []*Worker, buf []byte, wantFull bool) ([]byte, bool, error) {
+	a.pinned, a.ptrs, _ = pinPubs(workers, a.pinned, a.ptrs)
+	merged := a.ckptSM.Merge(&a.ckptMerged, a.ptrs...)
+	unpinPubs(a.pinned)
+	if !a.ckptHasBase {
+		wantFull = true
+	}
+	if wantFull {
+		out, err := merged.AppendBinary(buf)
+		if err != nil {
+			return buf, false, err
+		}
+		return out, true, nil
+	}
+	out, _, err := a.ckptCodec.AppendDelta(buf, merged, &a.ckptBase, a.ckptGens)
+	if err != nil {
+		return buf, false, err
+	}
+	return out, false, nil
+}
+
+// commitCheckpoint advances the delta base to the state appendCheckpoint
+// last encoded, after the caller made its bytes durable. The generations
+// are recorded from the merged source — CopyFrom stamps fresh ones on the
+// copy — so the next delta compares against the capture-time generations,
+// exactly the acked-report pattern of the vswitch DeltaReporter.
+func (a *aggState[K]) commitCheckpoint() {
+	a.ckptBase.CopyFrom(&a.ckptMerged)
+	a.ckptGens = a.ckptMerged.NodeGens(a.ckptGens)
+	a.ckptHasBase = true
+}
+
+// applyCheckpoint decodes a recovered full checkpoint, replays the journal
+// segments onto it in order, and loads the result into worker 0's engine
+// (restore runs before producers start; the worker's next Sync publishes
+// it). The restored state also primes the delta base, so the first
+// post-restore increment extends the recovered journal consistently.
+func (a *aggState[K]) applyCheckpoint(full []byte, segs [][]byte) error {
+	es, rest, err := core.DecodeEngineSnapshot[K](full)
+	if err != nil {
+		return fmt.Errorf("rhhh: checkpoint full: %w", err)
+	}
+	if len(rest) != 0 {
+		return errors.New("rhhh: checkpoint full has trailing bytes")
+	}
+	for i, seg := range segs {
+		rest, err := a.ckptCodec.ApplyDelta(es, seg)
+		if err != nil {
+			return fmt.Errorf("rhhh: checkpoint segment %d: %w", i+1, err)
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("rhhh: checkpoint segment %d has trailing bytes", i+1)
+		}
+	}
+	if err := a.engines[0].LoadSnapshot(es); err != nil {
+		return fmt.Errorf("rhhh: checkpoint restore: %w", err)
+	}
+	a.ckptBase.CopyFrom(es)
+	a.ckptGens = es.NodeGens(a.ckptGens)
+	a.ckptHasBase = true
+	return nil
+}
+
 // watchHub builds the sharded watch hub: each capture pins the latest
 // published snapshot set and merges it on the hub's own scratch — producers
 // are never paused, and the watch driver no longer contends with queries.
@@ -596,11 +757,13 @@ func (s *Sharded) Watch(opts WatchOptions) (*Subscription, error) {
 	}
 	if s.watchDone == nil {
 		// First subscription: start the driver, which now sees the
-		// registered interval from the start.
+		// registered interval from the start. The driver is supervised —
+		// a panic in a subscriber's OnDelta callback (which runs on the
+		// driver goroutine) is captured and the driver restarted with
+		// backoff instead of killing the process.
 		s.watchStop = make(chan struct{})
 		s.watchWake = make(chan struct{}, 1)
-		s.watchDone = make(chan struct{})
-		go s.watchLoop()
+		s.watchDone = s.resPolicy.Go("rhhh/sharded-watch", s.watchStop, s.watchLoop)
 	} else {
 		// Nudge the driver so a shorter interval takes effect immediately.
 		select {
@@ -612,9 +775,10 @@ func (s *Sharded) Watch(opts WatchOptions) (*Subscription, error) {
 }
 
 // watchLoop is the standing-query driver: it ticks the hub on the current
-// minimum subscription interval until Close.
+// minimum subscription interval until Close. It runs under the resilience
+// policy's supervision (see Watch); the hub releases its lock on a panic,
+// so a restarted driver resumes ticking cleanly.
 func (s *Sharded) watchLoop() {
-	defer close(s.watchDone)
 	timer := time.NewTimer(s.hub.minInterval())
 	defer timer.Stop()
 	for {

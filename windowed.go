@@ -9,6 +9,7 @@ import (
 
 	"rhhh/internal/core"
 	"rhhh/internal/hierarchy"
+	"rhhh/internal/resilience"
 	"rhhh/internal/telemetry"
 )
 
@@ -71,6 +72,13 @@ type Windowed struct {
 	// completed (sub-)window (from the merge goroutine when sliding).
 	hub         watchCtl
 	watchClosed bool
+
+	// resPolicy supervises the background merge goroutine (nil =
+	// resilience.Default): a panic in the merge — or in a subscriber
+	// callback it runs — is captured and the window's result dropped,
+	// instead of killing the process and deadlocking the producer on the
+	// mergeDone handshake.
+	resPolicy *resilience.Policy
 
 	// Telemetry, installed by Instrument. Flushes and FlushLatency are owned
 	// by the producer; MergeLatency by the merge goroutine, serialized between
@@ -343,6 +351,14 @@ func (w *Windowed) Instrument(reg *telemetry.Registry) error {
 	return nil
 }
 
+// SetResiliencePolicy installs the supervision policy for the background
+// merge goroutine. Call before feeding traffic; nil means
+// resilience.Default.
+func (w *Windowed) SetResiliencePolicy(p *resilience.Policy) {
+	w.sync()
+	w.resPolicy = p
+}
+
 // Watch registers a standing query ticked on each completed (sub-)window,
 // before the window result is delivered: deltas compare the HHH set of
 // consecutive covered windows (the union of the last k sub-windows when
@@ -460,7 +476,14 @@ func (w *Windowed) flush() {
 	w.current.Reset()
 	w.current.impl.reseed(w.cfg.Seed + w.index*0x9e3779b97f4a7c15)
 	w.mergePending = true
-	go w.runMerge(res)
+	go func() {
+		// The handshake token is released in a defer so the producer's
+		// next sync() cannot deadlock even if the merge panics; Protect
+		// captures and records the panic (the window's result is lost,
+		// the stream continues).
+		defer func() { w.mergeDone <- struct{}{} }()
+		w.resPolicy.Protect("rhhh/windowed-merge", func() { w.runMerge(res) })
+	}()
 }
 
 // runMerge is the background half of a sliding flush: merge the covered
@@ -487,5 +510,4 @@ func (w *Windowed) runMerge(res WindowResult) {
 		w.wtm.MergeLatency.Publish()
 	}
 	w.onFlush(res)
-	w.mergeDone <- struct{}{}
 }
