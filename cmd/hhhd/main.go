@@ -239,11 +239,18 @@ func main() {
 	<-degradeDone
 	if ckpt != nil {
 		close(ckptStop)
+		// The final checkpoint needs the checkpoint loop to have actually
+		// returned — Checkpointer is not concurrency-safe, and the loop may
+		// still be inside a slow Checkpoint when the drain deadline fires —
+		// so only proceed when <-ckptDone itself was observed.
+		ckptIdle := false
 		select {
 		case <-ckptDone:
+			ckptIdle = true
 		case <-drainCtx.Done():
+			fmt.Fprintln(os.Stderr, "hhhd: drain deadline hit waiting for checkpoint loop; skipping final checkpoint")
 		}
-		if drained {
+		if drained && ckptIdle {
 			// The workers are quiesced and synced: capture the final state.
 			if _, err := ckpt.Checkpoint(); err != nil {
 				fmt.Fprintf(os.Stderr, "hhhd: final checkpoint: %v\n", err)
@@ -275,13 +282,16 @@ func startDegrade(srv *server, mon *rhhh.Sharded, stop <-chan struct{}, watermar
 			thin.Store(1 << uint(new))
 		}
 		// Reflect the ladder on /healthz, without clobbering failing or
-		// draining states the supervisor/shutdown own.
-		if st, _ := srv.health.Get(); st == resilience.HealthOK || st == resilience.HealthDegraded {
-			if new > 0 {
-				srv.health.Set(resilience.HealthDegraded, fmt.Sprintf("ingest lag over watermark: degrade level %d", new))
-			} else {
-				srv.health.Set(resilience.HealthOK, "")
-			}
+		// draining states the supervisor/shutdown own: SetIf holds the
+		// health mutex across check and transition, so a concurrent
+		// escalation to failing can never be overwritten by a stale
+		// ok/degraded write from this loop.
+		if new > 0 {
+			srv.health.SetIf(resilience.HealthDegraded, fmt.Sprintf("ingest lag over watermark: degrade level %d", new),
+				resilience.HealthOK, resilience.HealthDegraded)
+		} else {
+			srv.health.SetIf(resilience.HealthOK, "",
+				resilience.HealthOK, resilience.HealthDegraded)
 		}
 		fmt.Fprintf(os.Stderr, "hhhd: degrade level %d -> %d\n", old, new)
 	}
@@ -339,6 +349,14 @@ type feederConfig struct {
 // batch path, small enough for sub-millisecond rate-control granularity.
 const feedBatch = 256
 
+// keepBatch reports whether the i-th generated batch (0-based) survives
+// thinning factor k: the leader of every window of k consecutive batches is
+// kept (fed at weight k, covering its k-1 dropped followers). The phase is
+// a dedicated per-batch counter — deriving it from packet totals that mixed
+// kept and skipped packets advanced it twice per skipped batch, wedging the
+// k=2 ladder level into dropping every batch after the first skip.
+func keepBatch(i, k uint64) bool { return k <= 1 || i%k == 0 }
+
 // feed replays one synthetic source into one worker until the budget is
 // spent or ctx is canceled, then publishes the worker's final state.
 func feed(ctx context.Context, w *rhhh.Worker, fc feederConfig) {
@@ -348,16 +366,16 @@ func feed(ctx context.Context, w *rhhh.Worker, fc feederConfig) {
 	srcs := make([]netip.Addr, 0, feedBatch)
 	dsts := make([]netip.Addr, 0, feedBatch)
 	var weights []uint64
-	var sent, skipped uint64
+	var generated, batches uint64
 	var interval time.Duration
 	if fc.rate > 0 {
 		interval = time.Duration(uint64(time.Second) * feedBatch / fc.rate)
 	}
 	next := time.Now()
-	for ctx.Err() == nil && (fc.n == 0 || sent < fc.n) {
+	for ctx.Err() == nil && (fc.n == 0 || generated < fc.n) {
 		batch := uint64(feedBatch)
-		if fc.n != 0 && fc.n-sent < batch {
-			batch = fc.n - sent
+		if fc.n != 0 && fc.n-generated < batch {
+			batch = fc.n - generated
 		}
 		srcs, dsts = srcs[:0], dsts[:0]
 		for range batch {
@@ -377,11 +395,12 @@ func feed(ctx context.Context, w *rhhh.Worker, fc feederConfig) {
 				k = uint64(t)
 			}
 		}
-		if k > 1 && (sent+skipped)/feedBatch%k != 0 {
-			// Degrade sampling: drop this batch; a kept batch carries the
-			// dropped ones' weight so published estimates stay unbiased.
-			skipped += uint64(len(srcs))
-		} else if k > 1 {
+		switch {
+		case !keepBatch(batches, k):
+			// Degrade sampling: drop this batch; the kept batch leading its
+			// window of k carries the dropped ones' weight so published
+			// estimates stay unbiased.
+		case k > 1:
 			for len(weights) < len(srcs) {
 				weights = append(weights, 0)
 			}
@@ -389,10 +408,11 @@ func feed(ctx context.Context, w *rhhh.Worker, fc feederConfig) {
 				weights[i] = k
 			}
 			w.UpdateWeightedBatch(srcs, dsts, weights[:len(srcs)])
-		} else {
+		default:
 			w.UpdateBatch(srcs, dsts)
 		}
-		sent += uint64(len(srcs))
+		batches++
+		generated += uint64(len(srcs))
 		if fc.fed != nil {
 			fc.fed.Add(1)
 		}

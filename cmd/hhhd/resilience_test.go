@@ -1,17 +1,20 @@
 package main
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"rhhh"
+	"rhhh/internal/telemetry"
 )
 
 // overloadServer builds a daemon with a tiny admission gate and short
@@ -261,5 +264,92 @@ func TestConcurrentLoadNoLeak(t *testing.T) {
 		}
 		runtime.Gosched()
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestKeepBatchCadence pins the degrade-sampling phase: the keep decision
+// advances exactly once per generated batch, keeping every k-th batch
+// forever. The previous accounting derived the phase from packet totals
+// that counted skipped packets twice, so at k=2 it kept exactly one batch
+// and then dropped every batch after the first skip.
+func TestKeepBatchCadence(t *testing.T) {
+	for _, k := range []uint64{0, 1, 2, 3, 8} {
+		kept := 0
+		for i := uint64(0); i < 64; i++ {
+			if keepBatch(i, k) {
+				kept++
+				if k > 1 && i%k != 0 {
+					t.Fatalf("k=%d kept batch %d, want only window leaders", k, i)
+				}
+			}
+		}
+		want := 64
+		if k > 1 {
+			want = int((64 + k - 1) / k)
+		}
+		if kept != want {
+			t.Fatalf("k=%d kept %d of 64 batches, want %d", k, kept, want)
+		}
+	}
+}
+
+// engineSeries scrapes one per-worker engine counter out of reg.
+func engineSeries(t *testing.T, reg *telemetry.Registry, name string) uint64 {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.ParseProm(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fams[name]
+	if f == nil {
+		t.Fatalf("family %s missing from the exposition", name)
+	}
+	for _, s := range f.Samples {
+		if s.Labels == `worker="0"` {
+			return uint64(s.Value)
+		}
+	}
+	t.Fatalf(`series %s{worker="0"} missing`, name)
+	return 0
+}
+
+// TestFeedThinningUnbiased drives the real feeder with the degrade-sampling
+// lever engaged and pins both halves of the contract through the engine
+// counters: half the generated packets are actually ingested (the thinning)
+// and the ingested weight equals the full generated stream (the weight
+// compensation that keeps published estimates unbiased).
+func TestFeedThinningUnbiased(t *testing.T) {
+	mon, err := rhhh.NewSharded(rhhh.Config{Dims: 1, Epsilon: 0.01, Delta: 0.01, Seed: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	reg := telemetry.NewRegistry()
+	mon.Instrument(reg)
+
+	var fed atomic.Uint64
+	var thin atomic.Uint32
+	thin.Store(2)
+	const n = 8 * feedBatch
+	feed(context.Background(), mon.Worker(0), feederConfig{
+		profile: "chicago16", seed: 1, n: n, fed: &fed, thin: &thin,
+	})
+
+	// The broken phase accounting published exactly one batch's weight here.
+	if got := mon.N(); got != n {
+		t.Fatalf("published weight = %d, want %d (thinning must stay weight-compensated)", got, n)
+	}
+	if got := fed.Load(); got != n/feedBatch {
+		t.Fatalf("fed ticks = %d, want %d (one per generated batch, kept or dropped)", got, n/feedBatch)
+	}
+	if got := engineSeries(t, reg, "rhhh_engine_packets_total"); got != n/2 {
+		t.Fatalf("raw packets ingested = %d, want %d (every other batch dropped)", got, n/2)
+	}
+	if got := engineSeries(t, reg, "rhhh_engine_weight_total"); got != n {
+		t.Fatalf("ingested weight = %d, want %d (kept packets carry weight 2)", got, n)
 	}
 }

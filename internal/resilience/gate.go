@@ -85,6 +85,14 @@ func WithDeadline(d time.Duration, h http.Handler) http.Handler {
 		defer cancel()
 		rc := http.NewResponseController(w)
 		_ = rc.SetWriteDeadline(time.Now().Add(d))
+		// Clear the deadline once the handler returns so a later request on
+		// the same keep-alive connection (possibly a deliberately ungated
+		// /metrics scrape or a /watch stream) can never inherit an expired
+		// deadline and fail its first write. net/http has cleared the write
+		// deadline between requests itself since Go 1.21, but that is the
+		// server loop's internal discipline — the wrapper keeps its
+		// set/clear pairing self-contained instead of leaning on it.
+		defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
 		h.ServeHTTP(w, r.WithContext(ctx))
 	})
 }

@@ -1,0 +1,62 @@
+package resilience
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestWithDeadlineClearedForNextRequest pins that the per-request write
+// deadline does not outlive its request: a later request on the same
+// keep-alive connection served by a handler OUTSIDE the deadline wrapper
+// (in hhhd, the deliberately ungated /metrics scrape) must not inherit an
+// already-expired deadline and fail its first write.
+func TestWithDeadlineClearedForNextRequest(t *testing.T) {
+	const d = 100 * time.Millisecond
+	ok := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/gated", WithDeadline(d, ok))
+	mux.Handle("/plain", ok) // no wrapper: nothing re-arms the deadline
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// A raw connection, not ts.Client(): the http.Transport would mask the
+	// failure by retrying the idempotent GET on a fresh connection.
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	do := func(path string) error {
+		if _, err := io.WriteString(conn, "GET "+path+" HTTP/1.1\r\nHost: t\r\n\r\n"); err != nil {
+			return err
+		}
+		resp, err := http.ReadResponse(br, nil)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(body) != "ok" {
+			return fmt.Errorf("body = %q, err %v", body, err)
+		}
+		return nil
+	}
+	if err := do("/gated"); err != nil {
+		t.Fatalf("gated request: %v", err)
+	}
+	// Let the gated request's deadline expire, then reuse the connection
+	// against the unwrapped handler.
+	time.Sleep(d + 50*time.Millisecond)
+	if err := do("/plain"); err != nil {
+		t.Fatalf("plain request on the keep-alive conn: %v (inherited expired write deadline)", err)
+	}
+}

@@ -56,6 +56,32 @@ func (h *Health) Set(state HealthState, reason string) bool {
 	return true
 }
 
+// SetIf moves to state (recording why) only when the current state is one
+// of from. Check and transition happen under a single mutex hold, so a
+// caller restricted to ok/degraded (the degrade ladder) can never clobber
+// a concurrent escalation to failing the way a Get-then-Set would.
+// Returns whether the transition was applied.
+func (h *Health) SetIf(state HealthState, reason string, from ...HealthState) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state == HealthDraining && state != HealthDraining {
+		return false
+	}
+	ok := false
+	for _, f := range from {
+		if h.state == f {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return false
+	}
+	h.state, h.reason = state, reason
+	h.cell.Store(uint64(state))
+	return true
+}
+
 // Get returns the current state and the reason it was entered.
 func (h *Health) Get() (HealthState, string) {
 	h.mu.Lock()

@@ -1,0 +1,39 @@
+package resilience
+
+import "testing"
+
+// TestHealthSetIf pins the conditional transition the degrade ladder relies
+// on: restricted to ok/degraded it can flap freely, but a concurrent
+// escalation to failing (a supervisor give-up) can never be clobbered back
+// the way a Get-then-Set check-then-act could.
+func TestHealthSetIf(t *testing.T) {
+	var h Health
+	if !h.SetIf(HealthDegraded, "lag", HealthOK, HealthDegraded) {
+		t.Fatal("ok -> degraded refused")
+	}
+	if st, _ := h.Get(); st != HealthDegraded {
+		t.Fatalf("state = %v, want degraded", st)
+	}
+	if !h.SetIf(HealthOK, "", HealthOK, HealthDegraded) {
+		t.Fatal("degraded -> ok refused")
+	}
+
+	h.Set(HealthFailing, "supervised goroutine gave up")
+	if h.SetIf(HealthOK, "", HealthOK, HealthDegraded) {
+		t.Fatal("SetIf applied from failing: the ladder would hide a permanent goroutine loss")
+	}
+	if h.SetIf(HealthDegraded, "lag", HealthOK, HealthDegraded) {
+		t.Fatal("SetIf applied from failing")
+	}
+	if st, reason := h.Get(); st != HealthFailing || reason != "supervised goroutine gave up" {
+		t.Fatalf("state = %v %q, want failing with its reason intact", st, reason)
+	}
+
+	// Draining stays sticky for SetIf exactly as for Set, even when listed
+	// as an allowed source state.
+	var h2 Health
+	h2.Set(HealthDraining, "shutdown")
+	if h2.SetIf(HealthDegraded, "lag", HealthOK, HealthDegraded, HealthDraining) {
+		t.Fatal("SetIf escaped the terminal draining state")
+	}
+}

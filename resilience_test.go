@@ -314,3 +314,35 @@ func TestWindowedSlidingMergePanicRecovered(t *testing.T) {
 		t.Fatalf("panics recorded = %d, want 1", stats.Panics.Load())
 	}
 }
+
+// TestMaxPublishAgeOnlyPendingIntake pins the degrade controller's lag
+// signal: only absorbed-but-unpublished intake ages. A worker that
+// published its state and went quiet — e.g. a bounded feeder that finished
+// its -n share while others keep running — must read zero forever, not
+// ever-growing lag that spuriously escalates the ladder to max.
+func TestMaxPublishAgeOnlyPendingIntake(t *testing.T) {
+	mon, err := rhhh.NewSharded(rhhh.Config{Dims: 1, Epsilon: 0.01, Delta: 0.01, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	now := time.Now()
+	if age := mon.MaxPublishAge(now); age != 0 {
+		t.Fatalf("fresh monitor lag = %v, want 0", age)
+	}
+	w := mon.Worker(0)
+	w.Update(addr4(10, 0, 0, 1), addr4(10, 0, 0, 2))
+	if age := mon.MaxPublishAge(now.Add(10 * time.Second)); age < 5*time.Second {
+		t.Fatalf("pending-intake lag = %v, want ~10s", age)
+	}
+	w.Sync() // everything published: the worker is fully caught up
+	if age := mon.MaxPublishAge(now.Add(time.Hour)); age != 0 {
+		t.Fatalf("idle published worker lag = %v, want 0 (no pending intake may age)", age)
+	}
+	// New intake after the idle stretch ages from its own arrival, not from
+	// the long-gone last publication.
+	w.Update(addr4(10, 0, 0, 3), addr4(10, 0, 0, 4))
+	if age := mon.MaxPublishAge(time.Now().Add(time.Second)); age > 2*time.Second {
+		t.Fatalf("fresh pending intake lag = %v, want about 1s", age)
+	}
+}

@@ -113,13 +113,14 @@ type Worker struct {
 	// effective cadence is the configured pubPackets/pubBatches times the
 	// owning Sharded's publication scale, re-read at each Sync — so the
 	// degrade ladder can widen the cadence without touching the hot path.
-	count       uint64 // packets absorbed since construction
-	batches     int    // batch calls since the last publication
-	nextPub     uint64 // publish when count reaches this watermark
-	pubPackets  uint64
-	pubBatches  int
-	curBatches  int            // pubBatches × scale, recomputed at Sync
-	scale       *atomic.Uint32 // the Sharded's pubScale
+	count      uint64 // packets absorbed since construction
+	batches    int    // batch calls since the last publication
+	nextPub    uint64 // the update path's watermark check (see pubCheck)
+	pubDue     uint64 // publish when count reaches this watermark
+	pubPackets uint64
+	pubBatches int
+	curBatches int            // pubBatches × scale, recomputed at Sync
+	scale      *atomic.Uint32 // the Sharded's pubScale
 
 	// publish captures the worker's engine into a publication slot sharing
 	// unchanged node buffers with prev and recycling buffers no reader can
@@ -136,10 +137,15 @@ type Worker struct {
 	syncs uint64
 	pubs  uint64
 
-	// lastPub is the wall clock of the last state-changing publication
-	// (unix nanos, 0 = never) — always maintained, telemetry or not, so
-	// Sharded.MaxPublishAge can feed the degrade controller.
-	lastPub atomic.Int64
+	// firstPending is the wall clock (unix nanos, 0 = none) of the first
+	// packet absorbed since the last publication — always maintained,
+	// telemetry or not, so Sharded.MaxPublishAge can report the age of
+	// unpublished intake to the degrade controller. It costs the hot path
+	// nothing: Sync arms nextPub one packet ahead as a sentinel, so the
+	// idle→pending transition rides the existing watermark branch (see
+	// pubCheck) and the clock read and atomic store run once per
+	// publication interval.
+	firstPending atomic.Int64
 }
 
 // pubCell is one worker's publication slot, padded onto its own cache lines
@@ -161,12 +167,26 @@ type pubState struct {
 	weight uint64
 }
 
+// pubCheck is the slow half of the update paths' watermark branch. nextPub
+// is armed one packet past the last Sync, so the first intake of a fresh
+// publication interval lands here once, stamps firstPending for the lag
+// signal, and re-arms nextPub at the real cadence watermark; the next trip
+// is a genuine publication.
+func (w *Worker) pubCheck() {
+	if w.count >= w.pubDue || w.batches >= w.curBatches {
+		w.Sync()
+		return
+	}
+	w.firstPending.Store(time.Now().UnixNano())
+	w.nextPub = w.pubDue
+}
+
 // Update records one packet on this worker.
 func (w *Worker) Update(src, dst netip.Addr) {
 	w.m.Update(src, dst)
 	w.count++
 	if w.count >= w.nextPub {
-		w.Sync()
+		w.pubCheck()
 	}
 }
 
@@ -175,7 +195,7 @@ func (w *Worker) UpdateWeighted(src, dst netip.Addr, wt uint64) {
 	w.m.UpdateWeighted(src, dst, wt)
 	w.count++
 	if w.count >= w.nextPub {
-		w.Sync()
+		w.pubCheck()
 	}
 }
 
@@ -187,7 +207,7 @@ func (w *Worker) UpdateBatch(srcs, dsts []netip.Addr) {
 	w.count += uint64(len(srcs))
 	w.batches++
 	if w.count >= w.nextPub || w.batches >= w.curBatches {
-		w.Sync()
+		w.pubCheck()
 	}
 }
 
@@ -198,7 +218,7 @@ func (w *Worker) UpdateWeightedBatch(srcs, dsts []netip.Addr, ws []uint64) {
 	w.count += uint64(len(srcs))
 	w.batches++
 	if w.count >= w.nextPub || w.batches >= w.curBatches {
-		w.Sync()
+		w.pubCheck()
 	}
 }
 
@@ -211,13 +231,20 @@ func (w *Worker) Sync() {
 	prev := w.cell.v.Load().(*pubState)
 	snap, weight := w.publish(prev.snap)
 	w.batches = 0
+	// Everything absorbed so far is captured in snap: no intake is pending
+	// anymore, whether or not the publication changed state.
+	w.firstPending.Store(0)
 	k := uint64(1)
 	if w.scale != nil {
 		if sc := w.scale.Load(); sc > 1 {
 			k = uint64(sc)
 		}
 	}
-	w.nextPub = w.count + w.pubPackets*k
+	// Arm nextPub one packet ahead: the first intake of the new interval
+	// detours through pubCheck to stamp firstPending, then the real
+	// watermark (pubDue) takes over.
+	w.pubDue = w.count + w.pubPackets*k
+	w.nextPub = w.count + 1
 	w.curBatches = w.pubBatches * int(k)
 	if snap == prev.snap {
 		if w.tm != nil {
@@ -227,7 +254,6 @@ func (w *Worker) Sync() {
 		return // unchanged: keep the published epoch
 	}
 	w.cell.v.Store(&pubState{snap: snap, epoch: prev.epoch + 1, weight: weight})
-	w.lastPub.Store(time.Now().UnixNano())
 	if w.tm != nil {
 		w.syncs++
 		w.pubs++
@@ -301,7 +327,8 @@ func NewShardedOptions(cfg Config, n int, opts ShardedOptions) (*Sharded, error)
 			pubPackets: pubPackets,
 			pubBatches: pubBatches,
 			curBatches: pubBatches,
-			nextPub:    pubPackets,
+			pubDue:     pubPackets,
+			nextPub:    1, // sentinel: the first packet stamps firstPending
 			scale:      &s.pubScale,
 		}
 	}
@@ -383,17 +410,19 @@ func (s *Sharded) PublishScale() uint32 {
 	return 1
 }
 
-// MaxPublishAge returns the age of the stalest worker publication — the
-// ingest-lag signal the degrade controller watches. Workers that have
-// never published traffic report zero (an idle daemon is not lagging).
+// MaxPublishAge returns the age of the oldest absorbed-but-unpublished
+// intake across workers — the ingest-lag signal the degrade controller
+// watches. A worker with nothing pending contributes zero, so neither an
+// idle daemon nor a worker whose bounded feeder finished (published its
+// final state and went quiet) can read as ever-growing lag.
 func (s *Sharded) MaxPublishAge(now time.Time) time.Duration {
 	var maxAge time.Duration
 	for _, w := range s.workers {
-		last := w.lastPub.Load()
-		if last == 0 {
+		first := w.firstPending.Load()
+		if first == 0 {
 			continue
 		}
-		if age := now.Sub(time.Unix(0, last)); age > maxAge {
+		if age := now.Sub(time.Unix(0, first)); age > maxAge {
 			maxAge = age
 		}
 	}
